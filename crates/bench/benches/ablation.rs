@@ -1,0 +1,77 @@
+//! Ablation benchmarks of the §4.3 DSE accelerations: each variant runs
+//! the full DSE with one optimization toggled, on one representative
+//! compute kernel (KNN) and the small-space exception (KMeans).
+//!
+//! Criterion reports the *implementation* runtime of each variant; the
+//! quality/virtual-time ablation numbers (what the paper's Fig. 3
+//! discusses) are printed once per variant on the first iteration.
+//!
+//! ```text
+//! cargo bench -p s2fa-bench --bench ablation
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2fa::compile_kernel;
+use s2fa_dse::{run_dse, vanilla_options, DseOptions, StoppingKind};
+use s2fa_hlsir::analysis;
+use s2fa_hlssim::Estimator;
+use s2fa_workloads::{kmeans, knn};
+use std::sync::Once;
+
+fn variants() -> Vec<(&'static str, DseOptions)> {
+    let base = DseOptions::s2fa();
+    let mut no_partition = base.clone();
+    no_partition.partition = false;
+    let mut no_seeds = base.clone();
+    no_seeds.seeds = false;
+    let mut trivial_stop = base.clone();
+    trivial_stop.stopping = StoppingKind::Trivial { k: 10 };
+    let mut time_limit = base.clone();
+    time_limit.stopping = StoppingKind::TimeLimit;
+    vec![
+        ("s2fa_full", base),
+        ("no_partition", no_partition),
+        ("no_seeds", no_seeds),
+        ("trivial_stop", trivial_stop),
+        ("no_early_stop", time_limit),
+        ("vanilla_opentuner", vanilla_options()),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    static PRINT: Once = Once::new();
+    for w in [knn::workload(), kmeans::workload()] {
+        let generated = compile_kernel(&w.spec).expect("compiles");
+        let summary = analysis::summarize(&generated.cfunc, 1024).expect("analyzes");
+        let estimator = Estimator::new();
+        // One-time quality report so the ablation numbers are visible in
+        // the bench log.
+        PRINT.call_once(|| {
+            eprintln!(
+                "\nDSE ablation (quality / virtual time), kernel {}:",
+                w.name
+            );
+            for (name, opts) in variants() {
+                let out = run_dse(&summary, &estimator, &opts);
+                eprintln!(
+                    "  {name:<18} best {:>10.4} ms | {:>5.1} virtual min | {:>4} evaluations",
+                    out.best_value(),
+                    out.elapsed_minutes,
+                    out.total_evaluations
+                );
+            }
+            eprintln!();
+        });
+        let mut g = c.benchmark_group(format!("dse_ablation/{}", w.name));
+        g.sample_size(10);
+        for (name, opts) in variants() {
+            let s = summary.clone();
+            let est = estimator.clone();
+            g.bench_function(name, |b| b.iter(|| run_dse(&s, &est, &opts)));
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

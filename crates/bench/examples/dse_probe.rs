@@ -1,0 +1,42 @@
+//! Developer probe: prints per-kernel S2FA-vs-vanilla DSE dynamics (best
+//! objective, time-to-quality marks, per-partition stop reasons) in one
+//! table per kernel. Used while calibrating the Fig. 3 behaviour; kept as
+//! a convenient diagnostic.
+//!
+//! ```text
+//! cargo run --release -p s2fa-bench --example dse_probe
+//! ```
+
+use s2fa::compile_kernel;
+use s2fa_dse::{run_dse, vanilla_options, DseOptions};
+use s2fa_hlsir::analysis;
+use s2fa_hlssim::Estimator;
+use s2fa_workloads::all_workloads;
+
+fn main() {
+    let est = Estimator::new();
+    for w in all_workloads() {
+        let g = compile_kernel(&w.spec).unwrap();
+        let s = analysis::summarize(&g.cfunc, 1024).unwrap();
+        let s2 = run_dse(&s, &est, &DseOptions::s2fa());
+        let va = run_dse(&s, &est, &vanilla_options());
+        let conv = |o: &s2fa_dse::DseOutcome| {
+            (
+                o.best_at_minute(30.0),
+                o.best_at_minute(60.0),
+                o.best_at_minute(120.0),
+                o.best_value(),
+            )
+        };
+        println!("{:<7} S2FA best={:>9.4} t={:>5.1} evals={:<4} | VAN best={:>9.4} t=240 evals={:<4} | qor_ratio={:.2} | s2fa@(30,60,120)={:?} van@(30,60,120)={:?}",
+            w.name, s2.best_value(), s2.elapsed_minutes, s2.total_evaluations,
+            va.best_value(), va.total_evaluations,
+            va.best_value()/s2.best_value(), conv(&s2), conv(&va));
+        let conv_reasons: Vec<String> = s2
+            .per_partition
+            .iter()
+            .map(|p| format!("{:?}@{:.0}", p.reason, p.elapsed_minutes))
+            .collect();
+        println!("        partitions: {}", conv_reasons.join(" "));
+    }
+}

@@ -1,0 +1,143 @@
+//! `s2fa-cli` — drive the framework on any evaluation kernel from the
+//! command line, the way a downstream user would.
+//!
+//! ```text
+//! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel KMeans
+//! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel S-W --budget 120 --emit-c
+//! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel LR --manual --report
+//! cargo run --release -p s2fa-bench --bin s2fa_cli -- --list
+//! ```
+
+use s2fa::{S2fa, S2faOptions};
+use s2fa_hlsir::analysis;
+use s2fa_hlssim::report;
+use s2fa_workloads::all_workloads;
+
+struct Args {
+    kernel: Option<String>,
+    budget: f64,
+    tasks: u32,
+    manual: bool,
+    emit_c: bool,
+    report: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        kernel: None,
+        budget: 240.0,
+        tasks: 1024,
+        manual: false,
+        emit_c: false,
+        report: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--kernel" => {
+                args.kernel = Some(it.next().ok_or("--kernel needs a name")?);
+            }
+            "--budget" => {
+                args.budget = it
+                    .next()
+                    .ok_or("--budget needs minutes")?
+                    .parse()
+                    .map_err(|e| format!("bad --budget: {e}"))?;
+            }
+            "--tasks" => {
+                args.tasks = it
+                    .next()
+                    .ok_or("--tasks needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --tasks: {e}"))?;
+            }
+            "--manual" => args.manual = true,
+            "--emit-c" => args.emit_c = true,
+            "--report" => args.report = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                return Err(USAGE.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "usage: s2fa_cli --kernel <name> [--budget <minutes>] [--tasks <n>] \
+[--manual] [--emit-c] [--report] | --list";
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if args.list {
+        println!("available kernels:");
+        for w in all_workloads() {
+            println!("  {:<8} ({})", w.name, w.category);
+        }
+        return;
+    }
+    let Some(name) = args.kernel else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let Some(w) = all_workloads().into_iter().find(|w| w.name == name) else {
+        eprintln!("unknown kernel `{name}` — try --list");
+        std::process::exit(2);
+    };
+
+    let mut options = S2faOptions {
+        tasks_hint: args.tasks,
+        ..S2faOptions::default()
+    };
+    options.dse.budget_minutes = args.budget;
+    let framework = S2fa::new(options);
+
+    let compiled = if args.manual {
+        let generated = s2fa::compile_kernel(&w.manual_spec).expect("manual kernel compiles");
+        let summary =
+            analysis::summarize(&generated.cfunc, args.tasks).expect("manual kernel analyzes");
+        let cfg = (w.manual_config)(&summary);
+        framework
+            .compile_with_config(&w.manual_spec, &cfg)
+            .expect("manual design synthesizes")
+    } else {
+        framework.compile(&w.spec).expect("automatic flow succeeds")
+    };
+
+    println!(
+        "{} [{}] — {} flow",
+        w.name,
+        w.category,
+        if args.manual { "manual" } else { "automatic" }
+    );
+    println!("design: {}", compiled.design.brief());
+    println!("estimate: {}", compiled.estimate);
+    if let Some(dse) = &compiled.dse {
+        println!(
+            "dse: {} evaluations over {} partitions, terminated at {:.0} virtual minutes",
+            dse.total_evaluations, dse.partitions, dse.elapsed_minutes
+        );
+    }
+    if args.emit_c {
+        println!("\n--- generated HLS C ---\n{}", compiled.optimized_source);
+    }
+    if args.report {
+        println!(
+            "\n{}",
+            report::render(
+                &compiled.summary,
+                &compiled.design,
+                &compiled.estimate,
+                framework.estimator().device()
+            )
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Minimal ASCII chart rendering for the figure binaries.
+
+/// Renders a log-scale horizontal bar for a value within `[1, max]`.
+pub fn log_bar(value: f64, max: f64, width: usize) -> String {
+    if value <= 1.0 || max <= 1.0 {
+        return String::new();
+    }
+    let frac = (value.ln() / max.ln()).clamp(0.0, 1.0);
+    "█".repeat((frac * width as f64).round() as usize)
+}
+
+/// Downsamples a convergence trace to at most `points` entries, always
+/// keeping the first and last.
+pub fn downsample(trace: &[(f64, f64)], points: usize) -> Vec<(f64, f64)> {
+    if trace.len() <= points || points < 2 {
+        return trace.to_vec();
+    }
+    let mut out = Vec::with_capacity(points);
+    let step = (trace.len() - 1) as f64 / (points - 1) as f64;
+    for i in 0..points {
+        out.push(trace[(i as f64 * step).round() as usize]);
+    }
+    out.dedup_by(|a, b| a.0 == b.0);
+    out
+}
+
+/// A named series sampled at arbitrary minutes.
+pub type Series<'a> = (&'a str, Box<dyn Fn(f64) -> f64 + 'a>);
+
+/// Renders two convergence series (minute → normalized value) side by
+/// side as a fixed-grid text plot, sampled at the given minutes.
+pub fn convergence_rows(minutes: &[f64], series: &[Series<'_>]) -> String {
+    let mut out = String::new();
+    out.push_str("  min ");
+    for (name, _) in series {
+        out.push_str(&format!("{name:>14}"));
+    }
+    out.push('\n');
+    for &m in minutes {
+        out.push_str(&format!("{m:>5.0} "));
+        for (_, f) in series {
+            let v = f(m);
+            if v.is_finite() {
+                out.push_str(&format!("{v:>14.4}"));
+            } else {
+                out.push_str(&format!("{:>14}", "-"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_bar_scales() {
+        assert_eq!(log_bar(1.0, 1000.0, 30), "");
+        let short = log_bar(10.0, 1000.0, 30).chars().count();
+        let long = log_bar(1000.0, 1000.0, 30).chars().count();
+        assert!(long > short);
+        assert_eq!(long, 30);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let t: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, 100.0 - i as f64)).collect();
+        let d = downsample(&t, 5);
+        assert_eq!(d.first(), Some(&(0.0, 100.0)));
+        assert_eq!(d.last(), Some(&(99.0, 1.0)));
+        assert!(d.len() <= 5);
+    }
+
+    #[test]
+    fn convergence_rows_format() {
+        let f: Box<dyn Fn(f64) -> f64> = Box::new(|m| 100.0 / (m + 1.0));
+        let rows = convergence_rows(&[0.0, 60.0], &[("s2fa", f)]);
+        assert!(rows.contains("s2fa"));
+        assert!(rows.lines().count() == 3);
+    }
+}

@@ -1,0 +1,469 @@
+//! Mini-Spark RDDs and the Blaze wrapper.
+//!
+//! The paper's Code 1 in this substrate:
+//!
+//! ```
+//! # use s2fa_blaze::{AcceleratorRegistry, BlazeContext, Rdd};
+//! # use s2fa_sjvm::HostValue;
+//! let registry = AcceleratorRegistry::new();
+//! let blaze = BlazeContext::new(&registry);
+//! let pairs = Rdd::from_values(vec![HostValue::I(1), HostValue::I(2)]);
+//! let blaze_pairs = blaze.wrap(pairs);
+//! // `blaze_pairs.map(&acc_call)` routes to the accelerator if
+//! // `acc_call.id` is registered, otherwise falls back to the JVM.
+//! ```
+
+use crate::service::AcceleratorRegistry;
+use crate::BlazeError;
+use s2fa_sjvm::{HostValue, Interp, JvmCostModel, KernelSpec, RddOp};
+
+/// A resilient distributed dataset (single-node, in-memory slice of one).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Rdd {
+    data: Vec<HostValue>,
+}
+
+impl Rdd {
+    /// Creates an RDD from records.
+    pub fn from_values(data: Vec<HostValue>) -> Rdd {
+        Rdd { data }
+    }
+
+    /// The records.
+    pub fn collect(&self) -> &[HostValue] {
+        &self.data
+    }
+
+    /// Number of records.
+    pub fn count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Native map transformation (driver-side; not offloadable).
+    pub fn map_native(&self, f: impl FnMut(&HostValue) -> HostValue) -> Rdd {
+        Rdd {
+            data: self.data.iter().map(f).collect(),
+        }
+    }
+}
+
+impl FromIterator<HostValue> for Rdd {
+    fn from_iter<I: IntoIterator<Item = HostValue>>(iter: I) -> Self {
+        Rdd {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The analogue of `class SW() extends Accelerator[I, O]` in Code 1: the
+/// accelerator id plus the lambda (as compiled JVM bytecode) for the
+/// fallback path.
+#[derive(Debug, Clone)]
+pub struct AccCall {
+    /// Accelerator id to look up in the registry.
+    pub id: String,
+    /// The lambda, used when no accelerator is registered (Blaze falls
+    /// back to executing the original Scala method on the JVM).
+    pub spec: KernelSpec,
+}
+
+/// Which path executed an offloaded transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionPath {
+    /// Ran on the registered accelerator.
+    Offloaded,
+    /// Fell back to the single-threaded JVM executor.
+    JvmFallback,
+}
+
+/// Timing/shape report of one transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadReport {
+    /// Which path ran.
+    pub path: ExecutionPath,
+    /// Records processed.
+    pub tasks: u64,
+    /// Modelled wall-clock of the executed path in ms.
+    pub time_ms: f64,
+    /// Bytes over the accelerator interface (0 on the JVM path).
+    pub bytes: u64,
+}
+
+/// The Blaze driver context: holds the accelerator registry and the
+/// offload policy.
+#[derive(Debug, Clone, Copy)]
+pub struct BlazeContext<'r> {
+    registry: &'r AcceleratorRegistry,
+    /// Minimum batch size worth offloading: below it the fixed driver/DMA
+    /// setup dominates and the JVM path wins, so Blaze keeps small batches
+    /// on the host.
+    min_offload_batch: usize,
+}
+
+impl<'r> BlazeContext<'r> {
+    /// Creates a context over a registry with offloading enabled for any
+    /// batch size.
+    pub fn new(registry: &'r AcceleratorRegistry) -> Self {
+        BlazeContext {
+            registry,
+            min_offload_batch: 0,
+        }
+    }
+
+    /// Sets the minimum batch size routed to the accelerator; smaller
+    /// batches fall back to the JVM even when a design is registered.
+    pub fn with_min_offload_batch(mut self, min: usize) -> Self {
+        self.min_offload_batch = min;
+        self
+    }
+
+    /// Wraps an RDD for transparent offloading (Code 1, line 2).
+    pub fn wrap(&self, rdd: Rdd) -> BlazeRdd<'r> {
+        BlazeRdd {
+            rdd,
+            registry: self.registry,
+            min_offload_batch: self.min_offload_batch,
+        }
+    }
+}
+
+/// A wrapped RDD whose transformations route through the accelerator
+/// manager.
+#[derive(Debug)]
+pub struct BlazeRdd<'r> {
+    rdd: Rdd,
+    registry: &'r AcceleratorRegistry,
+    min_offload_batch: usize,
+}
+
+impl BlazeRdd<'_> {
+    /// The wrapped records.
+    pub fn collect(&self) -> &[HostValue] {
+        self.rdd.collect()
+    }
+
+    /// Offloadable `map` (Code 1, line 3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout/execution errors from either path.
+    pub fn map(&self, acc: &AccCall) -> Result<(Rdd, OffloadReport), BlazeError> {
+        self.transform(acc, RddOp::Map)
+    }
+
+    /// Offloadable `reduce`: combines all records pairwise with the lambda.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlazeError::EmptyDataset`] for empty inputs; otherwise
+    /// propagates layout/execution errors.
+    pub fn reduce(&self, acc: &AccCall) -> Result<(HostValue, OffloadReport), BlazeError> {
+        let (rdd, report) = self.transform(acc, RddOp::Reduce)?;
+        let v = rdd
+            .collect()
+            .first()
+            .cloned()
+            .ok_or(BlazeError::EmptyDataset)?;
+        Ok((v, report))
+    }
+
+    fn transform(&self, acc: &AccCall, op: RddOp) -> Result<(Rdd, OffloadReport), BlazeError> {
+        if self.rdd.is_empty() {
+            return Err(BlazeError::EmptyDataset);
+        }
+        if self.rdd.count() >= self.min_offload_batch {
+            if let Some(accel) = self.registry.lookup(&acc.id) {
+                return self.offload(&accel, acc, op);
+            }
+        }
+        self.jvm_fallback(acc, op)
+    }
+
+    fn offload(
+        &self,
+        accel: &crate::accel::Accelerator,
+        acc: &AccCall,
+        op: RddOp,
+    ) -> Result<(Rdd, OffloadReport), BlazeError> {
+        {
+            if accel.operator != op {
+                return Err(BlazeError::Accel(format!(
+                    "accelerator `{}` implements {}, not {}",
+                    acc.id,
+                    accel.operator.name(),
+                    op.name()
+                )));
+            }
+            let (out, stats) = accel.run_batch(self.rdd.collect())?;
+            let report = OffloadReport {
+                path: ExecutionPath::Offloaded,
+                tasks: stats.tasks,
+                time_ms: stats.modelled_ms.unwrap_or(0.0),
+                bytes: stats.bytes,
+            };
+            Ok((Rdd::from_values(out), report))
+        }
+    }
+
+    /// Runs the original lambda on the interpreter (the Blaze fallback).
+    fn jvm_fallback(&self, acc: &AccCall, op: RddOp) -> Result<(Rdd, OffloadReport), BlazeError> {
+        let spec = &acc.spec;
+        let mut interp =
+            Interp::new(&spec.classes, &spec.methods).with_cost_model(JvmCostModel::default());
+        let mut total_ns = 0.0;
+        let out = match op {
+            RddOp::Map => {
+                let mut out = Vec::with_capacity(self.rdd.count());
+                for rec in self.rdd.collect() {
+                    let (v, stats) = interp.run(spec.entry, std::slice::from_ref(rec))?;
+                    total_ns += stats.ns;
+                    out.push(v);
+                }
+                out
+            }
+            RddOp::Reduce => {
+                let records = self.rdd.collect();
+                let mut acc_val = records[0].clone();
+                for rec in &records[1..] {
+                    let (v, stats) = interp.run(spec.entry, &[acc_val.clone(), rec.clone()])?;
+                    total_ns += stats.ns;
+                    acc_val = v;
+                }
+                vec![acc_val]
+            }
+        };
+        let report = OffloadReport {
+            path: ExecutionPath::JvmFallback,
+            tasks: self.rdd.count() as u64,
+            time_ms: total_ns / 1e6,
+            bytes: 0,
+        };
+        Ok((Rdd::from_values(out), report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2fa_sjvm::builder::{Expr, FnBuilder};
+    use s2fa_sjvm::{ClassTable, JType, MethodTable, Shape};
+
+    /// x -> x * 3 lambda as a kernel spec.
+    fn triple_spec() -> KernelSpec {
+        let mut classes = ClassTable::new();
+        let mut methods = MethodTable::new();
+        let mut b = FnBuilder::new("call", &[("x", JType::Int)], Some(JType::Int));
+        let x = b.param(0);
+        b.ret(Expr::local(x).mul(Expr::const_i(3)));
+        let entry = b.finish(&mut classes, &mut methods).unwrap();
+        KernelSpec {
+            name: "triple".into(),
+            classes,
+            methods,
+            entry,
+            operator: RddOp::Map,
+            input_shape: Shape::Scalar(JType::Int),
+            output_shape: Shape::Scalar(JType::Int),
+        }
+    }
+
+    /// (a, b) -> a + b reduce lambda.
+    fn sum_spec() -> KernelSpec {
+        let mut classes = ClassTable::new();
+        let mut methods = MethodTable::new();
+        let mut b = FnBuilder::new(
+            "call",
+            &[("a", JType::Int), ("b", JType::Int)],
+            Some(JType::Int),
+        );
+        let a = b.param(0);
+        let x = b.param(1);
+        b.ret(Expr::local(a).add(Expr::local(x)));
+        let entry = b.finish(&mut classes, &mut methods).unwrap();
+        KernelSpec {
+            name: "sum".into(),
+            classes,
+            methods,
+            entry,
+            operator: RddOp::Reduce,
+            input_shape: Shape::Scalar(JType::Int),
+            output_shape: Shape::Scalar(JType::Int),
+        }
+    }
+
+    #[test]
+    fn jvm_fallback_map() {
+        let registry = AcceleratorRegistry::new();
+        let blaze = BlazeContext::new(&registry);
+        let rdd = Rdd::from_values(vec![HostValue::I(1), HostValue::I(5)]);
+        let call = AccCall {
+            id: "triple".into(),
+            spec: triple_spec(),
+        };
+        let (out, report) = blaze.wrap(rdd).map(&call).unwrap();
+        assert_eq!(out.collect(), &[HostValue::I(3), HostValue::I(15)]);
+        assert_eq!(report.path, ExecutionPath::JvmFallback);
+        assert!(report.time_ms > 0.0);
+        assert_eq!(report.bytes, 0);
+    }
+
+    #[test]
+    fn jvm_fallback_reduce() {
+        let registry = AcceleratorRegistry::new();
+        let blaze = BlazeContext::new(&registry);
+        let rdd: Rdd = (1..=10).map(HostValue::I).collect();
+        let call = AccCall {
+            id: "sum".into(),
+            spec: sum_spec(),
+        };
+        let (v, report) = blaze.wrap(rdd).reduce(&call).unwrap();
+        assert_eq!(v, HostValue::I(55));
+        assert_eq!(report.tasks, 10);
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let registry = AcceleratorRegistry::new();
+        let blaze = BlazeContext::new(&registry);
+        let call = AccCall {
+            id: "t".into(),
+            spec: triple_spec(),
+        };
+        assert_eq!(
+            blaze.wrap(Rdd::default()).map(&call).unwrap_err(),
+            BlazeError::EmptyDataset
+        );
+    }
+
+    #[test]
+    fn native_map_and_collection() {
+        let rdd = Rdd::from_values(vec![HostValue::I(1), HostValue::I(2)]);
+        let doubled = rdd.map_native(|v| HostValue::I(v.as_i64().unwrap() * 2));
+        assert_eq!(doubled.collect(), &[HostValue::I(2), HostValue::I(4)]);
+        assert_eq!(doubled.count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use crate::accel::Accelerator;
+    use crate::serial::DataLayout;
+    use s2fa_hlsir::{ast, CBinOp, CNumKind};
+    use s2fa_sjvm::builder::{Expr as JE, FnBuilder};
+    use s2fa_sjvm::{ClassTable, JType, MethodTable, Shape};
+
+    fn identity_accel(id: &str) -> Accelerator {
+        let shape = Shape::Scalar(JType::Int);
+        Accelerator {
+            id: id.into(),
+            kernel: ast::CFunction {
+                name: "idk".into(),
+                params: vec![
+                    ast::Param {
+                        name: "n".into(),
+                        ty: ast::CType::Int(32),
+                        kind: ast::ParamKind::ScalarIn,
+                        elems_per_task: None,
+                        broadcast: false,
+                    },
+                    ast::Param {
+                        name: "in_1".into(),
+                        ty: ast::CType::Int(32),
+                        kind: ast::ParamKind::BufIn,
+                        elems_per_task: Some(1),
+                        broadcast: false,
+                    },
+                    ast::Param {
+                        name: "out_1".into(),
+                        ty: ast::CType::Int(32),
+                        kind: ast::ParamKind::BufOut,
+                        elems_per_task: Some(1),
+                        broadcast: false,
+                    },
+                ],
+                body: vec![ast::Stmt::For {
+                    id: ast::LoopId(0),
+                    var: "i".into(),
+                    bound: ast::Expr::var("n"),
+                    trip_count: None,
+                    attrs: Default::default(),
+                    body: vec![ast::Stmt::Assign {
+                        lhs: ast::LValue::Index("out_1".into(), Box::new(ast::Expr::var("i"))),
+                        rhs: ast::Expr::bin(
+                            CBinOp::Mul,
+                            CNumKind::I32,
+                            ast::Expr::index("in_1", ast::Expr::var("i")),
+                            ast::Expr::ConstI(2),
+                        ),
+                    }],
+                }],
+            },
+            operator: RddOp::Map,
+            input_layout: DataLayout::from_shape(&shape, "in"),
+            output_layout: DataLayout::from_shape(&shape, "out"),
+            time_model: None,
+        }
+    }
+
+    fn double_spec() -> KernelSpec {
+        let mut classes = ClassTable::new();
+        let mut methods = MethodTable::new();
+        let mut b = FnBuilder::new("call", &[("x", JType::Int)], Some(JType::Int));
+        let x = b.param(0);
+        b.ret(JE::local(x).mul(JE::const_i(2)));
+        let entry = b.finish(&mut classes, &mut methods).unwrap();
+        KernelSpec {
+            name: "dbl".into(),
+            classes,
+            methods,
+            entry,
+            operator: RddOp::Map,
+            input_shape: Shape::Scalar(JType::Int),
+            output_shape: Shape::Scalar(JType::Int),
+        }
+    }
+
+    #[test]
+    fn small_batches_stay_on_the_jvm() {
+        let registry = AcceleratorRegistry::new();
+        registry.register(identity_accel("dbl"));
+        let blaze = BlazeContext::new(&registry).with_min_offload_batch(10);
+        let call = AccCall {
+            id: "dbl".into(),
+            spec: double_spec(),
+        };
+        // 3 records < threshold → JVM, same results
+        let small = Rdd::from_values((0..3).map(HostValue::I).collect());
+        let (out, report) = blaze.wrap(small).map(&call).unwrap();
+        assert_eq!(report.path, ExecutionPath::JvmFallback);
+        assert_eq!(out.collect()[2], HostValue::I(4));
+        // 10 records ≥ threshold → accelerator
+        let big = Rdd::from_values((0..10).map(HostValue::I).collect());
+        let (out, report) = blaze.wrap(big).map(&call).unwrap();
+        assert_eq!(report.path, ExecutionPath::Offloaded);
+        assert_eq!(out.collect()[9], HostValue::I(18));
+    }
+
+    #[test]
+    fn operator_mismatch_is_reported() {
+        let registry = AcceleratorRegistry::new();
+        registry.register(identity_accel("dbl"));
+        let blaze = BlazeContext::new(&registry);
+        let mut spec = double_spec();
+        spec.operator = RddOp::Reduce;
+        // a reduce call against a map accelerator
+        let call = AccCall {
+            id: "dbl".into(),
+            spec,
+        };
+        let rdd = Rdd::from_values((0..4).map(HostValue::I).collect());
+        let err = blaze.wrap(rdd).reduce(&call).unwrap_err();
+        assert!(matches!(err, BlazeError::Accel(_)), "{err}");
+    }
+}

@@ -1,0 +1,102 @@
+//! The Blaze accelerator-manager service.
+//!
+//! "FPGA accelerators can be registered to the Blaze accelerator manager so
+//! that Spark application developers can access FPGA accelerators using
+//! provided APIs" (§2). The registry is shared and thread-safe: in a real
+//! deployment every worker node holds one.
+
+use crate::accel::Accelerator;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Thread-safe registry mapping accelerator ids to deployed designs.
+#[derive(Debug, Default)]
+pub struct AcceleratorRegistry {
+    map: RwLock<HashMap<String, Arc<Accelerator>>>,
+}
+
+impl AcceleratorRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) an accelerator under its id; returns the
+    /// previously registered design if any.
+    pub fn register(&self, accel: Accelerator) -> Option<Arc<Accelerator>> {
+        self.map.write().insert(accel.id.clone(), Arc::new(accel))
+    }
+
+    /// Looks an accelerator up by id.
+    pub fn lookup(&self, id: &str) -> Option<Arc<Accelerator>> {
+        self.map.read().get(id).cloned()
+    }
+
+    /// Removes an accelerator; returns it if it was registered.
+    pub fn unregister(&self, id: &str) -> Option<Arc<Accelerator>> {
+        self.map.write().remove(id)
+    }
+
+    /// Registered accelerator ids, sorted.
+    pub fn ids(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.map.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered accelerators.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::DataLayout;
+    use s2fa_sjvm::{JType, RddOp, Shape};
+
+    fn dummy(id: &str) -> Accelerator {
+        let shape = Shape::Scalar(JType::Int);
+        Accelerator {
+            id: id.into(),
+            kernel: s2fa_hlsir::CFunction {
+                name: id.into(),
+                params: vec![],
+                body: vec![],
+            },
+            operator: RddOp::Map,
+            input_layout: DataLayout::from_shape(&shape, "in"),
+            output_layout: DataLayout::from_shape(&shape, "out"),
+            time_model: None,
+        }
+    }
+
+    #[test]
+    fn register_lookup_unregister() {
+        let r = AcceleratorRegistry::new();
+        assert!(r.is_empty());
+        assert!(r.register(dummy("a")).is_none());
+        assert!(r.register(dummy("b")).is_none());
+        assert_eq!(r.ids(), vec!["a", "b"]);
+        assert!(r.lookup("a").is_some());
+        assert!(r.lookup("z").is_none());
+        // replace returns the old design
+        assert!(r.register(dummy("a")).is_some());
+        assert_eq!(r.len(), 2);
+        assert!(r.unregister("a").is_some());
+        assert!(r.lookup("a").is_none());
+    }
+
+    #[test]
+    fn registry_is_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<AcceleratorRegistry>();
+    }
+}

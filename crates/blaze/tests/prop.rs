@@ -1,0 +1,113 @@
+//! Property tests: the generated (de)serializers round-trip arbitrary
+//! records of arbitrary shapes.
+
+use proptest::prelude::*;
+use s2fa_blaze::DataLayout;
+use s2fa_sjvm::{HostValue, JType, Shape};
+
+/// Random (shape, matching value) pairs.
+fn shape_and_value() -> impl Strategy<Value = (Shape, HostValue)> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(|v| (Shape::Scalar(JType::Int), HostValue::I(v as i64))),
+        any::<f32>()
+            .prop_filter("finite", |v| v.is_finite())
+            .prop_map(|v| { (Shape::Scalar(JType::Double), HostValue::F(v as f64)) }),
+        (1u32..6, prop::collection::vec(any::<i16>(), 0..6)).prop_map(|(n, vs)| {
+            let n = n.max(vs.len() as u32);
+            (
+                Shape::Array(JType::Int, n),
+                HostValue::Arr(vs.into_iter().map(|v| HostValue::I(v as i64)).collect()),
+            )
+        }),
+        "[a-z]{0,6}".prop_map(|s| { (Shape::Array(JType::Char, 8), HostValue::Str(s)) }),
+    ];
+    leaf.prop_recursive(2, 12, 4, |inner| {
+        prop::collection::vec(inner, 1..4).prop_map(|fields| {
+            let (shapes, values): (Vec<Shape>, Vec<HostValue>) = fields.into_iter().unzip();
+            (Shape::Composite(shapes), HostValue::Tuple(values))
+        })
+    })
+}
+
+/// The canonical value the serializer round-trips to: arrays padded to the
+/// slot length, strings preserved (Char slots), tuples normalized.
+fn canonical(v: &HostValue, s: &Shape) -> HostValue {
+    match (v, s) {
+        (HostValue::I(x), Shape::Scalar(t)) if t.is_float() => HostValue::F(*x as f64),
+        (v, Shape::Scalar(_)) => v.clone(),
+        (HostValue::Str(st), Shape::Array(JType::Char, _)) => HostValue::Str(st.clone()),
+        (HostValue::Arr(items), Shape::Array(t, n)) => {
+            let mut out: Vec<HostValue> = items
+                .iter()
+                .map(|it| match (it, t.is_float()) {
+                    (HostValue::I(x), true) => HostValue::F(*x as f64),
+                    (other, _) => other.clone(),
+                })
+                .collect();
+            let zero = if t.is_float() {
+                HostValue::F(0.0)
+            } else {
+                HostValue::I(0)
+            };
+            out.resize(*n as usize, zero);
+            HostValue::Arr(out)
+        }
+        (HostValue::Tuple(vs), Shape::Composite(fs)) => {
+            HostValue::Tuple(vs.iter().zip(fs).map(|(v, f)| canonical(v, f)).collect())
+        }
+        (v, Shape::Bcast(inner)) => canonical(v, inner),
+        (v, _) => v.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn serialize_roundtrips((shape, value) in shape_and_value(), copies in 1usize..5) {
+        let layout = DataLayout::from_shape(&shape, "in");
+        let records = vec![value.clone(); copies];
+        let buffers = layout.serialize(&records).expect("serializes");
+        let back = layout.deserialize(&buffers, copies).expect("deserializes");
+        let want = canonical(&value, &shape);
+        for b in back {
+            prop_assert_eq!(&b, &want);
+        }
+    }
+
+    #[test]
+    fn buffer_sizes_match_layout((shape, value) in shape_and_value(), copies in 1usize..5) {
+        let layout = DataLayout::from_shape(&shape, "in");
+        let records = vec![value; copies];
+        let buffers = layout.serialize(&records).expect("serializes");
+        for slot in &layout.slots {
+            let expected = if slot.leaf.broadcast { 1 } else { copies };
+            prop_assert_eq!(
+                buffers[&slot.buffer].len(),
+                expected * slot.leaf.count as usize
+            );
+        }
+        // per-task byte accounting is consistent with the slot table
+        let total: u64 = layout
+            .slots
+            .iter()
+            .filter(|s| !s.leaf.broadcast)
+            .map(|s| (s.leaf.elem.bits() as u64 / 8).max(1) * s.leaf.count as u64)
+            .sum();
+        prop_assert_eq!(layout.bytes_per_task(), total);
+    }
+
+    #[test]
+    fn broadcast_wrapping_ships_once((shape, value) in shape_and_value(), copies in 2usize..5) {
+        let bshape = Shape::broadcast(shape.clone());
+        let layout = DataLayout::from_shape(&bshape, "in");
+        let records = vec![value; copies];
+        let buffers = layout.serialize(&records).expect("serializes");
+        for slot in &layout.slots {
+            prop_assert!(slot.leaf.broadcast);
+            prop_assert_eq!(buffers[&slot.buffer].len(), slot.leaf.count as usize);
+        }
+        prop_assert_eq!(layout.bytes_per_task(), 0);
+        prop_assert!(layout.broadcast_bytes() > 0);
+    }
+}

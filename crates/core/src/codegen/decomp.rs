@@ -1,0 +1,735 @@
+//! The structural bytecode decompiler.
+//!
+//! Recovers structured HLS C from verified stack bytecode by symbolic
+//! execution over pc ranges. The control-flow shapes it accepts are exactly
+//! the canonical patterns `scalac`/`javac` emit (condition-inverted `if`s,
+//! top-tested loops with a single back-edge) — anything else is rejected
+//! with [`S2faError::Unsupported`], the reproduction of the paper's §3.3
+//! coding-style restrictions.
+//!
+//! Responsibilities:
+//!
+//! * **class flattening** — objects are symbolic records; `getfield`
+//!   reads a record component, `putfield` writes one, `new` builds a
+//!   zeroed record, so no object survives into C;
+//! * **method inlining** — `invokevirtual`/`invokestatic` recursively
+//!   decompile the callee with argument symbols bound to its locals;
+//! * **allocation lowering** — `newarray` (constant length, §3.3) becomes
+//!   a C array declaration;
+//! * **loop recovery** — `while` shapes are converted to the canonical
+//!   counted `for` of the HLS IR.
+
+use super::sym::{ArrRef, Sym};
+use crate::S2faError;
+use s2fa_hlsir::{CBinOp, CIntrinsic, CNumKind, CType, Expr, LValue, LoopId, Stmt};
+use s2fa_sjvm::{Cond, JType, KernelSpec, MathFn, Method, MethodId, NumKind, Op};
+
+/// Converts a JVM type to its C type.
+pub(crate) fn ctype_of(t: &JType) -> CType {
+    match t {
+        JType::Boolean | JType::Byte => CType::Int(8),
+        JType::Char => CType::UInt(8),
+        JType::Short => CType::Int(16),
+        JType::Int => CType::Int(32),
+        JType::Long => CType::Int(64),
+        JType::Float => CType::Float,
+        JType::Double => CType::Double,
+        JType::Ref(_) | JType::Array(_) => CType::Int(64),
+    }
+}
+
+/// Converts a JVM type to its evaluation kind.
+pub(crate) fn ckind_of(t: &JType) -> CNumKind {
+    ctype_of(t).num_kind()
+}
+
+fn nk(k: NumKind) -> CNumKind {
+    match k {
+        NumKind::Int => CNumKind::I32,
+        NumKind::Long => CNumKind::I64,
+        NumKind::Float => CNumKind::F32,
+        NumKind::Double => CNumKind::F64,
+    }
+}
+
+fn cond_op(c: Cond) -> CBinOp {
+    match c {
+        Cond::Eq => CBinOp::Eq,
+        Cond::Ne => CBinOp::Ne,
+        Cond::Lt => CBinOp::Lt,
+        Cond::Le => CBinOp::Le,
+        Cond::Gt => CBinOp::Gt,
+        Cond::Ge => CBinOp::Ge,
+    }
+}
+
+fn math_intrinsic(f: MathFn) -> CIntrinsic {
+    match f {
+        MathFn::Exp => CIntrinsic::Exp,
+        MathFn::Log => CIntrinsic::Log,
+        MathFn::Sqrt => CIntrinsic::Sqrt,
+        MathFn::Abs => CIntrinsic::Abs,
+        MathFn::Min => CIntrinsic::Min,
+        MathFn::Max => CIntrinsic::Max,
+    }
+}
+
+/// How an executed pc range terminated.
+pub(crate) enum Flow {
+    /// Fell through the end of the range.
+    Fallthrough,
+    /// Executed a `return` (with the returned symbol, if non-void).
+    Returned(Option<Sym>),
+}
+
+/// One method activation during symbolic execution.
+pub(crate) struct Frame<'m> {
+    method: &'m Method,
+    /// Unique prefix for this frame's materialized locals.
+    prefix: String,
+    locals: Vec<Option<Sym>>,
+    /// Materialized C variable name per local slot (created on first
+    /// scalar store).
+    cnames: Vec<Option<String>>,
+    /// Control depth at which each slot was last (re)bound symbolically.
+    def_depth: Vec<u32>,
+    stack: Vec<Sym>,
+}
+
+impl<'m> Frame<'m> {
+    pub fn new(method: &'m Method, prefix: String, args: Vec<Sym>) -> Frame<'m> {
+        let n = method.n_locals as usize;
+        let mut locals: Vec<Option<Sym>> = vec![None; n];
+        for (i, a) in args.into_iter().enumerate() {
+            locals[i] = Some(a);
+        }
+        Frame {
+            method,
+            prefix,
+            locals,
+            cnames: vec![None; n],
+            def_depth: vec![0; n],
+            stack: Vec::new(),
+        }
+    }
+}
+
+/// The decompiler: emits statements while symbolically executing frames.
+pub(crate) struct Decomp<'s> {
+    pub spec: &'s KernelSpec,
+    /// Hoisted scalar declarations (function top).
+    pub hoisted: Vec<Stmt>,
+    /// Fresh-name counter.
+    names: u32,
+    /// Fresh loop-id counter (0 is reserved for the template task loop).
+    loops: u32,
+    /// Current structured-control nesting depth.
+    depth: u32,
+    /// Inlining depth guard.
+    inline_depth: u32,
+}
+
+const MAX_INLINE_DEPTH: u32 = 24;
+
+impl<'s> Decomp<'s> {
+    pub fn new(spec: &'s KernelSpec) -> Self {
+        Decomp {
+            spec,
+            hoisted: Vec::new(),
+            names: 0,
+            loops: 1,
+            depth: 0,
+            inline_depth: 0,
+        }
+    }
+
+    pub fn fresh_name(&mut self, hint: &str) -> String {
+        self.names += 1;
+        let hint: String = hint
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        format!("{hint}_{}", self.names)
+    }
+
+    pub fn fresh_loop(&mut self) -> LoopId {
+        let id = LoopId(self.loops);
+        self.loops += 1;
+        id
+    }
+
+    fn unsupported(msg: impl Into<String>) -> S2faError {
+        S2faError::Unsupported(msg.into())
+    }
+
+    /// Decompiles a full method with bound arguments, emitting statements
+    /// into `out`; returns the returned symbol for non-void methods.
+    pub fn decompile_method(
+        &mut self,
+        method_id: MethodId,
+        args: Vec<Sym>,
+        out: &mut Vec<Stmt>,
+    ) -> Result<Option<Sym>, S2faError> {
+        if self.inline_depth >= MAX_INLINE_DEPTH {
+            return Err(Self::unsupported(
+                "method inlining exceeded the depth limit (recursion is not supported)",
+            ));
+        }
+        self.inline_depth += 1;
+        let method = self.spec.methods.get(method_id);
+        let prefix = if self.inline_depth == 1 {
+            String::new()
+        } else {
+            format!("m{}_", method_id.0)
+        };
+        let mut frame = Frame::new(method, prefix, args);
+        let flow = self.exec_range(&mut frame, 0, method.code.len(), out)?;
+        self.inline_depth -= 1;
+        match flow {
+            Flow::Returned(v) => Ok(v),
+            Flow::Fallthrough => Err(Self::unsupported(
+                "method body fell through without a return",
+            )),
+        }
+    }
+
+    /// Resolves a symbol through stack/local aliases to a concrete value
+    /// (clones the referent).
+    fn resolve(&self, frame: &Frame<'_>, s: &Sym) -> Result<Sym, S2faError> {
+        Ok(match s {
+            Sym::StackRef(i) => frame
+                .stack
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| Self::unsupported("dangling stack alias"))?,
+            Sym::LocalRef(n) => frame.locals[*n as usize]
+                .clone()
+                .ok_or_else(|| Self::unsupported("read of unbound local"))?,
+            other => other.clone(),
+        })
+    }
+
+    fn pop(frame: &mut Frame<'_>) -> Result<Sym, S2faError> {
+        frame
+            .stack
+            .pop()
+            .ok_or_else(|| Self::unsupported("operand stack underflow in decompiler"))
+    }
+
+    fn pop_scalar(&self, frame: &mut Frame<'_>) -> Result<(Expr, CNumKind), S2faError> {
+        let s = Self::pop(frame)?;
+        let s = self.resolve(frame, &s)?;
+        match s {
+            Sym::Scalar(e, k) => Ok((e, k)),
+            other => Err(Self::unsupported(format!(
+                "expected a primitive value, found {other:?}"
+            ))),
+        }
+    }
+
+    fn pop_arr(&self, frame: &mut Frame<'_>) -> Result<ArrRef, S2faError> {
+        let s = Self::pop(frame)?;
+        let s = self.resolve(frame, &s)?;
+        match s {
+            Sym::Arr(a) => Ok(a),
+            other => Err(Self::unsupported(format!(
+                "expected an array reference, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Symbolically executes `code[pc..end)`, emitting statements into
+    /// `out`.
+    fn exec_range(
+        &mut self,
+        frame: &mut Frame<'_>,
+        mut pc: usize,
+        end: usize,
+        out: &mut Vec<Stmt>,
+    ) -> Result<Flow, S2faError> {
+        let code = frame.method.code.clone();
+        let mut stmt_start = pc;
+        while pc < end {
+            if frame.stack.is_empty() {
+                stmt_start = pc;
+            }
+            match &code[pc] {
+                Op::ConstI(v) => frame
+                    .stack
+                    .push(Sym::Scalar(Expr::ConstI(*v), CNumKind::I32)),
+                Op::ConstF(v) => frame
+                    .stack
+                    .push(Sym::Scalar(Expr::ConstF(*v), CNumKind::F64)),
+                Op::ConstNull => frame.stack.push(Sym::Null),
+                Op::Load(n) => {
+                    let slot = *n as usize;
+                    let v = frame.locals[slot]
+                        .as_ref()
+                        .ok_or_else(|| Self::unsupported(format!("load of unbound local {n}")))?;
+                    let pushed = match v {
+                        Sym::Obj { .. } => Sym::LocalRef(*n),
+                        other => other.clone(),
+                    };
+                    frame.stack.push(pushed);
+                }
+                Op::Store(n) => {
+                    let slot = *n as usize;
+                    let v = Self::pop(frame)?;
+                    let v = self.resolve(frame, &v)?;
+                    match v {
+                        Sym::Scalar(e, _) => {
+                            let ty = frame
+                                .method
+                                .local_types
+                                .get(slot)
+                                .cloned()
+                                .unwrap_or(JType::Int);
+                            let name = match &frame.cnames[slot] {
+                                Some(n) => n.clone(),
+                                None => {
+                                    let base = frame
+                                        .method
+                                        .local_names
+                                        .get(slot)
+                                        .cloned()
+                                        .unwrap_or_else(|| format!("l{slot}"));
+                                    let name = self.fresh_name(&format!("{}{base}", frame.prefix));
+                                    self.hoisted.push(Stmt::Decl {
+                                        name: name.clone(),
+                                        ty: ctype_of(&ty),
+                                        init: None,
+                                    });
+                                    frame.cnames[slot] = Some(name.clone());
+                                    name
+                                }
+                            };
+                            out.push(Stmt::Assign {
+                                lhs: LValue::Var(name.clone()),
+                                rhs: e,
+                            });
+                            frame.locals[slot] = Some(Sym::Scalar(Expr::Var(name), ckind_of(&ty)));
+                        }
+                        sym @ (Sym::Obj { .. } | Sym::Arr(_) | Sym::Null) => {
+                            if frame.locals[slot].is_some() && self.depth > frame.def_depth[slot] {
+                                return Err(Self::unsupported(
+                                    "conditional reassignment of an object/array local",
+                                ));
+                            }
+                            frame.def_depth[slot] = self.depth;
+                            frame.locals[slot] = Some(sym);
+                        }
+                        Sym::StackRef(_) | Sym::LocalRef(_) => unreachable!("resolved above"),
+                    }
+                }
+                Op::NewArray { elem, len } => {
+                    let name = self.fresh_name("arr");
+                    let ctype = ctype_of(elem);
+                    out.push(Stmt::DeclArr {
+                        name: name.clone(),
+                        ty: ctype,
+                        len: *len,
+                    });
+                    frame.stack.push(Sym::Arr(ArrRef {
+                        name,
+                        elem: ctype.num_kind(),
+                        len: *len,
+                        base: None,
+                    }));
+                }
+                Op::ALoad => {
+                    let (idx, _) = self.pop_scalar(frame)?;
+                    let arr = self.pop_arr(frame)?;
+                    let e = Expr::Index(arr.name.clone(), Box::new(arr.index_expr(idx)));
+                    frame.stack.push(Sym::Scalar(e, arr.elem));
+                }
+                Op::AStore => {
+                    let (val, _) = self.pop_scalar(frame)?;
+                    let (idx, _) = self.pop_scalar(frame)?;
+                    let arr = self.pop_arr(frame)?;
+                    out.push(Stmt::Assign {
+                        lhs: LValue::Index(arr.name.clone(), Box::new(arr.index_expr(idx))),
+                        rhs: val,
+                    });
+                }
+                Op::ArrayLen => {
+                    let arr = self.pop_arr(frame)?;
+                    frame
+                        .stack
+                        .push(Sym::Scalar(Expr::ConstI(arr.len as i64), CNumKind::I32));
+                }
+                Op::New(class) => {
+                    let def = self.spec.classes.get(*class);
+                    let fields = def
+                        .fields
+                        .iter()
+                        .map(|f| match &f.ty {
+                            JType::Ref(_) | JType::Array(_) => Sym::Null,
+                            t => Sym::zero(ckind_of(t)),
+                        })
+                        .collect();
+                    frame.stack.push(Sym::Obj { fields });
+                }
+                Op::GetField(_, idx) => {
+                    let r = Self::pop(frame)?;
+                    let obj = self.resolve(frame, &r)?;
+                    match obj {
+                        Sym::Obj { fields, .. } => {
+                            let f = fields.get(*idx as usize).cloned().ok_or_else(|| {
+                                Self::unsupported(format!("field index {idx} out of range"))
+                            })?;
+                            frame.stack.push(f);
+                        }
+                        other => {
+                            return Err(Self::unsupported(format!(
+                                "getfield on non-object {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Op::PutField(_, idx) => {
+                    let val = Self::pop(frame)?;
+                    let val = self.resolve(frame, &val)?;
+                    let r = Self::pop(frame)?;
+                    let idx = *idx as usize;
+                    match r {
+                        Sym::StackRef(i) => match frame.stack.get_mut(i) {
+                            Some(Sym::Obj { fields, .. }) if idx < fields.len() => {
+                                fields[idx] = val;
+                            }
+                            _ => {
+                                return Err(Self::unsupported(
+                                    "putfield alias does not refer to an object",
+                                ))
+                            }
+                        },
+                        Sym::LocalRef(n) => match frame.locals.get_mut(n as usize) {
+                            Some(Some(Sym::Obj { fields, .. })) if idx < fields.len() => {
+                                fields[idx] = val;
+                            }
+                            _ => {
+                                return Err(Self::unsupported(
+                                    "putfield local does not hold an object",
+                                ))
+                            }
+                        },
+                        // A write to an anonymous temporary would be lost.
+                        other => {
+                            return Err(Self::unsupported(format!(
+                                "putfield on a value without identity: {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Op::InvokeVirtual { method, .. } | Op::InvokeStatic { method } => {
+                    let callee = self.spec.methods.get(*method);
+                    let n_args = callee.params.len();
+                    if frame.stack.len() < n_args {
+                        return Err(Self::unsupported("call with too few operands"));
+                    }
+                    let raw: Vec<Sym> = frame.stack.split_off(frame.stack.len() - n_args);
+                    let mut args = Vec::with_capacity(n_args);
+                    for a in raw {
+                        args.push(self.resolve(frame, &a)?);
+                    }
+                    let ret = self.decompile_method(*method, args, out)?;
+                    if callee.ret.is_some() {
+                        frame.stack.push(ret.ok_or_else(|| {
+                            Self::unsupported("inlined callee returned no value")
+                        })?);
+                    }
+                }
+                Op::Add(k) => self.binop(frame, CBinOp::Add, nk(*k))?,
+                Op::Sub(k) => self.binop(frame, CBinOp::Sub, nk(*k))?,
+                Op::Mul(k) => self.binop(frame, CBinOp::Mul, nk(*k))?,
+                Op::Div(k) => self.binop(frame, CBinOp::Div, nk(*k))?,
+                Op::Rem(k) => self.binop(frame, CBinOp::Rem, nk(*k))?,
+                Op::Neg(k) => {
+                    let (e, _) = self.pop_scalar(frame)?;
+                    frame
+                        .stack
+                        .push(Sym::Scalar(Expr::Neg(nk(*k), Box::new(e)), nk(*k)));
+                }
+                Op::Shl => self.binop(frame, CBinOp::Shl, CNumKind::I64)?,
+                Op::Shr => self.binop(frame, CBinOp::Shr, CNumKind::I64)?,
+                Op::UShr => self.binop(frame, CBinOp::UShr, CNumKind::I64)?,
+                Op::And => self.binop(frame, CBinOp::And, CNumKind::I64)?,
+                Op::Or => self.binop(frame, CBinOp::Or, CNumKind::I64)?,
+                Op::Xor => self.binop(frame, CBinOp::Xor, CNumKind::I64)?,
+                Op::Math(f, k) => {
+                    let arity = f.arity();
+                    let mut args = Vec::with_capacity(arity);
+                    for _ in 0..arity {
+                        let (e, _) = self.pop_scalar(frame)?;
+                        args.push(e);
+                    }
+                    args.reverse();
+                    let kind = nk(*k);
+                    let rk = match f {
+                        MathFn::Exp | MathFn::Log | MathFn::Sqrt => CNumKind::F64,
+                        _ => kind,
+                    };
+                    frame
+                        .stack
+                        .push(Sym::Scalar(Expr::Call(math_intrinsic(*f), kind, args), rk));
+                }
+                Op::Cast { from, to } => {
+                    let (e, _) = self.pop_scalar(frame)?;
+                    frame.stack.push(Sym::Scalar(
+                        Expr::Cast(nk(*from), nk(*to), Box::new(e)),
+                        nk(*to),
+                    ));
+                }
+                Op::Cmp(k) => {
+                    // signum: (a > b) - (a < b)
+                    let (b, _) = self.pop_scalar(frame)?;
+                    let (a, _) = self.pop_scalar(frame)?;
+                    let gt = Expr::bin(CBinOp::Gt, nk(*k), a.clone(), b.clone());
+                    let lt = Expr::bin(CBinOp::Lt, nk(*k), a, b);
+                    frame.stack.push(Sym::Scalar(
+                        Expr::bin(CBinOp::Sub, CNumKind::I32, gt, lt),
+                        CNumKind::I32,
+                    ));
+                }
+                Op::IfCmp { .. } | Op::IfZero { .. } => {
+                    let next = self.branch(frame, &code, pc, stmt_start, out)?;
+                    pc = next;
+                    continue;
+                }
+                Op::Goto(_) => {
+                    return Err(Self::unsupported(format!(
+                        "unstructured goto at pc {pc} (non-canonical control flow)"
+                    )));
+                }
+                Op::Return => {
+                    let v = if frame.method.ret.is_some() {
+                        let s = Self::pop(frame)?;
+                        Some(self.resolve(frame, &s)?)
+                    } else {
+                        None
+                    };
+                    return Ok(Flow::Returned(v));
+                }
+                Op::Pop => {
+                    Self::pop(frame)?;
+                }
+                Op::Dup => {
+                    let top = frame
+                        .stack
+                        .last()
+                        .cloned()
+                        .ok_or_else(|| Self::unsupported("dup on empty stack"))?;
+                    let pushed = match top {
+                        Sym::Obj { .. } => Sym::StackRef(frame.stack.len() - 1),
+                        other => other,
+                    };
+                    frame.stack.push(pushed);
+                }
+            }
+            pc += 1;
+        }
+        Ok(Flow::Fallthrough)
+    }
+
+    fn binop(&self, frame: &mut Frame<'_>, op: CBinOp, kind: CNumKind) -> Result<(), S2faError> {
+        let (b, _) = self.pop_scalar(frame)?;
+        let (a, _) = self.pop_scalar(frame)?;
+        frame
+            .stack
+            .push(Sym::Scalar(Expr::bin(op, kind, a, b), kind));
+        Ok(())
+    }
+
+    /// Handles a conditional branch: boolean-materialization diamond,
+    /// `while` loop head, or `if`/`if-else` statement. Returns the pc to
+    /// resume at.
+    fn branch(
+        &mut self,
+        frame: &mut Frame<'_>,
+        code: &[Op],
+        pc: usize,
+        stmt_start: usize,
+        out: &mut Vec<Stmt>,
+    ) -> Result<usize, S2faError> {
+        let (branch_cond, kind, target) = match &code[pc] {
+            Op::IfCmp { kind, cond, target } => (*cond, nk(*kind), *target as usize),
+            Op::IfZero { cond, target } => (*cond, CNumKind::I32, *target as usize),
+            _ => unreachable!("branch called on non-branch"),
+        };
+        if target <= pc {
+            return Err(Self::unsupported("backward conditional branch"));
+        }
+
+        // Peephole: boolean materialization diamond
+        //   ifcmp(cond) -> T; const 0; goto E; T: const 1; E:
+        if target == pc + 3
+            && matches!(code.get(pc + 1), Some(Op::ConstI(0)))
+            && matches!(code.get(pc + 2), Some(Op::Goto(e)) if *e as usize == pc + 4)
+            && matches!(code.get(pc + 3), Some(Op::ConstI(1)))
+        {
+            let cond_expr = self.take_cond(frame, &code[pc], branch_cond, kind, false)?;
+            frame.stack.push(Sym::Scalar(cond_expr, CNumKind::I32));
+            return Ok(pc + 4);
+        }
+
+        // While shape: the instruction before the branch target is a
+        // back-edge to the start of the condition evaluation.
+        if target >= 1 {
+            if let Some(Op::Goto(h)) = code.get(target - 1) {
+                if (*h as usize) == stmt_start && (*h as usize) <= pc {
+                    // loop continue-condition = negation of the exit branch
+                    let cond_expr = self.take_cond(frame, &code[pc], branch_cond, kind, true)?;
+                    if !frame.stack.is_empty() {
+                        return Err(Self::unsupported(
+                            "loop condition with a non-empty operand stack",
+                        ));
+                    }
+                    let mut body = Vec::new();
+                    self.depth += 1;
+                    let flow = self.exec_range(frame, pc + 1, target - 1, &mut body)?;
+                    self.depth -= 1;
+                    if !matches!(flow, Flow::Fallthrough) {
+                        return Err(Self::unsupported("return inside a loop body"));
+                    }
+                    let stmt = self.while_to_for(cond_expr, body, out)?;
+                    out.push(stmt);
+                    return Ok(target);
+                }
+            }
+        }
+
+        // If / if-else statement.
+        let cond_expr = self.take_cond(frame, &code[pc], branch_cond, kind, true)?;
+        let stack_before = frame.stack.len();
+        // else present iff the then-range ends with a forward goto
+        let has_else = matches!(code.get(target.wrapping_sub(1)),
+            Some(Op::Goto(e)) if (*e as usize) > target && target - 1 > pc);
+        self.depth += 1;
+        let result = if has_else {
+            let join = match code[target - 1] {
+                Op::Goto(e) => e as usize,
+                _ => unreachable!(),
+            };
+            let mut then_b = Vec::new();
+            let then_flow = self.exec_range(frame, pc + 1, target - 1, &mut then_b)?;
+            // Save then-branch stack, rewind to the pre-branch state for
+            // the else branch, then reconcile.
+            let then_stack: Vec<Sym> = frame.stack.split_off(stack_before);
+            let mut else_b = Vec::new();
+            let else_flow = self.exec_range(frame, target, join, &mut else_b)?;
+            let else_stack: Vec<Sym> = frame.stack.split_off(stack_before);
+            if !matches!(then_flow, Flow::Fallthrough) || !matches!(else_flow, Flow::Fallthrough) {
+                return Err(Self::unsupported("return inside a conditional branch"));
+            }
+            if !then_stack.is_empty() || !else_stack.is_empty() {
+                return Err(Self::unsupported(
+                    "conditional branches left values on the operand stack",
+                ));
+            }
+            out.push(Stmt::If {
+                cond: cond_expr,
+                then: then_b,
+                els: else_b,
+            });
+            join
+        } else {
+            let mut then_b = Vec::new();
+            let then_flow = self.exec_range(frame, pc + 1, target, &mut then_b)?;
+            if !matches!(then_flow, Flow::Fallthrough) {
+                return Err(Self::unsupported("return inside a conditional branch"));
+            }
+            if frame.stack.len() != stack_before {
+                return Err(Self::unsupported(
+                    "conditional branch left values on the operand stack",
+                ));
+            }
+            out.push(Stmt::If {
+                cond: cond_expr,
+                then: then_b,
+                els: Vec::new(),
+            });
+            target
+        };
+        self.depth -= 1;
+        Ok(result)
+    }
+
+    /// Pops the branch operands and builds the condition expression.
+    /// `negate` inverts the branch condition (statement conditions are the
+    /// negation of the "jump away" condition).
+    fn take_cond(
+        &mut self,
+        frame: &mut Frame<'_>,
+        op: &Op,
+        cond: Cond,
+        kind: CNumKind,
+        negate: bool,
+    ) -> Result<Expr, S2faError> {
+        let c = if negate { cond.negate() } else { cond };
+        match op {
+            Op::IfCmp { .. } => {
+                let (b, _) = self.pop_scalar(frame)?;
+                let (a, _) = self.pop_scalar(frame)?;
+                Ok(Expr::bin(cond_op(c), kind, a, b))
+            }
+            Op::IfZero { .. } => {
+                let (v, vk) = self.pop_scalar(frame)?;
+                Ok(Expr::bin(cond_op(c), vk, v, Expr::ConstI(0)))
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Converts a recovered `while` into the canonical counted `for`.
+    ///
+    /// Accepts exactly the shape `scalac` desugars counted loops into:
+    /// condition `v < bound`, final body statement `v = v + 1`, preceded
+    /// in the emitted output by `v = 0`.
+    fn while_to_for(
+        &mut self,
+        cond: Expr,
+        mut body: Vec<Stmt>,
+        out: &mut Vec<Stmt>,
+    ) -> Result<Stmt, S2faError> {
+        let Expr::Bin(CBinOp::Lt, _, lhs, bound) = &cond else {
+            return Err(Self::unsupported(
+                "loop condition is not a `var < bound` comparison",
+            ));
+        };
+        let Expr::Var(v) = lhs.as_ref() else {
+            return Err(Self::unsupported("loop condition lhs is not a variable"));
+        };
+        // final statement must be v = v + 1
+        let is_incr = matches!(body.last(), Some(Stmt::Assign { lhs: LValue::Var(n), rhs })
+            if n == v && matches!(rhs,
+                Expr::Bin(CBinOp::Add, _, a, b)
+                    if matches!(a.as_ref(), Expr::Var(m) if m == v)
+                        && matches!(b.as_ref(), Expr::ConstI(1))));
+        if !is_incr {
+            return Err(Self::unsupported(
+                "loop does not end with a unit increment of its counter",
+            ));
+        }
+        body.pop();
+        // preceding emitted statement must be v = 0
+        let is_init = matches!(out.last(), Some(Stmt::Assign { lhs: LValue::Var(n), rhs })
+            if n == v && matches!(rhs, Expr::ConstI(0)));
+        if !is_init {
+            return Err(Self::unsupported(
+                "loop counter is not initialized to zero immediately before the loop",
+            ));
+        }
+        out.pop();
+        let trip_count = match bound.as_ref() {
+            Expr::ConstI(b) if *b >= 0 => Some(*b as u32),
+            _ => None,
+        };
+        Ok(Stmt::For {
+            id: self.fresh_loop(),
+            var: v.clone(),
+            bound: bound.as_ref().clone(),
+            trip_count,
+            attrs: Default::default(),
+            body,
+        })
+    }
+}

@@ -1,0 +1,548 @@
+//! The bytecode-to-C compiler (paper §3.2, "Bytecode-to-C compiler").
+//!
+//! Translates a verified [`KernelSpec`] into a sequential HLS C kernel
+//! function with the paper's Code 3 shape:
+//!
+//! ```c
+//! void kernel(int n, const float *in_1, ..., float *out_1, ...) {
+//!   for (int i = 0; i < n; i++) {   // inserted RDD-operator template
+//!     ... flattened, inlined lambda body ...
+//!   }
+//! }
+//! ```
+//!
+//! Object-oriented constructs are compiled away: the input record's
+//! primitive leaves become flat interface buffers (`in_1, in_2, ...`,
+//! exactly the paper's naming), tuple getters become buffer reads, the
+//! output constructor becomes writes to `out_k`, and virtual methods are
+//! inlined. The companion [`DataLayout`]s drive the Blaze-side generated
+//! (de)serializers.
+
+mod decomp;
+mod sym;
+
+use crate::S2faError;
+use decomp::{ckind_of, ctype_of, Decomp};
+use s2fa_blaze::DataLayout;
+use s2fa_hlsir::{
+    CBinOp, CFunction, CNumKind, CType, Expr, LValue, LoopAttrs, LoopId, Param, ParamKind, Stmt,
+};
+use s2fa_sjvm::{KernelSpec, RddOp, Shape};
+use sym::{ArrRef, Sym};
+
+/// Result of compiling one kernel: the HLS C function plus the layout
+/// configurations for the data-processing method generator.
+#[derive(Debug, Clone)]
+pub struct GeneratedKernel {
+    /// The generated HLS C kernel.
+    pub cfunc: CFunction,
+    /// Input-side layout (`in_k` buffers).
+    pub input_layout: DataLayout,
+    /// Output-side layout (`out_k` buffers).
+    pub output_layout: DataLayout,
+}
+
+/// Compiles a kernel's bytecode into HLS C.
+///
+/// # Errors
+///
+/// * [`S2faError::Verify`] if the bytecode does not verify;
+/// * [`S2faError::Unsupported`] for constructs outside §3.3's subset
+///   (non-canonical control flow, dynamic allocation, early returns, ...);
+/// * [`S2faError::Shape`] if the declared shapes contradict the lambda's
+///   signature or returned structure.
+pub fn compile_kernel(spec: &KernelSpec) -> Result<GeneratedKernel, S2faError> {
+    spec.verify()?;
+    let entry = spec.methods.get(spec.entry);
+    match spec.operator {
+        RddOp::Map => {
+            if entry.params.len() != 1 {
+                return Err(S2faError::Shape(format!(
+                    "map lambda must take 1 parameter, takes {}",
+                    entry.params.len()
+                )));
+            }
+        }
+        RddOp::Reduce => {
+            if entry.params.len() != 2 || entry.params[0] != entry.params[1] {
+                return Err(S2faError::Shape(
+                    "reduce lambda must take two parameters of the same type".into(),
+                ));
+            }
+        }
+    }
+    if entry.ret.is_none() {
+        return Err(S2faError::Shape("kernel lambda must return a value".into()));
+    }
+
+    let input_layout = DataLayout::from_shape(&spec.input_shape, "in");
+    let output_layout = DataLayout::from_shape(&spec.output_shape, "out");
+
+    // Interface parameters: the batch size plus one flat buffer per leaf.
+    let mut params = vec![Param {
+        name: "n".into(),
+        ty: CType::Int(32),
+        kind: ParamKind::ScalarIn,
+        elems_per_task: None,
+        broadcast: false,
+    }];
+    for slot in &input_layout.slots {
+        params.push(Param {
+            name: slot.buffer.clone(),
+            ty: ctype_of(&slot.leaf.elem),
+            kind: ParamKind::BufIn,
+            elems_per_task: Some(slot.leaf.count),
+            broadcast: slot.leaf.broadcast,
+        });
+    }
+    for slot in &output_layout.slots {
+        params.push(Param {
+            name: slot.buffer.clone(),
+            ty: ctype_of(&slot.leaf.elem),
+            kind: ParamKind::BufOut,
+            elems_per_task: Some(slot.leaf.count),
+            broadcast: false,
+        });
+    }
+
+    let mut d = Decomp::new(spec);
+    let body = match spec.operator {
+        RddOp::Map => map_template(&mut d, spec, &input_layout, &output_layout)?,
+        RddOp::Reduce => reduce_template(&mut d, spec, &input_layout, &output_layout)?,
+    };
+    let mut full = d.hoisted;
+    full.extend(body);
+    Ok(GeneratedKernel {
+        cfunc: CFunction {
+            name: format!("{}_kernel", sanitize(&spec.name)),
+            params,
+            body: full,
+        },
+        input_layout,
+        output_layout,
+    })
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Binds a record shape to its interface buffers, sliced for the task at
+/// `task_index` (an index *expression* so reduce can use `i + 1`).
+fn bind_shape(
+    shape: &Shape,
+    layout: &DataLayout,
+    slot_cursor: &mut usize,
+    task_index: &Expr,
+) -> Sym {
+    match shape {
+        // Broadcast data is not sliced per task: every task reads the
+        // single shared copy at offset zero.
+        Shape::Bcast(inner) => bind_shape(inner, layout, slot_cursor, &Expr::ConstI(0)),
+        Shape::Composite(fields) => {
+            let fields = fields
+                .iter()
+                .map(|f| bind_shape(f, layout, slot_cursor, task_index))
+                .collect();
+            Sym::Obj { fields }
+        }
+        Shape::Scalar(t) => {
+            let slot = &layout.slots[*slot_cursor];
+            *slot_cursor += 1;
+            Sym::Scalar(
+                Expr::Index(slot.buffer.clone(), Box::new(task_index.clone())),
+                ckind_of(t),
+            )
+        }
+        Shape::Array(t, n) => {
+            let slot = &layout.slots[*slot_cursor];
+            *slot_cursor += 1;
+            let base = match task_index {
+                Expr::ConstI(0) => None,
+                _ => Some(Expr::bin(
+                    CBinOp::Mul,
+                    CNumKind::I32,
+                    task_index.clone(),
+                    Expr::ConstI(*n as i64),
+                )),
+            };
+            Sym::Arr(ArrRef {
+                name: slot.buffer.clone(),
+                elem: ckind_of(t),
+                len: *n,
+                base,
+            })
+        }
+    }
+}
+
+/// Writes the returned symbol's leaves into the output buffers for the
+/// task at `task_index`, following the output shape.
+fn emit_output(
+    d: &mut Decomp<'_>,
+    shape: &Shape,
+    ret: &Sym,
+    layout: &DataLayout,
+    slot_cursor: &mut usize,
+    task_index: &Expr,
+    out: &mut Vec<Stmt>,
+) -> Result<(), S2faError> {
+    match (shape, ret) {
+        (Shape::Composite(fields), Sym::Obj { fields: vals, .. }) => {
+            if fields.len() != vals.len() {
+                return Err(S2faError::Shape(format!(
+                    "output arity mismatch: shape has {} fields, value has {}",
+                    fields.len(),
+                    vals.len()
+                )));
+            }
+            for (f, v) in fields.iter().zip(vals) {
+                emit_output(d, f, v, layout, slot_cursor, task_index, out)?;
+            }
+            Ok(())
+        }
+        (Shape::Scalar(_), Sym::Scalar(e, _)) => {
+            let slot = &layout.slots[*slot_cursor];
+            *slot_cursor += 1;
+            out.push(Stmt::Assign {
+                lhs: LValue::Index(slot.buffer.clone(), Box::new(task_index.clone())),
+                rhs: e.clone(),
+            });
+            Ok(())
+        }
+        (Shape::Array(_, n), Sym::Arr(arr)) => {
+            let slot = &layout.slots[*slot_cursor];
+            *slot_cursor += 1;
+            if arr.len < *n {
+                return Err(S2faError::Shape(format!(
+                    "output array `{}` shorter ({}) than its slot ({n})",
+                    arr.name, arr.len
+                )));
+            }
+            // copy loop: out_k[task*n + j] = arr[j]
+            let j = d.fresh_name("j");
+            let dst_idx = Expr::bin(
+                CBinOp::Add,
+                CNumKind::I32,
+                Expr::bin(
+                    CBinOp::Mul,
+                    CNumKind::I32,
+                    task_index.clone(),
+                    Expr::ConstI(*n as i64),
+                ),
+                Expr::var(j.clone()),
+            );
+            let src_idx = arr.index_expr(Expr::var(j.clone()));
+            out.push(Stmt::For {
+                id: d.fresh_loop(),
+                var: j,
+                bound: Expr::ConstI(*n as i64),
+                trip_count: Some(*n),
+                attrs: LoopAttrs::default(),
+                body: vec![Stmt::Assign {
+                    lhs: LValue::Index(slot.buffer.clone(), Box::new(dst_idx)),
+                    rhs: Expr::Index(arr.name.clone(), Box::new(src_idx)),
+                }],
+            });
+            Ok(())
+        }
+        (Shape::Bcast(_), _) => Err(S2faError::Shape(
+            "broadcast shapes are only valid on the input side".into(),
+        )),
+        (s, r) => Err(S2faError::Shape(format!(
+            "returned value does not match the output shape: expected {s:?}, got {r:?}"
+        ))),
+    }
+}
+
+/// The `map` operator template: one task-loop iteration per record.
+fn map_template(
+    d: &mut Decomp<'_>,
+    spec: &KernelSpec,
+    input_layout: &DataLayout,
+    output_layout: &DataLayout,
+) -> Result<Vec<Stmt>, S2faError> {
+    let task = Expr::var("i");
+    let mut cursor = 0;
+    let input = bind_shape(&spec.input_shape, input_layout, &mut cursor, &task);
+    if cursor != input_layout.slots.len() {
+        return Err(S2faError::Shape("input shape/layout slot mismatch".into()));
+    }
+    let mut body = Vec::new();
+    let ret = d
+        .decompile_method(spec.entry, vec![input], &mut body)?
+        .ok_or_else(|| S2faError::Shape("lambda returned no value".into()))?;
+    let mut cursor = 0;
+    emit_output(
+        d,
+        &spec.output_shape,
+        &ret,
+        output_layout,
+        &mut cursor,
+        &task,
+        &mut body,
+    )?;
+    Ok(vec![Stmt::For {
+        id: LoopId(0),
+        var: "i".into(),
+        bound: Expr::var("n"),
+        trip_count: None,
+        attrs: LoopAttrs::default(),
+        body,
+    }])
+}
+
+/// The `reduce` operator template: a running accumulator seeded with task
+/// 0, combined with tasks `1..n`, written once to the outputs.
+fn reduce_template(
+    d: &mut Decomp<'_>,
+    spec: &KernelSpec,
+    input_layout: &DataLayout,
+    output_layout: &DataLayout,
+) -> Result<Vec<Stmt>, S2faError> {
+    if spec.input_shape != spec.output_shape {
+        return Err(S2faError::Shape(
+            "reduce kernels require identical input and output shapes".into(),
+        ));
+    }
+    let mut stmts = Vec::new();
+
+    // Accumulator storage + initialization from task 0.
+    let zero = Expr::ConstI(0);
+    let mut cursor = 0;
+    let acc = build_acc(
+        d,
+        &spec.input_shape,
+        input_layout,
+        &mut cursor,
+        &zero,
+        &mut stmts,
+    );
+
+    // Task loop over elements 1..n (template bound n - 1, index i + 1).
+    let elem_index = Expr::bin(CBinOp::Add, CNumKind::I32, Expr::var("i"), Expr::ConstI(1));
+    let mut cursor = 0;
+    let elem = bind_shape(&spec.input_shape, input_layout, &mut cursor, &elem_index);
+    let mut body = Vec::new();
+    let ret = d
+        .decompile_method(spec.entry, vec![acc.clone(), elem], &mut body)?
+        .ok_or_else(|| S2faError::Shape("lambda returned no value".into()))?;
+    write_back_acc(d, &spec.input_shape, &acc, &ret, &mut body)?;
+    stmts.push(Stmt::For {
+        id: LoopId(0),
+        var: "i".into(),
+        bound: Expr::bin(CBinOp::Sub, CNumKind::I32, Expr::var("n"), Expr::ConstI(1)),
+        trip_count: None,
+        attrs: LoopAttrs::default(),
+        body,
+    });
+
+    // Final write of the accumulator to the single output record.
+    let mut cursor = 0;
+    emit_output(
+        d,
+        &spec.output_shape,
+        &acc,
+        output_layout,
+        &mut cursor,
+        &zero,
+        &mut stmts,
+    )?;
+    Ok(stmts)
+}
+
+/// Declares accumulator storage mirroring the record shape, initialized
+/// from the record at `task_index`, and returns its symbolic handle.
+fn build_acc(
+    d: &mut Decomp<'_>,
+    shape: &Shape,
+    layout: &DataLayout,
+    slot_cursor: &mut usize,
+    task_index: &Expr,
+    out: &mut Vec<Stmt>,
+) -> Sym {
+    match shape {
+        // A broadcast accumulator degenerates to a plain one.
+        Shape::Bcast(inner) => build_acc(d, inner, layout, slot_cursor, task_index, out),
+        Shape::Composite(fields) => {
+            let fields = fields
+                .iter()
+                .map(|f| build_acc(d, f, layout, slot_cursor, task_index, out))
+                .collect();
+            Sym::Obj { fields }
+        }
+        Shape::Scalar(t) => {
+            let slot = &layout.slots[*slot_cursor];
+            *slot_cursor += 1;
+            let name = d.fresh_name("acc");
+            d.hoisted.push(Stmt::Decl {
+                name: name.clone(),
+                ty: ctype_of(t),
+                init: None,
+            });
+            out.push(Stmt::Assign {
+                lhs: LValue::Var(name.clone()),
+                rhs: Expr::Index(slot.buffer.clone(), Box::new(task_index.clone())),
+            });
+            Sym::Scalar(Expr::Var(name), ckind_of(t))
+        }
+        Shape::Array(t, n) => {
+            let slot = &layout.slots[*slot_cursor];
+            *slot_cursor += 1;
+            let name = d.fresh_name("acc");
+            out.push(Stmt::DeclArr {
+                name: name.clone(),
+                ty: ctype_of(t),
+                len: *n,
+            });
+            let j = d.fresh_name("j");
+            out.push(Stmt::For {
+                id: d.fresh_loop(),
+                var: j.clone(),
+                bound: Expr::ConstI(*n as i64),
+                trip_count: Some(*n),
+                attrs: LoopAttrs::default(),
+                body: vec![Stmt::Assign {
+                    lhs: LValue::Index(name.clone(), Box::new(Expr::var(j.clone()))),
+                    rhs: Expr::Index(
+                        slot.buffer.clone(),
+                        Box::new(Expr::bin(
+                            CBinOp::Add,
+                            CNumKind::I32,
+                            Expr::bin(
+                                CBinOp::Mul,
+                                CNumKind::I32,
+                                task_index.clone(),
+                                Expr::ConstI(*n as i64),
+                            ),
+                            Expr::var(j),
+                        )),
+                    ),
+                }],
+            });
+            Sym::Arr(ArrRef {
+                name,
+                elem: ckind_of(t),
+                len: *n,
+                base: None,
+            })
+        }
+    }
+}
+
+/// Assigns the lambda's returned leaves back into the accumulator storage
+/// (via temporaries for scalars, so self-referencing reducers stay
+/// correct).
+fn write_back_acc(
+    d: &mut Decomp<'_>,
+    shape: &Shape,
+    acc: &Sym,
+    ret: &Sym,
+    out: &mut Vec<Stmt>,
+) -> Result<(), S2faError> {
+    // First pass: compute scalar temps.
+    let mut temps: Vec<(String, Expr)> = Vec::new();
+    collect_scalar_updates(d, shape, acc, ret, &mut temps)?;
+    for (tmp, e) in &temps {
+        d.hoisted.push(Stmt::Decl {
+            name: tmp.clone(),
+            ty: CType::Double,
+            init: None,
+        });
+        out.push(Stmt::Assign {
+            lhs: LValue::Var(tmp.clone()),
+            rhs: e.clone(),
+        });
+    }
+    // Second pass: commit temps and copy arrays.
+    let mut idx = 0;
+    commit_updates(d, shape, acc, ret, &mut temps.iter(), &mut idx, out)
+}
+
+fn collect_scalar_updates(
+    d: &mut Decomp<'_>,
+    shape: &Shape,
+    acc: &Sym,
+    ret: &Sym,
+    temps: &mut Vec<(String, Expr)>,
+) -> Result<(), S2faError> {
+    match (shape, acc, ret) {
+        (Shape::Bcast(inner), a, r) => collect_scalar_updates(d, inner, a, r, temps),
+        (Shape::Composite(fs), Sym::Obj { fields: a, .. }, Sym::Obj { fields: r, .. }) => {
+            if a.len() != r.len() {
+                return Err(S2faError::Shape("reduce arity mismatch".into()));
+            }
+            for ((f, av), rv) in fs.iter().zip(a).zip(r) {
+                collect_scalar_updates(d, f, av, rv, temps)?;
+            }
+            Ok(())
+        }
+        (Shape::Scalar(_), Sym::Scalar(..), Sym::Scalar(e, _)) => {
+            let tmp = d.fresh_name("red");
+            temps.push((tmp, e.clone()));
+            Ok(())
+        }
+        (Shape::Array(..), Sym::Arr(_), Sym::Arr(_)) => Ok(()),
+        _ => Err(S2faError::Shape(
+            "reduce result does not match the accumulator shape".into(),
+        )),
+    }
+}
+
+fn commit_updates<'t>(
+    d: &mut Decomp<'_>,
+    shape: &Shape,
+    acc: &Sym,
+    ret: &Sym,
+    temps: &mut std::slice::Iter<'t, (String, Expr)>,
+    _idx: &mut usize,
+    out: &mut Vec<Stmt>,
+) -> Result<(), S2faError> {
+    match (shape, acc, ret) {
+        (Shape::Bcast(inner), a, r) => commit_updates(d, inner, a, r, temps, _idx, out),
+        (Shape::Composite(fs), Sym::Obj { fields: a, .. }, Sym::Obj { fields: r, .. }) => {
+            for ((f, av), rv) in fs.iter().zip(a).zip(r) {
+                commit_updates(d, f, av, rv, temps, _idx, out)?;
+            }
+            Ok(())
+        }
+        (Shape::Scalar(_), Sym::Scalar(acc_e, _), Sym::Scalar(..)) => {
+            let (tmp, _) = temps.next().expect("temp per scalar leaf");
+            let Expr::Var(acc_name) = acc_e else {
+                return Err(S2faError::Shape(
+                    "accumulator leaf is not a variable".into(),
+                ));
+            };
+            out.push(Stmt::Assign {
+                lhs: LValue::Var(acc_name.clone()),
+                rhs: Expr::var(tmp.clone()),
+            });
+            Ok(())
+        }
+        (Shape::Array(_, n), Sym::Arr(a), Sym::Arr(r)) => {
+            if a.name == r.name {
+                // reducer updated the accumulator array in place
+                return Ok(());
+            }
+            let j = d.fresh_name("j");
+            out.push(Stmt::For {
+                id: d.fresh_loop(),
+                var: j.clone(),
+                bound: Expr::ConstI(*n as i64),
+                trip_count: Some(*n),
+                attrs: LoopAttrs::default(),
+                body: vec![Stmt::Assign {
+                    lhs: LValue::Index(a.name.clone(), Box::new(Expr::var(j.clone()))),
+                    rhs: Expr::Index(r.name.clone(), Box::new(r.index_expr(Expr::var(j)))),
+                }],
+            });
+            Ok(())
+        }
+        _ => unreachable!("validated by collect_scalar_updates"),
+    }
+}
+
+#[cfg(test)]
+mod tests;

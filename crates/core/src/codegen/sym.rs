@@ -1,0 +1,69 @@
+//! Symbolic values used by the bytecode-to-C decompiler.
+//!
+//! The decompiler executes bytecode *symbolically*: primitives become C
+//! expression trees, while objects stay compile-time records of their
+//! fields — this is precisely how S2FA "flats class fields and inlines
+//! class methods" (§3.2). An object value never reaches the generated C;
+//! only its primitive leaves and arrays do.
+
+use s2fa_hlsir::{CNumKind, Expr};
+
+/// A handle to a C array (an interface buffer or a kernel-local array).
+#[derive(Debug, Clone)]
+pub(crate) struct ArrRef {
+    /// C array name.
+    pub name: String,
+    /// Element evaluation kind.
+    pub elem: CNumKind,
+    /// Element count (per task for interface buffers).
+    pub len: u32,
+    /// Base offset added to every index (`Some(i * len)` for interface
+    /// buffers sliced per task; `None` for locals).
+    pub base: Option<Expr>,
+}
+
+impl ArrRef {
+    /// The full C index expression for a logical element index.
+    pub fn index_expr(&self, idx: Expr) -> Expr {
+        match &self.base {
+            Some(b) => Expr::bin(s2fa_hlsir::CBinOp::Add, CNumKind::I32, b.clone(), idx),
+            None => idx,
+        }
+    }
+}
+
+/// A symbolic value on the decompiler's operand stack or in a local slot.
+#[derive(Debug, Clone)]
+pub(crate) enum Sym {
+    /// A primitive value as a C expression.
+    Scalar(Expr, CNumKind),
+    /// A flattened object: compile-time record of field values.
+    ///
+    /// Field access is positional, so the defining class is not carried;
+    /// input-bound records and constructor results share this shape.
+    Obj {
+        /// Field values in declaration order.
+        fields: Vec<Sym>,
+    },
+    /// A C array handle.
+    Arr(ArrRef),
+    /// The null reference.
+    Null,
+    /// Alias to an object at a fixed operand-stack depth (produced by
+    /// `dup` in the `new; dup; ...; putfield` constructor idiom).
+    StackRef(usize),
+    /// Alias to an object held in a local slot (produced by loading an
+    /// object-typed local, so field writes mutate the local).
+    LocalRef(u16),
+}
+
+impl Sym {
+    /// Builds a zero value of the given kind.
+    pub fn zero(kind: CNumKind) -> Sym {
+        if kind.is_float() {
+            Sym::Scalar(Expr::ConstF(0.0), kind)
+        } else {
+            Sym::Scalar(Expr::ConstI(0), kind)
+        }
+    }
+}

@@ -1,0 +1,889 @@
+//! Decompiler unit tests: every test builds a kernel through the builder
+//! DSL (the `scalac` stand-in), compiles the resulting *bytecode* to HLS C,
+//! and checks the generated code — most importantly, functional
+//! equivalence between the JVM interpreter and the HLS IR executor.
+
+use super::*;
+use s2fa_blaze::Accelerator;
+use s2fa_hlsir::printer;
+use s2fa_sjvm::builder::{Expr as JE, FnBuilder};
+use s2fa_sjvm::{ClassTable, HostValue, Interp, JType, MethodTable, NumKind, RddOp, Shape};
+
+/// Builds a map kernel spec from a builder closure.
+fn map_spec(
+    name: &str,
+    params: &[(&str, JType)],
+    ret: JType,
+    input_shape: Shape,
+    output_shape: Shape,
+    build: impl FnOnce(&mut FnBuilder, &mut ClassTable, &mut MethodTable),
+) -> KernelSpec {
+    let mut classes = ClassTable::new();
+    let mut methods = MethodTable::new();
+    let mut b = FnBuilder::new("call", params, Some(ret));
+    build(&mut b, &mut classes, &mut methods);
+    let entry = b.finish(&mut classes, &mut methods).unwrap();
+    KernelSpec {
+        name: name.into(),
+        classes,
+        methods,
+        entry,
+        operator: RddOp::Map,
+        input_shape,
+        output_shape,
+    }
+}
+
+/// Runs the same records through the JVM interpreter and the generated
+/// accelerator; asserts identical results.
+fn assert_equivalent(spec: &KernelSpec, records: &[HostValue]) {
+    let generated = compile_kernel(spec).expect("codegen");
+    let accel = Accelerator {
+        id: spec.name.clone(),
+        kernel: generated.cfunc.clone(),
+        operator: spec.operator,
+        input_layout: generated.input_layout.clone(),
+        output_layout: generated.output_layout.clone(),
+        time_model: None,
+    };
+    let (hw, _) = accel.run_batch(records).expect("accelerator execution");
+    let mut interp = Interp::new(&spec.classes, &spec.methods);
+    match spec.operator {
+        RddOp::Map => {
+            for (i, rec) in records.iter().enumerate() {
+                let (jvm, _) = interp
+                    .run(spec.entry, std::slice::from_ref(rec))
+                    .expect("jvm execution");
+                assert_eq!(
+                    canon(&jvm),
+                    canon(&hw[i]),
+                    "record {i} diverged\nkernel:\n{}",
+                    printer::to_c(&generated.cfunc)
+                );
+            }
+        }
+        RddOp::Reduce => {
+            let mut acc = records[0].clone();
+            for rec in &records[1..] {
+                let (v, _) = interp
+                    .run(spec.entry, &[acc.clone(), rec.clone()])
+                    .expect("jvm execution");
+                acc = v;
+            }
+            assert_eq!(canon(&acc), canon(&hw[0]));
+        }
+    }
+}
+
+/// Canonicalizes host values for comparison: a `Str` and the equivalent
+/// char array compare equal, and tuples recurse.
+fn canon(v: &HostValue) -> HostValue {
+    match v {
+        HostValue::Str(s) => HostValue::Arr(s.bytes().map(|b| HostValue::I(b as i64)).collect()),
+        HostValue::Tuple(vs) | HostValue::Obj(_, vs) => {
+            HostValue::Tuple(vs.iter().map(canon).collect())
+        }
+        HostValue::Arr(vs) => HostValue::Arr(vs.iter().map(canon).collect()),
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn scalar_affine_map() {
+    let spec = map_spec(
+        "affine",
+        &[("x", JType::Int)],
+        JType::Int,
+        Shape::Scalar(JType::Int),
+        Shape::Scalar(JType::Int),
+        |b, _, _| {
+            let x = b.param(0);
+            b.ret(JE::local(x).mul(JE::const_i(3)).add(JE::const_i(1)));
+        },
+    );
+    assert_equivalent(
+        &spec,
+        &[HostValue::I(0), HostValue::I(-5), HostValue::I(41)],
+    );
+}
+
+#[test]
+fn generated_source_has_code3_shape() {
+    let spec = map_spec(
+        "affine",
+        &[("x", JType::Int)],
+        JType::Int,
+        Shape::Scalar(JType::Int),
+        Shape::Scalar(JType::Int),
+        |b, _, _| {
+            let x = b.param(0);
+            b.ret(JE::local(x).add(JE::const_i(1)));
+        },
+    );
+    let g = compile_kernel(&spec).unwrap();
+    let src = printer::to_c(&g.cfunc);
+    assert!(src.contains("void affine_kernel(int n, const int *in_1, int *out_1)"));
+    assert!(src.contains("for (int i = 0; i < n; i++)"));
+    assert!(src.contains("out_1[i] = (in_1[i] + 1);"));
+}
+
+#[test]
+fn tuple_swap_flattens_constructor() {
+    let spec = {
+        let mut classes = ClassTable::new();
+        let pair = classes.define_tuple2(JType::Int, JType::Int);
+        let mut methods = MethodTable::new();
+        let mut b = FnBuilder::new("call", &[("in", JType::Ref(pair))], Some(JType::Ref(pair)));
+        let input = b.param(0);
+        b.ret(JE::NewObj(
+            pair,
+            vec![JE::local(input).field("_2"), JE::local(input).field("_1")],
+        ));
+        let entry = b.finish(&mut classes, &mut methods).unwrap();
+        KernelSpec {
+            name: "swap".into(),
+            classes,
+            methods,
+            entry,
+            operator: RddOp::Map,
+            input_shape: Shape::pair(Shape::Scalar(JType::Int), Shape::Scalar(JType::Int)),
+            output_shape: Shape::pair(Shape::Scalar(JType::Int), Shape::Scalar(JType::Int)),
+        }
+    };
+    assert_equivalent(
+        &spec,
+        &[
+            HostValue::pair(HostValue::I(1), HostValue::I(2)),
+            HostValue::pair(HostValue::I(-7), HostValue::I(9)),
+        ],
+    );
+    // the generated C has two in and two out buffers, no struct
+    let g = compile_kernel(&spec).unwrap();
+    let src = printer::to_c(&g.cfunc);
+    assert!(src.contains("in_2"));
+    assert!(src.contains("out_2"));
+    assert!(src.contains("out_1[i] = in_2[i];"));
+    assert!(!src.to_lowercase().contains("tuple"));
+}
+
+#[test]
+fn dot_product_with_loop_recovery() {
+    let spec = {
+        let mut classes = ClassTable::new();
+        let farr = JType::array(JType::Float);
+        let pair = classes.define_tuple2(farr.clone(), farr.clone());
+        let mut methods = MethodTable::new();
+        let mut b = FnBuilder::new("call", &[("in", JType::Ref(pair))], Some(JType::Float));
+        let input = b.param(0);
+        let s = b.local("s", JType::Float);
+        let j = b.local("j", JType::Int);
+        b.set(s, JE::const_f32(0.0));
+        b.for_loop(j, JE::const_i(0), JE::const_i(8), |b| {
+            b.set(
+                s,
+                JE::local(s).add(
+                    JE::local(input)
+                        .field("_1")
+                        .index(JE::local(j))
+                        .mul(JE::local(input).field("_2").index(JE::local(j))),
+                ),
+            );
+        });
+        b.ret(JE::local(s));
+        let entry = b.finish(&mut classes, &mut methods).unwrap();
+        KernelSpec {
+            name: "dot".into(),
+            classes,
+            methods,
+            entry,
+            operator: RddOp::Map,
+            input_shape: Shape::pair(Shape::Array(JType::Float, 8), Shape::Array(JType::Float, 8)),
+            output_shape: Shape::Scalar(JType::Float),
+        }
+    };
+    let rec = |xs: &[f64], ws: &[f64]| {
+        HostValue::pair(HostValue::f64_array(xs), HostValue::f64_array(ws))
+    };
+    assert_equivalent(
+        &spec,
+        &[
+            rec(&[1.0; 8], &[2.0; 8]),
+            rec(
+                &[0.5, -1.0, 3.25, 0.0, 2.0, -2.0, 1.5, 4.0],
+                &[1.0, 2.0, -0.5, 9.0, 0.25, 1.0, -1.0, 0.125],
+            ),
+        ],
+    );
+    // the loop was recovered as a canonical counted for
+    let g = compile_kernel(&spec).unwrap();
+    let src = printer::to_c(&g.cfunc);
+    assert!(src.contains("L1:"), "inner loop gets its own id:\n{src}");
+    assert!(src.contains("< 8;"));
+}
+
+#[test]
+fn branchy_kernel_if_else_and_select() {
+    let spec = map_spec(
+        "clip",
+        &[("x", JType::Int)],
+        JType::Int,
+        Shape::Scalar(JType::Int),
+        Shape::Scalar(JType::Int),
+        |b, _, _| {
+            let x = b.param(0);
+            let y = b.local("y", JType::Int);
+            b.if_else(
+                JE::local(x).lt(JE::const_i(0)),
+                |b| b.set(y, JE::local(x).neg()),
+                |b| b.set(y, JE::local(x)),
+            );
+            // select on top: saturate at 100
+            b.ret(JE::select(
+                JE::local(y).gt(JE::const_i(100)),
+                JE::const_i(100),
+                JE::local(y),
+            ));
+        },
+    );
+    assert_equivalent(
+        &spec,
+        &[
+            HostValue::I(-250),
+            HostValue::I(-3),
+            HostValue::I(0),
+            HostValue::I(99),
+            HostValue::I(1000),
+        ],
+    );
+}
+
+#[test]
+fn virtual_method_is_inlined() {
+    let spec = {
+        let mut classes = ClassTable::new();
+        let point = classes
+            .define(
+                "Point",
+                vec![
+                    s2fa_sjvm::FieldDef {
+                        name: "x".into(),
+                        ty: JType::Double,
+                    },
+                    s2fa_sjvm::FieldDef {
+                        name: "y".into(),
+                        ty: JType::Double,
+                    },
+                ],
+            )
+            .unwrap();
+        let mut methods = MethodTable::new();
+        let mut mb = FnBuilder::method("norm2", point, &[], Some(JType::Double));
+        let this = mb.param(0);
+        mb.ret(
+            JE::local(this)
+                .field("x")
+                .mul(JE::local(this).field("x"))
+                .add(JE::local(this).field("y").mul(JE::local(this).field("y"))),
+        );
+        let norm2 = mb.finish(&mut classes, &mut methods).unwrap();
+        classes.add_method(point, "norm2", norm2);
+        let mut b = FnBuilder::new("call", &[("p", JType::Ref(point))], Some(JType::Double));
+        let p = b.param(0);
+        b.ret(JE::local(p).invoke("norm2", vec![]).sqrt());
+        let entry = b.finish(&mut classes, &mut methods).unwrap();
+        KernelSpec {
+            name: "norm".into(),
+            classes,
+            methods,
+            entry,
+            operator: RddOp::Map,
+            input_shape: Shape::pair(Shape::Scalar(JType::Double), Shape::Scalar(JType::Double)),
+            output_shape: Shape::Scalar(JType::Double),
+        }
+    };
+    assert_equivalent(
+        &spec,
+        &[
+            HostValue::pair(HostValue::F(3.0), HostValue::F(4.0)),
+            HostValue::pair(HostValue::F(-1.5), HostValue::F(2.5)),
+        ],
+    );
+    // no call remains in the generated C
+    let g = compile_kernel(&spec).unwrap();
+    let src = printer::to_c(&g.cfunc);
+    assert!(!src.contains("norm2("));
+    assert!(src.contains("sqrtf("));
+}
+
+#[test]
+fn string_kernel_counts_chars() {
+    let spec = map_spec(
+        "count_a",
+        &[("s", JType::array(JType::Char))],
+        JType::Int,
+        Shape::Array(JType::Char, 16),
+        Shape::Scalar(JType::Int),
+        |b, _, _| {
+            let s = b.param(0);
+            let c = b.local("c", JType::Int);
+            let i = b.local("i", JType::Int);
+            b.set(c, JE::const_i(0));
+            b.for_loop(i, JE::const_i(0), JE::local(s).len(), |b| {
+                b.if_then(
+                    JE::local(s)
+                        .index(JE::local(i))
+                        .eq(JE::const_i(b'a' as i64)),
+                    |b| b.set(c, JE::local(c).add(JE::const_i(1))),
+                );
+            });
+            b.ret(JE::local(c));
+        },
+    );
+    // NB: the JVM sees the padded 16-char array too (Str → char[16] via
+    // the same shape), so counts agree on NUL padding.
+    let pad = |s: &str| {
+        let mut v: Vec<HostValue> = s.bytes().map(|b| HostValue::I(b as i64)).collect();
+        v.resize(16, HostValue::I(0));
+        HostValue::Arr(v)
+    };
+    assert_equivalent(&spec, &[pad("banana"), pad(""), pad("aaaaaaaaaaaaaaaa")]);
+}
+
+#[test]
+fn local_array_output_copy() {
+    // x -> tuple of (sum, running-prefix array)
+    let spec = {
+        let mut classes = ClassTable::new();
+        let iarr = JType::array(JType::Int);
+        let pair = classes.define_tuple2(JType::Int, iarr.clone());
+        let mut methods = MethodTable::new();
+        let mut b = FnBuilder::new("call", &[("xs", iarr.clone())], Some(JType::Ref(pair)));
+        let xs = b.param(0);
+        let acc = b.local("acc", iarr);
+        let s = b.local("s", JType::Int);
+        let i = b.local("i", JType::Int);
+        b.set(acc, JE::NewArray(JType::Int, 4));
+        b.set(s, JE::const_i(0));
+        b.for_loop(i, JE::const_i(0), JE::const_i(4), |b| {
+            b.set(s, JE::local(s).add(JE::local(xs).index(JE::local(i))));
+            b.set_index(JE::local(acc), JE::local(i), JE::local(s));
+        });
+        b.ret(JE::NewObj(pair, vec![JE::local(s), JE::local(acc)]));
+        let entry = b.finish(&mut classes, &mut methods).unwrap();
+        KernelSpec {
+            name: "prefix".into(),
+            classes,
+            methods,
+            entry,
+            operator: RddOp::Map,
+            input_shape: Shape::Array(JType::Int, 4),
+            output_shape: Shape::pair(Shape::Scalar(JType::Int), Shape::Array(JType::Int, 4)),
+        }
+    };
+    assert_equivalent(
+        &spec,
+        &[
+            HostValue::i64_array(&[1, 2, 3, 4]),
+            HostValue::i64_array(&[-1, 5, 0, 2]),
+        ],
+    );
+}
+
+#[test]
+fn reduce_template_sums_pairs() {
+    let spec = {
+        let mut classes = ClassTable::new();
+        let pair = classes.define_tuple2(JType::Double, JType::Double);
+        let mut methods = MethodTable::new();
+        let mut b = FnBuilder::new(
+            "call",
+            &[("a", JType::Ref(pair)), ("b", JType::Ref(pair))],
+            Some(JType::Ref(pair)),
+        );
+        let a = b.param(0);
+        let x = b.param(1);
+        b.ret(JE::NewObj(
+            pair,
+            vec![
+                JE::local(a).field("_1").add(JE::local(x).field("_1")),
+                JE::local(a).field("_2").add(JE::local(x).field("_2")),
+            ],
+        ));
+        let entry = b.finish(&mut classes, &mut methods).unwrap();
+        KernelSpec {
+            name: "sum2".into(),
+            classes,
+            methods,
+            entry,
+            operator: RddOp::Reduce,
+            input_shape: Shape::pair(Shape::Scalar(JType::Double), Shape::Scalar(JType::Double)),
+            output_shape: Shape::pair(Shape::Scalar(JType::Double), Shape::Scalar(JType::Double)),
+        }
+    };
+    let recs: Vec<HostValue> = (1..=6)
+        .map(|i| HostValue::pair(HostValue::F(i as f64), HostValue::F(-2.0 * i as f64)))
+        .collect();
+    assert_equivalent(&spec, &recs);
+}
+
+#[test]
+fn math_intrinsics_map() {
+    let spec = map_spec(
+        "sigmoid",
+        &[("x", JType::Double)],
+        JType::Double,
+        Shape::Scalar(JType::Double),
+        Shape::Scalar(JType::Double),
+        |b, _, _| {
+            let x = b.param(0);
+            b.ret(JE::const_f(1.0).div(JE::const_f(1.0).add(JE::local(x).neg().exp())));
+        },
+    );
+    assert_equivalent(
+        &spec,
+        &[HostValue::F(0.0), HostValue::F(2.5), HostValue::F(-7.0)],
+    );
+}
+
+#[test]
+fn bitwise_kernel() {
+    let spec = map_spec(
+        "mix",
+        &[("x", JType::Int)],
+        JType::Int,
+        Shape::Scalar(JType::Int),
+        Shape::Scalar(JType::Int),
+        |b, _, _| {
+            let x = b.param(0);
+            b.ret(
+                JE::local(x)
+                    .shl(JE::const_i(3))
+                    .bitxor(JE::local(x).ushr(JE::const_i(2)))
+                    .bitand(JE::const_i(0xffff)),
+            );
+        },
+    );
+    assert_equivalent(
+        &spec,
+        &[HostValue::I(0), HostValue::I(12345), HostValue::I(-1)],
+    );
+}
+
+#[test]
+fn nested_loops_recovered() {
+    // 4x4 "matrix" row sums
+    let spec = map_spec(
+        "rowsums",
+        &[("m", JType::array(JType::Double))],
+        JType::Double,
+        Shape::Array(JType::Double, 16),
+        Shape::Scalar(JType::Double),
+        |b, _, _| {
+            let m = b.param(0);
+            let total = b.local("total", JType::Double);
+            let r = b.local("r", JType::Int);
+            let c = b.local("c", JType::Int);
+            b.set(total, JE::const_f(0.0));
+            b.for_loop(r, JE::const_i(0), JE::const_i(4), |b| {
+                b.for_loop(c, JE::const_i(0), JE::const_i(4), |b| {
+                    b.set(
+                        total,
+                        JE::local(total).add(
+                            JE::local(m).index(JE::local(r).mul(JE::const_i(4)).add(JE::local(c))),
+                        ),
+                    );
+                });
+            });
+            b.ret(JE::local(total));
+        },
+    );
+    let vals: Vec<f64> = (0..16).map(|i| i as f64 * 0.5).collect();
+    assert_equivalent(&spec, &[HostValue::f64_array(&vals)]);
+    let g = compile_kernel(&spec).unwrap();
+    // task loop + 2 recovered loops
+    assert_eq!(g.cfunc.loop_ids().len(), 3);
+}
+
+#[test]
+fn early_return_is_unsupported() {
+    // if (x < 0) return 0; return x;  — non-structured, rejected per §3.3
+    let mut classes = ClassTable::new();
+    let mut methods = MethodTable::new();
+    let mut b = FnBuilder::new("call", &[("x", JType::Int)], Some(JType::Int));
+    let x = b.param(0);
+    b.if_then(JE::local(x).lt(JE::const_i(0)), |b| {
+        b.ret(JE::const_i(0));
+    });
+    b.ret(JE::local(x));
+    let entry = b.finish(&mut classes, &mut methods).unwrap();
+    let spec = KernelSpec {
+        name: "early".into(),
+        classes,
+        methods,
+        entry,
+        operator: RddOp::Map,
+        input_shape: Shape::Scalar(JType::Int),
+        output_shape: Shape::Scalar(JType::Int),
+    };
+    assert!(matches!(
+        compile_kernel(&spec),
+        Err(S2faError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn shape_mismatch_is_rejected() {
+    // lambda returns Int but the declared output shape is a pair
+    let spec = map_spec(
+        "bad",
+        &[("x", JType::Int)],
+        JType::Int,
+        Shape::Scalar(JType::Int),
+        Shape::pair(Shape::Scalar(JType::Int), Shape::Scalar(JType::Int)),
+        |b, _, _| {
+            let x = b.param(0);
+            b.ret(JE::local(x));
+        },
+    );
+    assert!(matches!(compile_kernel(&spec), Err(S2faError::Shape(_))));
+}
+
+#[test]
+fn long_arithmetic_kernel() {
+    let spec = map_spec(
+        "lmul",
+        &[("x", JType::Long)],
+        JType::Long,
+        Shape::Scalar(JType::Long),
+        Shape::Scalar(JType::Long),
+        |b, _, _| {
+            let x = b.param(0);
+            b.ret(
+                JE::local(x)
+                    .mul(JE::ConstI(1_000_003, NumKind::Long))
+                    .add(JE::ConstI(17, NumKind::Long)),
+            );
+        },
+    );
+    assert_equivalent(
+        &spec,
+        &[
+            HostValue::I(0),
+            HostValue::I(1 << 40),
+            HostValue::I(-123_456_789),
+        ],
+    );
+}
+
+#[test]
+fn static_helper_is_inlined() {
+    // def clamp(v: Int): Int = select(v < 0, 0, v)
+    // def call(x: Int): Int = clamp(x - 5) + clamp(x + 5)
+    let mut classes = ClassTable::new();
+    let mut methods = MethodTable::new();
+    let mut hb = FnBuilder::new("clamp", &[("v", JType::Int)], Some(JType::Int));
+    let v = hb.param(0);
+    hb.ret(JE::select(
+        JE::local(v).lt(JE::const_i(0)),
+        JE::const_i(0),
+        JE::local(v),
+    ));
+    let clamp = hb.finish(&mut classes, &mut methods).unwrap();
+
+    let mut b = FnBuilder::new("call", &[("x", JType::Int)], Some(JType::Int));
+    let x = b.param(0);
+    b.ret(
+        JE::InvokeStatic(clamp, vec![JE::local(x).sub(JE::const_i(5))]).add(JE::InvokeStatic(
+            clamp,
+            vec![JE::local(x).add(JE::const_i(5))],
+        )),
+    );
+    let entry = b.finish(&mut classes, &mut methods).unwrap();
+    let spec = KernelSpec {
+        name: "clamp2".into(),
+        classes,
+        methods,
+        entry,
+        operator: RddOp::Map,
+        input_shape: Shape::Scalar(JType::Int),
+        output_shape: Shape::Scalar(JType::Int),
+    };
+    assert_equivalent(
+        &spec,
+        &[
+            HostValue::I(-100),
+            HostValue::I(0),
+            HostValue::I(3),
+            HostValue::I(42),
+        ],
+    );
+    // the helper body was inlined twice — no call remains
+    let src = printer::to_c(&compile_kernel(&spec).unwrap().cfunc);
+    assert!(!src.contains("clamp("));
+}
+
+#[test]
+fn nested_tuple_input_flattens_fully() {
+    // ((a, b), c) -> a*b + c
+    let mut classes = ClassTable::new();
+    let inner = classes.define_tuple2(JType::Int, JType::Int);
+    let outer = classes.define_tuple2(JType::Ref(inner), JType::Int);
+    let mut methods = MethodTable::new();
+    let mut b = FnBuilder::new("call", &[("in", JType::Ref(outer))], Some(JType::Int));
+    let input = b.param(0);
+    b.ret(
+        JE::local(input)
+            .field("_1")
+            .field("_1")
+            .mul(JE::local(input).field("_1").field("_2"))
+            .add(JE::local(input).field("_2")),
+    );
+    let entry = b.finish(&mut classes, &mut methods).unwrap();
+    let spec = KernelSpec {
+        name: "nested".into(),
+        classes,
+        methods,
+        entry,
+        operator: RddOp::Map,
+        input_shape: Shape::pair(
+            Shape::pair(Shape::Scalar(JType::Int), Shape::Scalar(JType::Int)),
+            Shape::Scalar(JType::Int),
+        ),
+        output_shape: Shape::Scalar(JType::Int),
+    };
+    assert_equivalent(
+        &spec,
+        &[
+            HostValue::pair(
+                HostValue::pair(HostValue::I(3), HostValue::I(4)),
+                HostValue::I(5),
+            ),
+            HostValue::pair(
+                HostValue::pair(HostValue::I(-7), HostValue::I(2)),
+                HostValue::I(100),
+            ),
+        ],
+    );
+    // three interface input buffers: in_1, in_2, in_3
+    let g = compile_kernel(&spec).unwrap();
+    assert_eq!(g.input_layout.slots.len(), 3);
+}
+
+#[test]
+fn reduce_with_array_accumulator() {
+    // elementwise vector sum over ([I;4])
+    let mut classes = ClassTable::new();
+    let iarr = JType::array(JType::Int);
+    let mut methods = MethodTable::new();
+    let mut b = FnBuilder::new(
+        "call",
+        &[("a", iarr.clone()), ("b", iarr.clone())],
+        Some(iarr.clone()),
+    );
+    let pa = b.param(0);
+    let pb = b.param(1);
+    let out = b.local("out", iarr);
+    let j = b.local("j", JType::Int);
+    b.set(out, JE::NewArray(JType::Int, 4));
+    b.for_loop(j, JE::const_i(0), JE::const_i(4), |b| {
+        b.set_index(
+            JE::local(out),
+            JE::local(j),
+            JE::local(pa)
+                .index(JE::local(j))
+                .add(JE::local(pb).index(JE::local(j))),
+        );
+    });
+    b.ret(JE::local(out));
+    let entry = b.finish(&mut classes, &mut methods).unwrap();
+    let spec = KernelSpec {
+        name: "vsum".into(),
+        classes,
+        methods,
+        entry,
+        operator: RddOp::Reduce,
+        input_shape: Shape::Array(JType::Int, 4),
+        output_shape: Shape::Array(JType::Int, 4),
+    };
+    let recs: Vec<HostValue> = (0..5)
+        .map(|i| HostValue::i64_array(&[i, 2 * i, -i, 10 + i]))
+        .collect();
+    assert_equivalent(&spec, &recs);
+}
+
+#[test]
+fn non_counted_while_is_unsupported() {
+    // while (x > 1) x = x / 2  — data-dependent trip count, rejected
+    let mut classes = ClassTable::new();
+    let mut methods = MethodTable::new();
+    let mut b = FnBuilder::new("call", &[("x0", JType::Int)], Some(JType::Int));
+    let x0 = b.param(0);
+    let x = b.local("x", JType::Int);
+    b.set(x, JE::local(x0));
+    b.while_loop(JE::local(x).gt(JE::const_i(1)), |b| {
+        b.set(x, JE::local(x).div(JE::const_i(2)));
+    });
+    b.ret(JE::local(x));
+    let entry = b.finish(&mut classes, &mut methods).unwrap();
+    let spec = KernelSpec {
+        name: "halver".into(),
+        classes,
+        methods,
+        entry,
+        operator: RddOp::Map,
+        input_shape: Shape::Scalar(JType::Int),
+        output_shape: Shape::Scalar(JType::Int),
+    };
+    let err = compile_kernel(&spec).unwrap_err();
+    assert!(matches!(err, S2faError::Unsupported(_)), "{err}");
+}
+
+#[test]
+fn conditional_array_rebinding_is_unsupported() {
+    // if (x < 0) arr = new int[4];  — reference reassignment under a branch
+    let mut classes = ClassTable::new();
+    let mut methods = MethodTable::new();
+    let mut b = FnBuilder::new("call", &[("x", JType::Int)], Some(JType::Int));
+    let x = b.param(0);
+    let arr = b.local("arr", JType::array(JType::Int));
+    b.set(arr, JE::NewArray(JType::Int, 4));
+    b.if_then(JE::local(x).lt(JE::const_i(0)), |b| {
+        b.set(arr, JE::NewArray(JType::Int, 4));
+    });
+    b.ret(JE::local(arr).index(JE::const_i(0)));
+    let entry = b.finish(&mut classes, &mut methods).unwrap();
+    let spec = KernelSpec {
+        name: "rebind".into(),
+        classes,
+        methods,
+        entry,
+        operator: RddOp::Map,
+        input_shape: Shape::Scalar(JType::Int),
+        output_shape: Shape::Scalar(JType::Int),
+    };
+    let err = compile_kernel(&spec).unwrap_err();
+    assert!(matches!(err, S2faError::Unsupported(_)), "{err}");
+}
+
+#[test]
+fn broadcast_input_binds_without_task_offset() {
+    // (x, broadcast w[4]) -> x * w[0]
+    let mut classes = ClassTable::new();
+    let pair = classes.define_tuple2(JType::Int, JType::array(JType::Int));
+    let mut methods = MethodTable::new();
+    let mut b = FnBuilder::new("call", &[("in", JType::Ref(pair))], Some(JType::Int));
+    let input = b.param(0);
+    b.ret(
+        JE::local(input)
+            .field("_1")
+            .mul(JE::local(input).field("_2").index(JE::const_i(0))),
+    );
+    let entry = b.finish(&mut classes, &mut methods).unwrap();
+    let spec = KernelSpec {
+        name: "bcast".into(),
+        classes,
+        methods,
+        entry,
+        operator: RddOp::Map,
+        input_shape: Shape::pair(
+            Shape::Scalar(JType::Int),
+            Shape::broadcast(Shape::Array(JType::Int, 4)),
+        ),
+        output_shape: Shape::Scalar(JType::Int),
+    };
+    let w = HostValue::i64_array(&[7, 0, 0, 0]);
+    assert_equivalent(
+        &spec,
+        &[
+            HostValue::pair(HostValue::I(3), w.clone()),
+            HostValue::pair(HostValue::I(-2), w),
+        ],
+    );
+    // the broadcast buffer is indexed without `i * len`
+    let src = printer::to_c(&compile_kernel(&spec).unwrap().cfunc);
+    assert!(src.contains("in_2[0]"), "{src}");
+    assert!(!src.contains("(i * 4)"), "{src}");
+}
+
+#[test]
+fn deeply_nested_control_flow() {
+    // for i { if (a[i] > 0) { for j { if (j < i) acc += a[j] } else-less } else { acc -= 1 } }
+    let spec = map_spec(
+        "nesty",
+        &[("a", JType::array(JType::Int))],
+        JType::Int,
+        Shape::Array(JType::Int, 6),
+        Shape::Scalar(JType::Int),
+        |b, _, _| {
+            let a = b.param(0);
+            let acc = b.local("acc", JType::Int);
+            let i = b.local("i", JType::Int);
+            let j = b.local("j", JType::Int);
+            b.set(acc, JE::const_i(0));
+            b.for_loop(i, JE::const_i(0), JE::const_i(6), |b| {
+                b.if_else(
+                    JE::local(a).index(JE::local(i)).gt(JE::const_i(0)),
+                    |b| {
+                        b.for_loop(j, JE::const_i(0), JE::const_i(6), |b| {
+                            b.if_then(JE::local(j).lt(JE::local(i)), |b| {
+                                b.set(acc, JE::local(acc).add(JE::local(a).index(JE::local(j))));
+                            });
+                        });
+                    },
+                    |b| {
+                        b.set(acc, JE::local(acc).sub(JE::const_i(1)));
+                    },
+                );
+            });
+            b.ret(JE::local(acc));
+        },
+    );
+    assert_equivalent(
+        &spec,
+        &[
+            HostValue::i64_array(&[1, -2, 3, 0, 5, -6]),
+            HostValue::i64_array(&[0, 0, 0, 0, 0, 0]),
+            HostValue::i64_array(&[9, 9, 9, 9, 9, 9]),
+        ],
+    );
+}
+
+#[test]
+fn empty_branches_are_tolerated() {
+    // if (x > 0) {} — a branch with an empty body
+    let spec = map_spec(
+        "emptyb",
+        &[("x", JType::Int)],
+        JType::Int,
+        Shape::Scalar(JType::Int),
+        Shape::Scalar(JType::Int),
+        |b, _, _| {
+            let x = b.param(0);
+            b.if_then(JE::local(x).gt(JE::const_i(0)), |_| {});
+            b.ret(JE::local(x));
+        },
+    );
+    assert_equivalent(&spec, &[HostValue::I(5), HostValue::I(-5)]);
+}
+
+#[test]
+fn single_iteration_loop() {
+    let spec = map_spec(
+        "one",
+        &[("x", JType::Int)],
+        JType::Int,
+        Shape::Scalar(JType::Int),
+        Shape::Scalar(JType::Int),
+        |b, _, _| {
+            let x = b.param(0);
+            let s = b.local("s", JType::Int);
+            let i = b.local("i", JType::Int);
+            b.set(s, JE::const_i(0));
+            b.for_loop(i, JE::const_i(0), JE::const_i(1), |b| {
+                b.set(s, JE::local(x).mul(JE::const_i(7)));
+            });
+            b.ret(JE::local(s));
+        },
+    );
+    assert_equivalent(&spec, &[HostValue::I(6), HostValue::I(-1)]);
+}

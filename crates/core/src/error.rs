@@ -1,0 +1,60 @@
+//! Framework error type.
+
+use std::fmt;
+
+/// Errors raised by the S2FA pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum S2faError {
+    /// The kernel bytecode failed verification.
+    Verify(String),
+    /// The bytecode uses a construct outside the supported subset
+    /// (paper §3.3's limitations: non-canonical control flow, dynamic
+    /// allocation sizes, unsupported library calls, ...).
+    Unsupported(String),
+    /// The kernel's declared shapes do not match its bytecode.
+    Shape(String),
+    /// Analysis of the generated C failed.
+    Analysis(String),
+    /// The DSE found no feasible design.
+    NoFeasibleDesign,
+}
+
+impl fmt::Display for S2faError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            S2faError::Verify(m) => write!(f, "bytecode verification failed: {m}"),
+            S2faError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+            S2faError::Shape(m) => write!(f, "shape mismatch: {m}"),
+            S2faError::Analysis(m) => write!(f, "kernel analysis failed: {m}"),
+            S2faError::NoFeasibleDesign => {
+                write!(f, "design space exploration found no feasible design")
+            }
+        }
+    }
+}
+
+impl std::error::Error for S2faError {}
+
+impl From<s2fa_sjvm::SjvmError> for S2faError {
+    fn from(e: s2fa_sjvm::SjvmError) -> Self {
+        S2faError::Verify(e.to_string())
+    }
+}
+
+impl From<s2fa_hlsir::HlsirError> for S2faError {
+    fn from(e: s2fa_hlsir::HlsirError) -> Self {
+        S2faError::Analysis(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<S2faError>();
+        assert!(S2faError::NoFeasibleDesign.to_string().contains("feasible"));
+    }
+}

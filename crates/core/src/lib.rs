@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # s2fa — Spark-to-FPGA-Accelerator
+//!
+//! A full reproduction of the S2FA framework (Yu et al., DAC 2018): an
+//! automation framework that compiles the computational kernels of Apache
+//! Spark applications — Scala lambdas, delivered as JVM bytecode — into
+//! optimized FPGA accelerator designs plus the host-side integration for
+//! the Blaze runtime.
+//!
+//! The pipeline (paper Fig. 1):
+//!
+//! 1. **Bytecode-to-C compiler** ([`codegen`]) — translates verified stack
+//!    bytecode into sequential HLS C, flattening object-oriented
+//!    constructs: tuple/record fields become flat interface buffers
+//!    (`in_1, in_2, ...`), virtual methods are inlined, constructors are
+//!    eliminated in favour of output-buffer writes, and the RDD operator's
+//!    semantics are realized by an inserted template loop (Code 2 →
+//!    Code 3).
+//! 2. **Design-space identification & exploration** — the kernel summary
+//!    (`s2fa-hlsir`) feeds Table 1's design space (`s2fa-dse`), explored by
+//!    the partitioned, seeded, entropy-stopped learning DSE over the
+//!    Merlin transformation vocabulary (`s2fa-merlin`) and the analytical
+//!    HLS model (`s2fa-hlssim`).
+//! 3. **Integration** — the data-processing method generator's layouts and
+//!    the final design are packaged as a Blaze [`Accelerator`]
+//!    (`s2fa-blaze`), ready for registration and transparent offload.
+//!
+//! ```no_run
+//! use s2fa::{S2fa, S2faOptions};
+//! # fn spec() -> s2fa_sjvm::KernelSpec { unimplemented!() }
+//!
+//! let framework = S2fa::new(S2faOptions::default());
+//! let compiled = framework.compile(&spec())?;
+//! println!("{}", compiled.optimized_source);
+//! # Ok::<(), s2fa::S2faError>(())
+//! ```
+//!
+//! [`Accelerator`]: s2fa_blaze::Accelerator
+
+pub mod codegen;
+pub mod pipeline;
+pub mod report;
+
+mod error;
+
+pub use codegen::{compile_kernel, GeneratedKernel};
+pub use error::S2faError;
+pub use pipeline::{CompiledAccelerator, S2fa, S2faOptions};
+
+// Re-export the subsystem crates so downstream users need one dependency.
+pub use s2fa_blaze as blaze;
+pub use s2fa_dse as dse;
+pub use s2fa_hlsir as hlsir;
+pub use s2fa_hlssim as hlssim;
+pub use s2fa_merlin as merlin;
+pub use s2fa_sjvm as sjvm;
+pub use s2fa_tuner as tuner;

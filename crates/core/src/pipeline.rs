@@ -1,0 +1,170 @@
+//! The end-to-end S2FA pipeline (paper Fig. 1).
+
+use crate::codegen::{compile_kernel, GeneratedKernel};
+use crate::S2faError;
+use s2fa_blaze::{AccelTimeModel, Accelerator};
+use s2fa_dse::{run_dse, DesignSpace, DseOptions, DseOutcome};
+use s2fa_hlsir::{analysis, printer, KernelSummary};
+use s2fa_hlssim::{Estimate, Estimator};
+use s2fa_merlin::{apply_structural, DesignConfig};
+use s2fa_sjvm::KernelSpec;
+
+/// Options of one compilation.
+#[derive(Debug, Clone)]
+pub struct S2faOptions {
+    /// Nominal batch size: trip count assumed for the template loop and
+    /// the batch the estimates refer to.
+    pub tasks_hint: u32,
+    /// DSE configuration (paper §4.3 defaults).
+    pub dse: DseOptions,
+}
+
+impl Default for S2faOptions {
+    fn default() -> Self {
+        S2faOptions {
+            tasks_hint: 1024,
+            dse: DseOptions::s2fa(),
+        }
+    }
+}
+
+/// Everything the framework produces for one kernel.
+#[derive(Debug, Clone)]
+pub struct CompiledAccelerator {
+    /// Generated C kernel plus layouts.
+    pub generated: GeneratedKernel,
+    /// Loop-nest / buffer analysis used for design-space identification.
+    pub summary: KernelSummary,
+    /// `log10` of the identified design-space size (Table 1).
+    pub space_size_log10: f64,
+    /// The DSE run, when one was performed.
+    pub dse: Option<DseOutcome>,
+    /// The selected design configuration.
+    pub design: DesignConfig,
+    /// HLS estimate of the selected design.
+    pub estimate: Estimate,
+    /// Final optimized HLS C source with pragmas.
+    pub optimized_source: String,
+    /// Deployable Blaze accelerator (functional kernel + layouts + timing).
+    pub accelerator: Accelerator,
+}
+
+/// The S2FA framework: bytecode-to-C compilation, design space
+/// identification/exploration, and Blaze integration.
+#[derive(Debug, Clone, Default)]
+pub struct S2fa {
+    estimator: Estimator,
+    options: S2faOptions,
+}
+
+impl S2fa {
+    /// Creates the framework with the given options and the default VU9P
+    /// estimator.
+    pub fn new(options: S2faOptions) -> Self {
+        S2fa {
+            estimator: Estimator::new(),
+            options,
+        }
+    }
+
+    /// Replaces the HLS estimator (e.g. a different device).
+    pub fn with_estimator(mut self, estimator: Estimator) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// The HLS estimator in use.
+    pub fn estimator(&self) -> &Estimator {
+        &self.estimator
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &S2faOptions {
+        &self.options
+    }
+
+    /// Full automatic flow: compile, identify the space, explore it, and
+    /// package the best design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors and returns
+    /// [`S2faError::NoFeasibleDesign`] if the DSE never found a design
+    /// that synthesizes.
+    pub fn compile(&self, spec: &KernelSpec) -> Result<CompiledAccelerator, S2faError> {
+        let generated = compile_kernel(spec)?;
+        let summary = analysis::summarize(&generated.cfunc, self.options.tasks_hint)?;
+        let space = DesignSpace::build(&summary);
+        let dse = run_dse(&summary, &self.estimator, &self.options.dse);
+        let (design, estimate) = dse.best.clone().ok_or(S2faError::NoFeasibleDesign)?;
+        let mut result = self.package(spec, generated, summary, design, estimate)?;
+        result.space_size_log10 = space.size_log10();
+        result.dse = Some(dse);
+        Ok(result)
+    }
+
+    /// Expert flow: compile and evaluate a *given* design configuration
+    /// (used for the paper's manual reference designs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors; returns
+    /// [`S2faError::NoFeasibleDesign`] if the given design does not
+    /// synthesize.
+    pub fn compile_with_config(
+        &self,
+        spec: &KernelSpec,
+        design: &DesignConfig,
+    ) -> Result<CompiledAccelerator, S2faError> {
+        let generated = compile_kernel(spec)?;
+        let summary = analysis::summarize(&generated.cfunc, self.options.tasks_hint)?;
+        let space = DesignSpace::build(&summary);
+        let estimate = self.estimator.evaluate(&summary, design);
+        if !estimate.is_feasible() {
+            return Err(S2faError::NoFeasibleDesign);
+        }
+        let mut result = self.package(spec, generated, summary, design.clone(), estimate)?;
+        result.space_size_log10 = space.size_log10();
+        Ok(result)
+    }
+
+    fn package(
+        &self,
+        spec: &KernelSpec,
+        generated: GeneratedKernel,
+        summary: KernelSummary,
+        design: DesignConfig,
+        estimate: Estimate,
+    ) -> Result<CompiledAccelerator, S2faError> {
+        let mut normalized = design.clone();
+        normalized.normalize(&summary);
+        // Structural rewrites (inner-loop tiling) where they apply cleanly,
+        // attributes/pragmas for the rest — semantics are preserved, so
+        // the same function is both the shipped source and the functional
+        // kernel behind the registered accelerator.
+        let (optimized, _transform_report) = apply_structural(&generated.cfunc, &normalized);
+        let source = printer::to_c(&optimized);
+        let time_model = AccelTimeModel {
+            per_task_ms: estimate.time_ms / estimate.batch_tasks.max(1) as f64,
+            setup_ms: 0.15,
+        };
+        let accelerator = Accelerator {
+            id: spec.name.clone(),
+            kernel: optimized,
+            operator: spec.operator,
+            input_layout: generated.input_layout.clone(),
+            output_layout: generated.output_layout.clone(),
+            time_model: Some(time_model),
+        };
+        Ok(CompiledAccelerator {
+            generated,
+            summary,
+            space_size_log10: 0.0,
+            dse: None,
+            design: normalized,
+            estimate,
+            optimized_source: source,
+            accelerator,
+        })
+    }
+}

@@ -1,0 +1,108 @@
+//! Report formatting helpers for the experiment harness.
+
+use crate::pipeline::CompiledAccelerator;
+use s2fa_hlssim::Device;
+
+/// One row of the paper's Table 2 (resource utilization and frequency).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Application category (graph proc., classification, ...).
+    pub category: String,
+    /// BRAM utilization percentage.
+    pub bram_pct: f64,
+    /// DSP utilization percentage.
+    pub dsp_pct: f64,
+    /// FF utilization percentage.
+    pub ff_pct: f64,
+    /// LUT utilization percentage.
+    pub lut_pct: f64,
+    /// Achieved frequency in MHz.
+    pub freq_mhz: f64,
+}
+
+impl ResourceRow {
+    /// Builds a row from a compiled accelerator against a device.
+    pub fn from_compiled(
+        compiled: &CompiledAccelerator,
+        category: impl Into<String>,
+        device: &Device,
+    ) -> ResourceRow {
+        let (b, d, f, l) = compiled.estimate.resources.utilization(device);
+        ResourceRow {
+            kernel: compiled.accelerator.id.clone(),
+            category: category.into(),
+            bram_pct: b * 100.0,
+            dsp_pct: d * 100.0,
+            ff_pct: f * 100.0,
+            lut_pct: l * 100.0,
+            freq_mhz: compiled.estimate.freq_mhz,
+        }
+    }
+
+    /// Formats the row like the paper's table.
+    pub fn formatted(&self) -> String {
+        format!(
+            "| {:<8} | {:<14} | {:>4.0}% | {:>3.0}% | {:>3.0}% | {:>3.0}% | {:>4.0} |",
+            self.kernel,
+            self.category,
+            self.bram_pct,
+            self.dsp_pct,
+            self.ff_pct,
+            self.lut_pct,
+            self.freq_mhz
+        )
+    }
+}
+
+/// Renders a markdown-style table of resource rows with the paper's
+/// header.
+pub fn resource_table(rows: &[ResourceRow]) -> String {
+    let mut out = String::from(
+        "| Kernel   | Type           | BRAM | DSP | FF  | LUT | Freq |\n\
+         |----------|----------------|------|-----|-----|-----|------|\n",
+    );
+    for r in rows {
+        out.push_str(&r.formatted());
+        out.push('\n');
+    }
+    out
+}
+
+/// Geometric mean of a slice of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[7.0]) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_formatting() {
+        let row = ResourceRow {
+            kernel: "KMeans".into(),
+            category: "classification".into(),
+            bram_pct: 73.0,
+            dsp_pct: 6.0,
+            ff_pct: 10.0,
+            lut_pct: 14.0,
+            freq_mhz: 230.0,
+        };
+        let t = resource_table(std::slice::from_ref(&row));
+        assert!(t.contains("KMeans"));
+        assert!(t.contains("73%"));
+        assert!(t.contains("230"));
+    }
+}

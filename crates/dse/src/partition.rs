@@ -1,0 +1,442 @@
+//! Static design-space partitioning via a regression decision tree
+//! (paper §4.3.1).
+//!
+//! "We determine and rank the rules by building a binary decision tree that
+//! clusters the design points which potentially have similar resource
+//! utilization or latency ... These nodes are determined by greedily
+//! selecting the best rule to maximize the information gain" (Eq. 1), with
+//! variance as the impurity function since latency is a regressed value.
+//!
+//! Rule candidates follow the paper's two methodologies: splits are
+//! preferred on the factors of the template (RDD-operator) loop and on
+//! shallower loop levels, implemented as a multiplicative bias on the
+//! information gain. Training data comes from probing the HLS model on a
+//! deterministic sample — the stand-in for the offline rule set the paper
+//! derives from "grouping the applications with similar loop hierarchy".
+//!
+//! Because all leaves are disjoint and their union is the original space,
+//! partitioning preserves optimality (§4.3.1).
+
+use crate::space::DesignSpace;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use s2fa_hlsir::KernelSummary;
+use s2fa_tuner::{Config, SearchSpace};
+
+/// A split rule: `param <= threshold` (on domain indices).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Parameter index.
+    pub param: usize,
+    /// Parameter name (for reports).
+    pub name: String,
+    /// Inclusive upper bound of the left branch (domain index).
+    pub threshold: u32,
+}
+
+/// A node of the regression tree.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        space: SearchSpace,
+        rules: Vec<String>,
+        mean: f64,
+        /// Best (lowest) sampled objective in the leaf — its potential.
+        best: f64,
+        n: usize,
+    },
+    Split {
+        rule: Rule,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// The built tree: its leaves are the DSE partitions.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+}
+
+impl DecisionTree {
+    /// The partitions, *ranked*: most promising first (lowest sampled
+    /// objective), the realization of "we determine and rank the rules"
+    /// (§4.3.1). The FCFS scheduler therefore explores high-potential
+    /// partitions before low-potential ones.
+    pub fn leaves(&self) -> Vec<SearchSpace> {
+        let mut out: Vec<(f64, SearchSpace)> = Vec::new();
+        fn walk(n: &Node, out: &mut Vec<(f64, SearchSpace)>) {
+            match n {
+                Node::Leaf { space, best, .. } => out.push((*best, space.clone())),
+                Node::Split { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+            }
+        }
+        walk(&self.root, &mut out);
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// Every split rule in the tree, root-first.
+    pub fn split_rules(&self) -> Vec<Rule> {
+        let mut out = Vec::new();
+        fn walk(n: &Node, out: &mut Vec<Rule>) {
+            if let Node::Split { rule, left, right } = n {
+                out.push(rule.clone());
+                walk(left, out);
+                walk(right, out);
+            }
+        }
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Human-readable description of every partition's rule path, in the
+    /// same ranked order as [`DecisionTree::leaves`].
+    pub fn describe(&self) -> Vec<String> {
+        let mut ranked: Vec<(f64, String)> = Vec::new();
+        fn walk(n: &Node, out: &mut Vec<(f64, String)>) {
+            match n {
+                Node::Leaf {
+                    rules,
+                    mean,
+                    best,
+                    n,
+                    ..
+                } => {
+                    let path = if rules.is_empty() {
+                        "(entire space)".to_string()
+                    } else {
+                        rules.join(" ∧ ")
+                    };
+                    out.push((
+                        *best,
+                        format!("{path}  [n={n}, mean ln(ms)={mean:.2}, best ln(ms)={best:.2}]"),
+                    ));
+                }
+                Node::Split { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+            }
+        }
+        walk(&self.root, &mut ranked);
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+        ranked.into_iter().map(|(_, d)| d).collect()
+    }
+}
+
+/// Builds the partition tree from probe samples.
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    /// Number of probe samples used as training data.
+    pub samples: usize,
+    /// Desired number of leaves (≥ the worker count so the FCFS scheduler
+    /// keeps every core busy).
+    pub target_leaves: usize,
+    /// Depth cap.
+    pub max_depth: u32,
+    /// RNG seed for the probe sample.
+    pub rng_seed: u64,
+    /// Information-gain bias for template-loop factors (the RDD-semantics
+    /// rule).
+    pub task_loop_bias: f64,
+    /// Per-level decay of the loop-hierarchy bias.
+    pub depth_decay: f64,
+}
+
+impl Default for Partitioner {
+    fn default() -> Self {
+        Partitioner {
+            samples: 256,
+            target_leaves: 16,
+            max_depth: 8,
+            rng_seed: 0x5EED,
+            task_loop_bias: 1.2,
+            depth_decay: 0.97,
+        }
+    }
+}
+
+struct Sample {
+    cfg: Config,
+    y: f64,
+}
+
+impl Partitioner {
+    /// Builds the tree for a design space, probing latencies with `probe`
+    /// (which receives raw tuner configs and returns the objective in ms,
+    /// `+inf` for infeasible points).
+    pub fn partition(
+        &self,
+        ds: &DesignSpace,
+        summary: &KernelSummary,
+        probe: &mut dyn FnMut(&Config) -> f64,
+    ) -> DecisionTree {
+        let mut rng = SmallRng::seed_from_u64(self.rng_seed);
+        let full = ds.space().clone();
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let cfg = full.random(&mut rng);
+            let v = probe(&cfg);
+            // Regress on ln(ms); infeasible points get a large but finite
+            // penalty so they inform the tree instead of poisoning it.
+            let y = if v.is_finite() {
+                v.max(1e-9).ln()
+            } else {
+                30.0
+            };
+            samples.push(Sample { cfg, y });
+        }
+        // Per-parameter split bias from the two partition methodologies.
+        let bias: Vec<f64> = (0..full.params().len())
+            .map(|i| {
+                let mut b = 1.0;
+                if ds.is_task_loop_param(i, summary) {
+                    b *= self.task_loop_bias;
+                }
+                if let Some(d) = ds.param_loop_depth(i, summary) {
+                    b *= self.depth_decay.powi(d as i32);
+                }
+                b
+            })
+            .collect();
+        let root = self.grow(full, samples, Vec::new(), 0, &bias, &mut 1);
+        DecisionTree { root }
+    }
+
+    fn grow(
+        &self,
+        space: SearchSpace,
+        samples: Vec<Sample>,
+        rules: Vec<String>,
+        depth: u32,
+        bias: &[f64],
+        leaves: &mut usize,
+    ) -> Node {
+        let n = samples.len();
+        let mean = if n == 0 {
+            0.0
+        } else {
+            samples.iter().map(|s| s.y).sum::<f64>() / n as f64
+        };
+        let best = samples.iter().map(|s| s.y).fold(f64::INFINITY, f64::min);
+        if depth >= self.max_depth || *leaves >= self.target_leaves || n < 8 {
+            return Node::Leaf {
+                space,
+                rules,
+                mean,
+                best,
+                n,
+            };
+        }
+        let Some((rule, gain)) = best_split(&space, &samples, bias) else {
+            return Node::Leaf {
+                space,
+                rules,
+                mean,
+                best,
+                n,
+            };
+        };
+        if gain <= 1e-9 {
+            return Node::Leaf {
+                space,
+                rules,
+                mean,
+                best,
+                n,
+            };
+        }
+        *leaves += 1; // splitting one leaf adds one
+        let (ls, rs): (Vec<Sample>, Vec<Sample>) = samples
+            .into_iter()
+            .partition(|s| s.cfg[rule.param] <= rule.threshold);
+        let left_space = space.restricted(rule.param, 0, rule.threshold);
+        let right_space = space.restricted(rule.param, rule.threshold + 1, u32::MAX);
+        let mut lrules = rules.clone();
+        lrules.push(format!("{} <= {}", rule.name, rule.threshold));
+        let mut rrules = rules;
+        rrules.push(format!("{} > {}", rule.name, rule.threshold));
+        let left = self.grow(left_space, ls, lrules, depth + 1, bias, leaves);
+        let right = self.grow(right_space, rs, rrules, depth + 1, bias, leaves);
+        Node::Split {
+            rule,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+}
+
+fn variance(ys: &[f64]) -> f64 {
+    if ys.is_empty() {
+        return 0.0;
+    }
+    let m = ys.iter().sum::<f64>() / ys.len() as f64;
+    ys.iter().map(|y| (y - m).powi(2)).sum::<f64>() / ys.len() as f64
+}
+
+/// Finds the `(param, threshold)` split maximizing biased information gain
+/// (Eq. 1 with variance impurity).
+fn best_split(space: &SearchSpace, samples: &[Sample], bias: &[f64]) -> Option<(Rule, f64)> {
+    let n = samples.len() as f64;
+    let ys: Vec<f64> = samples.iter().map(|s| s.y).collect();
+    let imp = variance(&ys);
+    let mut best: Option<(Rule, f64)> = None;
+    for (p, def) in space.params().iter().enumerate() {
+        let (lo, hi) = space.bounds(p);
+        if hi <= lo {
+            continue;
+        }
+        for t in lo..hi {
+            let (mut l, mut r) = (Vec::new(), Vec::new());
+            for s in samples {
+                if s.cfg[p] <= t {
+                    l.push(s.y);
+                } else {
+                    r.push(s.y);
+                }
+            }
+            if l.len() < 2 || r.len() < 2 {
+                continue;
+            }
+            let ig =
+                imp - (l.len() as f64 / n) * variance(&l) - (r.len() as f64 / n) * variance(&r);
+            let score = ig * bias[p];
+            if best.as_ref().map(|(_, b)| score > *b).unwrap_or(true) {
+                best = Some((
+                    Rule {
+                        param: p,
+                        name: def.name.clone(),
+                        threshold: t,
+                    },
+                    score,
+                ));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2fa_hlsir::{BufferDir, BufferInfo, LoopId, LoopInfo, OpCounts};
+    use s2fa_tuner::Config;
+
+    fn summary() -> KernelSummary {
+        KernelSummary {
+            name: "k".into(),
+            loops: vec![
+                LoopInfo {
+                    id: LoopId(0),
+                    var: "t".into(),
+                    trip_count: 256,
+                    depth: 0,
+                    parent: None,
+                    children: vec![LoopId(1)],
+                    body_ops: OpCounts::new(),
+                    accesses: vec![],
+                    carried: None,
+                },
+                LoopInfo {
+                    id: LoopId(1),
+                    var: "j".into(),
+                    trip_count: 32,
+                    depth: 1,
+                    parent: Some(LoopId(0)),
+                    children: vec![],
+                    body_ops: OpCounts::new(),
+                    accesses: vec![],
+                    carried: None,
+                },
+            ],
+            buffers: vec![BufferInfo {
+                name: "in_1".into(),
+                elem_bits: 32,
+                len: 32,
+                dir: BufferDir::In,
+                broadcast: false,
+            }],
+            task_loop: LoopId(0),
+            tasks_hint: 256,
+        }
+    }
+
+    /// Synthetic landscape: latency dominated by the task-loop parallel
+    /// factor index.
+    fn probe(ds: &DesignSpace, cfg: &Config) -> f64 {
+        let i = ds.space().param_index("L0.parallel").unwrap();
+        let j = ds.space().param_index("L1.pipeline").unwrap();
+        1000.0 / (1.0 + cfg[i] as f64 * 3.0 + cfg[j] as f64)
+    }
+
+    #[test]
+    fn produces_disjoint_covering_partitions() {
+        let s = summary();
+        let ds = DesignSpace::build(&s);
+        let tree = Partitioner::default().partition(&ds, &s, &mut |c| probe(&ds, c));
+        let leaves = tree.leaves();
+        assert!(leaves.len() >= 2, "tree did not split");
+        assert!(leaves.len() <= Partitioner::default().target_leaves + 1);
+        // Disjoint and covering: every random config lies in exactly one
+        // leaf.
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(123);
+        for _ in 0..200 {
+            let c = ds.space().random(&mut rng);
+            let hits = leaves.iter().filter(|l| l.contains(&c)).count();
+            assert_eq!(hits, 1, "config in {hits} partitions");
+        }
+    }
+
+    #[test]
+    fn splits_on_the_dominant_factor() {
+        let s = summary();
+        let ds = DesignSpace::build(&s);
+        let tree = Partitioner::default().partition(&ds, &s, &mut |c| probe(&ds, c));
+        let desc = tree.describe();
+        // at least one rule mentions the factor that actually drives
+        // latency in the synthetic landscape
+        assert!(
+            desc.iter().any(|d| d.contains("L0.parallel")),
+            "rules: {desc:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = summary();
+        let ds = DesignSpace::build(&s);
+        let t1 = Partitioner::default().partition(&ds, &s, &mut |c| probe(&ds, c));
+        let t2 = Partitioner::default().partition(&ds, &s, &mut |c| probe(&ds, c));
+        assert_eq!(t1.describe(), t2.describe());
+    }
+
+    #[test]
+    fn constant_landscape_yields_single_leaf() {
+        let s = summary();
+        let ds = DesignSpace::build(&s);
+        let tree = Partitioner::default().partition(&ds, &s, &mut |_| 42.0);
+        assert_eq!(tree.leaves().len(), 1);
+        assert!(tree.describe()[0].contains("entire space"));
+    }
+
+    #[test]
+    fn infeasible_points_do_not_poison() {
+        let s = summary();
+        let ds = DesignSpace::build(&s);
+        let i = ds.space().param_index("L0.parallel").unwrap();
+        let tree = Partitioner::default().partition(&ds, &s, &mut |c| {
+            if c[i] > 5 {
+                f64::INFINITY
+            } else {
+                100.0 / (1.0 + c[i] as f64)
+            }
+        });
+        // The infeasible region is exactly "L0.parallel > 5"; the tree
+        // should carve near it.
+        assert!(tree.leaves().len() >= 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the design-space encoding: every tuner
+//! configuration decodes to a legal Merlin design, and encoding is a
+//! faithful inverse on the representable subset.
+
+use proptest::prelude::*;
+use s2fa_dse::DesignSpace;
+use s2fa_hlsir::{BufferDir, BufferInfo, KernelSummary, LoopId, LoopInfo, OpCounts};
+
+fn summary(inner_tc: u32) -> KernelSummary {
+    KernelSummary {
+        name: "p".into(),
+        loops: vec![
+            LoopInfo {
+                id: LoopId(0),
+                var: "t".into(),
+                trip_count: 1024,
+                depth: 0,
+                parent: None,
+                children: vec![LoopId(1)],
+                body_ops: OpCounts::new(),
+                accesses: vec![],
+                carried: None,
+            },
+            LoopInfo {
+                id: LoopId(1),
+                var: "j".into(),
+                trip_count: inner_tc,
+                depth: 1,
+                parent: Some(LoopId(0)),
+                children: vec![],
+                body_ops: OpCounts::new(),
+                accesses: vec![],
+                carried: None,
+            },
+        ],
+        buffers: vec![
+            BufferInfo {
+                name: "in_1".into(),
+                elem_bits: 32,
+                len: inner_tc,
+                dir: BufferDir::In,
+                broadcast: false,
+            },
+            BufferInfo {
+                name: "out_1".into(),
+                elem_bits: 64,
+                len: 1,
+                dir: BufferDir::Out,
+                broadcast: false,
+            },
+        ],
+        task_loop: LoopId(0),
+        tasks_hint: 1024,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn decode_encode_roundtrips(inner_pow in 2u32..9, seed in any::<u64>()) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let s = summary(1 << inner_pow);
+        let ds = DesignSpace::build(&s);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            let cfg = ds.space().random(&mut rng);
+            let dc = ds.decode(&cfg);
+            let back = ds.encode(&dc);
+            // encode ∘ decode is the identity on tuner configurations
+            prop_assert_eq!(&back, &cfg);
+        }
+    }
+
+    #[test]
+    fn decoded_factors_obey_table1(inner_pow in 2u32..9, seed in any::<u64>()) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let inner_tc = 1u32 << inner_pow;
+        let s = summary(inner_tc);
+        let ds = DesignSpace::build(&s);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            let dc = ds.decode(&ds.space().random(&mut rng));
+            for l in &s.loops {
+                let d = dc.loop_directive(l.id);
+                // u = 2^n with 1 <= u < TC (Table 1)
+                prop_assert!(d.parallel_factor().is_power_of_two());
+                prop_assert!(d.parallel_factor() <= l.trip_count.max(1));
+                if let Some(t) = d.tile {
+                    prop_assert!(t.is_power_of_two());
+                    prop_assert!(t > 1 && t < l.trip_count.max(2));
+                }
+            }
+            for name in ["in_1", "out_1"] {
+                let b = dc.buffer_width(name);
+                // b = 2^n with 8 < b <= 512
+                prop_assert!(b.is_power_of_two() && b > 8 && b <= 512);
+            }
+        }
+    }
+}

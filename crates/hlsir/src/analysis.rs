@@ -1,0 +1,1213 @@
+//! Kernel analysis — the ROSE + polyhedral substitute.
+//!
+//! S2FA "identifies the design space for each kernel by analyzing the kernel
+//! AST using the ROSE compiler infrastructure and polyhedral framework to
+//! realize loop trip-counts, available bit-widths, and so on" (§4.1). This
+//! module extracts the same facts from the [`CFunction`] AST:
+//!
+//! * the loop-nest tree with static trip counts,
+//! * per-iteration operation counts per loop body,
+//! * buffer inventory with element widths and per-task lengths,
+//! * affine access-stride classification (the polyhedral-lite part),
+//! * loop-carried dependence detection with the operation chain on the
+//!   recurrence cycle (what bounds the achievable initiation interval).
+//!
+//! The result, [`KernelSummary`], is the single input of both the
+//! design-space builder (`s2fa-dse`) and the HLS estimator (`s2fa-hlssim`).
+
+use crate::ast::{CFunction, Expr, LValue, LoopId, ParamKind, Stmt};
+use crate::opcount::OpCounts;
+use crate::HlsirError;
+use std::collections::HashSet;
+
+/// Direction of a buffer relative to the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferDir {
+    /// Interface input (off-chip → accelerator).
+    In,
+    /// Interface output (accelerator → off-chip).
+    Out,
+    /// Kernel-local array (on-chip BRAM).
+    Local,
+}
+
+/// A buffer visible to the performance model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferInfo {
+    /// Buffer name.
+    pub name: String,
+    /// Element width in bits.
+    pub elem_bits: u32,
+    /// Elements per task (interface buffers) or total elements (locals).
+    pub len: u32,
+    /// Direction.
+    pub dir: BufferDir,
+    /// True for broadcast inputs: one shared copy per batch, cached
+    /// on-chip by the generated design.
+    pub broadcast: bool,
+}
+
+/// Stride of an access with respect to the innermost enclosing loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stride {
+    /// Index does not involve the loop variable.
+    Zero,
+    /// Index advances by one element per iteration.
+    Unit,
+    /// Affine with the given step.
+    Affine(i64),
+    /// Data-dependent or non-affine.
+    Irregular,
+}
+
+/// One buffer access inside a loop body (per iteration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Access {
+    /// Buffer accessed.
+    pub buffer: String,
+    /// True for writes.
+    pub write: bool,
+    /// Stride w.r.t. the loop the access is counted under.
+    pub stride: Stride,
+}
+
+/// A loop-carried dependence detected on a loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarriedDep {
+    /// Scalar or array carrying the recurrence.
+    pub via: String,
+    /// Operations on the recurrence cycle (from the carried read back to
+    /// the write); their summed latency lower-bounds the pipeline II.
+    pub chain: OpCounts,
+    /// True if the recurrence is a pure associative accumulation, i.e.
+    /// Merlin's tree-reduction rewrite is legal.
+    pub reducible: bool,
+}
+
+/// Facts about one loop of the nest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopInfo {
+    /// The loop id.
+    pub id: LoopId,
+    /// Induction variable name.
+    pub var: String,
+    /// Static trip count (the task loop uses the analysis batch hint).
+    pub trip_count: u32,
+    /// Nesting depth (0 = outermost).
+    pub depth: u32,
+    /// Parent loop, if any.
+    pub parent: Option<LoopId>,
+    /// Direct children, outer-to-inner order.
+    pub children: Vec<LoopId>,
+    /// Per-iteration operations in this loop's body, excluding nested loops.
+    pub body_ops: OpCounts,
+    /// Per-iteration buffer accesses, excluding nested loops.
+    pub accesses: Vec<Access>,
+    /// Loop-carried dependence, if detected.
+    pub carried: Option<CarriedDep>,
+}
+
+/// Complete analysis summary of one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSummary {
+    /// Kernel name.
+    pub name: String,
+    /// Loops in pre-order (task loop first).
+    pub loops: Vec<LoopInfo>,
+    /// All buffers (interface + local).
+    pub buffers: Vec<BufferInfo>,
+    /// The outermost (task/template) loop.
+    pub task_loop: LoopId,
+    /// Batch size assumed for the task loop's trip count.
+    pub tasks_hint: u32,
+}
+
+impl KernelSummary {
+    /// Looks up a loop's info.
+    pub fn loop_info(&self, id: LoopId) -> Option<&LoopInfo> {
+        self.loops.iter().find(|l| l.id == id)
+    }
+
+    /// Looks up a buffer's info.
+    pub fn buffer(&self, name: &str) -> Option<&BufferInfo> {
+        self.buffers.iter().find(|b| b.name == name)
+    }
+
+    /// All descendants of a loop (excluding itself), pre-order.
+    pub fn descendants(&self, id: LoopId) -> Vec<LoopId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<LoopId> = self
+            .loop_info(id)
+            .map(|l| l.children.clone())
+            .unwrap_or_default();
+        stack.reverse();
+        while let Some(c) = stack.pop() {
+            out.push(c);
+            if let Some(l) = self.loop_info(c) {
+                for ch in l.children.iter().rev() {
+                    stack.push(*ch);
+                }
+            }
+        }
+        out
+    }
+
+    /// Product of the trip counts of all loops strictly inside `id` —
+    /// the replication factor implied by `flatten`.
+    pub fn flattened_iters(&self, id: LoopId) -> u64 {
+        self.descendants(id)
+            .iter()
+            .filter_map(|c| self.loop_info(*c))
+            .map(|l| l.trip_count as u64)
+            .product()
+    }
+
+    /// Total per-iteration work of the loop *including* nested loops
+    /// (each inner loop's body scaled by its trip count).
+    pub fn subtree_ops(&self, id: LoopId) -> OpCounts {
+        fn rec(s: &KernelSummary, id: LoopId) -> OpCounts {
+            let Some(l) = s.loop_info(id) else {
+                return OpCounts::new();
+            };
+            let mut total = l.body_ops;
+            for c in &l.children {
+                let inner = rec(s, *c);
+                let tc = s.loop_info(*c).map(|x| x.trip_count).unwrap_or(1);
+                total += inner.scaled(tc);
+            }
+            total
+        }
+        rec(self, id)
+    }
+
+    /// Interface bytes moved per task (in + out), excluding broadcast
+    /// buffers (those move once per batch — see
+    /// [`broadcast_bytes`](Self::broadcast_bytes)).
+    pub fn interface_bytes_per_task(&self) -> (u64, u64) {
+        let mut inb = 0u64;
+        let mut outb = 0u64;
+        for b in &self.buffers {
+            if b.broadcast {
+                continue;
+            }
+            let bytes = (b.elem_bits as u64 / 8).max(1) * b.len as u64;
+            match b.dir {
+                BufferDir::In => inb += bytes,
+                BufferDir::Out => outb += bytes,
+                BufferDir::Local => {}
+            }
+        }
+        (inb, outb)
+    }
+
+    /// Bytes of broadcast (once-per-batch) input data.
+    pub fn broadcast_bytes(&self) -> u64 {
+        self.buffers
+            .iter()
+            .filter(|b| b.broadcast && b.dir == BufferDir::In)
+            .map(|b| (b.elem_bits as u64 / 8).max(1) * b.len as u64)
+            .sum()
+    }
+}
+
+/// Analyzes a generated kernel.
+///
+/// `tasks_hint` is the nominal batch size used as the task loop's trip
+/// count (its bound is the runtime parameter `N`).
+///
+/// # Errors
+///
+/// Returns [`HlsirError::Analysis`] if an inner loop's bound is not a
+/// compile-time constant (outside the subset S2FA generates).
+pub fn summarize(f: &CFunction, tasks_hint: u32) -> Result<KernelSummary, HlsirError> {
+    let mut buffers: Vec<BufferInfo> = f
+        .params
+        .iter()
+        .filter(|p| p.kind != ParamKind::ScalarIn)
+        .map(|p| BufferInfo {
+            name: p.name.clone(),
+            elem_bits: p.ty.bits(),
+            len: p.elems_per_task.unwrap_or(1),
+            dir: if p.kind == ParamKind::BufIn {
+                BufferDir::In
+            } else {
+                BufferDir::Out
+            },
+            broadcast: p.broadcast,
+        })
+        .collect();
+    collect_local_arrays(&f.body, &mut buffers);
+
+    let mut ctx = Ctx {
+        loops: Vec::new(),
+        tasks_hint,
+    };
+    let outer_decls: HashSet<String> = HashSet::new();
+    ctx.walk(&f.body, None, 0, &outer_decls)?;
+    if ctx.loops.is_empty() {
+        return Err(HlsirError::Analysis(
+            "kernel has no loops; expected the template task loop".into(),
+        ));
+    }
+    let task_loop = ctx.loops[0].id;
+    Ok(KernelSummary {
+        name: f.name.clone(),
+        loops: ctx.loops,
+        buffers,
+        task_loop,
+        tasks_hint,
+    })
+}
+
+fn collect_local_arrays(stmts: &[Stmt], out: &mut Vec<BufferInfo>) {
+    for s in stmts {
+        match s {
+            Stmt::DeclArr { name, ty, len } => out.push(BufferInfo {
+                name: name.clone(),
+                elem_bits: ty.bits(),
+                len: *len,
+                dir: BufferDir::Local,
+                broadcast: false,
+            }),
+            Stmt::For { body, .. } => collect_local_arrays(body, out),
+            Stmt::If { then, els, .. } => {
+                collect_local_arrays(then, out);
+                collect_local_arrays(els, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+struct Ctx {
+    loops: Vec<LoopInfo>,
+    tasks_hint: u32,
+}
+
+impl Ctx {
+    fn walk(
+        &mut self,
+        stmts: &[Stmt],
+        parent: Option<LoopId>,
+        depth: u32,
+        outer_decls: &HashSet<String>,
+    ) -> Result<Vec<LoopId>, HlsirError> {
+        let mut found = Vec::new();
+        for s in stmts {
+            match s {
+                Stmt::For {
+                    id,
+                    var,
+                    bound,
+                    trip_count,
+                    body,
+                    ..
+                } => {
+                    let tc = match (trip_count, bound) {
+                        (Some(t), _) => *t,
+                        (None, Expr::ConstI(v)) => *v as u32,
+                        // The template (task) loop is bounded by the runtime
+                        // batch size `n` (or `n - 1` for reduce templates).
+                        (None, _) if parent.is_none() => self.tasks_hint,
+                        (None, other) => {
+                            return Err(HlsirError::Analysis(format!(
+                                "loop {id} has a non-constant bound {other:?}"
+                            )))
+                        }
+                    };
+                    // Local declarations inside this loop body reset each
+                    // iteration and therefore cannot carry a dependence.
+                    let mut local_decls = outer_decls.clone();
+                    collect_decls(body, &mut local_decls);
+
+                    let (ops, accesses) = body_profile(body, var);
+                    let carried = detect_carried(body, var, outer_decls);
+                    let idx = self.loops.len();
+                    self.loops.push(LoopInfo {
+                        id: *id,
+                        var: var.clone(),
+                        trip_count: tc,
+                        depth,
+                        parent,
+                        children: Vec::new(),
+                        body_ops: ops,
+                        accesses,
+                        carried,
+                    });
+                    let children = self.walk(body, Some(*id), depth + 1, &local_decls)?;
+                    self.loops[idx].children = children;
+                    found.push(*id);
+                }
+                Stmt::If { then, els, .. } => {
+                    found.extend(self.walk(then, parent, depth, outer_decls)?);
+                    found.extend(self.walk(els, parent, depth, outer_decls)?);
+                }
+                _ => {}
+            }
+        }
+        Ok(found)
+    }
+}
+
+fn collect_decls(stmts: &[Stmt], out: &mut HashSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Decl { name, .. } | Stmt::DeclArr { name, .. } => {
+                out.insert(name.clone());
+            }
+            // Declarations inside nested loops/branches are also re-created
+            // per iteration of this loop.
+            Stmt::For { body, .. } => collect_decls(body, out),
+            Stmt::If { then, els, .. } => {
+                collect_decls(then, out);
+                collect_decls(els, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Ops and accesses of a loop body *excluding* nested loops. `If` branches
+/// are summed (HLS if-converts and schedules both sides).
+fn body_profile(stmts: &[Stmt], loop_var: &str) -> (OpCounts, Vec<Access>) {
+    let mut ops = OpCounts::new();
+    let mut accesses = Vec::new();
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                count_expr(rhs, loop_var, &mut ops, &mut accesses);
+                if let LValue::Index(name, idx) = lhs {
+                    count_expr(idx, loop_var, &mut ops, &mut accesses);
+                    ops.mem_write += 1;
+                    accesses.push(Access {
+                        buffer: name.clone(),
+                        write: true,
+                        stride: classify_stride(idx, loop_var),
+                    });
+                }
+            }
+            Stmt::Decl { init: Some(e), .. } => {
+                count_expr(e, loop_var, &mut ops, &mut accesses);
+            }
+            Stmt::If { cond, then, els } => {
+                count_expr(cond, loop_var, &mut ops, &mut accesses);
+                let (o1, a1) = body_profile(then, loop_var);
+                let (o2, a2) = body_profile(els, loop_var);
+                ops += o1;
+                ops += o2;
+                accesses.extend(a1);
+                accesses.extend(a2);
+            }
+            // Nested loops profiled separately; declarations are free.
+            Stmt::For { .. } | Stmt::Decl { init: None, .. } | Stmt::DeclArr { .. } => {}
+        }
+    }
+    (ops, accesses)
+}
+
+fn count_expr(e: &Expr, loop_var: &str, ops: &mut OpCounts, accesses: &mut Vec<Access>) {
+    match e {
+        Expr::ConstI(_) | Expr::ConstF(_) | Expr::Var(_) => {}
+        Expr::Index(name, idx) => {
+            count_expr(idx, loop_var, ops, accesses);
+            ops.mem_read += 1;
+            accesses.push(Access {
+                buffer: name.clone(),
+                write: false,
+                stride: classify_stride(idx, loop_var),
+            });
+        }
+        Expr::Bin(op, kind, a, b) => {
+            count_expr(a, loop_var, ops, accesses);
+            count_expr(b, loop_var, ops, accesses);
+            ops.record_bin(*op, *kind);
+        }
+        Expr::Neg(kind, a) => {
+            count_expr(a, loop_var, ops, accesses);
+            if kind.is_float() {
+                ops.fadd += 1;
+            } else {
+                ops.int_alu += 1;
+            }
+        }
+        Expr::Call(f, kind, args) => {
+            for a in args {
+                count_expr(a, loop_var, ops, accesses);
+            }
+            ops.record_call(*f, *kind);
+        }
+        Expr::Cast(_, _, a) => {
+            count_expr(a, loop_var, ops, accesses);
+            ops.int_alu += 1;
+        }
+        Expr::Select(c, a, b) => {
+            count_expr(c, loop_var, ops, accesses);
+            count_expr(a, loop_var, ops, accesses);
+            count_expr(b, loop_var, ops, accesses);
+            ops.int_alu += 1;
+        }
+    }
+}
+
+/// Linear coefficient of `var` in `e`, if `e` is affine in it.
+fn linear_coeff(e: &Expr, var: &str) -> Option<i64> {
+    match e {
+        Expr::ConstI(_) => Some(0),
+        Expr::Var(n) => Some(if n == var { 1 } else { 0 }),
+        Expr::Bin(op, _, a, b) => {
+            let ca = linear_coeff(a, var)?;
+            let cb = linear_coeff(b, var)?;
+            match op {
+                crate::ast::CBinOp::Add => Some(ca + cb),
+                crate::ast::CBinOp::Sub => Some(ca - cb),
+                crate::ast::CBinOp::Mul => {
+                    // affine only if one side is var-free
+                    if ca == 0 && cb == 0 {
+                        Some(0)
+                    } else if ca == 0 {
+                        const_value(a).map(|k| k * cb)
+                    } else if cb == 0 {
+                        const_value(b).map(|k| k * ca)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+        Expr::Cast(_, _, a) => linear_coeff(a, var),
+        _ => None,
+    }
+}
+
+/// Constant value of a var-free expression, when trivially foldable.
+fn const_value(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::ConstI(v) => Some(*v),
+        Expr::Bin(op, _, a, b) => {
+            let x = const_value(a)?;
+            let y = const_value(b)?;
+            match op {
+                crate::ast::CBinOp::Add => Some(x + y),
+                crate::ast::CBinOp::Sub => Some(x - y),
+                crate::ast::CBinOp::Mul => Some(x * y),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn classify_stride(idx: &Expr, loop_var: &str) -> Stride {
+    match linear_coeff(idx, loop_var) {
+        Some(0) => Stride::Zero,
+        Some(1) => Stride::Unit,
+        Some(k) => Stride::Affine(k),
+        None => Stride::Irregular,
+    }
+}
+
+/// Detects a loop-carried dependence in this loop body (excluding nested
+/// loops, which carry their own).
+fn detect_carried(
+    stmts: &[Stmt],
+    loop_var: &str,
+    outer_decls: &HashSet<String>,
+) -> Option<CarriedDep> {
+    // Variables declared in this body are private per iteration.
+    let mut private = HashSet::new();
+    for s in stmts {
+        if let Stmt::Decl { name, .. } | Stmt::DeclArr { name, .. } = s {
+            private.insert(name.clone());
+        }
+    }
+    let mut best: Option<CarriedDep> = None;
+    scan_carried(stmts, loop_var, &private, outer_decls, &mut best);
+    // Second pass: multi-statement recurrences flowing through scalar
+    // temporaries (e.g. `h = f(cur[j]); cur[j+1] = h` in a DP wavefront).
+    scan_carried_transitive(stmts, loop_var, &mut best);
+    best
+}
+
+/// Per-scalar dataflow info accumulated while walking a loop body.
+#[derive(Debug, Clone, Default)]
+struct ScalarFlow {
+    /// Array reads feeding this value: `(array, index expression)`.
+    array_reads: Vec<(String, Expr)>,
+    /// Operation chain from the deepest feeding read to this value.
+    chain: OpCounts,
+}
+
+/// Detects recurrences whose cycle spans multiple statements by chaining
+/// scalar definitions: an array write whose value transitively depends on
+/// a read of the *same* array at a different (or loop-invariant) index is
+/// loop-carried. Multi-statement cycles are conservatively non-reducible.
+fn scan_carried_transitive(stmts: &[Stmt], loop_var: &str, best: &mut Option<CarriedDep>) {
+    use std::collections::HashMap;
+    let mut flows: HashMap<String, ScalarFlow> = HashMap::new();
+    fn expr_flow(e: &Expr, flows: &std::collections::HashMap<String, ScalarFlow>) -> ScalarFlow {
+        let mut out = ScalarFlow::default();
+        let mut ops = OpCounts::new();
+        let mut dummy = Vec::new();
+        count_expr(e, "", &mut ops, &mut dummy);
+        out.chain = ops;
+        fn walk(
+            e: &Expr,
+            out: &mut ScalarFlow,
+            flows: &std::collections::HashMap<String, ScalarFlow>,
+        ) {
+            match e {
+                Expr::Var(n) => {
+                    if let Some(f) = flows.get(n) {
+                        out.array_reads.extend(f.array_reads.iter().cloned());
+                        out.chain += f.chain;
+                    }
+                }
+                Expr::Index(n, idx) => {
+                    out.array_reads.push((n.clone(), idx.as_ref().clone()));
+                    walk(idx, out, flows);
+                }
+                Expr::Bin(_, _, a, b) => {
+                    walk(a, out, flows);
+                    walk(b, out, flows);
+                }
+                Expr::Neg(_, a) | Expr::Cast(_, _, a) => walk(a, out, flows),
+                Expr::Call(_, _, args) => {
+                    for a in args {
+                        walk(a, out, flows);
+                    }
+                }
+                Expr::Select(c, a, b) => {
+                    walk(c, out, flows);
+                    walk(a, out, flows);
+                    walk(b, out, flows);
+                }
+                Expr::ConstI(_) | Expr::ConstF(_) => {}
+            }
+        }
+        walk(e, &mut out, flows);
+        out
+    }
+    fn visit(
+        stmts: &[Stmt],
+        loop_var: &str,
+        flows: &mut std::collections::HashMap<String, ScalarFlow>,
+        best: &mut Option<CarriedDep>,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::Assign {
+                    lhs: LValue::Var(v),
+                    rhs,
+                } => {
+                    let f = expr_flow(rhs, flows);
+                    flows.insert(v.clone(), f);
+                }
+                Stmt::Assign {
+                    lhs: LValue::Index(arr, widx),
+                    rhs,
+                } => {
+                    let f = expr_flow(rhs, flows);
+                    for (rarr, ridx) in &f.array_reads {
+                        if rarr != arr {
+                            continue;
+                        }
+                        let carried = if ridx == widx.as_ref() {
+                            // Same element: carried only when the index is
+                            // loop-invariant (the cell is reused every
+                            // iteration).
+                            matches!(linear_coeff(ridx, loop_var), Some(0) | None)
+                        } else {
+                            true
+                        };
+                        if carried {
+                            let mut chain = f.chain;
+                            chain.mem_read += 1;
+                            let cand = CarriedDep {
+                                via: arr.clone(),
+                                chain,
+                                reducible: false,
+                            };
+                            // The single-statement pass already analyzed
+                            // a recurrence through this carrier precisely
+                            // (including reducibility) — don't override it.
+                            let better = match best {
+                                None => true,
+                                Some(b) if b.via == cand.via => false,
+                                Some(b) => chain_weight(&cand.chain) > chain_weight(&b.chain),
+                            };
+                            if better {
+                                *best = Some(cand);
+                            }
+                        }
+                    }
+                }
+                Stmt::Decl {
+                    name,
+                    init: Some(e),
+                    ..
+                } => {
+                    let f = expr_flow(e, flows);
+                    flows.insert(name.clone(), f);
+                }
+                Stmt::If { then, els, .. } => {
+                    visit(then, loop_var, flows, best);
+                    visit(els, loop_var, flows, best);
+                }
+                _ => {}
+            }
+        }
+    }
+    visit(stmts, loop_var, &mut flows, best);
+}
+
+fn scan_carried(
+    stmts: &[Stmt],
+    loop_var: &str,
+    private: &HashSet<String>,
+    _outer: &HashSet<String>,
+    best: &mut Option<CarriedDep>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                let cand =
+                    match lhs {
+                        LValue::Var(n) if !private.contains(n) => carried_through_scalar(n, rhs)
+                            .map(|(chain, reducible)| CarriedDep {
+                                via: n.clone(),
+                                chain,
+                                reducible,
+                            }),
+                        LValue::Index(n, widx) => carried_through_array(n, widx, rhs, loop_var)
+                            .map(|(chain, reducible)| CarriedDep {
+                                via: n.clone(),
+                                chain,
+                                reducible,
+                            }),
+                        _ => None,
+                    };
+                if let Some(c) = cand {
+                    let better = match best {
+                        None => true,
+                        Some(b) => chain_weight(&c.chain) > chain_weight(&b.chain),
+                    };
+                    if better {
+                        *best = Some(c);
+                    }
+                }
+            }
+            Stmt::If { then, els, .. } => {
+                scan_carried(then, loop_var, private, _outer, best);
+                scan_carried(els, loop_var, private, _outer, best);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn chain_weight(c: &OpCounts) -> u32 {
+    c.total_arith() + c.total_mem()
+}
+
+/// If `rhs` reads scalar `name`, return the op chain from that read to the
+/// root and whether the cycle is a pure associative accumulation.
+fn carried_through_scalar(name: &str, rhs: &Expr) -> Option<(OpCounts, bool)> {
+    let chain = path_ops(rhs, &|e| matches!(e, Expr::Var(n) if n == name))?;
+    let reducible = is_assoc_accum(rhs, &|e| matches!(e, Expr::Var(n) if n == name));
+    Some((chain, reducible))
+}
+
+/// If `rhs` reads `name[...]` at an index offset from the written index
+/// along `loop_var` (or at the same index — accumulation), the loop carries
+/// a dependence through the array.
+fn carried_through_array(
+    name: &str,
+    widx: &Expr,
+    rhs: &Expr,
+    loop_var: &str,
+) -> Option<(OpCounts, bool)> {
+    let w_coeff = linear_coeff(widx, loop_var);
+    let matcher = |e: &Expr| -> bool {
+        if let Expr::Index(n, ridx) = e {
+            if n == name {
+                match (w_coeff, linear_coeff(ridx, loop_var)) {
+                    // Same stride in the loop var: same element is touched
+                    // either this iteration (offset) or every iteration
+                    // (coeff 0) — a genuine carried dependence unless the
+                    // constant offsets provably differ with equal coeffs
+                    // (forward-only). We stay conservative: any read of the
+                    // written array with matching coefficient counts.
+                    (Some(a), Some(b)) => a == b || a == 0 || b == 0,
+                    _ => true, // irregular: assume carried
+                }
+            } else {
+                false
+            }
+        } else {
+            false
+        }
+    };
+    let chain = path_ops(rhs, &matcher)?;
+    let reducible = is_assoc_accum(rhs, &matcher);
+    Some((chain, reducible))
+}
+
+/// Ops on the path from a leaf matching `is_carrier` to the root of `e`
+/// (the recurrence cycle), or `None` if no leaf matches.
+fn path_ops(e: &Expr, is_carrier: &dyn Fn(&Expr) -> bool) -> Option<OpCounts> {
+    if is_carrier(e) {
+        return Some(OpCounts::new());
+    }
+    match e {
+        Expr::ConstI(_) | Expr::ConstF(_) | Expr::Var(_) => None,
+        Expr::Index(_, idx) => {
+            let mut c = path_ops(idx, is_carrier)?;
+            c.mem_read += 1;
+            Some(c)
+        }
+        Expr::Bin(op, kind, a, b) => {
+            let hit = path_ops(a, is_carrier).or_else(|| path_ops(b, is_carrier))?;
+            let mut c = hit;
+            c.record_bin(*op, *kind);
+            Some(c)
+        }
+        Expr::Neg(kind, a) => {
+            let mut c = path_ops(a, is_carrier)?;
+            if kind.is_float() {
+                c.fadd += 1;
+            } else {
+                c.int_alu += 1;
+            }
+            Some(c)
+        }
+        Expr::Call(f, kind, args) => {
+            let hit = args.iter().find_map(|a| path_ops(a, is_carrier))?;
+            let mut c = hit;
+            c.record_call(*f, *kind);
+            Some(c)
+        }
+        Expr::Cast(_, _, a) => path_ops(a, is_carrier),
+        Expr::Select(cnd, a, b) => {
+            let hit = path_ops(cnd, is_carrier)
+                .or_else(|| path_ops(a, is_carrier))
+                .or_else(|| path_ops(b, is_carrier))?;
+            let mut c = hit;
+            c.int_alu += 1;
+            Some(c)
+        }
+    }
+}
+
+/// True if `e` is `carrier + f(...)` / `f(...) + carrier` (or `min`/`max`
+/// of the carrier) — the associative patterns tree reduction can rewrite.
+fn is_assoc_accum(e: &Expr, is_carrier: &dyn Fn(&Expr) -> bool) -> bool {
+    match e {
+        Expr::Bin(crate::ast::CBinOp::Add, _, a, b) => {
+            (is_carrier(a) && path_ops(b, is_carrier).is_none())
+                || (is_carrier(b) && path_ops(a, is_carrier).is_none())
+        }
+        Expr::Call(crate::ast::CIntrinsic::Min | crate::ast::CIntrinsic::Max, _, args) => {
+            args.len() == 2
+                && ((is_carrier(&args[0]) && path_ops(&args[1], is_carrier).is_none())
+                    || (is_carrier(&args[1]) && path_ops(&args[0], is_carrier).is_none()))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    /// kernel: for t in 0..N { s=0; for j in 0..8 { s += in[t*8+j]*w[j] } out[t]=s }
+    fn dot_kernel() -> CFunction {
+        CFunction {
+            name: "dot".into(),
+            params: vec![
+                Param {
+                    name: "n".into(),
+                    ty: CType::Int(32),
+                    kind: ParamKind::ScalarIn,
+                    elems_per_task: None,
+                    broadcast: false,
+                },
+                Param {
+                    name: "in_1".into(),
+                    ty: CType::Float,
+                    kind: ParamKind::BufIn,
+                    elems_per_task: Some(8),
+                    broadcast: false,
+                },
+                Param {
+                    name: "w".into(),
+                    ty: CType::Float,
+                    kind: ParamKind::BufIn,
+                    elems_per_task: Some(8),
+                    broadcast: false,
+                },
+                Param {
+                    name: "out_1".into(),
+                    ty: CType::Float,
+                    kind: ParamKind::BufOut,
+                    elems_per_task: Some(1),
+                    broadcast: false,
+                },
+            ],
+            body: vec![Stmt::For {
+                id: LoopId(0),
+                var: "t".into(),
+                bound: Expr::var("n"),
+                trip_count: None,
+                attrs: LoopAttrs::none(),
+                body: vec![
+                    Stmt::Decl {
+                        name: "s".into(),
+                        ty: CType::Float,
+                        init: Some(Expr::ConstF(0.0)),
+                    },
+                    Stmt::counted_for(
+                        LoopId(1),
+                        "j",
+                        8,
+                        vec![Stmt::Assign {
+                            lhs: LValue::Var("s".into()),
+                            rhs: Expr::bin(
+                                CBinOp::Add,
+                                CNumKind::F32,
+                                Expr::var("s"),
+                                Expr::bin(
+                                    CBinOp::Mul,
+                                    CNumKind::F32,
+                                    Expr::index(
+                                        "in_1",
+                                        Expr::iadd(
+                                            Expr::imul(Expr::var("t"), Expr::ConstI(8)),
+                                            Expr::var("j"),
+                                        ),
+                                    ),
+                                    Expr::index("w", Expr::var("j")),
+                                ),
+                            ),
+                        }],
+                    ),
+                    Stmt::Assign {
+                        lhs: LValue::Index("out_1".into(), Box::new(Expr::var("t"))),
+                        rhs: Expr::var("s"),
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn loop_nest_shape() {
+        let s = summarize(&dot_kernel(), 1024).unwrap();
+        assert_eq!(s.loops.len(), 2);
+        assert_eq!(s.task_loop, LoopId(0));
+        let outer = s.loop_info(LoopId(0)).unwrap();
+        assert_eq!(outer.trip_count, 1024);
+        assert_eq!(outer.children, vec![LoopId(1)]);
+        let inner = s.loop_info(LoopId(1)).unwrap();
+        assert_eq!(inner.trip_count, 8);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.parent, Some(LoopId(0)));
+    }
+
+    #[test]
+    fn inner_reduction_is_detected_and_reducible() {
+        let s = summarize(&dot_kernel(), 64).unwrap();
+        let inner = s.loop_info(LoopId(1)).unwrap();
+        let dep = inner.carried.as_ref().expect("accumulation detected");
+        assert_eq!(dep.via, "s");
+        assert!(dep.reducible);
+        // the cycle is exactly one fadd
+        assert_eq!(dep.chain.fadd, 1);
+        assert_eq!(dep.chain.fmul, 0);
+    }
+
+    #[test]
+    fn outer_loop_has_no_carried_dep() {
+        // `s` is declared inside the task loop → private per task.
+        let s = summarize(&dot_kernel(), 64).unwrap();
+        let outer = s.loop_info(LoopId(0)).unwrap();
+        assert!(outer.carried.is_none());
+    }
+
+    #[test]
+    fn access_strides() {
+        let s = summarize(&dot_kernel(), 64).unwrap();
+        let inner = s.loop_info(LoopId(1)).unwrap();
+        let in1 = inner.accesses.iter().find(|a| a.buffer == "in_1").unwrap();
+        assert_eq!(in1.stride, Stride::Unit); // coeff of j is 1
+        let w = inner.accesses.iter().find(|a| a.buffer == "w").unwrap();
+        assert_eq!(w.stride, Stride::Unit);
+        let outer = s.loop_info(LoopId(0)).unwrap();
+        let out = outer.accesses.iter().find(|a| a.buffer == "out_1").unwrap();
+        assert!(out.write);
+        assert_eq!(out.stride, Stride::Unit);
+    }
+
+    #[test]
+    fn op_counts_per_body() {
+        let s = summarize(&dot_kernel(), 64).unwrap();
+        let inner = s.loop_info(LoopId(1)).unwrap();
+        assert_eq!(inner.body_ops.fadd, 1);
+        assert_eq!(inner.body_ops.fmul, 1);
+        assert_eq!(inner.body_ops.mem_read, 2);
+        let total = s.subtree_ops(LoopId(0));
+        // per task: 8 * (1 fadd + 1 fmul) plus the out write
+        assert_eq!(total.fadd, 8);
+        assert_eq!(total.fmul, 8);
+        assert_eq!(total.mem_write, 1);
+    }
+
+    #[test]
+    fn buffer_inventory_and_bytes() {
+        let s = summarize(&dot_kernel(), 64).unwrap();
+        assert_eq!(s.buffers.len(), 3);
+        let (inb, outb) = s.interface_bytes_per_task();
+        assert_eq!(inb, 8 * 4 + 8 * 4);
+        assert_eq!(outb, 4);
+    }
+
+    #[test]
+    fn flattened_iters() {
+        let s = summarize(&dot_kernel(), 64).unwrap();
+        assert_eq!(s.flattened_iters(LoopId(0)), 8);
+        assert_eq!(s.flattened_iters(LoopId(1)), 1);
+    }
+
+    #[test]
+    fn non_constant_inner_bound_rejected() {
+        let mut f = dot_kernel();
+        if let Some(Stmt::For { body, .. }) = f.body.first_mut() {
+            if let Some(Stmt::For {
+                bound, trip_count, ..
+            }) = body.get_mut(1)
+            {
+                *bound = Expr::var("k");
+                *trip_count = None;
+            }
+        }
+        assert!(summarize(&f, 64).is_err());
+    }
+
+    #[test]
+    fn affine_and_irregular_strides() {
+        assert_eq!(
+            classify_stride(
+                &Expr::iadd(Expr::imul(Expr::var("i"), Expr::ConstI(3)), Expr::ConstI(1)),
+                "i"
+            ),
+            Stride::Affine(3)
+        );
+        assert_eq!(
+            classify_stride(&Expr::index("tbl", Expr::var("i")), "i"),
+            Stride::Irregular
+        );
+        assert_eq!(classify_stride(&Expr::var("j"), "i"), Stride::Zero);
+    }
+
+    #[test]
+    fn array_recurrence_detected() {
+        // h[j] = h[j] + x  inside loop over i (coeff 0 on both) → carried.
+        let body = vec![Stmt::Assign {
+            lhs: LValue::Index("h".into(), Box::new(Expr::var("j"))),
+            rhs: Expr::bin(
+                CBinOp::Add,
+                CNumKind::F32,
+                Expr::index("h", Expr::var("j")),
+                Expr::var("x"),
+            ),
+        }];
+        let dep = detect_carried(&body, "i", &HashSet::new()).expect("carried");
+        assert_eq!(dep.via, "h");
+        assert!(dep.reducible);
+    }
+
+    #[test]
+    fn min_accumulation_is_reducible() {
+        // best = min(best, d)
+        let body = vec![Stmt::Assign {
+            lhs: LValue::Var("best".into()),
+            rhs: Expr::Call(
+                CIntrinsic::Min,
+                CNumKind::F32,
+                vec![Expr::var("best"), Expr::var("d")],
+            ),
+        }];
+        let dep = detect_carried(&body, "i", &HashSet::new()).expect("carried");
+        assert!(dep.reducible);
+    }
+
+    #[test]
+    fn non_associative_recurrence_not_reducible() {
+        // s = s * a + b  → chain fmul+fadd, not reducible
+        let body = vec![Stmt::Assign {
+            lhs: LValue::Var("s".into()),
+            rhs: Expr::bin(
+                CBinOp::Add,
+                CNumKind::F32,
+                Expr::bin(CBinOp::Mul, CNumKind::F32, Expr::var("s"), Expr::var("a")),
+                Expr::var("b"),
+            ),
+        }];
+        let dep = detect_carried(&body, "i", &HashSet::new()).expect("carried");
+        assert!(!dep.reducible);
+        assert_eq!(dep.chain.fadd, 1);
+        assert_eq!(dep.chain.fmul, 1);
+    }
+}
+
+#[cfg(test)]
+mod scoping_tests {
+    use super::*;
+    use crate::ast::*;
+
+    /// for i { int s = 0; for j { s += a[j] } } — `s` is private to each
+    /// `i` iteration, so the *outer* loop must not report a carried
+    /// dependence through it, while the inner loop must.
+    #[test]
+    fn per_iteration_decls_are_private_to_the_outer_loop() {
+        let f = CFunction {
+            name: "k".into(),
+            params: vec![Param {
+                name: "a".into(),
+                ty: CType::Float,
+                kind: ParamKind::BufIn,
+                elems_per_task: Some(8),
+                broadcast: false,
+            }],
+            body: vec![Stmt::counted_for(
+                LoopId(0),
+                "i",
+                16,
+                vec![
+                    Stmt::Decl {
+                        name: "s".into(),
+                        ty: CType::Float,
+                        init: Some(Expr::ConstF(0.0)),
+                    },
+                    Stmt::counted_for(
+                        LoopId(1),
+                        "j",
+                        8,
+                        vec![Stmt::Assign {
+                            lhs: LValue::Var("s".into()),
+                            rhs: Expr::bin(
+                                CBinOp::Add,
+                                CNumKind::F32,
+                                Expr::var("s"),
+                                Expr::index("a", Expr::var("j")),
+                            ),
+                        }],
+                    ),
+                ],
+            )],
+        };
+        let s = summarize(&f, 16).unwrap();
+        assert!(s.loop_info(LoopId(0)).unwrap().carried.is_none());
+        assert!(s.loop_info(LoopId(1)).unwrap().carried.is_some());
+    }
+
+    /// `if` branches are summed (HLS if-converts both sides).
+    #[test]
+    fn if_branches_are_summed_in_op_counts() {
+        let f = CFunction {
+            name: "k".into(),
+            params: vec![Param {
+                name: "a".into(),
+                ty: CType::Float,
+                kind: ParamKind::BufIn,
+                elems_per_task: Some(1),
+                broadcast: false,
+            }],
+            body: vec![Stmt::counted_for(
+                LoopId(0),
+                "i",
+                4,
+                vec![Stmt::If {
+                    cond: Expr::bin(
+                        CBinOp::Lt,
+                        CNumKind::F32,
+                        Expr::index("a", Expr::var("i")),
+                        Expr::ConstF(0.0),
+                    ),
+                    then: vec![Stmt::Assign {
+                        lhs: LValue::Var("x".into()),
+                        rhs: Expr::bin(
+                            CBinOp::Mul,
+                            CNumKind::F32,
+                            Expr::index("a", Expr::var("i")),
+                            Expr::ConstF(2.0),
+                        ),
+                    }],
+                    els: vec![Stmt::Assign {
+                        lhs: LValue::Var("x".into()),
+                        rhs: Expr::bin(
+                            CBinOp::Mul,
+                            CNumKind::F32,
+                            Expr::index("a", Expr::var("i")),
+                            Expr::ConstF(3.0),
+                        ),
+                    }],
+                }],
+            )],
+        };
+        let s = summarize(&f, 4).unwrap();
+        let l = s.loop_info(LoopId(0)).unwrap();
+        // one fcmp (the condition) + two fmul (both branches)
+        assert_eq!(l.body_ops.fcmp, 1);
+        assert_eq!(l.body_ops.fmul, 2);
+        // three reads: cond + both branch bodies
+        assert_eq!(l.body_ops.mem_read, 3);
+    }
+
+    /// Transitive chains do not fire across genuinely independent arrays.
+    #[test]
+    fn independent_arrays_are_not_flagged() {
+        let body = vec![
+            Stmt::Assign {
+                lhs: LValue::Var("t".into()),
+                rhs: Expr::index("src", Expr::var("i")),
+            },
+            Stmt::Assign {
+                lhs: LValue::Index("dst".into(), Box::new(Expr::var("i"))),
+                rhs: Expr::var("t"),
+            },
+        ];
+        assert!(detect_carried(&body, "i", &HashSet::new()).is_none());
+    }
+
+    /// Same-element read-then-write at a moving index is not loop-carried,
+    /// but a loop-invariant index is.
+    #[test]
+    fn same_index_carried_only_when_loop_invariant() {
+        let moving = vec![
+            Stmt::Assign {
+                lhs: LValue::Var("v".into()),
+                rhs: Expr::index("st", Expr::var("i")),
+            },
+            Stmt::Assign {
+                lhs: LValue::Index("st".into(), Box::new(Expr::var("i"))),
+                rhs: Expr::bin(CBinOp::Add, CNumKind::I32, Expr::var("v"), Expr::ConstI(1)),
+            },
+        ];
+        assert!(detect_carried(&moving, "i", &HashSet::new()).is_none());
+
+        let pinned = vec![
+            Stmt::Assign {
+                lhs: LValue::Var("v".into()),
+                rhs: Expr::index("st", Expr::ConstI(0)),
+            },
+            Stmt::Assign {
+                lhs: LValue::Index("st".into(), Box::new(Expr::ConstI(0))),
+                rhs: Expr::bin(CBinOp::Add, CNumKind::I32, Expr::var("v"), Expr::ConstI(1)),
+            },
+        ];
+        let dep = detect_carried(&pinned, "i", &HashSet::new()).expect("carried");
+        assert_eq!(dep.via, "st");
+    }
+}

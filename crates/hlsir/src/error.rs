@@ -1,0 +1,39 @@
+//! Error type for HLS IR operations.
+
+use std::fmt;
+
+/// Errors from IR analysis or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HlsirError {
+    /// The executor hit a dynamic fault.
+    Exec(String),
+    /// Analysis found IR outside the supported subset.
+    Analysis(String),
+}
+
+impl fmt::Display for HlsirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HlsirError::Exec(m) => write!(f, "ir execution fault: {m}"),
+            HlsirError::Analysis(m) => write!(f, "ir analysis error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HlsirError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(HlsirError::Exec("x".into()).to_string().contains("fault"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<HlsirError>();
+    }
+}

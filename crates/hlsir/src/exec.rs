@@ -1,0 +1,554 @@
+//! Functional executor for the HLS C IR.
+//!
+//! Executes a [`CFunction`] over in-memory buffers with *exactly* the
+//! numeric semantics of the `s2fa-sjvm` interpreter (32-bit wrapping ints,
+//! `f32` rounding for `float`, 64-bit bitwise ops), so that
+//! interpreter-vs-IR equivalence is a meaningful correctness check for the
+//! bytecode-to-C compiler. It also stands in for RTL co-simulation when the
+//! Blaze runtime "offloads" a task batch.
+
+use crate::ast::{CBinOp, CFunction, CIntrinsic, CNumKind, Expr, LValue, ParamKind, Stmt};
+use crate::HlsirError;
+use std::collections::BTreeMap;
+
+/// A scalar value in the executor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CVal {
+    /// Integral value.
+    I(i64),
+    /// Floating value.
+    F(f64),
+}
+
+impl CVal {
+    fn as_i(self) -> Result<i64, HlsirError> {
+        match self {
+            CVal::I(v) => Ok(v),
+            CVal::F(v) => Ok(v as i64),
+        }
+    }
+
+    fn as_f(self) -> Result<f64, HlsirError> {
+        match self {
+            CVal::F(v) => Ok(v),
+            CVal::I(v) => Ok(v as f64),
+        }
+    }
+}
+
+/// Executes [`CFunction`] bodies over caller-provided buffers.
+#[derive(Debug)]
+pub struct Executor<'f> {
+    f: &'f CFunction,
+    fuel: u64,
+}
+
+/// Default statement budget for one [`Executor::run`].
+pub const DEFAULT_FUEL: u64 = 500_000_000;
+
+impl<'f> Executor<'f> {
+    /// Creates an executor for the function.
+    pub fn new(f: &'f CFunction) -> Self {
+        Executor {
+            f,
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Replaces the statement budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Runs the kernel.
+    ///
+    /// `scalars` must bind every [`ParamKind::ScalarIn`] parameter;
+    /// `buffers` must bind every buffer parameter (outputs are overwritten
+    /// in place and must be pre-sized by the caller).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HlsirError::Exec`] on missing bindings, out-of-bounds
+    /// accesses, or division by zero.
+    pub fn run(
+        &self,
+        scalars: &BTreeMap<String, CVal>,
+        buffers: &mut BTreeMap<String, Vec<CVal>>,
+    ) -> Result<(), HlsirError> {
+        for p in &self.f.params {
+            match p.kind {
+                ParamKind::ScalarIn => {
+                    if !scalars.contains_key(&p.name) {
+                        return Err(HlsirError::Exec(format!(
+                            "missing scalar binding `{}`",
+                            p.name
+                        )));
+                    }
+                }
+                _ => {
+                    if !buffers.contains_key(&p.name) {
+                        return Err(HlsirError::Exec(format!(
+                            "missing buffer binding `{}`",
+                            p.name
+                        )));
+                    }
+                }
+            }
+        }
+        let mut env = Env {
+            scalars: scalars.clone(),
+            arrays: BTreeMap::new(),
+            buffers,
+            fuel: self.fuel,
+        };
+        env.stmts(&self.f.body)
+    }
+}
+
+struct Env<'b> {
+    scalars: BTreeMap<String, CVal>,
+    /// Kernel-local arrays.
+    arrays: BTreeMap<String, Vec<CVal>>,
+    /// Interface buffers (owned by the caller).
+    buffers: &'b mut BTreeMap<String, Vec<CVal>>,
+    fuel: u64,
+}
+
+impl Env<'_> {
+    fn burn(&mut self) -> Result<(), HlsirError> {
+        if self.fuel == 0 {
+            return Err(HlsirError::Exec("statement budget exhausted".into()));
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn stmts(&mut self, list: &[Stmt]) -> Result<(), HlsirError> {
+        for s in list {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), HlsirError> {
+        self.burn()?;
+        match s {
+            Stmt::DeclArr { name, ty, len } => {
+                let zero = if ty.is_float() {
+                    CVal::F(0.0)
+                } else {
+                    CVal::I(0)
+                };
+                self.arrays.insert(name.clone(), vec![zero; *len as usize]);
+            }
+            Stmt::Decl { name, ty, init } => {
+                let v = match init {
+                    Some(e) => self.eval(e)?,
+                    None => {
+                        if ty.is_float() {
+                            CVal::F(0.0)
+                        } else {
+                            CVal::I(0)
+                        }
+                    }
+                };
+                self.scalars.insert(name.clone(), v);
+            }
+            Stmt::Assign { lhs, rhs } => {
+                let v = self.eval(rhs)?;
+                match lhs {
+                    LValue::Var(n) => {
+                        self.scalars.insert(n.clone(), v);
+                    }
+                    LValue::Index(n, idx) => {
+                        let i = self.eval(idx)?.as_i()?;
+                        let arr = self.array_mut(n)?;
+                        let len = arr.len();
+                        *arr.get_mut(i as usize).ok_or_else(|| {
+                            HlsirError::Exec(format!("`{n}[{i}]` out of bounds ({len})"))
+                        })? = v;
+                    }
+                }
+            }
+            Stmt::For {
+                var, bound, body, ..
+            } => {
+                let n = self.eval(bound)?.as_i()?;
+                for i in 0..n {
+                    self.scalars.insert(var.clone(), CVal::I(i));
+                    self.stmts(body)?;
+                }
+            }
+            Stmt::If { cond, then, els } => {
+                let c = self.eval(cond)?.as_i()?;
+                if c != 0 {
+                    self.stmts(then)?;
+                } else {
+                    self.stmts(els)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn array_mut(&mut self, name: &str) -> Result<&mut Vec<CVal>, HlsirError> {
+        if let Some(a) = self.arrays.get_mut(name) {
+            return Ok(a);
+        }
+        self.buffers
+            .get_mut(name)
+            .ok_or_else(|| HlsirError::Exec(format!("unknown array `{name}`")))
+    }
+
+    fn array(&self, name: &str) -> Result<&[CVal], HlsirError> {
+        if let Some(a) = self.arrays.get(name) {
+            return Ok(a);
+        }
+        self.buffers
+            .get(name)
+            .map(|v| v.as_slice())
+            .ok_or_else(|| HlsirError::Exec(format!("unknown array `{name}`")))
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<CVal, HlsirError> {
+        Ok(match e {
+            Expr::ConstI(v) => CVal::I(*v),
+            Expr::ConstF(v) => CVal::F(*v),
+            Expr::Var(n) => *self
+                .scalars
+                .get(n)
+                .ok_or_else(|| HlsirError::Exec(format!("unknown variable `{n}`")))?,
+            Expr::Index(n, idx) => {
+                let i = self.eval(idx)?.as_i()?;
+                let arr = self.array(n)?;
+                *arr.get(i as usize).ok_or_else(|| {
+                    HlsirError::Exec(format!("`{n}[{i}]` out of bounds ({})", arr.len()))
+                })?
+            }
+            Expr::Bin(op, kind, a, b) => {
+                let va = self.eval(a)?;
+                let vb = self.eval(b)?;
+                eval_bin(*op, *kind, va, vb)?
+            }
+            Expr::Neg(kind, a) => {
+                let v = self.eval(a)?;
+                if kind.is_float() {
+                    CVal::F(round(-v.as_f()?, *kind))
+                } else {
+                    CVal::I(wrap(v.as_i()?.wrapping_neg(), *kind))
+                }
+            }
+            Expr::Call(f, kind, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                eval_call(*f, *kind, &vals)?
+            }
+            Expr::Cast(from, to, a) => {
+                let v = self.eval(a)?;
+                cast(v, *from, *to)?
+            }
+            Expr::Select(c, a, b) => {
+                let cv = self.eval(c)?.as_i()?;
+                if cv != 0 {
+                    self.eval(a)?
+                } else {
+                    self.eval(b)?
+                }
+            }
+        })
+    }
+}
+
+fn wrap(v: i64, k: CNumKind) -> i64 {
+    match k {
+        CNumKind::I32 => v as i32 as i64,
+        _ => v,
+    }
+}
+
+fn round(v: f64, k: CNumKind) -> f64 {
+    match k {
+        CNumKind::F32 => v as f32 as f64,
+        _ => v,
+    }
+}
+
+fn eval_bin(op: CBinOp, kind: CNumKind, a: CVal, b: CVal) -> Result<CVal, HlsirError> {
+    if op.is_cmp() {
+        let s = if kind.is_float() {
+            let (x, y) = (a.as_f()?, b.as_f()?);
+            if x < y {
+                -1
+            } else if x > y {
+                1
+            } else {
+                0
+            }
+        } else {
+            a.as_i()?.cmp(&b.as_i()?) as i32
+        };
+        let hit = match op {
+            CBinOp::Lt => s < 0,
+            CBinOp::Le => s <= 0,
+            CBinOp::Gt => s > 0,
+            CBinOp::Ge => s >= 0,
+            CBinOp::Eq => s == 0,
+            CBinOp::Ne => s != 0,
+            _ => unreachable!(),
+        };
+        return Ok(CVal::I(hit as i64));
+    }
+    if kind.is_float() {
+        let x = round(a.as_f()?, kind);
+        let y = round(b.as_f()?, kind);
+        let r = match op {
+            CBinOp::Add => x + y,
+            CBinOp::Sub => x - y,
+            CBinOp::Mul => x * y,
+            CBinOp::Div => x / y,
+            CBinOp::Rem => x % y,
+            other => {
+                return Err(HlsirError::Exec(format!(
+                    "bitwise operator {other:?} on floats"
+                )))
+            }
+        };
+        Ok(CVal::F(round(r, kind)))
+    } else {
+        let x = a.as_i()?;
+        let y = b.as_i()?;
+        let r = match op {
+            CBinOp::Add => x.wrapping_add(y),
+            CBinOp::Sub => x.wrapping_sub(y),
+            CBinOp::Mul => x.wrapping_mul(y),
+            CBinOp::Div => {
+                if y == 0 {
+                    return Err(HlsirError::Exec("integer division by zero".into()));
+                }
+                x.wrapping_div(y)
+            }
+            CBinOp::Rem => {
+                if y == 0 {
+                    return Err(HlsirError::Exec("integer remainder by zero".into()));
+                }
+                x.wrapping_rem(y)
+            }
+            CBinOp::Shl => x.wrapping_shl((y & 63) as u32),
+            CBinOp::Shr => x.wrapping_shr((y & 63) as u32),
+            CBinOp::UShr => ((x as u64).wrapping_shr((y & 63) as u32)) as i64,
+            CBinOp::And => x & y,
+            CBinOp::Or => x | y,
+            CBinOp::Xor => x ^ y,
+            _ => unreachable!("comparisons handled above"),
+        };
+        let r = match op {
+            // Shifts and bitwise ops act on the 64-bit representation (same
+            // deviation as the sjvm interpreter); arithmetic wraps per kind.
+            CBinOp::Shl | CBinOp::Shr | CBinOp::UShr | CBinOp::And | CBinOp::Or | CBinOp::Xor => r,
+            _ => wrap(r, kind),
+        };
+        Ok(CVal::I(r))
+    }
+}
+
+fn eval_call(f: CIntrinsic, kind: CNumKind, args: &[CVal]) -> Result<CVal, HlsirError> {
+    Ok(match f {
+        CIntrinsic::Exp => CVal::F(args[0].as_f()?.exp()),
+        CIntrinsic::Log => CVal::F(args[0].as_f()?.ln()),
+        CIntrinsic::Sqrt => CVal::F(args[0].as_f()?.sqrt()),
+        CIntrinsic::Abs => {
+            if kind.is_float() {
+                CVal::F(args[0].as_f()?.abs())
+            } else {
+                CVal::I(args[0].as_i()?.wrapping_abs())
+            }
+        }
+        CIntrinsic::Min | CIntrinsic::Max => {
+            let take_min = matches!(f, CIntrinsic::Min);
+            if kind.is_float() {
+                let (x, y) = (args[0].as_f()?, args[1].as_f()?);
+                CVal::F(if take_min { x.min(y) } else { x.max(y) })
+            } else {
+                let (x, y) = (args[0].as_i()?, args[1].as_i()?);
+                CVal::I(if take_min { x.min(y) } else { x.max(y) })
+            }
+        }
+    })
+}
+
+fn cast(v: CVal, from: CNumKind, to: CNumKind) -> Result<CVal, HlsirError> {
+    Ok(match (from.is_float(), to.is_float()) {
+        (false, false) => CVal::I(wrap(v.as_i()?, to)),
+        (false, true) => CVal::F(round(v.as_i()? as f64, to)),
+        (true, false) => {
+            let f = v.as_f()?;
+            let i = if f.is_nan() { 0 } else { f as i64 };
+            CVal::I(wrap(i, to))
+        }
+        (true, true) => CVal::F(round(v.as_f()?, to)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    fn scale_kernel() -> CFunction {
+        // out[i] = in[i] * 2.0 for i in 0..n
+        CFunction {
+            name: "scale".into(),
+            params: vec![
+                Param {
+                    name: "n".into(),
+                    ty: CType::Int(32),
+                    kind: ParamKind::ScalarIn,
+                    elems_per_task: None,
+                    broadcast: false,
+                },
+                Param {
+                    name: "in_1".into(),
+                    ty: CType::Float,
+                    kind: ParamKind::BufIn,
+                    elems_per_task: Some(1),
+                    broadcast: false,
+                },
+                Param {
+                    name: "out_1".into(),
+                    ty: CType::Float,
+                    kind: ParamKind::BufOut,
+                    elems_per_task: Some(1),
+                    broadcast: false,
+                },
+            ],
+            body: vec![Stmt::For {
+                id: LoopId(0),
+                var: "i".into(),
+                bound: Expr::var("n"),
+                trip_count: None,
+                attrs: LoopAttrs::none(),
+                body: vec![Stmt::Assign {
+                    lhs: LValue::Index("out_1".into(), Box::new(Expr::var("i"))),
+                    rhs: Expr::bin(
+                        CBinOp::Mul,
+                        CNumKind::F32,
+                        Expr::index("in_1", Expr::var("i")),
+                        Expr::ConstF(2.0),
+                    ),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn runs_counted_loop() {
+        let f = scale_kernel();
+        let mut buffers = BTreeMap::new();
+        buffers.insert(
+            "in_1".to_string(),
+            vec![CVal::F(1.0), CVal::F(2.5), CVal::F(-3.0)],
+        );
+        buffers.insert("out_1".to_string(), vec![CVal::F(0.0); 3]);
+        let mut scalars = BTreeMap::new();
+        scalars.insert("n".to_string(), CVal::I(3));
+        Executor::new(&f).run(&scalars, &mut buffers).unwrap();
+        assert_eq!(
+            buffers["out_1"],
+            vec![CVal::F(2.0), CVal::F(5.0), CVal::F(-6.0)]
+        );
+    }
+
+    #[test]
+    fn missing_binding_is_an_error() {
+        let f = scale_kernel();
+        let mut buffers = BTreeMap::new();
+        let scalars = BTreeMap::new();
+        let e = Executor::new(&f).run(&scalars, &mut buffers).unwrap_err();
+        assert!(e.to_string().contains("missing scalar"));
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let f = scale_kernel();
+        let mut buffers = BTreeMap::new();
+        buffers.insert("in_1".to_string(), vec![CVal::F(1.0)]);
+        buffers.insert("out_1".to_string(), vec![CVal::F(0.0)]);
+        let mut scalars = BTreeMap::new();
+        scalars.insert("n".to_string(), CVal::I(5));
+        assert!(Executor::new(&f).run(&scalars, &mut buffers).is_err());
+    }
+
+    #[test]
+    fn int_semantics_match_jvm() {
+        assert_eq!(
+            eval_bin(
+                CBinOp::Add,
+                CNumKind::I32,
+                CVal::I(i32::MAX as i64),
+                CVal::I(1)
+            )
+            .unwrap(),
+            CVal::I(i32::MIN as i64)
+        );
+        assert_eq!(
+            eval_bin(CBinOp::Xor, CNumKind::I32, CVal::I(-1), CVal::I(0xff)).unwrap(),
+            CVal::I(-256)
+        );
+    }
+
+    #[test]
+    fn f32_rounding() {
+        let r = eval_bin(CBinOp::Add, CNumKind::F32, CVal::F(0.1), CVal::F(0.2)).unwrap();
+        assert_eq!(r, CVal::F((0.1f32 + 0.2f32) as f64));
+    }
+
+    #[test]
+    fn div_by_zero_is_an_error() {
+        assert!(eval_bin(CBinOp::Div, CNumKind::I32, CVal::I(1), CVal::I(0)).is_err());
+    }
+
+    #[test]
+    fn select_and_compare() {
+        let e = Expr::Select(
+            Box::new(Expr::bin(
+                CBinOp::Gt,
+                CNumKind::F64,
+                Expr::ConstF(2.0),
+                Expr::ConstF(1.0),
+            )),
+            Box::new(Expr::ConstI(10)),
+            Box::new(Expr::ConstI(20)),
+        );
+        let f = CFunction {
+            name: "t".into(),
+            params: vec![],
+            body: vec![Stmt::Decl {
+                name: "x".into(),
+                ty: CType::Int(32),
+                init: Some(e),
+            }],
+        };
+        let mut env_bufs = BTreeMap::new();
+        Executor::new(&f)
+            .run(&BTreeMap::new(), &mut env_bufs)
+            .unwrap();
+    }
+
+    #[test]
+    fn fuel_bounds_execution() {
+        let f = scale_kernel();
+        let mut buffers = BTreeMap::new();
+        buffers.insert("in_1".to_string(), vec![CVal::F(0.0); 100]);
+        buffers.insert("out_1".to_string(), vec![CVal::F(0.0); 100]);
+        let mut scalars = BTreeMap::new();
+        scalars.insert("n".to_string(), CVal::I(100));
+        let e = Executor::new(&f)
+            .with_fuel(10)
+            .run(&scalars, &mut buffers)
+            .unwrap_err();
+        assert!(e.to_string().contains("budget"));
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # s2fa-hlsir — the HLS C intermediate representation
+//!
+//! S2FA's bytecode-to-C compiler targets *HLS C*: sequential C with
+//! constant-size arrays, no object orientation, and vendor pragmas. This
+//! crate defines that target:
+//!
+//! * [`ast`] — the C AST ([`CFunction`], [`Stmt`], [`Expr`]) with per-loop
+//!   optimization attributes ([`LoopAttrs`]) that the Merlin-style
+//!   transformation library (`s2fa-merlin`) manipulates;
+//! * [`printer`] — emission of compilable-looking HLS C source with
+//!   `#pragma ACCEL` directives, the artifact a user would hand to the
+//!   vendor flow;
+//! * [`analysis`] — the ROSE/polyhedral substitute: loop-nest extraction,
+//!   trip counts, per-iteration operation counts, access-stride
+//!   classification, and loop-carried-dependence detection, summarized in a
+//!   [`KernelSummary`] that drives design-space identification (paper §4.1)
+//!   and the HLS performance model (`s2fa-hlssim`);
+//! * [`exec`] — a functional executor for the IR, used to prove that the
+//!   generated C is equivalent to the original bytecode (same numeric
+//!   semantics as the `s2fa-sjvm` interpreter).
+
+pub mod analysis;
+pub mod ast;
+pub mod exec;
+pub mod opcount;
+pub mod printer;
+
+mod error;
+
+pub use analysis::{Access, BufferDir, BufferInfo, CarriedDep, KernelSummary, LoopInfo, Stride};
+pub use ast::{
+    CBinOp, CFunction, CIntrinsic, CNumKind, CType, Expr, LValue, LoopAttrs, LoopId, Param,
+    ParamKind, PipelineMode, Stmt,
+};
+pub use error::HlsirError;
+pub use exec::{CVal, Executor};
+pub use opcount::OpCounts;

@@ -1,0 +1,181 @@
+//! Operation counts — the raw material of the HLS performance model.
+
+use crate::ast::{CBinOp, CIntrinsic, CNumKind};
+use std::ops::{Add, AddAssign};
+
+/// Counts of each operation class in a region of IR (typically one loop
+/// body, per iteration, excluding nested loops).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Integer add/sub/logic/shift/compare.
+    pub int_alu: u32,
+    /// Integer multiplies.
+    pub int_mul: u32,
+    /// Integer divides/remainders.
+    pub int_div: u32,
+    /// Floating add/sub.
+    pub fadd: u32,
+    /// Floating multiplies.
+    pub fmul: u32,
+    /// Floating divides.
+    pub fdiv: u32,
+    /// Floating comparisons/select.
+    pub fcmp: u32,
+    /// `sqrt` calls.
+    pub fsqrt: u32,
+    /// `exp`/`log` calls.
+    pub ftrans: u32,
+    /// Buffer (array) reads.
+    pub mem_read: u32,
+    /// Buffer (array) writes.
+    pub mem_write: u32,
+}
+
+impl OpCounts {
+    /// An empty count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total arithmetic operations (excluding memory).
+    pub fn total_arith(&self) -> u32 {
+        self.int_alu
+            + self.int_mul
+            + self.int_div
+            + self.fadd
+            + self.fmul
+            + self.fdiv
+            + self.fcmp
+            + self.fsqrt
+            + self.ftrans
+    }
+
+    /// Total floating-point operations.
+    pub fn total_float(&self) -> u32 {
+        self.fadd + self.fmul + self.fdiv + self.fcmp + self.fsqrt + self.ftrans
+    }
+
+    /// Total memory operations.
+    pub fn total_mem(&self) -> u32 {
+        self.mem_read + self.mem_write
+    }
+
+    /// Records one binary operation of the given kind.
+    pub fn record_bin(&mut self, op: CBinOp, kind: CNumKind) {
+        if kind.is_float() {
+            match op {
+                CBinOp::Add | CBinOp::Sub => self.fadd += 1,
+                CBinOp::Mul => self.fmul += 1,
+                CBinOp::Div | CBinOp::Rem => self.fdiv += 1,
+                _ => self.fcmp += 1,
+            }
+        } else {
+            match op {
+                CBinOp::Mul => self.int_mul += 1,
+                CBinOp::Div | CBinOp::Rem => self.int_div += 1,
+                _ => self.int_alu += 1,
+            }
+        }
+    }
+
+    /// Records one intrinsic call of the given kind.
+    pub fn record_call(&mut self, f: CIntrinsic, kind: CNumKind) {
+        match f {
+            CIntrinsic::Exp | CIntrinsic::Log => self.ftrans += 1,
+            CIntrinsic::Sqrt => self.fsqrt += 1,
+            CIntrinsic::Abs | CIntrinsic::Min | CIntrinsic::Max => {
+                if kind.is_float() {
+                    self.fcmp += 1;
+                } else {
+                    self.int_alu += 1;
+                }
+            }
+        }
+    }
+
+    /// Scales every count by `factor` (used when flattening sub-loops).
+    pub fn scaled(&self, factor: u32) -> OpCounts {
+        OpCounts {
+            int_alu: self.int_alu * factor,
+            int_mul: self.int_mul * factor,
+            int_div: self.int_div * factor,
+            fadd: self.fadd * factor,
+            fmul: self.fmul * factor,
+            fdiv: self.fdiv * factor,
+            fcmp: self.fcmp * factor,
+            fsqrt: self.fsqrt * factor,
+            ftrans: self.ftrans * factor,
+            mem_read: self.mem_read * factor,
+            mem_write: self.mem_write * factor,
+        }
+    }
+}
+
+impl Add for OpCounts {
+    type Output = OpCounts;
+
+    fn add(mut self, rhs: OpCounts) -> OpCounts {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, rhs: OpCounts) {
+        self.int_alu += rhs.int_alu;
+        self.int_mul += rhs.int_mul;
+        self.int_div += rhs.int_div;
+        self.fadd += rhs.fadd;
+        self.fmul += rhs.fmul;
+        self.fdiv += rhs.fdiv;
+        self.fcmp += rhs.fcmp;
+        self.fsqrt += rhs.fsqrt;
+        self.ftrans += rhs.ftrans;
+        self.mem_read += rhs.mem_read;
+        self.mem_write += rhs.mem_write;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total() {
+        let mut c = OpCounts::new();
+        c.record_bin(CBinOp::Add, CNumKind::F32);
+        c.record_bin(CBinOp::Mul, CNumKind::F32);
+        c.record_bin(CBinOp::Add, CNumKind::I32);
+        c.record_bin(CBinOp::Lt, CNumKind::F64);
+        c.record_call(CIntrinsic::Exp, CNumKind::F64);
+        assert_eq!(c.fadd, 1);
+        assert_eq!(c.fmul, 1);
+        assert_eq!(c.int_alu, 1);
+        assert_eq!(c.fcmp, 1);
+        assert_eq!(c.ftrans, 1);
+        assert_eq!(c.total_arith(), 5);
+        assert_eq!(c.total_float(), 4);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = OpCounts::new();
+        a.fadd = 2;
+        a.mem_read = 3;
+        let b = a;
+        let sum = a + b;
+        assert_eq!(sum.fadd, 4);
+        assert_eq!(sum.mem_read, 6);
+        let s = sum.scaled(10);
+        assert_eq!(s.fadd, 40);
+        assert_eq!(s.total_mem(), 60);
+    }
+
+    #[test]
+    fn int_div_classified() {
+        let mut c = OpCounts::new();
+        c.record_bin(CBinOp::Rem, CNumKind::I32);
+        c.record_bin(CBinOp::Div, CNumKind::I64);
+        assert_eq!(c.int_div, 2);
+    }
+}

@@ -1,0 +1,283 @@
+//! HLS C source emission.
+//!
+//! Renders a [`CFunction`] as the C source a user would inspect or hand to
+//! the vendor HLS flow, with applied optimization attributes printed as
+//! Merlin-style `#pragma ACCEL` directives above each loop (matching the
+//! paper's Code 3 plus the Merlin transformation pragmas of §3.2).
+
+use crate::ast::{CFunction, Expr, LValue, ParamKind, PipelineMode, Stmt};
+use std::fmt::Write as _;
+
+/// Renders the function as HLS C source text.
+///
+/// ```
+/// use s2fa_hlsir::{ast, printer};
+///
+/// let f = ast::CFunction {
+///     name: "kernel".into(),
+///     params: vec![ast::Param {
+///         name: "n".into(),
+///         ty: ast::CType::Int(32),
+///         kind: ast::ParamKind::ScalarIn,
+///         elems_per_task: None,
+///         broadcast: false,
+///     }],
+///     body: vec![],
+/// };
+/// let src = printer::to_c(&f);
+/// assert!(src.contains("void kernel(int n)"));
+/// ```
+pub fn to_c(f: &CFunction) -> String {
+    let mut out = String::new();
+    let params = f
+        .params
+        .iter()
+        .map(|p| match p.kind {
+            ParamKind::ScalarIn => format!("{} {}", p.ty, p.name),
+            ParamKind::BufIn => format!("const {} *{}", p.ty, p.name),
+            ParamKind::BufOut => format!("{} *{}", p.ty, p.name),
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "void {}({params}) {{", f.name);
+    for s in &f.body {
+        print_stmt(&mut out, s, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::DeclArr { name, ty, len } => {
+            indent(out, level);
+            let _ = writeln!(out, "{ty} {name}[{len}];");
+        }
+        Stmt::Decl { name, ty, init } => {
+            indent(out, level);
+            match init {
+                Some(e) => {
+                    let _ = writeln!(out, "{ty} {name} = {};", expr_str(e));
+                }
+                None => {
+                    let _ = writeln!(out, "{ty} {name};");
+                }
+            }
+        }
+        Stmt::Assign { lhs, rhs } => {
+            indent(out, level);
+            let l = match lhs {
+                LValue::Var(n) => n.clone(),
+                LValue::Index(n, i) => format!("{n}[{}]", expr_str(i)),
+            };
+            let _ = writeln!(out, "{l} = {};", expr_str(rhs));
+        }
+        Stmt::For {
+            id,
+            var,
+            bound,
+            attrs,
+            body,
+            ..
+        } => {
+            match attrs.pipeline {
+                PipelineMode::On => {
+                    indent(out, level);
+                    out.push_str("#pragma ACCEL pipeline\n");
+                }
+                PipelineMode::Flatten => {
+                    indent(out, level);
+                    out.push_str("#pragma ACCEL pipeline flatten\n");
+                }
+                PipelineMode::Off => {}
+            }
+            if attrs.parallel > 1 {
+                indent(out, level);
+                let _ = writeln!(out, "#pragma ACCEL parallel factor={}", attrs.parallel);
+            }
+            if let Some(t) = attrs.tile {
+                indent(out, level);
+                let _ = writeln!(out, "#pragma ACCEL tile factor={t}");
+            }
+            if attrs.tree_reduce {
+                indent(out, level);
+                out.push_str("#pragma ACCEL reduction scheme=tree\n");
+            }
+            indent(out, level);
+            let _ = writeln!(
+                out,
+                "{id}: for (int {var} = 0; {var} < {}; {var}++) {{",
+                expr_str(bound)
+            );
+            for st in body {
+                print_stmt(out, st, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::If { cond, then, els } => {
+            indent(out, level);
+            let _ = writeln!(out, "if ({}) {{", expr_str(cond));
+            for st in then {
+                print_stmt(out, st, level + 1);
+            }
+            if !els.is_empty() {
+                indent(out, level);
+                out.push_str("} else {\n");
+                for st in els {
+                    print_stmt(out, st, level + 1);
+                }
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// Renders an expression as C text.
+pub fn expr_str(e: &Expr) -> String {
+    match e {
+        Expr::ConstI(v) => v.to_string(),
+        Expr::ConstF(v) => {
+            if v.fract() == 0.0 && v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::Var(n) => n.clone(),
+        Expr::Index(n, i) => format!("{n}[{}]", expr_str(i)),
+        Expr::Bin(op, _, a, b) => {
+            format!("({} {} {})", expr_str(a), op.c_symbol(), expr_str(b))
+        }
+        Expr::Neg(_, a) => format!("(-{})", expr_str(a)),
+        Expr::Call(f, _, args) => {
+            let a = args.iter().map(expr_str).collect::<Vec<_>>().join(", ");
+            format!("{}({a})", f.c_name())
+        }
+        Expr::Cast(_, to, a) => {
+            let ty = match to {
+                crate::ast::CNumKind::I32 => "int",
+                crate::ast::CNumKind::I64 => "long long",
+                crate::ast::CNumKind::F32 => "float",
+                crate::ast::CNumKind::F64 => "double",
+            };
+            format!("(({ty}){})", expr_str(a))
+        }
+        Expr::Select(c, a, b) => {
+            format!("({} ? {} : {})", expr_str(c), expr_str(a), expr_str(b))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    fn kernel_with_loop(attrs: LoopAttrs) -> CFunction {
+        CFunction {
+            name: "kernel".into(),
+            params: vec![
+                Param {
+                    name: "n".into(),
+                    ty: CType::Int(32),
+                    kind: ParamKind::ScalarIn,
+                    elems_per_task: None,
+                    broadcast: false,
+                },
+                Param {
+                    name: "in_1".into(),
+                    ty: CType::Float,
+                    kind: ParamKind::BufIn,
+                    elems_per_task: Some(4),
+                    broadcast: false,
+                },
+                Param {
+                    name: "out_1".into(),
+                    ty: CType::Float,
+                    kind: ParamKind::BufOut,
+                    elems_per_task: Some(4),
+                    broadcast: false,
+                },
+            ],
+            body: vec![Stmt::For {
+                id: LoopId(0),
+                var: "i".into(),
+                bound: Expr::var("n"),
+                trip_count: None,
+                attrs,
+                body: vec![Stmt::Assign {
+                    lhs: LValue::Index("out_1".into(), Box::new(Expr::var("i"))),
+                    rhs: Expr::bin(
+                        CBinOp::Mul,
+                        CNumKind::F32,
+                        Expr::index("in_1", Expr::var("i")),
+                        Expr::ConstF(2.0),
+                    ),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn signature_and_body() {
+        let src = to_c(&kernel_with_loop(LoopAttrs::none()));
+        assert!(src.contains("void kernel(int n, const float *in_1, float *out_1)"));
+        assert!(src.contains("L0: for (int i = 0; i < n; i++) {"));
+        assert!(src.contains("out_1[i] = (in_1[i] * 2.0);"));
+        assert!(!src.contains("#pragma"));
+    }
+
+    #[test]
+    fn pragmas_reflect_attrs() {
+        let src = to_c(&kernel_with_loop(LoopAttrs {
+            pipeline: PipelineMode::On,
+            parallel: 8,
+            tile: Some(16),
+            tree_reduce: true,
+        }));
+        assert!(src.contains("#pragma ACCEL pipeline\n"));
+        assert!(src.contains("#pragma ACCEL parallel factor=8"));
+        assert!(src.contains("#pragma ACCEL tile factor=16"));
+        assert!(src.contains("#pragma ACCEL reduction scheme=tree"));
+    }
+
+    #[test]
+    fn flatten_pragma() {
+        let src = to_c(&kernel_with_loop(LoopAttrs {
+            pipeline: PipelineMode::Flatten,
+            ..LoopAttrs::none()
+        }));
+        assert!(src.contains("#pragma ACCEL pipeline flatten"));
+    }
+
+    #[test]
+    fn expressions_render() {
+        let e = Expr::Select(
+            Box::new(Expr::bin(
+                CBinOp::Lt,
+                CNumKind::I32,
+                Expr::var("a"),
+                Expr::ConstI(3),
+            )),
+            Box::new(Expr::Call(
+                CIntrinsic::Sqrt,
+                CNumKind::F64,
+                vec![Expr::var("x")],
+            )),
+            Box::new(Expr::Cast(
+                CNumKind::I32,
+                CNumKind::F64,
+                Box::new(Expr::var("y")),
+            )),
+        );
+        assert_eq!(expr_str(&e), "((a < 3) ? sqrtf(x) : ((double)y))");
+    }
+}

@@ -1,0 +1,217 @@
+//! Per-operation HLS scheduling latencies and resource footprints.
+//!
+//! These constants approximate Vivado HLS characterization of floating and
+//! integer operators on an UltraScale+ part at a 250 MHz target. Absolute
+//! accuracy is not the goal (the paper itself reports only relative
+//! trends); what matters is the *ordering* — transcendentals ≫ divides ≫
+//! multiplies ≫ adds — and the DSP/LUT split that drives Table 2's
+//! utilization profile.
+
+use s2fa_hlsir::OpCounts;
+
+/// One operator class's scheduling latency (cycles) and per-instance
+/// resource footprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpProfile {
+    /// Pipeline latency in cycles at the target clock.
+    pub latency: u32,
+    /// DSP48 slices per functional unit.
+    pub dsp: f64,
+    /// LUTs per functional unit.
+    pub lut: f64,
+    /// Flip-flops per functional unit.
+    pub ff: f64,
+}
+
+/// The full operator characterization table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HlsCosts {
+    /// Integer add/sub/logic/shift/compare.
+    pub int_alu: OpProfile,
+    /// Integer multiply.
+    pub int_mul: OpProfile,
+    /// Integer divide/remainder.
+    pub int_div: OpProfile,
+    /// Floating add/sub.
+    pub fadd: OpProfile,
+    /// Floating multiply.
+    pub fmul: OpProfile,
+    /// Floating divide.
+    pub fdiv: OpProfile,
+    /// Floating compare/select.
+    pub fcmp: OpProfile,
+    /// Square root.
+    pub fsqrt: OpProfile,
+    /// Transcendentals (`exp`, `log`).
+    pub ftrans: OpProfile,
+    /// On-chip memory access (BRAM read/write port).
+    pub mem: OpProfile,
+}
+
+impl Default for HlsCosts {
+    fn default() -> Self {
+        HlsCosts {
+            int_alu: OpProfile {
+                latency: 1,
+                dsp: 0.0,
+                lut: 40.0,
+                ff: 40.0,
+            },
+            int_mul: OpProfile {
+                latency: 3,
+                dsp: 3.0,
+                lut: 60.0,
+                ff: 120.0,
+            },
+            int_div: OpProfile {
+                latency: 18,
+                dsp: 0.0,
+                lut: 1400.0,
+                ff: 1800.0,
+            },
+            fadd: OpProfile {
+                latency: 7,
+                dsp: 2.0,
+                lut: 220.0,
+                ff: 330.0,
+            },
+            fmul: OpProfile {
+                latency: 5,
+                dsp: 3.0,
+                lut: 130.0,
+                ff: 260.0,
+            },
+            fdiv: OpProfile {
+                latency: 14,
+                dsp: 0.0,
+                lut: 800.0,
+                ff: 1500.0,
+            },
+            fcmp: OpProfile {
+                latency: 2,
+                dsp: 0.0,
+                lut: 70.0,
+                ff: 90.0,
+            },
+            fsqrt: OpProfile {
+                latency: 14,
+                dsp: 0.0,
+                lut: 750.0,
+                ff: 1400.0,
+            },
+            ftrans: OpProfile {
+                latency: 20,
+                dsp: 7.0,
+                lut: 2200.0,
+                ff: 3200.0,
+            },
+            mem: OpProfile {
+                latency: 2,
+                dsp: 0.0,
+                lut: 12.0,
+                ff: 12.0,
+            },
+        }
+    }
+}
+
+impl HlsCosts {
+    /// Creates the default characterization (same as [`Default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Iterates `(count, profile)` pairs for every non-zero class in `ops`.
+    pub fn classes<'a>(&'a self, ops: &OpCounts) -> Vec<(u32, &'a OpProfile)> {
+        let pairs = [
+            (ops.int_alu, &self.int_alu),
+            (ops.int_mul, &self.int_mul),
+            (ops.int_div, &self.int_div),
+            (ops.fadd, &self.fadd),
+            (ops.fmul, &self.fmul),
+            (ops.fdiv, &self.fdiv),
+            (ops.fcmp, &self.fcmp),
+            (ops.fsqrt, &self.fsqrt),
+            (ops.ftrans, &self.ftrans),
+            (ops.mem_read + ops.mem_write, &self.mem),
+        ];
+        pairs.into_iter().filter(|(c, _)| *c > 0).collect()
+    }
+
+    /// Total scheduled work in cycle-weighted operations (used for the
+    /// resource-constrained throughput bound).
+    pub fn work_cycles(&self, ops: &OpCounts) -> u64 {
+        self.classes(ops)
+            .iter()
+            .map(|(c, p)| *c as u64 * p.latency as u64)
+            .sum()
+    }
+
+    /// Approximate dataflow critical path of one body iteration: the
+    /// longest single-operator latency plus a logarithmic combination term.
+    pub fn critical_path(&self, ops: &OpCounts) -> u64 {
+        let max_lat = self
+            .classes(ops)
+            .iter()
+            .map(|(_, p)| p.latency as u64)
+            .max()
+            .unwrap_or(1);
+        let n = ops.total_arith() + ops.total_mem();
+        max_lat + (64 - u64::from(n).leading_zeros()) as u64
+    }
+
+    /// Latency in cycles of a recurrence chain described by `chain`.
+    pub fn chain_latency(&self, chain: &OpCounts) -> u64 {
+        self.work_cycles(chain).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_of_latencies() {
+        let c = HlsCosts::default();
+        assert!(c.ftrans.latency > c.fdiv.latency);
+        assert!(c.fdiv.latency > c.fmul.latency);
+        assert!(c.fadd.latency > c.fmul.latency); // fadd chains dominate reductions
+        assert!(c.fmul.latency > c.int_alu.latency);
+    }
+
+    #[test]
+    fn work_and_chain() {
+        let c = HlsCosts::default();
+        let mut ops = OpCounts::new();
+        ops.fadd = 1;
+        ops.fmul = 2;
+        assert_eq!(c.work_cycles(&ops), 7 + 10);
+        assert_eq!(c.chain_latency(&ops), 17);
+        let empty = OpCounts::new();
+        assert_eq!(c.chain_latency(&empty), 1);
+    }
+
+    #[test]
+    fn critical_path_grows_slowly() {
+        let c = HlsCosts::default();
+        let mut small = OpCounts::new();
+        small.fadd = 1;
+        let mut big = OpCounts::new();
+        big.fadd = 1;
+        big.int_alu = 1000;
+        let cp_small = c.critical_path(&small);
+        let cp_big = c.critical_path(&big);
+        assert!(cp_big > cp_small);
+        assert!(cp_big < cp_small + 12); // logarithmic, not linear
+    }
+
+    #[test]
+    fn classes_filters_zeroes() {
+        let c = HlsCosts::default();
+        let mut ops = OpCounts::new();
+        ops.int_mul = 4;
+        let cls = c.classes(&ops);
+        assert_eq!(cls.len(), 1);
+        assert_eq!(cls[0].0, 4);
+    }
+}

@@ -1,0 +1,109 @@
+//! Target device description.
+
+/// An FPGA device envelope as seen by HLS and place & route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// Device name.
+    pub name: String,
+    /// BRAM18K blocks available.
+    pub bram_18k: u32,
+    /// DSP48 slices available.
+    pub dsp: u32,
+    /// Flip-flops available.
+    pub ff: u32,
+    /// LUTs available.
+    pub lut: u32,
+    /// Target clock in MHz (the SDx default on F1).
+    pub target_mhz: f64,
+    /// Number of SLR dies (VU9P has 3; crossing dies costs frequency).
+    pub dies: u32,
+    /// Maximum usable utilization fraction — "we set the maximum resource
+    /// utilization to 75% since the rest of them were used by the
+    /// vendor-provided control logic" (paper footnote 5).
+    pub max_util: f64,
+    /// Effective off-chip (DDR4) bandwidth in GB/s for one kernel.
+    pub ddr_gbps: f64,
+}
+
+impl Device {
+    /// The Virtex UltraScale+ VU9P as configured on an AWS F1
+    /// `f1.2xlarge` instance (the paper's platform, §5.1).
+    pub fn vu9p() -> Device {
+        Device {
+            name: "xcvu9p (AWS F1)".into(),
+            bram_18k: 4320,
+            dsp: 6840,
+            ff: 2_364_480,
+            lut: 1_182_240,
+            target_mhz: 250.0,
+            dies: 3,
+            max_util: 0.75,
+            ddr_gbps: 12.8,
+        }
+    }
+
+    /// A Virtex UltraScale+ VU13P — the "larger FPGA" of the paper's
+    /// remark that compute-bound designs "can be potentially improved if a
+    /// larger FPGA is provided" (§5.2): ~1.8× the logic and DSP of the
+    /// VU9P, same memory system.
+    pub fn vu13p() -> Device {
+        Device {
+            name: "xcvu13p".into(),
+            bram_18k: 5376,
+            dsp: 12_288,
+            ff: 3_456_000,
+            lut: 1_728_000,
+            target_mhz: 250.0,
+            dies: 4,
+            max_util: 0.75,
+            ddr_gbps: 12.8,
+        }
+    }
+
+    /// Off-chip bytes transferable per kernel cycle at `freq_mhz`.
+    pub fn ddr_bytes_per_cycle(&self, freq_mhz: f64) -> f64 {
+        (self.ddr_gbps * 1e9) / (freq_mhz * 1e6)
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Device::vu9p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vu9p_envelope() {
+        let d = Device::vu9p();
+        assert_eq!(d.bram_18k, 4320);
+        assert_eq!(d.dsp, 6840);
+        assert!(d.lut > 1_000_000);
+        assert_eq!(d.dies, 3);
+        assert!((d.max_util - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vu13p_is_strictly_larger() {
+        let small = Device::vu9p();
+        let big = Device::vu13p();
+        assert!(big.dsp > small.dsp);
+        assert!(big.lut > small.lut);
+        assert!(big.bram_18k > small.bram_18k);
+        // same memory system: bandwidth-bound kernels cannot improve
+        assert_eq!(big.ddr_gbps, small.ddr_gbps);
+    }
+
+    #[test]
+    fn ddr_bytes_per_cycle_scales_with_freq() {
+        let d = Device::vu9p();
+        let at250 = d.ddr_bytes_per_cycle(250.0);
+        let at125 = d.ddr_bytes_per_cycle(125.0);
+        assert!((at125 / at250 - 2.0).abs() < 1e-9);
+        // ~51 bytes/cycle at 250 MHz for 12.8 GB/s
+        assert!(at250 > 40.0 && at250 < 60.0);
+    }
+}

@@ -1,0 +1,409 @@
+//! The latency / resource / frequency model.
+//!
+//! Evaluates one design point — a ([`KernelSummary`], [`DesignConfig`])
+//! pair — the way Vivado HLS scheduling plus a coarse place-&-route model
+//! would:
+//!
+//! * **Latency** is computed bottom-up over the loop nest. A pipelined leaf
+//!   achieves `cycles = depth + (TC/u - 1) · II` with
+//!   `II = max(recurrence MII, memory-port MII)`; a non-pipelined loop pays
+//!   its full body latency every iteration; `flatten` collapses the subtree
+//!   into one wide body (fully unrolled sub-loops); coarse-grained
+//!   parallelism replicates PEs and divides the trip count.
+//! * **Memory-port MII** couples the buffer bit-width factor to
+//!   performance: an interface buffer moves `port_bits / elem_bits`
+//!   elements per cycle, so narrow ports throttle unrolled loops.
+//! * **Resources** scale with functional-unit replication (`ops · u / II`
+//!   per PE) plus BRAM for local arrays, tiling stage buffers, and port
+//!   FIFOs.
+//! * **Frequency** degrades with utilization, replication fan-out, and the
+//!   deep combinational chains produced by flattening recurrent loops.
+
+use crate::cost::HlsCosts;
+use crate::device::Device;
+use crate::resource::ResourceUsage;
+use s2fa_hlsir::{BufferDir, KernelSummary, LoopId, PipelineMode};
+use s2fa_merlin::DesignConfig;
+use std::collections::BTreeMap;
+
+/// Result of evaluating one loop subtree.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LoopEval {
+    /// Total cycles to execute all iterations once.
+    pub cycles: f64,
+    /// Achieved initiation interval (1.0 when not pipelined). Kept for
+    /// model introspection in tests and future stage-balancing work.
+    #[allow(dead_code)]
+    pub ii: f64,
+}
+
+/// Mutable evaluation state threaded through the recursion.
+pub(crate) struct ModelCtx<'a> {
+    pub summary: &'a KernelSummary,
+    pub config: &'a DesignConfig,
+    pub costs: &'a HlsCosts,
+    pub resources: ResourceUsage,
+    /// Maximum PE replication product reached at any leaf.
+    pub max_replication: f64,
+    /// Total combinational depth contributed by flattened recurrences
+    /// (drives the frequency penalty).
+    pub deep_logic: f64,
+    /// Worst II over all pipelined loops (reported).
+    pub worst_ii: f64,
+    /// Whether the task loop is tiled (enables transfer/compute overlap
+    /// through double buffering).
+    pub overlap: bool,
+}
+
+impl<'a> ModelCtx<'a> {
+    pub fn new(summary: &'a KernelSummary, config: &'a DesignConfig, costs: &'a HlsCosts) -> Self {
+        ModelCtx {
+            summary,
+            config,
+            costs,
+            resources: ResourceUsage::new(),
+            max_replication: 1.0,
+            deep_logic: 0.0,
+            worst_ii: 1.0,
+            overlap: false,
+        }
+    }
+
+    /// Evaluates the whole kernel: returns compute cycles for one batch of
+    /// `summary.tasks_hint` tasks.
+    pub fn evaluate(&mut self) -> f64 {
+        self.base_resources();
+        let task = self.summary.task_loop;
+        if self.config.loop_directive(task).tile.is_some() {
+            self.overlap = true;
+        }
+        let ev = self.eval_loop(task, 1.0);
+        ev.cycles
+    }
+
+    /// Static overhead: AXI/control logic plus per-buffer port FIFOs and
+    /// local arrays.
+    fn base_resources(&mut self) {
+        let dev_frac = ResourceUsage {
+            bram_18k: 40.0,
+            dsp: 4.0,
+            ff: 14_000.0,
+            lut: 11_000.0,
+        };
+        self.resources += dev_frac;
+        for b in &self.summary.buffers {
+            match b.dir {
+                BufferDir::Local => {
+                    // Local arrays live in BRAM: banks sized 18 kbit.
+                    let bits = b.elem_bits as f64 * b.len as f64;
+                    self.resources.bram_18k += (bits / 18_432.0).ceil().max(1.0);
+                }
+                _ => {
+                    let width = self.config.buffer_width(&b.name) as f64;
+                    // Port FIFO + width converter.
+                    self.resources.bram_18k += (width / 72.0).ceil();
+                    self.resources.lut += width * 14.0;
+                    self.resources.ff += width * 20.0;
+                    if b.broadcast {
+                        // Broadcast inputs are cached on-chip for the whole
+                        // batch (Merlin's coalesced buffer for closure
+                        // state).
+                        let bits = b.elem_bits as f64 * b.len as f64;
+                        self.resources.bram_18k += (bits / 18_432.0).ceil().max(1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    fn eval_loop(&mut self, id: LoopId, repl: f64) -> LoopEval {
+        let Some(li) = self.summary.loop_info(id) else {
+            return LoopEval {
+                cycles: 0.0,
+                ii: 1.0,
+            };
+        };
+        let d = self.config.loop_directive(id);
+        let tc = li.trip_count.max(1) as f64;
+        let u = (d.parallel_factor() as f64).min(tc);
+        let iters = (tc / u).ceil();
+        self.max_replication = self.max_replication.max(repl * u);
+
+        let locality = if d.tile.is_some() { 0.6 } else { 1.0 };
+
+        match d.pipeline {
+            PipelineMode::Flatten if !li.children.is_empty() => {
+                // Fully unroll the subtree; pipeline this loop over it.
+                let flat_iters = self.summary.flattened_iters(id) as f64;
+                let ops = self.summary.subtree_ops(id);
+                let mut iter_lat = self.costs.critical_path(&ops) as f64;
+                // Recurrent descendants become *systolic chains*: HLS
+                // registers the unrolled recurrence every few stages, so
+                // the flattened body is a deep pipeline rather than pure
+                // combinational logic. Latency grows with chain length
+                // (divided by the register spacing), and timing closure
+                // suffers from the residual carry/compare chains — the
+                // effect that pins the paper's S-W design at 100 MHz.
+                const REGISTER_SPACING: f64 = 4.0;
+                for c in self.summary.descendants(id) {
+                    if let Some(cl) = self.summary.loop_info(c) {
+                        if let Some(dep) = &cl.carried {
+                            let per = self.costs.chain_latency(&dep.chain) as f64;
+                            let tc_c = cl.trip_count as f64;
+                            iter_lat += per * tc_c / REGISTER_SPACING;
+                            self.deep_logic = self.deep_logic.max(per * tc_c / 2.0);
+                        }
+                    }
+                }
+
+                let rec = self.rec_mii(li, &d);
+                // Merlin fully partitions local arrays and inserts on-chip
+                // caches for the interface data a flattened body touches,
+                // so memory ports do not bound the II here; the recurrence
+                // does.
+                let ii = rec.max(1.0);
+                self.worst_ii = self.worst_ii.max(ii);
+                let _ = locality;
+
+                // Fully spatial body. Recurrent subtrees route as systolic
+                // chains (nearest-neighbour interconnect); only
+                // recurrence-free flattening pays the crossbar.
+                let systolic = self.summary.descendants(id).iter().any(|c| {
+                    self.summary
+                        .loop_info(*c)
+                        .is_some_and(|l| l.carried.is_some())
+                });
+                self.charge_ops_with(&ops, repl * u, ii, systolic);
+                // Partitioned local arrays + interface caches.
+                self.resources.bram_18k += 2.0 * flat_iters.sqrt();
+                for b in &self.summary.buffers {
+                    if b.dir == BufferDir::In && !b.broadcast {
+                        let bits = b.elem_bits as f64 * b.len as f64;
+                        self.resources.bram_18k += (bits / 18_432.0).ceil();
+                    }
+                }
+
+                LoopEval {
+                    cycles: iter_lat + (iters - 1.0) * ii,
+                    ii,
+                }
+            }
+            PipelineMode::On | PipelineMode::Flatten if li.children.is_empty() => {
+                // Fine-grained pipeline of a leaf loop.
+                let rec = self.rec_mii(li, &d);
+                let mem = self.mem_mii_leaf(li, u, locality);
+                let ii = rec.max(mem).max(1.0);
+                self.worst_ii = self.worst_ii.max(ii);
+                let mut iter_lat = self.costs.critical_path(&li.body_ops) as f64;
+                if d.tree_reduce && u > 1.0 {
+                    // adder tree depth
+                    iter_lat += u.log2().ceil() * self.costs.fadd.latency as f64;
+                }
+                self.charge_ops(&li.body_ops, repl * u, ii);
+                LoopEval {
+                    cycles: iter_lat + (iters - 1.0) * ii,
+                    ii,
+                }
+            }
+            PipelineMode::On => {
+                // Coarse-grained (dataflow) pipelining over child stages.
+                let body_lat = self.costs.critical_path(&li.body_ops) as f64;
+                let mut stage_sum = body_lat;
+                let mut stage_max = body_lat;
+                for c in li.children.clone() {
+                    let ev = self.eval_loop(c, repl * u);
+                    stage_sum += ev.cycles;
+                    stage_max = stage_max.max(ev.cycles);
+                }
+                self.charge_ops(&li.body_ops, repl * u, 1.0);
+                // Double buffers between stages.
+                self.resources.bram_18k += 2.0 * li.children.len() as f64;
+                LoopEval {
+                    cycles: stage_sum + (iters - 1.0) * stage_max,
+                    ii: stage_max,
+                }
+            }
+            PipelineMode::Off | PipelineMode::Flatten => {
+                // Sequential iterations (PE-replicated u ways).
+                let body_lat = self.costs.critical_path(&li.body_ops) as f64;
+                let mut per_iter = body_lat + 2.0; // loop control overhead
+                for c in li.children.clone() {
+                    let ev = self.eval_loop(c, repl * u);
+                    per_iter += ev.cycles;
+                }
+                // Sequential bodies share functional units over time.
+                self.charge_ops(&li.body_ops, repl * u, 4.0);
+                LoopEval {
+                    cycles: iters * per_iter,
+                    ii: 1.0,
+                }
+            }
+        }
+    }
+
+    /// Recurrence-constrained MII of a loop.
+    fn rec_mii(&self, li: &s2fa_hlsir::LoopInfo, d: &s2fa_merlin::LoopDirective) -> f64 {
+        match &li.carried {
+            Some(dep) => {
+                if d.tree_reduce && dep.reducible {
+                    1.0
+                } else {
+                    self.costs.chain_latency(&dep.chain) as f64
+                }
+            }
+            None => 1.0,
+        }
+    }
+
+    /// Memory-port MII of a leaf loop: the worst buffer contention.
+    fn mem_mii_leaf(&self, li: &s2fa_hlsir::LoopInfo, u: f64, locality: f64) -> f64 {
+        let mut per_buffer: BTreeMap<&str, f64> = BTreeMap::new();
+        for a in &li.accesses {
+            *per_buffer.entry(a.buffer.as_str()).or_insert(0.0) += 1.0;
+        }
+        let mut worst: f64 = 1.0;
+        for (name, count) in per_buffer {
+            worst = worst.max(self.buffer_mii(name, count, u, locality));
+        }
+        worst
+    }
+
+    /// Cycles per issue group for `count·u` accesses to `name`.
+    fn buffer_mii(&self, name: &str, count: f64, u: f64, locality: f64) -> f64 {
+        let Some(b) = self.summary.buffer(name) else {
+            return 1.0;
+        };
+        match b.dir {
+            BufferDir::Local => {
+                // Partitioned with the unroll factor: u banks × 2 ports.
+                (count * u / (2.0 * u)).ceil().max(1.0)
+            }
+            _ if b.broadcast => {
+                // Cached on-chip: banked like a local array.
+                (count * u / (2.0 * u)).ceil().max(1.0)
+            }
+            _ => {
+                let width = self.config.buffer_width(name) as f64;
+                let elems_per_cycle = (width / b.elem_bits as f64).max(1.0);
+                (count * u * locality / elems_per_cycle).ceil().max(1.0)
+            }
+        }
+    }
+
+    /// Adds the functional units needed for `ops` at replication `repl`
+    /// and initiation interval `ii` (larger II → more unit sharing).
+    ///
+    /// Beyond the operator cores themselves, every processing element pays
+    /// interconnect (data muxing, control fan-out): that cost grows
+    /// super-linearly with replication, which is what makes extreme
+    /// parallel factors infeasible on a real device (the paper's
+    /// "performing coarse-grained parallelism with factor 256 ... might be
+    /// infeasible for most designs due to high routing complexity").
+    fn charge_ops(&mut self, ops: &s2fa_hlsir::OpCounts, repl: f64, ii: f64) {
+        self.charge_ops_with(ops, repl, ii, false);
+    }
+
+    fn charge_ops_with(&mut self, ops: &s2fa_hlsir::OpCounts, repl: f64, ii: f64, systolic: bool) {
+        let mut total_units = 0.0;
+        for (count, p) in self.costs.classes(ops) {
+            let units = ((count as f64 * repl) / ii.max(1.0)).max(1.0);
+            total_units += units;
+            self.resources.dsp += p.dsp * units;
+            self.resources.lut += p.lut * units;
+            self.resources.ff += p.ff * units;
+        }
+        let interconnect = if systolic {
+            // Nearest-neighbour routing: linear in the PE count.
+            40.0 * total_units
+        } else {
+            14.0 * total_units * total_units.sqrt()
+        };
+        self.resources.lut += interconnect;
+        self.resources.ff += interconnect * 0.6;
+    }
+
+    /// BRAM for tiling stage buffers (double-buffered task staging).
+    pub fn charge_tiling(&mut self) {
+        for l in &self.summary.loops {
+            if let Some(t) = self.config.loop_directive(l.id).tile {
+                if l.id == self.summary.task_loop {
+                    let (inb, outb) = self.summary.interface_bytes_per_task();
+                    let bits = (inb + outb) as f64 * 8.0 * t as f64 * 2.0;
+                    self.resources.bram_18k += (bits / 18_432.0).ceil();
+                } else {
+                    // Reuse buffer proportional to the tile.
+                    self.resources.bram_18k += ((t as f64 * 64.0) / 18_432.0).ceil();
+                }
+            }
+        }
+    }
+}
+
+/// Post-scheduling frequency model: starts at the device target and
+/// degrades with utilization, replication fan-out, and deep combinational
+/// chains from flattened recurrences. Returns MHz.
+pub(crate) fn achieved_frequency(
+    device: &Device,
+    resources: &ResourceUsage,
+    max_replication: f64,
+    deep_logic: f64,
+) -> f64 {
+    let mut f = device.target_mhz;
+    let (_, _, ffu, lutu) = resources.utilization(device);
+    let congestion = ffu.max(lutu);
+    if congestion > 0.45 {
+        f *= 1.0 - 0.5 * (congestion - 0.45);
+    }
+    if max_replication > 64.0 {
+        f *= (64.0 / max_replication).powf(0.12);
+    }
+    if deep_logic > 24.0 {
+        // Deep carry/compare chains (e.g. flattened DP wavefronts) force
+        // long routes: the systolic S-W shape lands near 100 MHz.
+        f *= (24.0 / deep_logic).powf(0.35);
+    }
+    // P&R timing closure snaps to 10 MHz steps on the F1 shell clocks and
+    // never closes below 60 MHz on this device.
+    let f = f.max(60.0);
+    (f / 10.0).round() * 10.0
+}
+
+#[cfg(test)]
+mod freq_tests {
+    use super::*;
+
+    #[test]
+    fn nominal_design_hits_target() {
+        let d = Device::vu9p();
+        let r = ResourceUsage {
+            bram_18k: 100.0,
+            dsp: 50.0,
+            ff: 50_000.0,
+            lut: 40_000.0,
+        };
+        assert_eq!(achieved_frequency(&d, &r, 4.0, 0.0), 250.0);
+    }
+
+    #[test]
+    fn deep_logic_halves_frequency() {
+        let d = Device::vu9p();
+        let r = ResourceUsage::new();
+        let f = achieved_frequency(&d, &r, 4.0, 300.0);
+        assert!(f <= 130.0, "deep logic should degrade clock, got {f}");
+        assert!(f >= 60.0);
+    }
+
+    #[test]
+    fn congestion_degrades_frequency() {
+        let d = Device::vu9p();
+        let r = ResourceUsage {
+            bram_18k: 0.0,
+            dsp: 0.0,
+            ff: 0.0,
+            lut: d.lut as f64 * 0.74,
+        };
+        let f = achieved_frequency(&d, &r, 4.0, 0.0);
+        assert!(f < 250.0);
+        assert!(f >= 200.0);
+    }
+}

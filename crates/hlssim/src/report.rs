@@ -1,0 +1,220 @@
+//! Vivado-HLS-style synthesis report rendering.
+//!
+//! After "running HLS" on a design point, users of the real flow read a
+//! report: timing, a latency/II table per loop, and a utilization table.
+//! [`render`] produces that artifact for a ([`KernelSummary`],
+//! [`DesignConfig`], [`Estimate`]) triple — the `s2fa-cli` tool and the
+//! pipeline surface it to users.
+
+use crate::{Device, Estimate};
+use s2fa_hlsir::{KernelSummary, PipelineMode};
+use s2fa_merlin::DesignConfig;
+use std::fmt::Write as _;
+
+/// Renders a synthesis report for one evaluated design.
+pub fn render(
+    summary: &KernelSummary,
+    config: &DesignConfig,
+    estimate: &Estimate,
+    device: &Device,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Synthesis Report for '{}' ==", summary.name);
+    let _ = writeln!(out, "* Device: {}", device.name);
+    let _ = writeln!(
+        out,
+        "* Verdict: {}",
+        if estimate.is_feasible() {
+            "PASSED".to_string()
+        } else {
+            format!("FAILED ({:?})", estimate.feasibility)
+        }
+    );
+    out.push('\n');
+
+    let _ = writeln!(out, "-- Timing ------------------------------------------");
+    let _ = writeln!(
+        out,
+        "  target clock: {:.0} MHz | achieved: {:.0} MHz",
+        device.target_mhz, estimate.freq_mhz
+    );
+    out.push('\n');
+
+    let _ = writeln!(out, "-- Performance -------------------------------------");
+    let _ = writeln!(
+        out,
+        "  batch of {} tasks: {} compute cycles, {} transfer cycles, {} total",
+        estimate.batch_tasks,
+        estimate.compute_cycles,
+        estimate.transfer_cycles,
+        estimate.total_cycles
+    );
+    let _ = writeln!(
+        out,
+        "  batch time {:.4} ms | {:.0} tasks/s | critical II {:.0}",
+        estimate.time_ms,
+        estimate.tasks_per_second(),
+        estimate.ii_critical
+    );
+    out.push('\n');
+
+    let _ = writeln!(out, "-- Loop Directives ---------------------------------");
+    let _ = writeln!(
+        out,
+        "  {:<6} {:>10} {:>6} {:>9} {:>9} {:>6} {:>6}",
+        "Loop", "TripCount", "Depth", "Pipeline", "Parallel", "Tile", "Tree"
+    );
+    for l in &summary.loops {
+        let d = config.loop_directive(l.id);
+        let _ = writeln!(
+            out,
+            "  {:<6} {:>10} {:>6} {:>9} {:>9} {:>6} {:>6}",
+            l.id.to_string(),
+            l.trip_count,
+            l.depth,
+            match d.pipeline {
+                PipelineMode::Off => "off",
+                PipelineMode::On => "on",
+                PipelineMode::Flatten => "flatten",
+            },
+            d.parallel_factor(),
+            d.tile.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+            if d.tree_reduce { "yes" } else { "-" }
+        );
+    }
+    out.push('\n');
+
+    let _ = writeln!(out, "-- Interface ----------------------------------------");
+    for b in &summary.buffers {
+        if b.dir == s2fa_hlsir::BufferDir::Local {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<10} {:?}{} elem {} bits x {} per task, port {} bits",
+            b.name,
+            b.dir,
+            if b.broadcast { " (broadcast)" } else { "" },
+            b.elem_bits,
+            b.len,
+            config.buffer_width(&b.name)
+        );
+    }
+    out.push('\n');
+
+    let (ub, ud, uf, ul) = estimate.resources.utilization(device);
+    let _ = writeln!(out, "-- Utilization -------------------------------------");
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>12} {:>12} {:>6}",
+        "Resource", "Used", "Available", "Util"
+    );
+    let rows = [
+        (
+            "BRAM18K",
+            estimate.resources.bram_18k,
+            device.bram_18k as f64,
+            ub,
+        ),
+        ("DSP48", estimate.resources.dsp, device.dsp as f64, ud),
+        ("FF", estimate.resources.ff, device.ff as f64, uf),
+        ("LUT", estimate.resources.lut, device.lut as f64, ul),
+    ];
+    for (name, used, avail, util) in rows {
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>12.0} {:>12.0} {:>5.0}%",
+            name,
+            used,
+            avail,
+            util * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (cap {:.0}% — the remainder is vendor shell logic)",
+        device.max_util * 100.0
+    );
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "-- Tool time: {:.1} virtual minutes of HLS --------------",
+        estimate.hls_minutes
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Estimator;
+    use s2fa_hlsir::{BufferDir, BufferInfo, LoopId, LoopInfo, OpCounts};
+
+    fn summary() -> KernelSummary {
+        KernelSummary {
+            name: "demo".into(),
+            loops: vec![LoopInfo {
+                id: LoopId(0),
+                var: "i".into(),
+                trip_count: 256,
+                depth: 0,
+                parent: None,
+                children: vec![],
+                body_ops: {
+                    let mut o = OpCounts::new();
+                    o.fadd = 2;
+                    o.mem_read = 1;
+                    o
+                },
+                accesses: vec![],
+                carried: None,
+            }],
+            buffers: vec![BufferInfo {
+                name: "in_1".into(),
+                elem_bits: 32,
+                len: 4,
+                dir: BufferDir::In,
+                broadcast: true,
+            }],
+            task_loop: LoopId(0),
+            tasks_hint: 256,
+        }
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let s = summary();
+        let est = Estimator::new();
+        let cfg = DesignConfig::perf_seed(&s);
+        let e = est.evaluate(&s, &cfg);
+        let r = render(&s, &cfg, &e, est.device());
+        for section in [
+            "Synthesis Report",
+            "Timing",
+            "Performance",
+            "Loop Directives",
+            "Interface",
+            "Utilization",
+            "BRAM18K",
+            "broadcast",
+            "virtual minutes",
+        ] {
+            assert!(r.contains(section), "missing `{section}` in:\n{r}");
+        }
+    }
+
+    #[test]
+    fn failed_designs_say_so() {
+        let s = summary();
+        let est = Estimator::new();
+        let mut cfg = DesignConfig::perf_seed(&s);
+        cfg.loop_directive_mut(LoopId(0)).parallel = 256;
+        let e = est.evaluate(&s, &cfg);
+        let r = render(&s, &cfg, &e, est.device());
+        if !e.is_feasible() {
+            assert!(r.contains("FAILED"));
+        } else {
+            assert!(r.contains("PASSED"));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Resource accounting.
+
+use crate::device::Device;
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Absolute resource usage of a design.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResourceUsage {
+    /// BRAM18K blocks.
+    pub bram_18k: f64,
+    /// DSP48 slices.
+    pub dsp: f64,
+    /// Flip-flops.
+    pub ff: f64,
+    /// LUTs.
+    pub lut: f64,
+}
+
+impl ResourceUsage {
+    /// Zero usage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Utilization fractions against a device, in the order
+    /// `(bram, dsp, ff, lut)`.
+    pub fn utilization(&self, device: &Device) -> (f64, f64, f64, f64) {
+        (
+            self.bram_18k / device.bram_18k as f64,
+            self.dsp / device.dsp as f64,
+            self.ff / device.ff as f64,
+            self.lut / device.lut as f64,
+        )
+    }
+
+    /// The largest utilization fraction.
+    pub fn max_utilization(&self, device: &Device) -> f64 {
+        let (b, d, f, l) = self.utilization(device);
+        b.max(d).max(f).max(l)
+    }
+
+    /// Name of the most-utilized resource.
+    pub fn bottleneck(&self, device: &Device) -> &'static str {
+        let (b, d, f, l) = self.utilization(device);
+        let m = b.max(d).max(f).max(l);
+        if m == b {
+            "BRAM"
+        } else if m == d {
+            "DSP"
+        } else if m == f {
+            "FF"
+        } else {
+            "LUT"
+        }
+    }
+
+    /// Scales all resources by a factor (PE replication).
+    pub fn scaled(&self, k: f64) -> ResourceUsage {
+        ResourceUsage {
+            bram_18k: self.bram_18k * k,
+            dsp: self.dsp * k,
+            ff: self.ff * k,
+            lut: self.lut * k,
+        }
+    }
+}
+
+impl AddAssign for ResourceUsage {
+    fn add_assign(&mut self, rhs: ResourceUsage) {
+        self.bram_18k += rhs.bram_18k;
+        self.dsp += rhs.dsp;
+        self.ff += rhs.ff;
+        self.lut += rhs.lut;
+    }
+}
+
+impl fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bram={:.0} dsp={:.0} ff={:.0} lut={:.0}",
+            self.bram_18k, self.dsp, self.ff, self.lut
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_and_bottleneck() {
+        let d = Device::vu9p();
+        let mut u = ResourceUsage::new();
+        u.bram_18k = 2160.0; // 50%
+        u.dsp = 684.0; // 10%
+        u.lut = 118_224.0; // 10%
+        let (b, ds, _, l) = u.utilization(&d);
+        assert!((b - 0.5).abs() < 1e-9);
+        assert!((ds - 0.1).abs() < 1e-9);
+        assert!((l - 0.1).abs() < 1e-9);
+        assert_eq!(u.bottleneck(&d), "BRAM");
+        assert!((u.max_utilization(&d) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = ResourceUsage {
+            bram_18k: 1.0,
+            dsp: 2.0,
+            ff: 3.0,
+            lut: 4.0,
+        };
+        a += a;
+        assert_eq!(a.dsp, 4.0);
+        let s = a.scaled(2.5);
+        assert_eq!(s.lut, 20.0);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # s2fa-merlin — the Merlin-compiler transformation library substitute
+//!
+//! S2FA includes "a transformation library of the Merlin compiler ... for
+//! C/C++ to FPGA compilation, to include code transformation into the design
+//! space. The Merlin transformation library provides a set of pragmas for
+//! useful code transformations such as loop tiling, tree reduction,
+//! coarse-grained parallelism, and so forth" (§3.2).
+//!
+//! This crate provides that vocabulary over the `s2fa-hlsir` AST:
+//!
+//! * [`DesignConfig`] — one point of Table 1's design space: per-loop
+//!   {tile, parallel, pipeline} directives plus per-buffer bit-widths;
+//! * [`DesignConfig::normalize`] — the factor-dependency rules (Impediment
+//!   2): a `flatten` pipeline invalidates every directive of its sub-loops,
+//!   parallelization of a non-reducible recurrence is rejected, factors are
+//!   clamped to trip counts;
+//! * [`transform`] — real source-to-source rewrites (tiling, unrolling,
+//!   directive application) producing the final HLS C the user would ship;
+//! * seed constructors ([`DesignConfig::perf_seed`],
+//!   [`DesignConfig::area_seed`]) used by the DSE seed-generation strategy
+//!   (§4.3.2).
+
+pub mod config;
+pub mod transform;
+
+pub use config::{DesignConfig, LoopDirective};
+pub use transform::{
+    apply_directives, apply_structural, tile_loop, unroll_loop, TransformError, TransformReport,
+};

@@ -1,0 +1,503 @@
+//! Source-to-source transformations over the HLS C AST.
+//!
+//! Two layers, mirroring how the Merlin compiler works:
+//!
+//! * [`apply_directives`] attaches a [`DesignConfig`]'s directives to the
+//!   AST as loop attributes (rendered as `#pragma ACCEL` lines). This is
+//!   what the DSE evaluates — the analytical HLS model interprets the
+//!   attributes directly.
+//! * [`tile_loop`] / [`unroll_loop`] perform the *actual* structural
+//!   rewrites for the final design source. They preserve semantics — the
+//!   `s2fa-hlsir` executor produces bit-identical results before and after
+//!   (property-tested).
+
+use crate::config::DesignConfig;
+use s2fa_hlsir::{CBinOp, CFunction, CNumKind, Expr, LValue, LoopId, Stmt};
+use std::fmt;
+
+/// Errors from structural transformations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformError {
+    /// The loop id does not exist in the function.
+    NoSuchLoop(LoopId),
+    /// The loop's trip count is not a compile-time constant.
+    DynamicBound(LoopId),
+    /// The factor does not divide the trip count (S2FA restricts structural
+    /// unrolling to even splits; the remainder case is handled by the
+    /// analytic model only).
+    NonDividingFactor {
+        /// The loop being transformed.
+        id: LoopId,
+        /// Its trip count.
+        tc: u32,
+        /// The rejected factor.
+        factor: u32,
+    },
+    /// Factor out of the legal range.
+    BadFactor {
+        /// The loop being transformed.
+        id: LoopId,
+        /// The out-of-range factor.
+        factor: u32,
+    },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::NoSuchLoop(id) => write!(f, "no loop {id} in function"),
+            TransformError::DynamicBound(id) => {
+                write!(f, "loop {id} has a dynamic bound; cannot restructure")
+            }
+            TransformError::NonDividingFactor { id, tc, factor } => {
+                write!(f, "factor {factor} does not divide trip count {tc} of {id}")
+            }
+            TransformError::BadFactor { id, factor } => {
+                write!(f, "factor {factor} is out of range for {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Record of the directives applied to a function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransformReport {
+    /// Human-readable pragma lines, one per applied directive.
+    pub applied: Vec<String>,
+}
+
+/// Attaches every directive in `config` to the corresponding loop of `f`.
+///
+/// Unknown loop ids in the config are ignored (they may refer to loops
+/// invalidated by an earlier structural rewrite).
+pub fn apply_directives(f: &mut CFunction, config: &DesignConfig) -> TransformReport {
+    let mut report = TransformReport::default();
+    for (&id, d) in &config.loops {
+        if let Some(Stmt::For { attrs, .. }) = f.loop_mut(id) {
+            attrs.pipeline = d.pipeline;
+            attrs.parallel = d.parallel_factor();
+            attrs.tile = d.tile;
+            attrs.tree_reduce = d.tree_reduce;
+            if d.pipeline != s2fa_hlsir::PipelineMode::Off {
+                report
+                    .applied
+                    .push(format!("{id}: pipeline {}", d.pipeline));
+            }
+            if d.parallel_factor() > 1 {
+                report
+                    .applied
+                    .push(format!("{id}: parallel factor={}", d.parallel_factor()));
+            }
+            if let Some(t) = d.tile {
+                report.applied.push(format!("{id}: tile factor={t}"));
+            }
+            if d.tree_reduce {
+                report.applied.push(format!("{id}: tree reduction"));
+            }
+        }
+    }
+    report
+}
+
+/// Splits loop `id` (trip count `tc`) into an outer loop of `tc / factor`
+/// iterations and a fresh inner loop of `factor` iterations, substituting
+/// `var -> var_o * factor + var_i` in the body. Returns the new inner
+/// loop's id.
+///
+/// # Errors
+///
+/// See [`TransformError`]; in particular `factor` must divide the trip
+/// count and lie strictly between 1 and `tc`.
+pub fn tile_loop(f: &mut CFunction, id: LoopId, factor: u32) -> Result<LoopId, TransformError> {
+    let fresh = next_loop_id(f);
+    let target = f.loop_mut(id).ok_or(TransformError::NoSuchLoop(id))?;
+    let (old_var, tc, attrs, old_body) = match &*target {
+        Stmt::For {
+            var,
+            trip_count,
+            attrs,
+            body,
+            ..
+        } => (
+            var.clone(),
+            trip_count.ok_or(TransformError::DynamicBound(id))?,
+            *attrs,
+            body.clone(),
+        ),
+        _ => unreachable!("loop_mut only returns For"),
+    };
+    if factor <= 1 || factor >= tc {
+        return Err(TransformError::BadFactor { id, factor });
+    }
+    if tc % factor != 0 {
+        return Err(TransformError::NonDividingFactor { id, tc, factor });
+    }
+    let outer_var = format!("{old_var}_o");
+    let inner_var = format!("{old_var}_i");
+    let flat = Expr::bin(
+        CBinOp::Add,
+        CNumKind::I32,
+        Expr::bin(
+            CBinOp::Mul,
+            CNumKind::I32,
+            Expr::var(outer_var.clone()),
+            Expr::ConstI(factor as i64),
+        ),
+        Expr::var(inner_var.clone()),
+    );
+    let new_body: Vec<Stmt> = old_body
+        .iter()
+        .map(|s| subst_stmt(s, &old_var, &flat))
+        .collect();
+    let inner = Stmt::For {
+        id: fresh,
+        var: inner_var,
+        bound: Expr::ConstI(factor as i64),
+        trip_count: Some(factor),
+        attrs: Default::default(),
+        body: new_body,
+    };
+    *target = Stmt::For {
+        id,
+        var: outer_var,
+        bound: Expr::ConstI((tc / factor) as i64),
+        trip_count: Some(tc / factor),
+        attrs,
+        body: vec![inner],
+    };
+    Ok(fresh)
+}
+
+/// Fully replicates the body of loop `id` `factor` times, dividing the
+/// trip count — the structural form of `#pragma ACCEL parallel`.
+///
+/// # Errors
+///
+/// `factor` must divide the constant trip count.
+pub fn unroll_loop(f: &mut CFunction, id: LoopId, factor: u32) -> Result<(), TransformError> {
+    let target = f.loop_mut(id).ok_or(TransformError::NoSuchLoop(id))?;
+    let Stmt::For {
+        var,
+        trip_count,
+        body,
+        ..
+    } = target
+    else {
+        unreachable!("loop_mut only returns For")
+    };
+    let tc = trip_count.ok_or(TransformError::DynamicBound(id))?;
+    if factor == 0 || factor > tc {
+        return Err(TransformError::BadFactor { id, factor });
+    }
+    if tc % factor != 0 {
+        return Err(TransformError::NonDividingFactor { id, tc, factor });
+    }
+    if factor == 1 {
+        return Ok(());
+    }
+    let old_var = var.clone();
+    let mut new_body = Vec::with_capacity(body.len() * factor as usize);
+    for k in 0..factor {
+        // var -> var * factor + k
+        let rep = Expr::bin(
+            CBinOp::Add,
+            CNumKind::I32,
+            Expr::bin(
+                CBinOp::Mul,
+                CNumKind::I32,
+                Expr::var(old_var.clone()),
+                Expr::ConstI(factor as i64),
+            ),
+            Expr::ConstI(k as i64),
+        );
+        for s in body.iter() {
+            new_body.push(subst_stmt(s, &old_var, &rep));
+        }
+    }
+    *body = new_body;
+    *trip_count = Some(tc / factor);
+    if let Stmt::For { bound, .. } = target {
+        *bound = Expr::ConstI((tc / factor) as i64);
+    }
+    Ok(())
+}
+
+fn next_loop_id(f: &CFunction) -> LoopId {
+    LoopId(
+        f.loop_ids()
+            .iter()
+            .map(|l| l.0)
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0),
+    )
+}
+
+/// Substitutes every read of variable `name` in `s` with `rep`.
+fn subst_stmt(s: &Stmt, name: &str, rep: &Expr) -> Stmt {
+    match s {
+        Stmt::DeclArr { .. } => s.clone(),
+        Stmt::Decl { name: n, ty, init } => Stmt::Decl {
+            name: n.clone(),
+            ty: *ty,
+            init: init.as_ref().map(|e| subst_expr(e, name, rep)),
+        },
+        Stmt::Assign { lhs, rhs } => Stmt::Assign {
+            lhs: match lhs {
+                LValue::Var(n) => LValue::Var(n.clone()),
+                LValue::Index(n, i) => LValue::Index(n.clone(), Box::new(subst_expr(i, name, rep))),
+            },
+            rhs: subst_expr(rhs, name, rep),
+        },
+        Stmt::For {
+            id,
+            var,
+            bound,
+            trip_count,
+            attrs,
+            body,
+        } => Stmt::For {
+            id: *id,
+            var: var.clone(),
+            bound: subst_expr(bound, name, rep),
+            trip_count: *trip_count,
+            attrs: *attrs,
+            // inner loop shadowing its own var would stop substitution, but
+            // generated code never shadows
+            body: if var == name {
+                body.clone()
+            } else {
+                body.iter().map(|s| subst_stmt(s, name, rep)).collect()
+            },
+        },
+        Stmt::If { cond, then, els } => Stmt::If {
+            cond: subst_expr(cond, name, rep),
+            then: then.iter().map(|s| subst_stmt(s, name, rep)).collect(),
+            els: els.iter().map(|s| subst_stmt(s, name, rep)).collect(),
+        },
+    }
+}
+
+fn subst_expr(e: &Expr, name: &str, rep: &Expr) -> Expr {
+    match e {
+        Expr::ConstI(_) | Expr::ConstF(_) => e.clone(),
+        Expr::Var(n) => {
+            if n == name {
+                rep.clone()
+            } else {
+                e.clone()
+            }
+        }
+        Expr::Index(n, i) => Expr::Index(n.clone(), Box::new(subst_expr(i, name, rep))),
+        Expr::Bin(op, k, a, b) => Expr::Bin(
+            *op,
+            *k,
+            Box::new(subst_expr(a, name, rep)),
+            Box::new(subst_expr(b, name, rep)),
+        ),
+        Expr::Neg(k, a) => Expr::Neg(*k, Box::new(subst_expr(a, name, rep))),
+        Expr::Call(f, k, args) => Expr::Call(
+            *f,
+            *k,
+            args.iter().map(|a| subst_expr(a, name, rep)).collect(),
+        ),
+        Expr::Cast(from, to, a) => Expr::Cast(*from, *to, Box::new(subst_expr(a, name, rep))),
+        Expr::Select(c, a, b) => Expr::Select(
+            Box::new(subst_expr(c, name, rep)),
+            Box::new(subst_expr(a, name, rep)),
+            Box::new(subst_expr(b, name, rep)),
+        ),
+    }
+}
+
+/// Applies a configuration *structurally* where possible: inner loops with
+/// a constant trip count divisible by their tile factor are actually split
+/// (the Merlin source-to-source rewrite), and the remaining directives are
+/// attached as attributes. The task loop's tile (a runtime-bounded loop)
+/// always stays an attribute — it is realized by the runtime's batch
+/// staging, not by loop restructuring.
+///
+/// Returns the transformed function and the report of what was applied.
+/// Structural rewrites preserve semantics (property-tested), so the result
+/// is safe to execute and to ship as the final design source.
+pub fn apply_structural(f: &CFunction, config: &DesignConfig) -> (CFunction, TransformReport) {
+    let mut out = f.clone();
+    let mut report = TransformReport::default();
+    // Structural tiling first: it creates fresh inner loops, so directives
+    // are re-applied afterwards against the surviving loop ids.
+    let mut remaining = config.clone();
+    for (&id, d) in &config.loops {
+        let Some(t) = d.tile else { continue };
+        let tc = match out.loop_stmt(id) {
+            Some(Stmt::For { trip_count, .. }) => *trip_count,
+            _ => None,
+        };
+        let Some(tc) = tc else { continue };
+        if t > 1 && t < tc && tc % t == 0 {
+            if let Ok(inner) = tile_loop(&mut out, id, t) {
+                report.applied.push(format!(
+                    "{id}: structural tile factor={t} (new inner {inner})"
+                ));
+                if let Some(dir) = remaining.loops.get_mut(&id) {
+                    // the factor is now realized in the structure
+                    dir.tile = None;
+                }
+            }
+        }
+    }
+    let attr_report = apply_directives(&mut out, &remaining);
+    report.applied.extend(attr_report.applied);
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2fa_hlsir::{CType, CVal, Executor, LoopAttrs, Param, ParamKind, PipelineMode};
+    use std::collections::BTreeMap;
+
+    /// out[i] = in[i] + i, for i in 0..16
+    fn add_index_kernel() -> CFunction {
+        CFunction {
+            name: "k".into(),
+            params: vec![
+                Param {
+                    name: "in_1".into(),
+                    ty: CType::Int(32),
+                    kind: ParamKind::BufIn,
+                    elems_per_task: Some(1),
+                    broadcast: false,
+                },
+                Param {
+                    name: "out_1".into(),
+                    ty: CType::Int(32),
+                    kind: ParamKind::BufOut,
+                    elems_per_task: Some(1),
+                    broadcast: false,
+                },
+            ],
+            body: vec![Stmt::counted_for(
+                LoopId(0),
+                "i",
+                16,
+                vec![Stmt::Assign {
+                    lhs: LValue::Index("out_1".into(), Box::new(Expr::var("i"))),
+                    rhs: Expr::iadd(Expr::index("in_1", Expr::var("i")), Expr::var("i")),
+                }],
+            )],
+        }
+    }
+
+    fn run(f: &CFunction) -> Vec<CVal> {
+        let mut buffers = BTreeMap::new();
+        buffers.insert(
+            "in_1".to_string(),
+            (0..16).map(|v| CVal::I(v * 10)).collect::<Vec<_>>(),
+        );
+        buffers.insert("out_1".to_string(), vec![CVal::I(0); 16]);
+        Executor::new(f)
+            .run(&BTreeMap::new(), &mut buffers)
+            .unwrap();
+        buffers.remove("out_1").unwrap()
+    }
+
+    #[test]
+    fn tiling_preserves_semantics() {
+        let base = add_index_kernel();
+        let expected = run(&base);
+        let mut tiled = base.clone();
+        let inner = tile_loop(&mut tiled, LoopId(0), 4).unwrap();
+        assert_ne!(inner, LoopId(0));
+        assert_eq!(tiled.loop_ids().len(), 2);
+        assert_eq!(run(&tiled), expected);
+    }
+
+    #[test]
+    fn unrolling_preserves_semantics() {
+        let base = add_index_kernel();
+        let expected = run(&base);
+        for factor in [2, 4, 8, 16] {
+            let mut u = base.clone();
+            unroll_loop(&mut u, LoopId(0), factor).unwrap();
+            assert_eq!(run(&u), expected, "factor {factor}");
+        }
+    }
+
+    #[test]
+    fn tile_then_unroll_inner() {
+        let base = add_index_kernel();
+        let expected = run(&base);
+        let mut t = base.clone();
+        let inner = tile_loop(&mut t, LoopId(0), 8).unwrap();
+        unroll_loop(&mut t, inner, 8).unwrap();
+        assert_eq!(run(&t), expected);
+    }
+
+    #[test]
+    fn non_dividing_factor_rejected() {
+        let mut f = add_index_kernel();
+        assert!(matches!(
+            tile_loop(&mut f, LoopId(0), 3),
+            Err(TransformError::NonDividingFactor { .. })
+        ));
+        assert!(matches!(
+            unroll_loop(&mut f, LoopId(0), 5),
+            Err(TransformError::NonDividingFactor { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_loop_and_factor_errors() {
+        let mut f = add_index_kernel();
+        assert!(matches!(
+            tile_loop(&mut f, LoopId(7), 4),
+            Err(TransformError::NoSuchLoop(_))
+        ));
+        assert!(matches!(
+            tile_loop(&mut f, LoopId(0), 1),
+            Err(TransformError::BadFactor { .. })
+        ));
+        assert!(matches!(
+            tile_loop(&mut f, LoopId(0), 16),
+            Err(TransformError::BadFactor { .. })
+        ));
+    }
+
+    #[test]
+    fn directives_set_attrs_and_report() {
+        let mut f = add_index_kernel();
+        let mut cfg = DesignConfig::new();
+        {
+            let d = cfg.loop_directive_mut(LoopId(0));
+            d.parallel = 4;
+            d.pipeline = PipelineMode::On;
+            d.tile = Some(8);
+        }
+        let report = apply_directives(&mut f, &cfg);
+        assert_eq!(report.applied.len(), 3);
+        if let Some(Stmt::For { attrs, .. }) = f.loop_stmt(LoopId(0)) {
+            assert_eq!(
+                *attrs,
+                LoopAttrs {
+                    pipeline: PipelineMode::On,
+                    parallel: 4,
+                    tile: Some(8),
+                    tree_reduce: false
+                }
+            );
+        } else {
+            panic!("loop missing");
+        }
+    }
+
+    #[test]
+    fn directives_for_unknown_loops_ignored() {
+        let mut f = add_index_kernel();
+        let mut cfg = DesignConfig::new();
+        cfg.loop_directive_mut(LoopId(42)).parallel = 4;
+        let report = apply_directives(&mut f, &cfg);
+        assert!(report.applied.is_empty());
+    }
+}

@@ -1,0 +1,1126 @@
+//! Structured kernel builder — the `scalac` stand-in.
+//!
+//! S2FA's users write Scala lambdas; the Scala compiler lowers them to JVM
+//! bytecode, which is S2FA's real input. This module plays the role of the
+//! Scala compiler: workloads are written against a small structured AST
+//! ([`Expr`] / statement methods on [`FnBuilder`]) and lowered to stack
+//! bytecode with the same canonical shapes `scalac`/`javac` produce
+//! (condition-inverted `if` branches, bottom-tested loops rendered as
+//! top-tested with a back-edge `goto`).
+//!
+//! The bytecode-to-C compiler downstream never sees this builder — only the
+//! resulting [`Method`] bytecode — so the "semantic gap" the paper describes
+//! (tuples, constructors, virtual getters in bytecode) is faithfully posed.
+//!
+//! ```
+//! use s2fa_sjvm::builder::{Expr, FnBuilder};
+//! use s2fa_sjvm::{ClassTable, JType, MethodTable};
+//!
+//! // def call(x: Int): Int = { var s = 0; for (i <- 0 until x) s += i; s }
+//! let mut f = FnBuilder::new("call", &[("x", JType::Int)], Some(JType::Int));
+//! let x = f.param(0);
+//! let s = f.local("s", JType::Int);
+//! let i = f.local("i", JType::Int);
+//! f.set(s, Expr::const_i(0));
+//! f.for_loop(i, Expr::const_i(0), Expr::local(x), |f| {
+//!     f.set(s, Expr::local(s).add(Expr::local(i)));
+//! });
+//! f.ret(Expr::local(s));
+//!
+//! let mut classes = ClassTable::new();
+//! let mut methods = MethodTable::new();
+//! let method = f.finish(&mut classes, &mut methods)?;
+//! # Ok::<(), s2fa_sjvm::SjvmError>(())
+//! ```
+
+use crate::bytecode::{Cond, MathFn, NumKind, Op};
+use crate::class::{ClassId, ClassTable};
+use crate::method::{Method, MethodId, MethodTable};
+use crate::ty::JType;
+use crate::SjvmError;
+
+/// Identifier of a local variable slot inside a [`FnBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LocalId(pub u16);
+
+/// A builder-level expression tree.
+///
+/// Construct leaves with [`Expr::const_i`], [`Expr::const_f`],
+/// [`Expr::local`], then combine with the method combinators
+/// ([`Expr::add`], [`Expr::index`], [`Expr::field`], ...).
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Integer literal (`Int` unless built via [`Expr::const_l`]).
+    ConstI(i64, NumKind),
+    /// Float literal (`Double` unless built via [`Expr::const_f32`]).
+    ConstF(f64, NumKind),
+    /// The `null` reference.
+    Null,
+    /// A local variable.
+    Local(LocalId),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// Intrinsic math call.
+    Math(MathFn, Vec<Expr>),
+    /// Numeric conversion.
+    Cast(Box<Expr>, NumKind),
+    /// Array element read: `base[idx]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Array length.
+    Len(Box<Expr>),
+    /// Field read: `obj.name` (a virtual getter like Scala's `_1`).
+    Field(Box<Expr>, String),
+    /// Allocation of a constant-length array.
+    NewArray(JType, u32),
+    /// `new C(args...)` — a constructor call assigning fields positionally.
+    NewObj(ClassId, Vec<Expr>),
+    /// Virtual call `obj.name(args...)`.
+    Invoke(Box<Expr>, String, Vec<Expr>),
+    /// Static call into the method table.
+    InvokeStatic(MethodId, Vec<Expr>),
+    /// Comparison producing a boolean (valid as `if`/`while` condition and
+    /// inside [`Expr::select`]).
+    Cmp(Cond, Box<Expr>, Box<Expr>),
+    /// Ternary select `cond ? a : b`; lowered to a branch.
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// Binary arithmetic operators available on [`Expr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `>>>`
+    UShr,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+}
+
+// The combinator names deliberately mirror the JVM instruction mnemonics
+// (`add`, `div`, `neg`, ...) so kernels read like the bytecode they lower
+// to; the equivalent `std::ops` operators are also implemented below.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    /// `Int` literal.
+    pub fn const_i(v: i64) -> Expr {
+        Expr::ConstI(v, NumKind::Int)
+    }
+
+    /// `Long` literal.
+    pub fn const_l(v: i64) -> Expr {
+        Expr::ConstI(v, NumKind::Long)
+    }
+
+    /// `Double` literal.
+    pub fn const_f(v: f64) -> Expr {
+        Expr::ConstF(v, NumKind::Double)
+    }
+
+    /// `Float` literal.
+    pub fn const_f32(v: f64) -> Expr {
+        Expr::ConstF(v, NumKind::Float)
+    }
+
+    /// Local variable reference.
+    pub fn local(id: LocalId) -> Expr {
+        Expr::Local(id)
+    }
+
+    fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Add, rhs)
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Sub, rhs)
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Mul, rhs)
+    }
+
+    /// `self / rhs`.
+    pub fn div(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Div, rhs)
+    }
+
+    /// `self % rhs`.
+    pub fn rem(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Rem, rhs)
+    }
+
+    /// `self << rhs` (integral only).
+    pub fn shl(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Shl, rhs)
+    }
+
+    /// `self >> rhs` (integral only).
+    pub fn shr(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Shr, rhs)
+    }
+
+    /// `self >>> rhs` (integral only).
+    pub fn ushr(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::UShr, rhs)
+    }
+
+    /// Bitwise `self & rhs` (integral only).
+    pub fn bitand(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::And, rhs)
+    }
+
+    /// Bitwise `self | rhs` (integral only).
+    pub fn bitor(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Or, rhs)
+    }
+
+    /// Bitwise `self ^ rhs` (integral only).
+    pub fn bitxor(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Xor, rhs)
+    }
+
+    /// `-self`.
+    pub fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+
+    /// `Math.exp(self)`.
+    pub fn exp(self) -> Expr {
+        Expr::Math(MathFn::Exp, vec![self])
+    }
+
+    /// `Math.log(self)`.
+    pub fn log(self) -> Expr {
+        Expr::Math(MathFn::Log, vec![self])
+    }
+
+    /// `Math.sqrt(self)`.
+    pub fn sqrt(self) -> Expr {
+        Expr::Math(MathFn::Sqrt, vec![self])
+    }
+
+    /// `Math.abs(self)`.
+    pub fn abs(self) -> Expr {
+        Expr::Math(MathFn::Abs, vec![self])
+    }
+
+    /// `Math.min(self, rhs)`.
+    pub fn min(self, rhs: Expr) -> Expr {
+        Expr::Math(MathFn::Min, vec![self, rhs])
+    }
+
+    /// `Math.max(self, rhs)`.
+    pub fn max(self, rhs: Expr) -> Expr {
+        Expr::Math(MathFn::Max, vec![self, rhs])
+    }
+
+    /// Numeric conversion to `kind`.
+    pub fn cast(self, kind: NumKind) -> Expr {
+        Expr::Cast(Box::new(self), kind)
+    }
+
+    /// Array element read `self[idx]`.
+    pub fn index(self, idx: Expr) -> Expr {
+        Expr::Index(Box::new(self), Box::new(idx))
+    }
+
+    /// Array length `self.length`.
+    pub fn len(self) -> Expr {
+        Expr::Len(Box::new(self))
+    }
+
+    /// Field read `self.name` (e.g. `._1` on a tuple).
+    pub fn field(self, name: impl Into<String>) -> Expr {
+        Expr::Field(Box::new(self), name.into())
+    }
+
+    /// Virtual call `self.name(args)`.
+    pub fn invoke(self, name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Invoke(Box::new(self), name.into(), args)
+    }
+
+    /// `self == rhs`.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Cond::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self != rhs`.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Cond::Ne, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Cond::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Cond::Le, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Cond::Gt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Cond::Ge, Box::new(self), Box::new(rhs))
+    }
+
+    /// `cond ? self : other` — `self` is the condition; prefer the
+    /// free-standing form [`Expr::select`].
+    pub fn select(cond: Expr, then: Expr, otherwise: Expr) -> Expr {
+        Expr::Select(Box::new(cond), Box::new(then), Box::new(otherwise))
+    }
+}
+
+// Operator sugar: `a + b` is equivalent to `a.add(b)`, and so on. Only the
+// arithmetic operators are provided — comparisons stay methods because
+// `PartialOrd` must return `bool`, not an expression tree.
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::mul(self, rhs)
+    }
+}
+
+impl std::ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::div(self, rhs)
+    }
+}
+
+impl std::ops::Rem for Expr {
+    type Output = Expr;
+    fn rem(self, rhs: Expr) -> Expr {
+        Expr::rem(self, rhs)
+    }
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::neg(self)
+    }
+}
+
+/// Structured statements collected by the builder before lowering.
+#[derive(Debug, Clone)]
+enum BStmt {
+    Set(LocalId, Expr),
+    SetIndex {
+        arr: Expr,
+        idx: Expr,
+        val: Expr,
+    },
+    SetField {
+        obj: Expr,
+        field: String,
+        val: Expr,
+    },
+    If {
+        cond: Expr,
+        then: Vec<BStmt>,
+        els: Vec<BStmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<BStmt>,
+    },
+    Ret(Option<Expr>),
+}
+
+/// Builds one method: declare locals, emit structured statements, then
+/// [`FnBuilder::finish`] lowers everything to verified-shape bytecode.
+///
+/// See the [module documentation](self) for an end-to-end example.
+#[derive(Debug)]
+pub struct FnBuilder {
+    name: String,
+    params: Vec<JType>,
+    ret: Option<JType>,
+    local_names: Vec<String>,
+    local_types: Vec<JType>,
+    /// Stack of open statement frames; frame 0 is the method body.
+    frames: Vec<Vec<BStmt>>,
+}
+
+impl FnBuilder {
+    /// Starts building a static method / lambda with the given signature.
+    pub fn new(name: impl Into<String>, params: &[(&str, JType)], ret: Option<JType>) -> Self {
+        FnBuilder {
+            name: name.into(),
+            params: params.iter().map(|(_, t)| t.clone()).collect(),
+            ret,
+            local_names: params.iter().map(|(n, _)| (*n).to_string()).collect(),
+            local_types: params.iter().map(|(_, t)| t.clone()).collect(),
+            frames: vec![Vec::new()],
+        }
+    }
+
+    /// Starts building a virtual method: local slot 0 is the receiver
+    /// (`this`) of class `class`.
+    pub fn method(
+        name: impl Into<String>,
+        class: ClassId,
+        params: &[(&str, JType)],
+        ret: Option<JType>,
+    ) -> Self {
+        let mut all = vec![("this", JType::Ref(class))];
+        all.extend(params.iter().map(|(n, t)| (*n, t.clone())));
+        let refs: Vec<(&str, JType)> = all;
+        FnBuilder::new(name, &refs, ret)
+    }
+
+    /// The `i`-th parameter's local slot (for virtual methods, slot 0 is
+    /// `this` and the first declared parameter is `param(1)`).
+    pub fn param(&self, i: u16) -> LocalId {
+        assert!(
+            (i as usize) < self.params.len(),
+            "parameter index {i} out of range"
+        );
+        LocalId(i)
+    }
+
+    /// Declares a new local variable and returns its slot.
+    pub fn local(&mut self, name: impl Into<String>, ty: JType) -> LocalId {
+        let id = LocalId(self.local_names.len() as u16);
+        self.local_names.push(name.into());
+        self.local_types.push(ty);
+        id
+    }
+
+    fn push(&mut self, s: BStmt) {
+        self.frames
+            .last_mut()
+            .expect("builder frame stack is never empty")
+            .push(s);
+    }
+
+    /// `local = value`.
+    pub fn set(&mut self, local: LocalId, value: Expr) {
+        self.push(BStmt::Set(local, value));
+    }
+
+    /// `arr[idx] = value`.
+    pub fn set_index(&mut self, arr: Expr, idx: Expr, value: Expr) {
+        self.push(BStmt::SetIndex {
+            arr,
+            idx,
+            val: value,
+        });
+    }
+
+    /// `obj.field = value`.
+    pub fn set_field(&mut self, obj: Expr, field: impl Into<String>, value: Expr) {
+        self.push(BStmt::SetField {
+            obj,
+            field: field.into(),
+            val: value,
+        });
+    }
+
+    /// `if (cond) { body(this) }`.
+    pub fn if_then(&mut self, cond: Expr, body: impl FnOnce(&mut Self)) {
+        self.frames.push(Vec::new());
+        body(self);
+        let then = self.frames.pop().expect("frame pushed above");
+        self.push(BStmt::If {
+            cond,
+            then,
+            els: Vec::new(),
+        });
+    }
+
+    /// `if (cond) { then(this) } else { otherwise(this) }`.
+    pub fn if_else(
+        &mut self,
+        cond: Expr,
+        then: impl FnOnce(&mut Self),
+        otherwise: impl FnOnce(&mut Self),
+    ) {
+        self.frames.push(Vec::new());
+        then(self);
+        let t = self.frames.pop().expect("frame pushed above");
+        self.frames.push(Vec::new());
+        otherwise(self);
+        let e = self.frames.pop().expect("frame pushed above");
+        self.push(BStmt::If {
+            cond,
+            then: t,
+            els: e,
+        });
+    }
+
+    /// `while (cond) { body(this) }`.
+    pub fn while_loop(&mut self, cond: Expr, body: impl FnOnce(&mut Self)) {
+        self.frames.push(Vec::new());
+        body(self);
+        let b = self.frames.pop().expect("frame pushed above");
+        self.push(BStmt::While { cond, body: b });
+    }
+
+    /// `for (var <- start until end) { body(this) }` — the canonical
+    /// counted loop that `scalac` desugars to a while.
+    pub fn for_loop(&mut self, var: LocalId, start: Expr, end: Expr, body: impl FnOnce(&mut Self)) {
+        self.set(var, start);
+        self.frames.push(Vec::new());
+        body(self);
+        let mut b = self.frames.pop().expect("frame pushed above");
+        b.push(BStmt::Set(var, Expr::local(var).add(Expr::const_i(1))));
+        self.push(BStmt::While {
+            cond: Expr::local(var).lt(end),
+            body: b,
+        });
+    }
+
+    /// `return value`.
+    pub fn ret(&mut self, value: Expr) {
+        self.push(BStmt::Ret(Some(value)));
+    }
+
+    /// `return` (void).
+    pub fn ret_void(&mut self) {
+        self.push(BStmt::Ret(None));
+    }
+
+    /// Lowers the structured body to bytecode and registers the method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SjvmError::Build`] on type mismatches, unknown fields, or
+    /// unresolvable virtual calls.
+    pub fn finish(
+        self,
+        classes: &mut ClassTable,
+        methods: &mut MethodTable,
+    ) -> Result<MethodId, SjvmError> {
+        let FnBuilder {
+            name,
+            params,
+            ret,
+            local_names,
+            local_types,
+            mut frames,
+        } = self;
+        let body = frames.pop().expect("frame stack is never empty");
+        debug_assert!(frames.is_empty(), "unbalanced builder frames");
+        let mut lower = Lowerer {
+            classes,
+            methods,
+            local_types: local_types.clone(),
+            local_names: local_names.clone(),
+            code: Vec::new(),
+        };
+        lower.stmts(&body)?;
+        // Implicit void return at the end (javac does the same).
+        if ret.is_none() && !matches!(lower.code.last(), Some(Op::Return)) {
+            lower.code.push(Op::Return);
+        }
+        let method = Method {
+            name,
+            params,
+            ret,
+            n_locals: lower.local_types.len() as u16,
+            local_names: lower.local_names,
+            local_types: lower.local_types,
+            code: lower.code,
+        };
+        Ok(methods.add(method))
+    }
+}
+
+/// Lowering context: walks the structured tree and emits bytecode.
+struct Lowerer<'a> {
+    classes: &'a mut ClassTable,
+    methods: &'a MethodTable,
+    local_types: Vec<JType>,
+    local_names: Vec<String>,
+    code: Vec<Op>,
+}
+
+impl Lowerer<'_> {
+    fn err(msg: impl Into<String>) -> SjvmError {
+        SjvmError::Build(msg.into())
+    }
+
+    fn fresh_temp(&mut self, ty: JType) -> LocalId {
+        let id = LocalId(self.local_types.len() as u16);
+        self.local_names.push(format!("$t{}", id.0));
+        self.local_types.push(ty);
+        id
+    }
+
+    fn stmts(&mut self, list: &[BStmt]) -> Result<(), SjvmError> {
+        for s in list {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &BStmt) -> Result<(), SjvmError> {
+        match s {
+            BStmt::Set(local, e) => {
+                self.expr(e)?;
+                self.code.push(Op::Store(local.0));
+            }
+            BStmt::SetIndex { arr, idx, val } => {
+                self.expr(arr)?;
+                self.expr(idx)?;
+                self.expr(val)?;
+                self.code.push(Op::AStore);
+            }
+            BStmt::SetField { obj, field, val } => {
+                let obj_ty = self.infer(obj)?;
+                let class = match obj_ty {
+                    JType::Ref(c) => c,
+                    other => return Err(Self::err(format!("field store on non-object `{other}`"))),
+                };
+                let idx = self
+                    .classes
+                    .get(class)
+                    .field_index(field)
+                    .ok_or_else(|| Self::err(format!("unknown field `{field}`")))?;
+                self.expr(obj)?;
+                self.expr(val)?;
+                self.code.push(Op::PutField(class, idx));
+            }
+            BStmt::If { cond, then, els } => {
+                // javac shape: branch over `then` when the condition fails.
+                let else_jump = self.emit_branch_if_false(cond)?;
+                self.stmts(then)?;
+                if els.is_empty() {
+                    let end = self.code.len() as u32;
+                    self.patch(else_jump, end);
+                } else {
+                    let end_jump = self.code.len();
+                    self.code.push(Op::Goto(u32::MAX));
+                    let else_start = self.code.len() as u32;
+                    self.patch(else_jump, else_start);
+                    self.stmts(els)?;
+                    let end = self.code.len() as u32;
+                    self.patch(end_jump, end);
+                }
+            }
+            BStmt::While { cond, body } => {
+                let head = self.code.len() as u32;
+                let exit_jump = self.emit_branch_if_false(cond)?;
+                self.stmts(body)?;
+                self.code.push(Op::Goto(head));
+                let end = self.code.len() as u32;
+                self.patch(exit_jump, end);
+            }
+            BStmt::Ret(Some(e)) => {
+                self.expr(e)?;
+                self.code.push(Op::Return);
+            }
+            BStmt::Ret(None) => self.code.push(Op::Return),
+        }
+        Ok(())
+    }
+
+    /// Emits `cond` so that control *branches away* when it is false;
+    /// returns the index of the branch to patch.
+    fn emit_branch_if_false(&mut self, cond: &Expr) -> Result<usize, SjvmError> {
+        match cond {
+            Expr::Cmp(c, a, b) => {
+                let ka = self.num_kind(a)?;
+                let kb = self.num_kind(b)?;
+                if ka != kb {
+                    return Err(Self::err(format!(
+                        "comparison operand kinds differ: {ka:?} vs {kb:?}"
+                    )));
+                }
+                self.expr(a)?;
+                self.expr(b)?;
+                let at = self.code.len();
+                self.code.push(Op::IfCmp {
+                    kind: ka,
+                    cond: c.negate(),
+                    target: u32::MAX,
+                });
+                Ok(at)
+            }
+            other => {
+                // Treat as a boolean int: branch away when zero.
+                self.expr(other)?;
+                let at = self.code.len();
+                self.code.push(Op::IfZero {
+                    cond: Cond::Eq,
+                    target: u32::MAX,
+                });
+                Ok(at)
+            }
+        }
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Op::IfCmp { target: t, .. } | Op::IfZero { target: t, .. } | Op::Goto(t) => {
+                *t = target;
+            }
+            other => unreachable!("patching non-branch {other:?}"),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), SjvmError> {
+        match e {
+            Expr::ConstI(v, k) => {
+                self.code.push(Op::ConstI(*v));
+                if *k == NumKind::Long {
+                    // Literal kind is tracked only for type inference; the
+                    // interpreter stores all integers as i64.
+                }
+            }
+            Expr::ConstF(v, _) => self.code.push(Op::ConstF(*v)),
+            Expr::Null => self.code.push(Op::ConstNull),
+            Expr::Local(id) => self.code.push(Op::Load(id.0)),
+            Expr::Bin(op, a, b) => {
+                let ka = self.num_kind(a)?;
+                let kb = self.num_kind(b)?;
+                if ka != kb {
+                    return Err(Self::err(format!(
+                        "binary operand kinds differ: {ka:?} vs {kb:?}"
+                    )));
+                }
+                self.expr(a)?;
+                self.expr(b)?;
+                let op = match op {
+                    BinOp::Add => Op::Add(ka),
+                    BinOp::Sub => Op::Sub(ka),
+                    BinOp::Mul => Op::Mul(ka),
+                    BinOp::Div => Op::Div(ka),
+                    BinOp::Rem => Op::Rem(ka),
+                    BinOp::Shl => Op::Shl,
+                    BinOp::Shr => Op::Shr,
+                    BinOp::UShr => Op::UShr,
+                    BinOp::And => Op::And,
+                    BinOp::Or => Op::Or,
+                    BinOp::Xor => Op::Xor,
+                };
+                if matches!(
+                    op,
+                    Op::Shl | Op::Shr | Op::UShr | Op::And | Op::Or | Op::Xor
+                ) && ka.is_float()
+                {
+                    return Err(Self::err("bitwise operator on floating-point operands"));
+                }
+                self.code.push(op);
+            }
+            Expr::Neg(a) => {
+                let k = self.num_kind(a)?;
+                self.expr(a)?;
+                self.code.push(Op::Neg(k));
+            }
+            Expr::Math(f, args) => {
+                if args.len() != f.arity() {
+                    return Err(Self::err(format!(
+                        "Math.{} expects {} arguments, got {}",
+                        f.name(),
+                        f.arity(),
+                        args.len()
+                    )));
+                }
+                let k = self.num_kind(&args[0])?;
+                for a in args {
+                    self.expr(a)?;
+                }
+                self.code.push(Op::Math(*f, k));
+            }
+            Expr::Cast(a, to) => {
+                let from = self.num_kind(a)?;
+                self.expr(a)?;
+                if from != *to {
+                    self.code.push(Op::Cast { from, to: *to });
+                }
+            }
+            Expr::Index(base, idx) => {
+                self.expr(base)?;
+                self.expr(idx)?;
+                self.code.push(Op::ALoad);
+            }
+            Expr::Len(base) => {
+                self.expr(base)?;
+                self.code.push(Op::ArrayLen);
+            }
+            Expr::Field(obj, name) => {
+                let class = self.class_of(obj)?;
+                let idx = self
+                    .classes
+                    .get(class)
+                    .field_index(name)
+                    .ok_or_else(|| Self::err(format!("unknown field `{name}`")))?;
+                self.expr(obj)?;
+                self.code.push(Op::GetField(class, idx));
+            }
+            Expr::NewArray(elem, len) => {
+                self.code.push(Op::NewArray {
+                    elem: elem.clone(),
+                    len: *len,
+                });
+            }
+            Expr::NewObj(class, args) => {
+                let n_fields = self.classes.get(*class).fields.len();
+                if args.len() != n_fields {
+                    return Err(Self::err(format!(
+                        "constructor of {} expects {} arguments, got {}",
+                        self.classes.get(*class).name,
+                        n_fields,
+                        args.len()
+                    )));
+                }
+                self.code.push(Op::New(*class));
+                for (i, a) in args.iter().enumerate() {
+                    self.code.push(Op::Dup);
+                    self.expr(a)?;
+                    self.code.push(Op::PutField(*class, i as u16));
+                }
+            }
+            Expr::Invoke(obj, name, args) => {
+                let class = self.class_of(obj)?;
+                let method = *self
+                    .classes
+                    .get(class)
+                    .methods
+                    .get(name)
+                    .ok_or_else(|| Self::err(format!("unknown virtual method `{name}`")))?;
+                self.expr(obj)?;
+                for a in args {
+                    self.expr(a)?;
+                }
+                self.code.push(Op::InvokeVirtual { class, method });
+            }
+            Expr::InvokeStatic(id, args) => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                self.code.push(Op::InvokeStatic { method: *id });
+            }
+            Expr::Cmp(c, a, b) => {
+                // Materialize the boolean: javac emits a branch diamond.
+                let k = self.num_kind(a)?;
+                self.expr(a)?;
+                self.expr(b)?;
+                let br = self.code.len();
+                self.code.push(Op::IfCmp {
+                    kind: k,
+                    cond: *c,
+                    target: u32::MAX,
+                });
+                self.code.push(Op::ConstI(0));
+                let over = self.code.len();
+                self.code.push(Op::Goto(u32::MAX));
+                let t = self.code.len() as u32;
+                self.patch(br, t);
+                self.code.push(Op::ConstI(1));
+                let end = self.code.len() as u32;
+                self.patch(over, end);
+            }
+            Expr::Select(cond, a, b) => {
+                let ty = self.infer(a)?;
+                let tmp = self.fresh_temp(ty);
+                let else_jump = self.emit_branch_if_false(cond)?;
+                self.expr(a)?;
+                self.code.push(Op::Store(tmp.0));
+                let end_jump = self.code.len();
+                self.code.push(Op::Goto(u32::MAX));
+                let else_start = self.code.len() as u32;
+                self.patch(else_jump, else_start);
+                self.expr(b)?;
+                self.code.push(Op::Store(tmp.0));
+                let end = self.code.len() as u32;
+                self.patch(end_jump, end);
+                self.code.push(Op::Load(tmp.0));
+            }
+        }
+        Ok(())
+    }
+
+    fn class_of(&mut self, obj: &Expr) -> Result<ClassId, SjvmError> {
+        match self.infer(obj)? {
+            JType::Ref(c) => Ok(c),
+            other => Err(Self::err(format!(
+                "member access on non-object value of type `{other}`"
+            ))),
+        }
+    }
+
+    /// Numeric kind of an expression (errors on refs/arrays).
+    fn num_kind(&mut self, e: &Expr) -> Result<NumKind, SjvmError> {
+        match self.infer(e)? {
+            JType::Boolean | JType::Byte | JType::Char | JType::Short | JType::Int => {
+                Ok(NumKind::Int)
+            }
+            JType::Long => Ok(NumKind::Long),
+            JType::Float => Ok(NumKind::Float),
+            JType::Double => Ok(NumKind::Double),
+            other => Err(Self::err(format!(
+                "arithmetic on non-numeric value of type `{other}`"
+            ))),
+        }
+    }
+
+    /// Infers the [`JType`] of an expression from local declarations and the
+    /// class table.
+    fn infer(&mut self, e: &Expr) -> Result<JType, SjvmError> {
+        Ok(match e {
+            Expr::ConstI(_, k) | Expr::ConstF(_, k) => k.jtype(),
+            Expr::Null => {
+                return Err(Self::err("cannot infer the class of a bare null"));
+            }
+            Expr::Local(id) => self
+                .local_types
+                .get(id.0 as usize)
+                .cloned()
+                .ok_or_else(|| Self::err(format!("unknown local slot {}", id.0)))?,
+            Expr::Bin(op, a, _) => {
+                let t = self.infer(a)?;
+                match op {
+                    BinOp::Shl | BinOp::Shr | BinOp::UShr | BinOp::And | BinOp::Or | BinOp::Xor => {
+                        t
+                    }
+                    _ => t,
+                }
+            }
+            Expr::Neg(a) => self.infer(a)?,
+            Expr::Math(f, args) => match f {
+                MathFn::Min | MathFn::Max | MathFn::Abs => self.infer(&args[0])?,
+                _ => JType::Double,
+            },
+            Expr::Cast(_, to) => to.jtype(),
+            Expr::Index(base, _) => match self.infer(base)? {
+                JType::Array(e) => (*e).clone(),
+                other => {
+                    return Err(Self::err(format!(
+                        "indexing non-array value of type `{other}`"
+                    )))
+                }
+            },
+            Expr::Len(_) => JType::Int,
+            Expr::Field(obj, name) => {
+                let class = self.class_of(obj)?;
+                let def = self.classes.get(class);
+                def.fields
+                    .iter()
+                    .find(|f| &f.name == name)
+                    .map(|f| f.ty.clone())
+                    .ok_or_else(|| Self::err(format!("unknown field `{name}`")))?
+            }
+            Expr::NewArray(elem, _) => JType::array(elem.clone()),
+            Expr::NewObj(class, _) => JType::Ref(*class),
+            Expr::Invoke(obj, name, _) => {
+                let class = self.class_of(obj)?;
+                let method = *self
+                    .classes
+                    .get(class)
+                    .methods
+                    .get(name)
+                    .ok_or_else(|| Self::err(format!("unknown virtual method `{name}`")))?;
+                self.methods
+                    .get(method)
+                    .ret
+                    .clone()
+                    .ok_or_else(|| Self::err(format!("virtual method `{name}` returns void")))?
+            }
+            Expr::InvokeStatic(id, _) => self
+                .methods
+                .get(*id)
+                .ret
+                .clone()
+                .ok_or_else(|| Self::err("static call to a void method used as a value"))?,
+            Expr::Cmp(..) => JType::Boolean,
+            Expr::Select(_, a, _) => self.infer(a)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassTable;
+    use crate::method::MethodTable;
+
+    fn build<F: FnOnce(&mut FnBuilder)>(
+        params: &[(&str, JType)],
+        ret: Option<JType>,
+        f: F,
+    ) -> Method {
+        let mut b = FnBuilder::new("call", params, ret);
+        f(&mut b);
+        let mut classes = ClassTable::new();
+        let mut methods = MethodTable::new();
+        let id = b.finish(&mut classes, &mut methods).unwrap();
+        methods.get(id).clone()
+    }
+
+    #[test]
+    fn straight_line_lowering() {
+        let m = build(&[("x", JType::Int)], Some(JType::Int), |f| {
+            let x = f.param(0);
+            f.ret(Expr::local(x).add(Expr::const_i(1)));
+        });
+        assert_eq!(
+            m.code,
+            vec![
+                Op::Load(0),
+                Op::ConstI(1),
+                Op::Add(NumKind::Int),
+                Op::Return
+            ]
+        );
+    }
+
+    #[test]
+    fn if_shape_matches_javac() {
+        // if (x < 0) y = 1;  — javac: IfCmp(Ge) over the then-block.
+        let m = build(&[("x", JType::Int)], None, |f| {
+            let x = f.param(0);
+            let y = f.local("y", JType::Int);
+            f.if_then(Expr::local(x).lt(Expr::const_i(0)), |f| {
+                f.set(y, Expr::const_i(1));
+            });
+        });
+        assert!(matches!(
+            m.code[2],
+            Op::IfCmp {
+                cond: Cond::Ge,
+                target: 5,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn while_has_single_backedge() {
+        let m = build(&[("n", JType::Int)], Some(JType::Int), |f| {
+            let n = f.param(0);
+            let i = f.local("i", JType::Int);
+            f.set(i, Expr::const_i(0));
+            f.while_loop(Expr::local(i).lt(Expr::local(n)), |f| {
+                f.set(i, Expr::local(i).add(Expr::const_i(1)));
+            });
+            f.ret(Expr::local(i));
+        });
+        let backedges: Vec<_> = m
+            .code
+            .iter()
+            .enumerate()
+            .filter(|(pc, op)| op.branch_target().is_some_and(|t| (t as usize) <= *pc))
+            .collect();
+        assert_eq!(backedges.len(), 1, "{}", m.disassemble());
+    }
+
+    #[test]
+    fn for_loop_desugars_to_while() {
+        let m = build(&[("n", JType::Int)], None, |f| {
+            let n = f.param(0);
+            let i = f.local("i", JType::Int);
+            f.for_loop(i, Expr::const_i(0), Expr::local(n), |_| {});
+        });
+        // init + cond + incr + goto
+        assert!(m.code.iter().any(|o| matches!(o, Op::Goto(_))));
+    }
+
+    #[test]
+    fn kind_mismatch_is_a_build_error() {
+        let mut b = FnBuilder::new("f", &[("x", JType::Int)], Some(JType::Int));
+        let x = b.param(0);
+        b.ret(Expr::local(x).add(Expr::const_f(1.0)));
+        let mut classes = ClassTable::new();
+        let mut methods = MethodTable::new();
+        assert!(matches!(
+            b.finish(&mut classes, &mut methods),
+            Err(SjvmError::Build(_))
+        ));
+    }
+
+    #[test]
+    fn constructor_emits_new_dup_putfield() {
+        let mut classes = ClassTable::new();
+        let pair = classes.define_tuple2(JType::Int, JType::Int);
+        let mut b = FnBuilder::new("f", &[], Some(JType::Ref(pair)));
+        b.ret(Expr::NewObj(pair, vec![Expr::const_i(1), Expr::const_i(2)]));
+        let mut methods = MethodTable::new();
+        let id = b.finish(&mut classes, &mut methods).unwrap();
+        let code = &methods.get(id).code;
+        assert!(matches!(code[0], Op::New(_)));
+        assert!(matches!(code[1], Op::Dup));
+        assert!(matches!(code[3], Op::PutField(_, 0)));
+        assert!(matches!(code[6], Op::PutField(_, 1)));
+    }
+
+    #[test]
+    fn field_access_emits_getfield() {
+        let mut classes = ClassTable::new();
+        let pair = classes.define_tuple2(JType::Double, JType::Double);
+        let mut b = FnBuilder::new("f", &[("p", JType::Ref(pair))], Some(JType::Double));
+        let p = b.param(0);
+        b.ret(Expr::local(p).field("_1").add(Expr::local(p).field("_2")));
+        let mut methods = MethodTable::new();
+        let id = b.finish(&mut classes, &mut methods).unwrap();
+        let n_get = methods
+            .get(id)
+            .code
+            .iter()
+            .filter(|o| matches!(o, Op::GetField(..)))
+            .count();
+        assert_eq!(n_get, 2);
+    }
+
+    #[test]
+    fn select_lowering_materializes_both_arms() {
+        let m = build(&[("x", JType::Int)], Some(JType::Int), |f| {
+            let x = f.param(0);
+            f.ret(Expr::select(
+                Expr::local(x).gt(Expr::const_i(0)),
+                Expr::const_i(1),
+                Expr::const_i(-1),
+            ));
+        });
+        assert!(m.code.iter().any(|o| matches!(o, Op::ConstI(1))));
+        assert!(m.code.iter().any(|o| matches!(o, Op::ConstI(-1))));
+        // select introduces a hidden temp local
+        assert!(m.n_locals >= 2);
+    }
+}

@@ -1,0 +1,338 @@
+//! The stack-machine bytecode.
+//!
+//! The instruction set is modelled on the JVM: an operand stack, a local
+//! variable array, typed arithmetic, field access, object/array allocation,
+//! virtual dispatch, and conditional branches with absolute instruction
+//! targets. It deviates from the real JVM only where the deviation is
+//! irrelevant to the compilation problem (single-slot longs/doubles, merged
+//! `iadd`/`ladd`/... into [`Op::Add`] with a [`NumKind`] tag).
+
+use crate::class::ClassId;
+use crate::method::MethodId;
+use crate::ty::JType;
+use std::fmt;
+
+/// Numeric kind tag on arithmetic instructions (the `i`/`l`/`f`/`d` prefix
+/// of JVM opcodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NumKind {
+    /// 32-bit integer.
+    Int,
+    /// 64-bit integer.
+    Long,
+    /// 32-bit IEEE float.
+    Float,
+    /// 64-bit IEEE float.
+    Double,
+}
+
+impl NumKind {
+    /// The corresponding [`JType`].
+    pub fn jtype(self) -> JType {
+        match self {
+            NumKind::Int => JType::Int,
+            NumKind::Long => JType::Long,
+            NumKind::Float => JType::Float,
+            NumKind::Double => JType::Double,
+        }
+    }
+
+    /// True for `Float`/`Double`.
+    pub fn is_float(self) -> bool {
+        matches!(self, NumKind::Float | NumKind::Double)
+    }
+}
+
+/// Comparison condition for branch instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl Cond {
+    /// Logical negation of the condition.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+
+    /// Evaluates the condition over an ordering-like signum (-1, 0, 1).
+    pub fn holds(self, signum: i32) -> bool {
+        match self {
+            Cond::Eq => signum == 0,
+            Cond::Ne => signum != 0,
+            Cond::Lt => signum < 0,
+            Cond::Le => signum <= 0,
+            Cond::Gt => signum > 0,
+            Cond::Ge => signum >= 0,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "==",
+            Cond::Ne => "!=",
+            Cond::Lt => "<",
+            Cond::Le => "<=",
+            Cond::Gt => ">",
+            Cond::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Intrinsic math functions (`java.lang.Math` statics the compiler knows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MathFn {
+    /// `Math.exp` — 1 argument.
+    Exp,
+    /// `Math.log` — 1 argument.
+    Log,
+    /// `Math.sqrt` — 1 argument.
+    Sqrt,
+    /// `Math.abs` — 1 argument.
+    Abs,
+    /// `Math.min` — 2 arguments.
+    Min,
+    /// `Math.max` — 2 arguments.
+    Max,
+}
+
+impl MathFn {
+    /// Number of operands popped from the stack.
+    pub fn arity(self) -> usize {
+        match self {
+            MathFn::Exp | MathFn::Log | MathFn::Sqrt | MathFn::Abs => 1,
+            MathFn::Min | MathFn::Max => 2,
+        }
+    }
+
+    /// The `java.lang.Math` method name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MathFn::Exp => "exp",
+            MathFn::Log => "log",
+            MathFn::Sqrt => "sqrt",
+            MathFn::Abs => "abs",
+            MathFn::Min => "min",
+            MathFn::Max => "max",
+        }
+    }
+}
+
+/// A bytecode instruction.
+///
+/// Branch targets are absolute indices into the method's code vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    // --- constants and locals -------------------------------------------
+    /// Push an integer constant.
+    ConstI(i64),
+    /// Push a floating-point constant.
+    ConstF(f64),
+    /// Push `null`.
+    ConstNull,
+    /// Push local variable `n`.
+    Load(u16),
+    /// Pop into local variable `n`.
+    Store(u16),
+
+    // --- arrays ----------------------------------------------------------
+    /// Allocate an array with a *constant* length (paper §3.3: dynamic
+    /// allocation is restricted to constant sizes) and push the reference.
+    NewArray {
+        /// Element type.
+        elem: JType,
+        /// Constant length.
+        len: u32,
+    },
+    /// Pop index, pop array ref, push element.
+    ALoad,
+    /// Pop value, pop index, pop array ref, store element.
+    AStore,
+    /// Pop array ref, push its length.
+    ArrayLen,
+
+    // --- objects ----------------------------------------------------------
+    /// Allocate an instance with zeroed fields and push the reference.
+    New(ClassId),
+    /// Pop object ref, push field `idx`.
+    GetField(ClassId, u16),
+    /// Pop value, pop object ref, store field `idx`.
+    PutField(ClassId, u16),
+    /// Virtual call: pops the arguments then the receiver, pushes the
+    /// return value (if any). `method` indexes the class's method map by
+    /// declaration order; resolution is by exact class (no inheritance).
+    InvokeVirtual {
+        /// Statically resolved receiver class.
+        class: ClassId,
+        /// Resolved method id.
+        method: MethodId,
+    },
+    /// Static call to another method in the same [`MethodTable`].
+    ///
+    /// [`MethodTable`]: crate::method::MethodTable
+    InvokeStatic {
+        /// Callee method id.
+        method: MethodId,
+    },
+
+    // --- arithmetic --------------------------------------------------------
+    /// Pop two, push their sum (`iadd`/`ladd`/`fadd`/`dadd`).
+    Add(NumKind),
+    /// Pop two, push their difference.
+    Sub(NumKind),
+    /// Pop two, push their product.
+    Mul(NumKind),
+    /// Pop two, push their quotient.
+    Div(NumKind),
+    /// Pop two, push the remainder.
+    Rem(NumKind),
+    /// Pop one, push its negation.
+    Neg(NumKind),
+    /// Integer shift left.
+    Shl,
+    /// Arithmetic shift right.
+    Shr,
+    /// Logical shift right.
+    UShr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Intrinsic math call; pops [`MathFn::arity`] operands.
+    Math(MathFn, NumKind),
+    /// Numeric conversion (`i2d`, `d2i`, ...).
+    Cast {
+        /// Source kind.
+        from: NumKind,
+        /// Destination kind.
+        to: NumKind,
+    },
+    /// Pop two numbers, push their comparison signum as an `Int`
+    /// (the JVM's `fcmpl`/`lcmp` family).
+    Cmp(NumKind),
+
+    // --- control flow ------------------------------------------------------
+    /// Pop two values, branch to `target` if `a cond b`.
+    IfCmp {
+        /// Operand kind.
+        kind: NumKind,
+        /// Comparison to take the branch on.
+        cond: Cond,
+        /// Absolute branch target.
+        target: u32,
+    },
+    /// Pop one value, branch to `target` if `v cond 0`.
+    IfZero {
+        /// Comparison against zero to take the branch on.
+        cond: Cond,
+        /// Absolute branch target.
+        target: u32,
+    },
+    /// Unconditional branch.
+    Goto(u32),
+    /// Return from the method, popping the return value if non-void.
+    Return,
+
+    // --- stack management ---------------------------------------------------
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+}
+
+impl Op {
+    /// Branch target of this instruction, if it is a branch.
+    pub fn branch_target(&self) -> Option<u32> {
+        match self {
+            Op::IfCmp { target, .. } | Op::IfZero { target, .. } | Op::Goto(target) => {
+                Some(*target)
+            }
+            _ => None,
+        }
+    }
+
+    /// True if this instruction is a conditional branch.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Op::IfCmp { .. } | Op::IfZero { .. })
+    }
+
+    /// True if control never falls through to the next instruction.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Op::Goto(_) | Op::Return)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_negate_roundtrip() {
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
+            assert_eq!(c.negate().negate(), c);
+            // negation flips truth for every signum
+            for s in [-1, 0, 1] {
+                assert_ne!(c.holds(s), c.negate().holds(s));
+            }
+        }
+    }
+
+    #[test]
+    fn cond_holds() {
+        assert!(Cond::Lt.holds(-1));
+        assert!(!Cond::Lt.holds(0));
+        assert!(Cond::Ge.holds(0));
+        assert!(Cond::Ne.holds(1));
+    }
+
+    #[test]
+    fn mathfn_arity() {
+        assert_eq!(MathFn::Exp.arity(), 1);
+        assert_eq!(MathFn::Max.arity(), 2);
+        assert_eq!(MathFn::Sqrt.name(), "sqrt");
+    }
+
+    #[test]
+    fn branch_metadata() {
+        assert_eq!(Op::Goto(7).branch_target(), Some(7));
+        assert!(Op::Goto(7).is_terminator());
+        assert!(!Op::Goto(7).is_cond_branch());
+        let br = Op::IfZero {
+            cond: Cond::Eq,
+            target: 3,
+        };
+        assert!(br.is_cond_branch());
+        assert!(!br.is_terminator());
+        assert_eq!(Op::Add(NumKind::Int).branch_target(), None);
+    }
+
+    #[test]
+    fn numkind_jtype() {
+        assert_eq!(NumKind::Double.jtype(), JType::Double);
+        assert!(NumKind::Float.is_float());
+        assert!(!NumKind::Long.is_float());
+    }
+}

@@ -1,0 +1,278 @@
+//! Class definitions and the class table.
+//!
+//! S2FA kernels use object-oriented constructs — tuples, case-class-like
+//! records, object arrays — which the bytecode-to-C compiler must flatten
+//! away (the paper's Challenge 1). This module models the minimum of the
+//! JVM class system needed to pose that problem: named classes with typed
+//! fields and virtual methods.
+//!
+//! Generic classes such as `scala.Tuple2[A, B]` are represented
+//! *monomorphized*: each distinct instantiation is a separate [`ClassDef`]
+//! (e.g. `Tuple2$FF` for `(Float, Float)`). This mirrors what the S2FA
+//! compiler reconstructs from erased bytecode plus the type-parameter
+//! descriptions it requires (§3.3 "Library calls").
+
+use crate::method::MethodId;
+use crate::ty::JType;
+use crate::SjvmError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a class in a [`ClassTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// A field of a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name (e.g. `_1` for the first element of a tuple).
+    pub name: String,
+    /// Declared type.
+    pub ty: JType,
+}
+
+/// A class definition: an ordered list of fields plus virtual methods.
+#[derive(Debug, Clone)]
+pub struct ClassDef {
+    /// Fully qualified name, e.g. `scala.Tuple2$DD`.
+    pub name: String,
+    /// Ordered fields; the constructor assigns them positionally.
+    pub fields: Vec<FieldDef>,
+    /// Virtual methods: name → method id in the [`MethodTable`].
+    ///
+    /// [`MethodTable`]: crate::method::MethodTable
+    pub methods: HashMap<String, MethodId>,
+}
+
+impl ClassDef {
+    /// Index of the field named `name`.
+    pub fn field_index(&self, name: &str) -> Option<u16> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as u16)
+    }
+}
+
+/// Registry of class definitions.
+///
+/// ```
+/// use s2fa_sjvm::{ClassTable, JType};
+///
+/// let mut classes = ClassTable::new();
+/// let pair = classes.define_tuple2(JType::Float, JType::Float);
+/// assert_eq!(classes.get(pair).fields.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClassTable {
+    defs: Vec<ClassDef>,
+    by_name: HashMap<String, ClassId>,
+}
+
+impl ClassTable {
+    /// Creates an empty class table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defines a new class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SjvmError::DuplicateClass`] if a class with the same name
+    /// already exists.
+    pub fn define(
+        &mut self,
+        name: impl Into<String>,
+        fields: Vec<FieldDef>,
+    ) -> Result<ClassId, SjvmError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(SjvmError::DuplicateClass(name));
+        }
+        let id = ClassId(self.defs.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.defs.push(ClassDef {
+            name,
+            fields,
+            methods: HashMap::new(),
+        });
+        Ok(id)
+    }
+
+    /// Defines (or returns the existing) monomorphized `scala.Tuple2`
+    /// instantiation for element types `(a, b)`.
+    pub fn define_tuple2(&mut self, a: JType, b: JType) -> ClassId {
+        let name = format!("scala.Tuple2${}${}", mangle(&a), mangle(&b));
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        self.define(
+            name,
+            vec![
+                FieldDef {
+                    name: "_1".into(),
+                    ty: a,
+                },
+                FieldDef {
+                    name: "_2".into(),
+                    ty: b,
+                },
+            ],
+        )
+        .expect("tuple class name is fresh")
+    }
+
+    /// Defines (or returns the existing) monomorphized `scala.Tuple3`.
+    pub fn define_tuple3(&mut self, a: JType, b: JType, c: JType) -> ClassId {
+        let name = format!("scala.Tuple3${}${}${}", mangle(&a), mangle(&b), mangle(&c));
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        self.define(
+            name,
+            vec![
+                FieldDef {
+                    name: "_1".into(),
+                    ty: a,
+                },
+                FieldDef {
+                    name: "_2".into(),
+                    ty: b,
+                },
+                FieldDef {
+                    name: "_3".into(),
+                    ty: c,
+                },
+            ],
+        )
+        .expect("tuple class name is fresh")
+    }
+
+    /// Attaches a virtual method to a class.
+    pub fn add_method(&mut self, class: ClassId, name: impl Into<String>, method: MethodId) {
+        self.defs[class.0 as usize]
+            .methods
+            .insert(name.into(), method);
+    }
+
+    /// Looks a class up by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn get(&self, id: ClassId) -> &ClassDef {
+        &self.defs[id.0 as usize]
+    }
+
+    /// Looks a class up by name.
+    pub fn by_name(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of classes defined.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True if no class has been defined.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Iterates over `(id, def)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &ClassDef)> {
+        self.defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (ClassId(i as u32), d))
+    }
+}
+
+fn mangle(ty: &JType) -> String {
+    match ty {
+        JType::Boolean => "Z".into(),
+        JType::Byte => "B".into(),
+        JType::Char => "C".into(),
+        JType::Short => "S".into(),
+        JType::Int => "I".into(),
+        JType::Long => "J".into(),
+        JType::Float => "F".into(),
+        JType::Double => "D".into(),
+        JType::Ref(id) => format!("L{}", id.0),
+        JType::Array(e) => format!("A{}", mangle(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_and_lookup() {
+        let mut t = ClassTable::new();
+        let id = t
+            .define(
+                "Point",
+                vec![
+                    FieldDef {
+                        name: "x".into(),
+                        ty: JType::Double,
+                    },
+                    FieldDef {
+                        name: "y".into(),
+                        ty: JType::Double,
+                    },
+                ],
+            )
+            .unwrap();
+        assert_eq!(t.by_name("Point"), Some(id));
+        assert_eq!(t.get(id).field_index("y"), Some(1));
+        assert_eq!(t.get(id).field_index("z"), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let mut t = ClassTable::new();
+        t.define("A", vec![]).unwrap();
+        assert!(matches!(
+            t.define("A", vec![]),
+            Err(SjvmError::DuplicateClass(_))
+        ));
+    }
+
+    #[test]
+    fn tuple2_is_memoized() {
+        let mut t = ClassTable::new();
+        let a = t.define_tuple2(JType::Float, JType::Int);
+        let b = t.define_tuple2(JType::Float, JType::Int);
+        let c = t.define_tuple2(JType::Int, JType::Float);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.get(a).fields[0].name, "_1");
+    }
+
+    #[test]
+    fn tuple_of_arrays_mangles_uniquely() {
+        let mut t = ClassTable::new();
+        let a = t.define_tuple2(JType::array(JType::Byte), JType::Int);
+        let b = t.define_tuple2(JType::Byte, JType::array(JType::Int));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tuple3_fields() {
+        let mut t = ClassTable::new();
+        let id = t.define_tuple3(JType::Int, JType::Int, JType::Double);
+        let d = t.get(id);
+        assert_eq!(d.fields.len(), 3);
+        assert_eq!(d.fields[2].ty, JType::Double);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the JVM substrate.
+
+use std::fmt;
+
+/// Errors raised while building, verifying, or executing bytecode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SjvmError {
+    /// A class with this name already exists in the class table.
+    DuplicateClass(String),
+    /// Bytecode verification failed at the given instruction index.
+    Verify {
+        /// Instruction index of the violation.
+        pc: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The interpreter hit a runtime fault (type confusion, OOB, ...).
+    Runtime(String),
+    /// A builder misuse (e.g. unknown local, type mismatch in DSL).
+    Build(String),
+    /// Interpreter executed more instructions than the configured fuel.
+    OutOfFuel,
+}
+
+impl fmt::Display for SjvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SjvmError::DuplicateClass(n) => write!(f, "class `{n}` is already defined"),
+            SjvmError::Verify { pc, reason } => {
+                write!(f, "bytecode verification failed at pc {pc}: {reason}")
+            }
+            SjvmError::Runtime(m) => write!(f, "runtime fault: {m}"),
+            SjvmError::Build(m) => write!(f, "kernel builder error: {m}"),
+            SjvmError::OutOfFuel => write!(f, "interpreter exceeded its instruction budget"),
+        }
+    }
+}
+
+impl std::error::Error for SjvmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = SjvmError::DuplicateClass("A".into());
+        assert_eq!(e.to_string(), "class `A` is already defined");
+        let e = SjvmError::Verify {
+            pc: 3,
+            reason: "stack underflow".into(),
+        };
+        assert!(e.to_string().contains("pc 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SjvmError>();
+    }
+}

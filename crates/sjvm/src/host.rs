@@ -1,0 +1,187 @@
+//! Host-side dynamic values.
+//!
+//! [`HostValue`] is the representation of Spark records on the host (driver)
+//! side — the analogue of JVM objects seen through Java reflection. The
+//! Blaze substrate serializes these into the flat buffers the accelerator
+//! interface expects, and the interpreter materializes them onto its heap
+//! when a lambda runs on the "JVM" path.
+//!
+//! Typing is structural at this boundary: a [`HostValue::Tuple`] matches any
+//! monomorphized tuple class with the same arity, and a [`HostValue::Str`]
+//! matches a `char[]`/`byte[]` parameter, mirroring how Blaze's reflection
+//! bridge reorganizes objects to fit the accelerator interface.
+
+use std::fmt;
+
+/// A dynamically-typed host value (a JVM object seen via reflection).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostValue {
+    /// Any integral primitive (boolean/byte/char/short/int/long).
+    I(i64),
+    /// Any floating primitive (float/double).
+    F(f64),
+    /// An array.
+    Arr(Vec<HostValue>),
+    /// A tuple object (`scala.TupleN`); fields in order.
+    Tuple(Vec<HostValue>),
+    /// A named object with positional fields.
+    Obj(String, Vec<HostValue>),
+    /// A `java.lang.String`, handed to kernels as a char array.
+    Str(String),
+}
+
+impl HostValue {
+    /// Builds a `Tuple2`.
+    pub fn pair(a: HostValue, b: HostValue) -> HostValue {
+        HostValue::Tuple(vec![a, b])
+    }
+
+    /// Builds an array of `f64` values.
+    pub fn f64_array(values: &[f64]) -> HostValue {
+        HostValue::Arr(values.iter().map(|&v| HostValue::F(v)).collect())
+    }
+
+    /// Builds an array of `i64` values.
+    pub fn i64_array(values: &[i64]) -> HostValue {
+        HostValue::Arr(values.iter().map(|&v| HostValue::I(v)).collect())
+    }
+
+    /// The integer payload, if this is an integral value.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            HostValue::I(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if this is a floating value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            HostValue::F(v) => Some(*v),
+            HostValue::I(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array or tuple.
+    pub fn elements(&self) -> Option<&[HostValue]> {
+        match self {
+            HostValue::Arr(v) | HostValue::Tuple(v) | HostValue::Obj(_, v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Total number of primitive leaves in this value (useful for sizing
+    /// serialized buffers).
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            HostValue::I(_) | HostValue::F(_) => 1,
+            HostValue::Str(s) => s.len(),
+            HostValue::Arr(v) | HostValue::Tuple(v) | HostValue::Obj(_, v) => {
+                v.iter().map(HostValue::leaf_count).sum()
+            }
+        }
+    }
+}
+
+impl From<i64> for HostValue {
+    fn from(v: i64) -> Self {
+        HostValue::I(v)
+    }
+}
+
+impl From<i32> for HostValue {
+    fn from(v: i32) -> Self {
+        HostValue::I(v as i64)
+    }
+}
+
+impl From<f64> for HostValue {
+    fn from(v: f64) -> Self {
+        HostValue::F(v)
+    }
+}
+
+impl From<&str> for HostValue {
+    fn from(v: &str) -> Self {
+        HostValue::Str(v.to_string())
+    }
+}
+
+impl fmt::Display for HostValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostValue::I(v) => write!(f, "{v}"),
+            HostValue::F(v) => write!(f, "{v}"),
+            HostValue::Str(s) => write!(f, "{s:?}"),
+            HostValue::Arr(v) => {
+                write!(f, "[")?;
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+            HostValue::Tuple(v) => {
+                write!(f, "(")?;
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            HostValue::Obj(name, v) => {
+                write!(f, "{name}(")?;
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let v = HostValue::pair(HostValue::I(1), HostValue::f64_array(&[1.0, 2.0]));
+        assert_eq!(v.elements().unwrap().len(), 2);
+        assert_eq!(v.elements().unwrap()[0].as_i64(), Some(1));
+        assert_eq!(v.leaf_count(), 3);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(HostValue::from(3i32), HostValue::I(3));
+        assert_eq!(HostValue::from(2.5), HostValue::F(2.5));
+        assert_eq!(HostValue::from("ab"), HostValue::Str("ab".into()));
+    }
+
+    #[test]
+    fn string_leaves_count_chars() {
+        assert_eq!(HostValue::Str("abcd".into()).leaf_count(), 4);
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let v = HostValue::pair(HostValue::I(1), HostValue::Str("x".into()));
+        assert_eq!(v.to_string(), "(1, \"x\")");
+        assert_eq!(HostValue::i64_array(&[1, 2]).to_string(), "[1, 2]");
+    }
+
+    #[test]
+    fn as_f64_widens_ints() {
+        assert_eq!(HostValue::I(3).as_f64(), Some(3.0));
+        assert_eq!(HostValue::Str("x".into()).as_f64(), None);
+    }
+}

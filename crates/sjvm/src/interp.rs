@@ -1,0 +1,788 @@
+//! Bytecode interpreter — the "JVM" of the reproduction.
+//!
+//! Executes verified bytecode over a managed heap. It serves two roles:
+//!
+//! 1. **Correctness oracle**: the bytecode-to-C compiler's output is
+//!    cross-checked against this interpreter on random inputs (the C IR has
+//!    its own executor in `s2fa-hlsir`).
+//! 2. **JVM baseline**: execution accumulates nanoseconds from
+//!    [`JvmCostModel`], producing the single-threaded Spark-executor time
+//!    that Fig. 4 speedups are computed against.
+//!
+//! ## Numeric semantics
+//!
+//! `Int` arithmetic wraps at 32 bits; `Long` at 64 bits; `Float` rounds
+//! through `f32`; bitwise operators act on the 64-bit two's-complement
+//! representation. The HLS IR executor mirrors these semantics exactly so
+//! functional equivalence is well-defined.
+
+use crate::bytecode::{MathFn, NumKind, Op};
+use crate::class::ClassTable;
+use crate::cost::JvmCostModel;
+use crate::host::HostValue;
+use crate::method::{MethodId, MethodTable};
+use crate::ty::JType;
+use crate::SjvmError;
+
+/// A runtime value on the operand stack or in a local slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integral (boolean/byte/char/short/int/long).
+    I(i64),
+    /// Floating (float/double).
+    F(f64),
+    /// Heap reference.
+    Ref(usize),
+    /// The null reference.
+    Null,
+}
+
+impl Value {
+    fn as_i(self) -> Result<i64, SjvmError> {
+        match self {
+            Value::I(v) => Ok(v),
+            other => Err(SjvmError::Runtime(format!("expected int, got {other:?}"))),
+        }
+    }
+
+    fn as_f(self) -> Result<f64, SjvmError> {
+        match self {
+            Value::F(v) => Ok(v),
+            Value::I(v) => Ok(v as f64),
+            other => Err(SjvmError::Runtime(format!("expected float, got {other:?}"))),
+        }
+    }
+
+    fn as_ref(self) -> Result<usize, SjvmError> {
+        match self {
+            Value::Ref(r) => Ok(r),
+            Value::Null => Err(SjvmError::Runtime("null pointer dereference".into())),
+            other => Err(SjvmError::Runtime(format!("expected ref, got {other:?}"))),
+        }
+    }
+}
+
+/// A heap cell: an object with fields or an array of values.
+#[derive(Debug, Clone)]
+enum HeapCell {
+    Obj { fields: Vec<Value> },
+    Arr { elems: Vec<Value> },
+}
+
+/// Execution statistics accumulated during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Modelled JVM time in nanoseconds.
+    pub ns: f64,
+    /// Objects and arrays allocated.
+    pub allocations: u64,
+    /// Peak operand-stack + frame depth (number of nested calls).
+    pub max_call_depth: u32,
+}
+
+impl ExecStats {
+    /// Merges another run's statistics into `self`.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.instructions += other.instructions;
+        self.ns += other.ns;
+        self.allocations += other.allocations;
+        self.max_call_depth = self.max_call_depth.max(other.max_call_depth);
+    }
+}
+
+/// The interpreter. Borrows the program (classes + methods) and owns the
+/// heap of the current run.
+pub struct Interp<'p> {
+    classes: &'p ClassTable,
+    methods: &'p MethodTable,
+    cost: JvmCostModel,
+    heap: Vec<HeapCell>,
+    stats: ExecStats,
+    fuel: u64,
+    depth: u32,
+}
+
+/// Default instruction budget per [`Interp::run`] call.
+pub const DEFAULT_FUEL: u64 = 500_000_000;
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter with the default cost model and fuel.
+    pub fn new(classes: &'p ClassTable, methods: &'p MethodTable) -> Self {
+        Interp {
+            classes,
+            methods,
+            cost: JvmCostModel::default(),
+            heap: Vec::new(),
+            stats: ExecStats::default(),
+            fuel: DEFAULT_FUEL,
+            depth: 0,
+        }
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost_model(mut self, cost: JvmCostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Replaces the instruction budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Runs `method` with host arguments, returning the host result and the
+    /// statistics of this call (heap and stats reset per call).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SjvmError::Runtime`] on dynamic faults (type confusion,
+    /// out-of-bounds, null dereference, division by zero) and
+    /// [`SjvmError::OutOfFuel`] if the instruction budget is exhausted.
+    pub fn run(
+        &mut self,
+        method: MethodId,
+        args: &[HostValue],
+    ) -> Result<(HostValue, ExecStats), SjvmError> {
+        self.heap.clear();
+        self.stats = ExecStats::default();
+        self.depth = 0;
+        let m = self.methods.get(method);
+        if args.len() != m.params.len() {
+            return Err(SjvmError::Runtime(format!(
+                "method `{}` takes {} arguments, got {}",
+                m.name,
+                m.params.len(),
+                args.len()
+            )));
+        }
+        let mut vals = Vec::with_capacity(args.len());
+        // Pre-compute to avoid borrowing self.methods mutably later.
+        let param_tys: Vec<JType> = m.params.clone();
+        let ret_ty = m.ret.clone();
+        for (a, ty) in args.iter().zip(&param_tys) {
+            let v = self.host_to_value(a, ty)?;
+            vals.push(v);
+        }
+        let result = self.call(method, &vals)?;
+        let host = match (&result, &ret_ty) {
+            (Some(v), Some(ty)) => self.value_to_host(*v, ty)?,
+            (None, None) => HostValue::Tuple(vec![]),
+            _ => {
+                return Err(SjvmError::Runtime(
+                    "return arity does not match signature".into(),
+                ))
+            }
+        };
+        Ok((host, self.stats))
+    }
+
+    /// Executes a method call with already-converted argument values.
+    fn call(&mut self, method: MethodId, args: &[Value]) -> Result<Option<Value>, SjvmError> {
+        self.depth += 1;
+        self.stats.max_call_depth = self.stats.max_call_depth.max(self.depth);
+        if self.depth > 256 {
+            return Err(SjvmError::Runtime("call stack overflow".into()));
+        }
+        let m = self.methods.get(method);
+        let code = m.code.clone(); // clone keeps borrowck simple; methods are small
+        let has_ret = m.ret.is_some();
+        let mut locals = vec![Value::I(0); m.n_locals as usize];
+        locals[..args.len()].copy_from_slice(args);
+        let mut stack: Vec<Value> = Vec::with_capacity(16);
+        let mut pc = 0usize;
+        loop {
+            if self.stats.instructions >= self.fuel {
+                return Err(SjvmError::OutOfFuel);
+            }
+            self.stats.instructions += 1;
+            let op = &code[pc];
+            self.stats.ns += self.cost.op_cost(op);
+            macro_rules! pop {
+                () => {
+                    stack
+                        .pop()
+                        .ok_or_else(|| SjvmError::Runtime("operand stack underflow".into()))?
+                };
+            }
+            match op {
+                Op::ConstI(v) => stack.push(Value::I(*v)),
+                Op::ConstF(v) => stack.push(Value::F(*v)),
+                Op::ConstNull => stack.push(Value::Null),
+                Op::Load(n) => stack.push(locals[*n as usize]),
+                Op::Store(n) => {
+                    let v = pop!();
+                    locals[*n as usize] = v;
+                }
+                Op::NewArray { len, .. } => {
+                    self.stats.allocations += 1;
+                    self.stats.ns += self.cost.ns_alloc_per_slot * *len as f64;
+                    let r = self.heap.len();
+                    self.heap.push(HeapCell::Arr {
+                        elems: vec![Value::I(0); *len as usize],
+                    });
+                    stack.push(Value::Ref(r));
+                }
+                Op::ALoad => {
+                    let idx = pop!().as_i()?;
+                    let arr = pop!().as_ref()?;
+                    let v = match &self.heap[arr] {
+                        HeapCell::Arr { elems } => *elems.get(idx as usize).ok_or_else(|| {
+                            SjvmError::Runtime(format!(
+                                "array index {idx} out of bounds ({})",
+                                elems.len()
+                            ))
+                        })?,
+                        _ => return Err(SjvmError::Runtime("aload on non-array".into())),
+                    };
+                    stack.push(v);
+                }
+                Op::AStore => {
+                    let val = pop!();
+                    let idx = pop!().as_i()?;
+                    let arr = pop!().as_ref()?;
+                    match &mut self.heap[arr] {
+                        HeapCell::Arr { elems } => {
+                            let len = elems.len();
+                            *elems.get_mut(idx as usize).ok_or_else(|| {
+                                SjvmError::Runtime(format!(
+                                    "array index {idx} out of bounds ({len})"
+                                ))
+                            })? = val;
+                        }
+                        _ => return Err(SjvmError::Runtime("astore on non-array".into())),
+                    }
+                }
+                Op::ArrayLen => {
+                    let arr = pop!().as_ref()?;
+                    let n = match &self.heap[arr] {
+                        HeapCell::Arr { elems } => elems.len(),
+                        _ => return Err(SjvmError::Runtime("arraylength on non-array".into())),
+                    };
+                    stack.push(Value::I(n as i64));
+                }
+                Op::New(class) => {
+                    let n = self.classes.get(*class).fields.len();
+                    self.stats.allocations += 1;
+                    self.stats.ns += self.cost.ns_alloc_per_slot * n as f64;
+                    let r = self.heap.len();
+                    self.heap.push(HeapCell::Obj {
+                        fields: vec![Value::I(0); n],
+                    });
+                    stack.push(Value::Ref(r));
+                }
+                Op::GetField(_, idx) => {
+                    let obj = pop!().as_ref()?;
+                    let v = match &self.heap[obj] {
+                        HeapCell::Obj { fields } => fields[*idx as usize],
+                        _ => return Err(SjvmError::Runtime("getfield on non-object".into())),
+                    };
+                    stack.push(v);
+                }
+                Op::PutField(_, idx) => {
+                    let val = pop!();
+                    let obj = pop!().as_ref()?;
+                    match &mut self.heap[obj] {
+                        HeapCell::Obj { fields } => fields[*idx as usize] = val,
+                        _ => return Err(SjvmError::Runtime("putfield on non-object".into())),
+                    }
+                }
+                Op::InvokeVirtual { method, .. } | Op::InvokeStatic { method } => {
+                    let callee = self.methods.get(*method);
+                    let n = callee.params.len();
+                    let callee_ret = callee.ret.is_some();
+                    if stack.len() < n {
+                        return Err(SjvmError::Runtime("call with too few operands".into()));
+                    }
+                    let args: Vec<Value> = stack.split_off(stack.len() - n);
+                    let r = self.call(*method, &args)?;
+                    if callee_ret {
+                        stack.push(r.ok_or_else(|| {
+                            SjvmError::Runtime("callee returned no value".into())
+                        })?);
+                    }
+                }
+                Op::Add(k) => binary_arith(&mut stack, *k, |a, b| a.wrapping_add(b), |a, b| a + b)?,
+                Op::Sub(k) => binary_arith(&mut stack, *k, |a, b| a.wrapping_sub(b), |a, b| a - b)?,
+                Op::Mul(k) => binary_arith(&mut stack, *k, |a, b| a.wrapping_mul(b), |a, b| a * b)?,
+                Op::Div(k) => {
+                    if !k.is_float() {
+                        // detect /0 before the closure
+                        let b = stack
+                            .last()
+                            .copied()
+                            .ok_or_else(|| SjvmError::Runtime("stack underflow".into()))?;
+                        if b.as_i()? == 0 {
+                            return Err(SjvmError::Runtime("integer division by zero".into()));
+                        }
+                    }
+                    binary_arith(&mut stack, *k, |a, b| a.wrapping_div(b), |a, b| a / b)?;
+                }
+                Op::Rem(k) => {
+                    if !k.is_float() {
+                        let b = stack
+                            .last()
+                            .copied()
+                            .ok_or_else(|| SjvmError::Runtime("stack underflow".into()))?;
+                        if b.as_i()? == 0 {
+                            return Err(SjvmError::Runtime("integer remainder by zero".into()));
+                        }
+                    }
+                    binary_arith(&mut stack, *k, |a, b| a.wrapping_rem(b), |a, b| a % b)?;
+                }
+                Op::Neg(k) => {
+                    let v = pop!();
+                    stack.push(if k.is_float() {
+                        Value::F(round_kind(-v.as_f()?, *k))
+                    } else {
+                        Value::I(wrap_kind(v.as_i()?.wrapping_neg(), *k))
+                    });
+                }
+                Op::Shl => int_binop(&mut stack, |a, b| a.wrapping_shl((b & 63) as u32))?,
+                Op::Shr => int_binop(&mut stack, |a, b| a.wrapping_shr((b & 63) as u32))?,
+                Op::UShr => int_binop(&mut stack, |a, b| {
+                    ((a as u64).wrapping_shr((b & 63) as u32)) as i64
+                })?,
+                Op::And => int_binop(&mut stack, |a, b| a & b)?,
+                Op::Or => int_binop(&mut stack, |a, b| a | b)?,
+                Op::Xor => int_binop(&mut stack, |a, b| a ^ b)?,
+                Op::Math(f, k) => {
+                    let v = match f {
+                        MathFn::Exp => Value::F(pop!().as_f()?.exp()),
+                        MathFn::Log => Value::F(pop!().as_f()?.ln()),
+                        MathFn::Sqrt => Value::F(pop!().as_f()?.sqrt()),
+                        MathFn::Abs => {
+                            let a = pop!();
+                            if k.is_float() {
+                                Value::F(a.as_f()?.abs())
+                            } else {
+                                Value::I(a.as_i()?.wrapping_abs())
+                            }
+                        }
+                        MathFn::Min | MathFn::Max => {
+                            let b = pop!();
+                            let a = pop!();
+                            let take_min = matches!(f, MathFn::Min);
+                            if k.is_float() {
+                                let (x, y) = (a.as_f()?, b.as_f()?);
+                                Value::F(if take_min { x.min(y) } else { x.max(y) })
+                            } else {
+                                let (x, y) = (a.as_i()?, b.as_i()?);
+                                Value::I(if take_min { x.min(y) } else { x.max(y) })
+                            }
+                        }
+                    };
+                    stack.push(v);
+                }
+                Op::Cast { from, to } => {
+                    let v = pop!();
+                    stack.push(cast_value(v, *from, *to)?);
+                }
+                Op::Cmp(k) => {
+                    let b = pop!();
+                    let a = pop!();
+                    let s = signum_cmp(a, b, *k)?;
+                    stack.push(Value::I(s as i64));
+                }
+                Op::IfCmp { kind, cond, target } => {
+                    let b = pop!();
+                    let a = pop!();
+                    let s = signum_cmp(a, b, *kind)?;
+                    if cond.holds(s) {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Op::IfZero { cond, target } => {
+                    let v = pop!().as_i()?;
+                    let s = v.signum() as i32;
+                    if cond.holds(s) {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Op::Goto(target) => {
+                    pc = *target as usize;
+                    continue;
+                }
+                Op::Return => {
+                    self.depth -= 1;
+                    return Ok(if has_ret { Some(pop!()) } else { None });
+                }
+                Op::Pop => {
+                    pop!();
+                }
+                Op::Dup => {
+                    let v = *stack
+                        .last()
+                        .ok_or_else(|| SjvmError::Runtime("dup on empty stack".into()))?;
+                    stack.push(v);
+                }
+            }
+            pc += 1;
+        }
+    }
+
+    /// Materializes a host value on the heap according to the declared type.
+    fn host_to_value(&mut self, v: &HostValue, ty: &JType) -> Result<Value, SjvmError> {
+        Ok(match (v, ty) {
+            (HostValue::I(x), t) if t.is_integral() => Value::I(*x),
+            (HostValue::F(x), t) if t.is_float() => Value::F(*x),
+            (HostValue::I(x), t) if t.is_float() => Value::F(*x as f64),
+            (HostValue::Str(s), JType::Array(elem)) if elem.is_integral() => {
+                let elems: Vec<Value> = s.bytes().map(|b| Value::I(b as i64)).collect();
+                let r = self.heap.len();
+                self.heap.push(HeapCell::Arr { elems });
+                Value::Ref(r)
+            }
+            (HostValue::Arr(items), JType::Array(elem)) => {
+                let mut elems = Vec::with_capacity(items.len());
+                for it in items {
+                    elems.push(self.host_to_value(it, elem)?);
+                }
+                let r = self.heap.len();
+                self.heap.push(HeapCell::Arr { elems });
+                Value::Ref(r)
+            }
+            (HostValue::Tuple(items) | HostValue::Obj(_, items), JType::Ref(class)) => {
+                let def = self.classes.get(*class).clone();
+                if items.len() != def.fields.len() {
+                    return Err(SjvmError::Runtime(format!(
+                        "value arity {} does not match class `{}` ({} fields)",
+                        items.len(),
+                        def.name,
+                        def.fields.len()
+                    )));
+                }
+                let mut fields = Vec::with_capacity(items.len());
+                for (it, f) in items.iter().zip(&def.fields) {
+                    fields.push(self.host_to_value(it, &f.ty)?);
+                }
+                let r = self.heap.len();
+                self.heap.push(HeapCell::Obj { fields });
+                Value::Ref(r)
+            }
+            (v, ty) => {
+                return Err(SjvmError::Runtime(format!(
+                    "cannot pass host value {v} as `{ty}`"
+                )))
+            }
+        })
+    }
+
+    /// Converts a runtime value back to a host value, guided by the type.
+    fn value_to_host(&self, v: Value, ty: &JType) -> Result<HostValue, SjvmError> {
+        Ok(match (v, ty) {
+            (Value::I(x), t) if t.is_integral() => HostValue::I(x),
+            (Value::F(x), _) => HostValue::F(x),
+            (Value::I(x), t) if t.is_float() => HostValue::F(x as f64),
+            (Value::Null, _) => HostValue::Tuple(vec![]),
+            (Value::Ref(r), JType::Array(elem)) => match &self.heap[r] {
+                HeapCell::Arr { elems } => {
+                    let mut out = Vec::with_capacity(elems.len());
+                    for e in elems {
+                        out.push(self.value_to_host(*e, elem)?);
+                    }
+                    HostValue::Arr(out)
+                }
+                _ => return Err(SjvmError::Runtime("expected array on heap".into())),
+            },
+            (Value::Ref(r), JType::Ref(class)) => {
+                let def = self.classes.get(*class);
+                match &self.heap[r] {
+                    HeapCell::Obj { fields } => {
+                        let mut out = Vec::with_capacity(fields.len());
+                        for (f, fd) in fields.iter().zip(&def.fields) {
+                            out.push(self.value_to_host(*f, &fd.ty)?);
+                        }
+                        if def.name.starts_with("scala.Tuple") {
+                            HostValue::Tuple(out)
+                        } else {
+                            HostValue::Obj(def.name.clone(), out)
+                        }
+                    }
+                    _ => return Err(SjvmError::Runtime("expected object on heap".into())),
+                }
+            }
+            (v, ty) => {
+                return Err(SjvmError::Runtime(format!(
+                    "cannot convert {v:?} to host `{ty}`"
+                )))
+            }
+        })
+    }
+}
+
+/// Wraps an integral result to the width of its kind (JVM `int` wraps at 32
+/// bits, `long` at 64).
+fn wrap_kind(v: i64, k: NumKind) -> i64 {
+    match k {
+        NumKind::Int => v as i32 as i64,
+        _ => v,
+    }
+}
+
+/// Rounds a floating result through `f32` for `Float` kind.
+fn round_kind(v: f64, k: NumKind) -> f64 {
+    match k {
+        NumKind::Float => v as f32 as f64,
+        _ => v,
+    }
+}
+
+fn binary_arith(
+    stack: &mut Vec<Value>,
+    k: NumKind,
+    int_op: impl Fn(i64, i64) -> i64,
+    float_op: impl Fn(f64, f64) -> f64,
+) -> Result<(), SjvmError> {
+    let b = stack
+        .pop()
+        .ok_or_else(|| SjvmError::Runtime("stack underflow".into()))?;
+    let a = stack
+        .pop()
+        .ok_or_else(|| SjvmError::Runtime("stack underflow".into()))?;
+    let v = if k.is_float() {
+        let (x, y) = (round_kind(a.as_f()?, k), round_kind(b.as_f()?, k));
+        Value::F(round_kind(float_op(x, y), k))
+    } else {
+        Value::I(wrap_kind(int_op(a.as_i()?, b.as_i()?), k))
+    };
+    stack.push(v);
+    Ok(())
+}
+
+fn int_binop(stack: &mut Vec<Value>, op: impl Fn(i64, i64) -> i64) -> Result<(), SjvmError> {
+    let b = stack
+        .pop()
+        .ok_or_else(|| SjvmError::Runtime("stack underflow".into()))?;
+    let a = stack
+        .pop()
+        .ok_or_else(|| SjvmError::Runtime("stack underflow".into()))?;
+    stack.push(Value::I(op(a.as_i()?, b.as_i()?)));
+    Ok(())
+}
+
+fn cast_value(v: Value, from: NumKind, to: NumKind) -> Result<Value, SjvmError> {
+    Ok(match (from.is_float(), to.is_float()) {
+        (false, false) => Value::I(wrap_kind(v.as_i()?, to)),
+        (false, true) => Value::F(round_kind(v.as_i()? as f64, to)),
+        (true, false) => {
+            let f = v.as_f()?;
+            // JVM d2i saturates on overflow and maps NaN to 0.
+            let i = if f.is_nan() {
+                0
+            } else {
+                f as i64 // `as` saturates in Rust, matching JVM semantics
+            };
+            Value::I(wrap_kind(i, to))
+        }
+        (true, true) => Value::F(round_kind(v.as_f()?, to)),
+    })
+}
+
+fn signum_cmp(a: Value, b: Value, k: NumKind) -> Result<i32, SjvmError> {
+    if k.is_float() {
+        let (x, y) = (a.as_f()?, b.as_f()?);
+        Ok(if x < y {
+            -1
+        } else if x > y {
+            1
+        } else {
+            0
+        })
+    } else {
+        Ok(a.as_i()?.cmp(&b.as_i()?) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{Expr, FnBuilder};
+    use crate::class::ClassTable;
+    use crate::method::MethodTable;
+
+    fn run_simple<F: FnOnce(&mut FnBuilder)>(
+        params: &[(&str, JType)],
+        ret: Option<JType>,
+        args: &[HostValue],
+        f: F,
+    ) -> HostValue {
+        let mut classes = ClassTable::new();
+        let mut methods = MethodTable::new();
+        let mut b = FnBuilder::new("call", params, ret);
+        f(&mut b);
+        let id = b.finish(&mut classes, &mut methods).unwrap();
+        crate::verify::verify_method(methods.get(id), &methods).unwrap();
+        let mut interp = Interp::new(&classes, &methods);
+        interp.run(id, args).unwrap().0
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        // sum of 0..n
+        let out = run_simple(
+            &[("n", JType::Int)],
+            Some(JType::Int),
+            &[HostValue::I(10)],
+            |f| {
+                let n = f.param(0);
+                let s = f.local("s", JType::Int);
+                let i = f.local("i", JType::Int);
+                f.set(s, Expr::const_i(0));
+                f.for_loop(i, Expr::const_i(0), Expr::local(n), |f| {
+                    f.set(s, Expr::local(s).add(Expr::local(i)));
+                });
+                f.ret(Expr::local(s));
+            },
+        );
+        assert_eq!(out, HostValue::I(45));
+    }
+
+    #[test]
+    fn int_wraps_at_32_bits() {
+        let out = run_simple(&[], Some(JType::Int), &[], |f| {
+            f.ret(Expr::const_i(i32::MAX as i64).add(Expr::const_i(1)));
+        });
+        assert_eq!(out, HostValue::I(i32::MIN as i64));
+    }
+
+    #[test]
+    fn float_rounds_through_f32() {
+        let out = run_simple(&[], Some(JType::Float), &[], |f| {
+            f.ret(Expr::const_f32(0.1).add(Expr::const_f32(0.2)));
+        });
+        let v = out.as_f64().unwrap();
+        assert_eq!(v, (0.1f32 + 0.2f32) as f64);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let mut classes = ClassTable::new();
+        let pair = classes.define_tuple2(JType::Int, JType::Int);
+        let mut methods = MethodTable::new();
+        // swap: (a, b) -> (b, a)
+        let mut b = FnBuilder::new("swap", &[("in", JType::Ref(pair))], Some(JType::Ref(pair)));
+        let input = b.param(0);
+        b.ret(Expr::NewObj(
+            pair,
+            vec![
+                Expr::local(input).field("_2"),
+                Expr::local(input).field("_1"),
+            ],
+        ));
+        let id = b.finish(&mut classes, &mut methods).unwrap();
+        let mut interp = Interp::new(&classes, &methods);
+        let (out, stats) = interp
+            .run(id, &[HostValue::pair(HostValue::I(1), HostValue::I(2))])
+            .unwrap();
+        assert_eq!(out, HostValue::pair(HostValue::I(2), HostValue::I(1)));
+        assert!(stats.allocations >= 1);
+        assert!(stats.ns > 0.0);
+    }
+
+    #[test]
+    fn arrays_and_strings() {
+        // count bytes equal to 'a' in a string passed as byte[]
+        let out = run_simple(
+            &[("s", JType::array(JType::Byte))],
+            Some(JType::Int),
+            &[HostValue::Str("banana".into())],
+            |f| {
+                let s = f.param(0);
+                let c = f.local("c", JType::Int);
+                let i = f.local("i", JType::Int);
+                f.set(c, Expr::const_i(0));
+                f.for_loop(i, Expr::const_i(0), Expr::local(s).len(), |f| {
+                    f.if_then(
+                        Expr::local(s)
+                            .index(Expr::local(i))
+                            .eq(Expr::const_i(b'a' as i64)),
+                        |f| {
+                            f.set(c, Expr::local(c).add(Expr::const_i(1)));
+                        },
+                    );
+                });
+                f.ret(Expr::local(c));
+            },
+        );
+        assert_eq!(out, HostValue::I(3));
+    }
+
+    #[test]
+    fn division_by_zero_is_a_runtime_error() {
+        let mut classes = ClassTable::new();
+        let mut methods = MethodTable::new();
+        let mut b = FnBuilder::new("f", &[], Some(JType::Int));
+        b.ret(Expr::const_i(1).div(Expr::const_i(0)));
+        let id = b.finish(&mut classes, &mut methods).unwrap();
+        let mut interp = Interp::new(&classes, &methods);
+        assert!(matches!(interp.run(id, &[]), Err(SjvmError::Runtime(_))));
+    }
+
+    #[test]
+    fn fuel_limits_runaway_loops() {
+        let mut classes = ClassTable::new();
+        let mut methods = MethodTable::new();
+        let mut b = FnBuilder::new("f", &[], None);
+        b.while_loop(Expr::const_i(1).eq(Expr::const_i(1)), |_| {});
+        let id = b.finish(&mut classes, &mut methods).unwrap();
+        let mut interp = Interp::new(&classes, &methods).with_fuel(1000);
+        assert_eq!(interp.run(id, &[]), Err(SjvmError::OutOfFuel));
+    }
+
+    #[test]
+    fn virtual_dispatch() {
+        let mut classes = ClassTable::new();
+        let point = classes
+            .define(
+                "Point",
+                vec![
+                    crate::class::FieldDef {
+                        name: "x".into(),
+                        ty: JType::Double,
+                    },
+                    crate::class::FieldDef {
+                        name: "y".into(),
+                        ty: JType::Double,
+                    },
+                ],
+            )
+            .unwrap();
+        let mut methods = MethodTable::new();
+        // def norm2(this: Point): Double = x*x + y*y
+        let mut mb = FnBuilder::method("norm2", point, &[], Some(JType::Double));
+        let this = mb.param(0);
+        mb.ret(
+            Expr::local(this)
+                .field("x")
+                .mul(Expr::local(this).field("x"))
+                .add(
+                    Expr::local(this)
+                        .field("y")
+                        .mul(Expr::local(this).field("y")),
+                ),
+        );
+        let norm2 = mb.finish(&mut classes, &mut methods).unwrap();
+        classes.add_method(point, "norm2", norm2);
+
+        let mut b = FnBuilder::new("call", &[("p", JType::Ref(point))], Some(JType::Double));
+        let p = b.param(0);
+        b.ret(Expr::local(p).invoke("norm2", vec![]));
+        let id = b.finish(&mut classes, &mut methods).unwrap();
+        let mut interp = Interp::new(&classes, &methods);
+        let (out, _) = interp
+            .run(
+                id,
+                &[HostValue::Obj(
+                    "Point".into(),
+                    vec![HostValue::F(3.0), HostValue::F(4.0)],
+                )],
+            )
+            .unwrap();
+        assert_eq!(out.as_f64(), Some(25.0));
+    }
+}

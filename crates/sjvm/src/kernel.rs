@@ -1,0 +1,212 @@
+//! Kernel specifications — the unit handed to S2FA.
+//!
+//! A [`KernelSpec`] bundles everything S2FA receives for one offloaded RDD
+//! transformation: the program (class + method tables), the entry lambda,
+//! and the RDD operator whose semantics the compiler must reproduce with a
+//! template loop (paper §3.2: "the outermost loop in kernels is always
+//! inserted by our bytecode-to-C compiler").
+
+use crate::class::ClassTable;
+use crate::method::{MethodId, MethodTable};
+use crate::ty::JType;
+
+/// The concrete, fixed-size data shape of a kernel's input or output
+/// element.
+///
+/// JVM types erase array lengths, but S2FA compiles every `new` to a
+/// constant-size C array (§3.3) and its data-layout generator needs fixed
+/// element counts to produce the flat accelerator interface. A [`Shape`]
+/// carries the declared [`JType`] structure *plus* those lengths — the
+/// information the real system recovers from type-parameter descriptions
+/// and the S2FA class templates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shape {
+    /// A primitive scalar.
+    Scalar(JType),
+    /// A primitive array with a fixed per-element length.
+    Array(JType, u32),
+    /// A tuple/object: ordered field shapes.
+    Composite(Vec<Shape>),
+    /// A *broadcast* value: identical across every record of the batch
+    /// (a captured closure variable such as a weight vector or centroid
+    /// array). Blaze ships broadcast data to the accelerator once per
+    /// batch instead of once per task.
+    Bcast(Box<Shape>),
+}
+
+/// One primitive leaf of a [`Shape`]: its field path, element type, and
+/// element count (1 for scalars).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeLeaf {
+    /// Field-index path from the root value to this leaf.
+    pub path: Vec<usize>,
+    /// Primitive element type.
+    pub elem: JType,
+    /// Elements per task.
+    pub count: u32,
+    /// True if the leaf is broadcast (shipped once per batch).
+    pub broadcast: bool,
+}
+
+impl Shape {
+    /// All primitive leaves in field order.
+    pub fn leaves(&self) -> Vec<ShapeLeaf> {
+        let mut out = Vec::new();
+        fn walk(s: &Shape, path: &mut Vec<usize>, out: &mut Vec<ShapeLeaf>) {
+            match s {
+                Shape::Scalar(t) => out.push(ShapeLeaf {
+                    path: path.clone(),
+                    elem: t.clone(),
+                    count: 1,
+                    broadcast: false,
+                }),
+                Shape::Array(t, n) => out.push(ShapeLeaf {
+                    path: path.clone(),
+                    elem: t.clone(),
+                    count: *n,
+                    broadcast: false,
+                }),
+                Shape::Composite(fields) => {
+                    for (i, f) in fields.iter().enumerate() {
+                        path.push(i);
+                        walk(f, path, out);
+                        path.pop();
+                    }
+                }
+                Shape::Bcast(inner) => {
+                    let start = out.len();
+                    walk(inner, path, out);
+                    for leaf in &mut out[start..] {
+                        leaf.broadcast = true;
+                    }
+                }
+            }
+        }
+        walk(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Total primitive elements per task.
+    pub fn total_elems(&self) -> u64 {
+        self.leaves().iter().map(|l| l.count as u64).sum()
+    }
+
+    /// A pair shape (`Tuple2`).
+    pub fn pair(a: Shape, b: Shape) -> Shape {
+        Shape::Composite(vec![a, b])
+    }
+
+    /// Marks a shape as broadcast (captured closure state shared by every
+    /// record of the batch).
+    pub fn broadcast(inner: Shape) -> Shape {
+        Shape::Bcast(Box::new(inner))
+    }
+}
+
+/// The RDD transformation operator a kernel lambda is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RddOp {
+    /// `rdd.map(f)` — independent per-element application.
+    Map,
+    /// `rdd.reduce(f)` — associative pairwise combination; the template
+    /// accumulates over the batch.
+    Reduce,
+}
+
+impl RddOp {
+    /// Human-readable operator name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RddOp::Map => "map",
+            RddOp::Reduce => "reduce",
+        }
+    }
+}
+
+/// A complete kernel handed to the S2FA pipeline.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Kernel name, used as the Blaze accelerator id (Code 1's `id`).
+    pub name: String,
+    /// All classes referenced by the kernel.
+    pub classes: ClassTable,
+    /// All methods (the lambda plus any virtual methods it calls).
+    pub methods: MethodTable,
+    /// The entry lambda (`call` in the Blaze `Accelerator` interface).
+    pub entry: MethodId,
+    /// The RDD operator the lambda is passed to.
+    pub operator: RddOp,
+    /// Concrete shape of one input element.
+    pub input_shape: Shape,
+    /// Concrete shape of one output element.
+    pub output_shape: Shape,
+}
+
+impl KernelSpec {
+    /// The lambda's input element type.
+    pub fn input_type(&self) -> &JType {
+        &self.methods.get(self.entry).params[0]
+    }
+
+    /// The lambda's output element type, if it returns a value.
+    pub fn output_type(&self) -> Option<&JType> {
+        self.methods.get(self.entry).ret.as_ref()
+    }
+
+    /// Verifies every method in the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first verification failure.
+    pub fn verify(&self) -> Result<(), crate::SjvmError> {
+        for (_, m) in self.methods.iter() {
+            crate::verify::verify_method(m, &self.methods)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{Expr, FnBuilder};
+
+    #[test]
+    fn spec_exposes_signature() {
+        let mut classes = ClassTable::new();
+        let mut methods = MethodTable::new();
+        let mut b = FnBuilder::new("call", &[("x", JType::Int)], Some(JType::Double));
+        let x = b.param(0);
+        b.ret(Expr::local(x).cast(crate::NumKind::Double));
+        let entry = b.finish(&mut classes, &mut methods).unwrap();
+        let spec = KernelSpec {
+            name: "k".into(),
+            classes,
+            methods,
+            entry,
+            operator: RddOp::Map,
+            input_shape: Shape::Scalar(JType::Int),
+            output_shape: Shape::Scalar(JType::Double),
+        };
+        assert_eq!(spec.input_type(), &JType::Int);
+        assert_eq!(spec.output_type(), Some(&JType::Double));
+        assert_eq!(spec.operator.name(), "map");
+        spec.verify().unwrap();
+    }
+
+    #[test]
+    fn shape_leaves_and_paths() {
+        // ((Double, [F;4]), Int)
+        let s = Shape::pair(
+            Shape::pair(Shape::Scalar(JType::Double), Shape::Array(JType::Float, 4)),
+            Shape::Scalar(JType::Int),
+        );
+        let leaves = s.leaves();
+        assert_eq!(leaves.len(), 3);
+        assert_eq!(leaves[0].path, vec![0, 0]);
+        assert_eq!(leaves[1].path, vec![0, 1]);
+        assert_eq!(leaves[1].count, 4);
+        assert_eq!(leaves[2].path, vec![1]);
+        assert_eq!(s.total_elems(), 6);
+    }
+}

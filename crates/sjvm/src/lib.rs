@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # s2fa-sjvm — the JVM substrate of the S2FA reproduction
+//!
+//! S2FA's input is the *JVM bytecode* of a Scala lambda written inside a
+//! Spark RDD transformation. Since no Scala/JVM frontend exists in the Rust
+//! ecosystem, this crate provides the closest synthetic equivalent that
+//! exercises the same code path:
+//!
+//! * a class model with object-oriented constructs (tuples, object arrays,
+//!   fields, virtual methods, constructors) — the "semantic gap" of the
+//!   paper's Challenge 1 exists in full;
+//! * a stack-machine bytecode ([`Op`]) closely modelled on the JVM;
+//! * a structured kernel-builder DSL ([`builder::FnBuilder`]) standing in for
+//!   `scalac`: workloads are authored against the DSL and lowered to
+//!   bytecode, exactly as Scala lambdas are lowered by the Scala compiler;
+//! * a bytecode [verifier](verify) and an [interpreter](interp) with a
+//!   calibrated per-opcode JVM cost model — the single-threaded JVM executor
+//!   that all Fig. 4 speedups are normalized against.
+//!
+//! The bytecode-to-C compiler in the `s2fa` crate consumes [`Method`] values
+//! produced here; it never sees the builder, only bytecode.
+//!
+//! ```
+//! use s2fa_sjvm::builder::{FnBuilder, Expr};
+//! use s2fa_sjvm::{ClassTable, JType, MethodTable};
+//!
+//! let mut classes = ClassTable::new();
+//! let mut methods = MethodTable::new();
+//! let mut f = FnBuilder::new("call", &[("x", JType::Int)], Some(JType::Int));
+//! let x = f.param(0);
+//! f.ret(Expr::local(x).mul(Expr::const_i(3)).add(Expr::const_i(1)));
+//! let m = f.finish(&mut classes, &mut methods)?;
+//! # Ok::<(), s2fa_sjvm::SjvmError>(())
+//! ```
+
+pub mod builder;
+pub mod bytecode;
+pub mod class;
+pub mod cost;
+pub mod host;
+pub mod interp;
+pub mod kernel;
+pub mod method;
+pub mod ty;
+pub mod verify;
+
+mod error;
+
+pub use bytecode::{Cond, MathFn, NumKind, Op};
+pub use class::{ClassDef, ClassId, ClassTable, FieldDef};
+pub use cost::JvmCostModel;
+pub use error::SjvmError;
+pub use host::HostValue;
+pub use interp::{ExecStats, Interp, Value};
+pub use kernel::{KernelSpec, RddOp, Shape, ShapeLeaf};
+pub use method::{Method, MethodId, MethodTable};
+pub use ty::JType;

@@ -1,0 +1,147 @@
+//! Methods and the method table.
+
+use crate::bytecode::Op;
+use crate::ty::JType;
+use std::fmt;
+
+/// Identifier of a method in a [`MethodTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodId(pub u32);
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "method#{}", self.0)
+    }
+}
+
+/// A compiled method: signature, local-variable layout, and bytecode.
+///
+/// Parameters occupy the first `params.len()` local slots (slot 0 is the
+/// receiver for virtual methods — the builder handles this), followed by
+/// declared locals.
+#[derive(Debug, Clone)]
+pub struct Method {
+    /// Method name (e.g. `call` for an RDD lambda).
+    pub name: String,
+    /// Parameter types, in local-slot order.
+    pub params: Vec<JType>,
+    /// Return type; `None` for void.
+    pub ret: Option<JType>,
+    /// Total number of local slots (params + declared locals).
+    pub n_locals: u16,
+    /// Debug names for local slots, parallel to slot indices.
+    pub local_names: Vec<String>,
+    /// Declared types for local slots, parallel to slot indices.
+    pub local_types: Vec<JType>,
+    /// The bytecode.
+    pub code: Vec<Op>,
+}
+
+impl Method {
+    /// Renders a human-readable disassembly, one instruction per line.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "method {}({}) -> {}",
+            self.name,
+            self.params
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.ret
+                .as_ref()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "void".into())
+        );
+        for (pc, op) in self.code.iter().enumerate() {
+            let _ = writeln!(out, "  {pc:4}: {op:?}");
+        }
+        out
+    }
+}
+
+/// Registry of methods shared by a program (kernel lambdas plus any class
+/// methods they invoke).
+#[derive(Debug, Clone, Default)]
+pub struct MethodTable {
+    methods: Vec<Method>,
+}
+
+impl MethodTable {
+    /// Creates an empty method table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a method and returns its id.
+    pub fn add(&mut self, method: Method) -> MethodId {
+        let id = MethodId(self.methods.len() as u32);
+        self.methods.push(method);
+        id
+    }
+
+    /// Looks a method up by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn get(&self, id: MethodId) -> &Method {
+        &self.methods[id.0 as usize]
+    }
+
+    /// Number of methods registered.
+    pub fn len(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// True if no method is registered.
+    pub fn is_empty(&self) -> bool {
+        self.methods.is_empty()
+    }
+
+    /// Iterates over `(id, method)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (MethodId, &Method)> {
+        self.methods
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MethodId(i as u32), m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::Op;
+
+    fn trivial() -> Method {
+        Method {
+            name: "f".into(),
+            params: vec![JType::Int],
+            ret: Some(JType::Int),
+            n_locals: 1,
+            local_names: vec!["x".into()],
+            local_types: vec![JType::Int],
+            code: vec![Op::Load(0), Op::Return],
+        }
+    }
+
+    #[test]
+    fn add_and_get() {
+        let mut t = MethodTable::new();
+        let id = t.add(trivial());
+        assert_eq!(t.get(id).name, "f");
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn disassembly_mentions_signature_and_pcs() {
+        let d = trivial().disassemble();
+        assert!(d.contains("f(int) -> int"));
+        assert!(d.contains("0: Load(0)"));
+        assert!(d.contains("1: Return"));
+    }
+}

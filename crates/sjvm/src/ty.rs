@@ -1,0 +1,136 @@
+//! JVM-style types.
+
+use crate::class::ClassId;
+use std::fmt;
+
+/// A JVM-style type, as carried by bytecode and class field descriptors.
+///
+/// Mirrors the JVM type system with one simplification: `Long` and `Double`
+/// occupy a single operand-stack slot instead of two (the two-slot encoding
+/// is an artifact of the real JVM's 32-bit heritage that adds nothing to the
+/// compilation problem).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum JType {
+    /// `boolean` (1 bit, stored as a byte).
+    Boolean,
+    /// `byte` — signed 8 bits.
+    Byte,
+    /// `char` — unsigned 16 bits (kernel strings use it as bytes).
+    Char,
+    /// `short` — signed 16 bits.
+    Short,
+    /// `int` — signed 32 bits.
+    Int,
+    /// `long` — signed 64 bits.
+    Long,
+    /// `float` — IEEE 754 single.
+    Float,
+    /// `double` — IEEE 754 double.
+    Double,
+    /// Reference to an instance of a class.
+    Ref(ClassId),
+    /// Array with the given element type.
+    Array(Box<JType>),
+}
+
+impl JType {
+    /// Shorthand for an array of `elem`.
+    pub fn array(elem: JType) -> JType {
+        JType::Array(Box::new(elem))
+    }
+
+    /// True for the numeric primitive types (everything except refs/arrays).
+    pub fn is_primitive(&self) -> bool {
+        !matches!(self, JType::Ref(_) | JType::Array(_))
+    }
+
+    /// True for `Float`/`Double`.
+    pub fn is_float(&self) -> bool {
+        matches!(self, JType::Float | JType::Double)
+    }
+
+    /// True for the integral primitives.
+    pub fn is_integral(&self) -> bool {
+        matches!(
+            self,
+            JType::Boolean | JType::Byte | JType::Char | JType::Short | JType::Int | JType::Long
+        )
+    }
+
+    /// Bit width of a primitive value of this type.
+    ///
+    /// References and arrays report the width of a pointer on the simulated
+    /// 64-bit JVM (64 bits).
+    pub fn bits(&self) -> u32 {
+        match self {
+            JType::Boolean | JType::Byte => 8,
+            JType::Char | JType::Short => 16,
+            JType::Int | JType::Float => 32,
+            JType::Long | JType::Double => 64,
+            JType::Ref(_) | JType::Array(_) => 64,
+        }
+    }
+
+    /// Element type if `self` is an array.
+    pub fn elem(&self) -> Option<&JType> {
+        match self {
+            JType::Array(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for JType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JType::Boolean => write!(f, "boolean"),
+            JType::Byte => write!(f, "byte"),
+            JType::Char => write!(f, "char"),
+            JType::Short => write!(f, "short"),
+            JType::Int => write!(f, "int"),
+            JType::Long => write!(f, "long"),
+            JType::Float => write!(f, "float"),
+            JType::Double => write!(f, "double"),
+            JType::Ref(id) => write!(f, "ref#{}", id.0),
+            JType::Array(e) => write!(f, "{e}[]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_classification() {
+        assert!(JType::Int.is_primitive());
+        assert!(JType::Double.is_float());
+        assert!(JType::Char.is_integral());
+        assert!(!JType::array(JType::Int).is_primitive());
+        assert!(!JType::Ref(ClassId(0)).is_primitive());
+    }
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(JType::Byte.bits(), 8);
+        assert_eq!(JType::Short.bits(), 16);
+        assert_eq!(JType::Int.bits(), 32);
+        assert_eq!(JType::Float.bits(), 32);
+        assert_eq!(JType::Long.bits(), 64);
+        assert_eq!(JType::Double.bits(), 64);
+        assert_eq!(JType::array(JType::Byte).bits(), 64);
+    }
+
+    #[test]
+    fn array_elem() {
+        let a = JType::array(JType::Float);
+        assert_eq!(a.elem(), Some(&JType::Float));
+        assert_eq!(JType::Int.elem(), None);
+    }
+
+    #[test]
+    fn display_is_java_like() {
+        assert_eq!(JType::array(JType::Int).to_string(), "int[]");
+        assert_eq!(JType::Double.to_string(), "double");
+    }
+}

@@ -1,0 +1,165 @@
+//! The multi-armed bandit that arbitrates search techniques.
+//!
+//! OpenTuner's technique selection uses a sliding-window *area-under-curve*
+//! credit assignment with a UCB-style exploration bonus (Fialho et al.,
+//! the paper's reference \[13\]): "The algorithm that can efficiently find high-quality
+//! design points will be rewarded and allocated more design points, and
+//! vice versa" (§4.2).
+
+use std::collections::VecDeque;
+
+/// Sliding-window AUC bandit over `n` arms.
+#[derive(Debug, Clone)]
+pub struct AucBandit {
+    window: usize,
+    exploration: f64,
+    /// Per-arm recent outcomes (true = produced a new best), most recent
+    /// last.
+    outcomes: Vec<VecDeque<bool>>,
+    /// Per-arm total pulls.
+    pulls: Vec<u64>,
+    total_pulls: u64,
+}
+
+impl AucBandit {
+    /// Creates a bandit over `arms` techniques with OpenTuner's default
+    /// window (50) and exploration constant (√2-ish).
+    pub fn new(arms: usize) -> Self {
+        AucBandit {
+            window: 50,
+            exploration: 1.4,
+            outcomes: vec![VecDeque::new(); arms],
+            pulls: vec![0; arms],
+            total_pulls: 0,
+        }
+    }
+
+    /// Overrides the sliding-window length.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Number of arms.
+    pub fn arms(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Area-under-curve score of one arm: recent successes weighted by
+    /// recency (a success `i` slots from the window start earns `i + 1`).
+    fn auc(&self, arm: usize) -> f64 {
+        let o = &self.outcomes[arm];
+        if o.is_empty() {
+            return 0.0;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &hit) in o.iter().enumerate() {
+            let w = (i + 1) as f64;
+            den += w;
+            if hit {
+                num += w;
+            }
+        }
+        num / den
+    }
+
+    /// Selects the next arm to pull (deterministic given the state):
+    /// AUC exploitation plus a UCB exploration bonus; unpulled arms first.
+    pub fn select(&self) -> usize {
+        // Any arm never pulled goes first, in index order.
+        if let Some(i) = self.pulls.iter().position(|&p| p == 0) {
+            return i;
+        }
+        let t = self.total_pulls.max(1) as f64;
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for arm in 0..self.arms() {
+            let bonus = self.exploration * ((2.0 * t.ln()) / self.pulls[arm] as f64).sqrt();
+            let score = self.auc(arm) + bonus;
+            if score > best_score {
+                best_score = score;
+                best = arm;
+            }
+        }
+        best
+    }
+
+    /// Records the outcome of a pull of `arm`.
+    pub fn reward(&mut self, arm: usize, new_best: bool) {
+        self.pulls[arm] += 1;
+        self.total_pulls += 1;
+        let o = &mut self.outcomes[arm];
+        o.push_back(new_best);
+        while o.len() > self.window {
+            o.pop_front();
+        }
+    }
+
+    /// Fraction of recent pulls of `arm` that produced a new best.
+    pub fn hit_rate(&self, arm: usize) -> f64 {
+        let o = &self.outcomes[arm];
+        if o.is_empty() {
+            return 0.0;
+        }
+        o.iter().filter(|&&h| h).count() as f64 / o.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpulled_arms_are_tried_first() {
+        let mut b = AucBandit::new(3);
+        assert_eq!(b.select(), 0);
+        b.reward(0, false);
+        assert_eq!(b.select(), 1);
+        b.reward(1, false);
+        assert_eq!(b.select(), 2);
+    }
+
+    #[test]
+    fn productive_arm_gets_more_pulls() {
+        let mut b = AucBandit::new(2);
+        // Arm 0 succeeds 40% of the time, arm 1 never.
+        let mut pulls = [0u32; 2];
+        for i in 0..200 {
+            let arm = b.select();
+            pulls[arm] += 1;
+            let hit = arm == 0 && i % 5 < 2;
+            b.reward(arm, hit);
+        }
+        assert!(
+            pulls[0] > pulls[1] * 2,
+            "productive arm should dominate: {pulls:?}"
+        );
+    }
+
+    #[test]
+    fn auc_weights_recency() {
+        let mut b = AucBandit::new(1).with_window(4);
+        // old successes, recent failures
+        b.reward(0, true);
+        b.reward(0, true);
+        b.reward(0, false);
+        b.reward(0, false);
+        let early = b.auc(0);
+        // now recent successes
+        b.reward(0, true);
+        b.reward(0, true);
+        let late = b.auc(0);
+        assert!(late > early);
+    }
+
+    #[test]
+    fn window_bounds_memory() {
+        let mut b = AucBandit::new(1).with_window(3);
+        for _ in 0..10 {
+            b.reward(0, true);
+        }
+        assert_eq!(b.outcomes[0].len(), 3);
+        assert!((b.hit_rate(0) - 1.0).abs() < 1e-12);
+    }
+}

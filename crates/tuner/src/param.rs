@@ -1,0 +1,298 @@
+//! Parameter space model.
+//!
+//! Every tunable factor is a [`ParamDef`] with a finite ordered domain; a
+//! [`Config`] stores one *index* per parameter. Index encoding keeps the
+//! search techniques generic: mutation moves an index, differential
+//! evolution does index arithmetic, and decoded values (e.g. powers of two
+//! for unroll factors) are recovered through [`ParamDef::value_at`].
+
+use rand::Rng;
+
+/// A design point: one domain index per parameter of the space.
+pub type Config = Vec<u32>;
+
+/// The domain shape of one tunable parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Powers of two from `min` to `max` inclusive (e.g. unroll factors,
+    /// buffer bit-widths). Index 0 ↦ `min`, index k ↦ `min · 2^k`.
+    PowerOfTwo {
+        /// Smallest value (a power of two).
+        min: u32,
+        /// Largest value (a power of two ≥ `min`).
+        max: u32,
+    },
+    /// A categorical choice with `n` alternatives (e.g. pipeline
+    /// off/on/flatten). Index is the value.
+    Enum {
+        /// Number of alternatives.
+        n: u32,
+    },
+    /// Integer range `lo..=hi`, unit step. Index k ↦ `lo + k`.
+    IntRange {
+        /// Inclusive lower bound.
+        lo: u32,
+        /// Inclusive upper bound.
+        hi: u32,
+    },
+}
+
+impl ParamKind {
+    /// Number of values in the domain.
+    pub fn cardinality(&self) -> u32 {
+        match self {
+            ParamKind::PowerOfTwo { min, max } => {
+                if max < min {
+                    0
+                } else {
+                    (max.ilog2() - min.ilog2()) + 1
+                }
+            }
+            ParamKind::Enum { n } => *n,
+            ParamKind::IntRange { lo, hi } => hi - lo + 1,
+        }
+    }
+
+    /// Decoded value at a domain index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of the domain.
+    pub fn value_at(&self, idx: u32) -> u32 {
+        assert!(idx < self.cardinality(), "index {idx} out of domain");
+        match self {
+            ParamKind::PowerOfTwo { min, .. } => min << idx,
+            ParamKind::Enum { .. } => idx,
+            ParamKind::IntRange { lo, .. } => lo + idx,
+        }
+    }
+}
+
+/// A named tunable parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDef {
+    /// Stable name (e.g. `L1.parallel`, `in_1.bits`).
+    pub name: String,
+    /// Domain shape.
+    pub kind: ParamKind,
+}
+
+impl ParamDef {
+    /// Creates a parameter.
+    pub fn new(name: impl Into<String>, kind: ParamKind) -> Self {
+        ParamDef {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// Number of values in the domain.
+    pub fn cardinality(&self) -> u32 {
+        self.kind.cardinality()
+    }
+
+    /// Decoded value at a domain index.
+    pub fn value_at(&self, idx: u32) -> u32 {
+        self.kind.value_at(idx)
+    }
+}
+
+/// A (sub-)space: parameters plus per-parameter index bounds.
+///
+/// The full space has bounds `[0, cardinality)`; a DSE partition narrows
+/// some bounds (see `s2fa-dse`'s decision-tree partitioner).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchSpace {
+    params: Vec<ParamDef>,
+    /// Inclusive index bounds `(lo, hi)` per parameter.
+    bounds: Vec<(u32, u32)>,
+}
+
+impl SearchSpace {
+    /// A space over the full domain of every parameter.
+    pub fn new(params: Vec<ParamDef>) -> Self {
+        let bounds = params
+            .iter()
+            .map(|p| (0, p.cardinality().saturating_sub(1)))
+            .collect();
+        SearchSpace { params, bounds }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &[ParamDef] {
+        &self.params
+    }
+
+    /// Index of the parameter named `name`.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// Current inclusive bounds of parameter `i`.
+    pub fn bounds(&self, i: usize) -> (u32, u32) {
+        self.bounds[i]
+    }
+
+    /// Returns a copy of this space with parameter `i` restricted to the
+    /// inclusive index range `[lo, hi]` (intersected with current bounds).
+    /// A disjoint range collapses onto the nearest in-bounds point, so the
+    /// result is never empty or inverted.
+    pub fn restricted(&self, i: usize, lo: u32, hi: u32) -> SearchSpace {
+        let mut s = self.clone();
+        let (cur_lo, cur_hi) = s.bounds[i];
+        let new_lo = cur_lo.max(lo).min(cur_hi);
+        let new_hi = cur_hi.min(hi).max(new_lo);
+        s.bounds[i] = (new_lo, new_hi);
+        s
+    }
+
+    /// True if `cfg` lies inside every bound.
+    pub fn contains(&self, cfg: &Config) -> bool {
+        cfg.len() == self.params.len()
+            && cfg
+                .iter()
+                .zip(&self.bounds)
+                .all(|(&v, &(lo, hi))| v >= lo && v <= hi)
+    }
+
+    /// Clamps `cfg` into the bounds.
+    pub fn clamp(&self, cfg: &mut Config) {
+        for (v, &(lo, hi)) in cfg.iter_mut().zip(&self.bounds) {
+            *v = (*v).clamp(lo, hi);
+        }
+    }
+
+    /// Draws a uniform random configuration.
+    pub fn random(&self, rng: &mut impl Rng) -> Config {
+        self.bounds
+            .iter()
+            .map(|&(lo, hi)| rng.gen_range(lo..=hi))
+            .collect()
+    }
+
+    /// Mutates one uniformly-chosen parameter to a new in-bounds value;
+    /// returns the index mutated (or `None` if every domain is a single
+    /// point).
+    pub fn mutate_one(&self, cfg: &mut Config, rng: &mut impl Rng) -> Option<usize> {
+        let movable: Vec<usize> = self
+            .bounds
+            .iter()
+            .enumerate()
+            .filter(|(_, &(lo, hi))| hi > lo)
+            .map(|(i, _)| i)
+            .collect();
+        if movable.is_empty() {
+            return None;
+        }
+        let i = movable[rng.gen_range(0..movable.len())];
+        let (lo, hi) = self.bounds[i];
+        loop {
+            let v = rng.gen_range(lo..=hi);
+            if v != cfg[i] {
+                cfg[i] = v;
+                return Some(i);
+            }
+        }
+    }
+
+    /// Base-10 logarithm of the number of points in the space (the sizes
+    /// in Table 1 overflow u64 — the S-W space exceeds 10^15 points).
+    pub fn size_log10(&self) -> f64 {
+        self.bounds
+            .iter()
+            .map(|&(lo, hi)| ((hi - lo + 1) as f64).log10())
+            .sum()
+    }
+
+    /// Number of points if it fits in `u64`.
+    pub fn size(&self) -> Option<u64> {
+        let mut total: u64 = 1;
+        for &(lo, hi) in &self.bounds {
+            total = total.checked_mul((hi - lo + 1) as u64)?;
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![
+            ParamDef::new("u", ParamKind::PowerOfTwo { min: 1, max: 64 }),
+            ParamDef::new("p", ParamKind::Enum { n: 3 }),
+            ParamDef::new("t", ParamKind::IntRange { lo: 5, hi: 9 }),
+        ])
+    }
+
+    #[test]
+    fn cardinalities_and_values() {
+        let k = ParamKind::PowerOfTwo { min: 1, max: 64 };
+        assert_eq!(k.cardinality(), 7);
+        assert_eq!(k.value_at(0), 1);
+        assert_eq!(k.value_at(6), 64);
+        let k = ParamKind::PowerOfTwo { min: 16, max: 512 };
+        assert_eq!(k.cardinality(), 6);
+        assert_eq!(k.value_at(5), 512);
+        assert_eq!(ParamKind::Enum { n: 3 }.cardinality(), 3);
+        assert_eq!(ParamKind::IntRange { lo: 5, hi: 9 }.value_at(2), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn value_at_out_of_domain_panics() {
+        ParamKind::Enum { n: 2 }.value_at(2);
+    }
+
+    #[test]
+    fn space_size() {
+        let s = space();
+        assert_eq!(s.size(), Some(7 * 3 * 5));
+        assert!((s.size_log10() - ((7.0f64 * 3.0 * 5.0).log10())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restriction_narrows() {
+        let s = space();
+        let r = s.restricted(0, 2, 4);
+        assert_eq!(r.bounds(0), (2, 4));
+        assert_eq!(r.size(), Some(3 * 3 * 5));
+        // intersecting restrictions
+        let r2 = r.restricted(0, 0, 3);
+        assert_eq!(r2.bounds(0), (2, 3));
+    }
+
+    #[test]
+    fn random_and_mutate_respect_bounds() {
+        let s = space().restricted(0, 1, 2).restricted(2, 0, 0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let mut c = s.random(&mut rng);
+            assert!(s.contains(&c));
+            let mutated = s.mutate_one(&mut c, &mut rng);
+            assert!(s.contains(&c));
+            // param 2 is pinned, so it is never the mutated one
+            assert_ne!(mutated, Some(2));
+        }
+    }
+
+    #[test]
+    fn mutate_on_singleton_space_returns_none() {
+        let s = SearchSpace::new(vec![ParamDef::new("x", ParamKind::Enum { n: 1 })]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut c = vec![0];
+        assert_eq!(s.mutate_one(&mut c, &mut rng), None);
+    }
+
+    #[test]
+    fn clamp_pulls_into_bounds() {
+        let s = space().restricted(1, 1, 1);
+        let mut c = vec![99, 0, 99];
+        s.clamp(&mut c);
+        assert!(s.contains(&c));
+        assert_eq!(c[1], 1);
+    }
+}

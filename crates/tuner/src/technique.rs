@@ -1,0 +1,564 @@
+//! The four reinforcement-learning search techniques of §4.2.
+//!
+//! "We use a set of reinforcement learning algorithms, including uniform
+//! greedy mutation, differential evolution genetic algorithm, particle
+//! swarm optimization, and simulated annealing, to perform DSE in the
+//! S2FA."
+//!
+//! All techniques work in index space over a (possibly restricted)
+//! [`SearchSpace`] and are deterministic given the run's RNG.
+
+use crate::history::{History, Measurement};
+use crate::param::{Config, SearchSpace};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A search technique: proposes configurations, learns from feedback.
+pub trait SearchTechnique {
+    /// Technique name for bandit bookkeeping and traces.
+    fn name(&self) -> &'static str;
+
+    /// Proposes the next configuration to evaluate.
+    fn propose(&mut self, space: &SearchSpace, history: &History, rng: &mut SmallRng) -> Config;
+
+    /// Observes the measurement of a configuration this technique proposed.
+    fn feedback(&mut self, config: &Config, measurement: &Measurement);
+}
+
+/// Builds the paper's default technique portfolio.
+pub fn default_portfolio() -> Vec<Box<dyn SearchTechnique + Send>> {
+    vec![
+        Box::new(GreedyMutation::new()),
+        Box::new(DifferentialEvolution::new()),
+        Box::new(ParticleSwarm::new()),
+        Box::new(SimulatedAnnealing::new()),
+    ]
+}
+
+// --------------------------------------------------------------------------
+// Uniform greedy mutation
+// --------------------------------------------------------------------------
+
+/// OpenTuner's *uniform greedy mutation*: every factor of the incumbent
+/// best is re-drawn with probability `rate` (at least one factor always
+/// moves), so most proposals are single-factor hill-climb steps while a
+/// tail of multi-factor moves can cross factor-interaction ridges.
+#[derive(Debug)]
+pub struct GreedyMutation {
+    rate: f64,
+}
+
+impl Default for GreedyMutation {
+    fn default() -> Self {
+        GreedyMutation { rate: 0.1 }
+    }
+}
+
+impl GreedyMutation {
+    /// Creates the technique with the default 10% per-factor mutation
+    /// rate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SearchTechnique for GreedyMutation {
+    fn name(&self) -> &'static str {
+        "greedy-mutation"
+    }
+
+    fn propose(&mut self, space: &SearchSpace, history: &History, rng: &mut SmallRng) -> Config {
+        match history.best() {
+            Some((best, _)) => {
+                let mut c = best.clone();
+                space.clamp(&mut c);
+                let mut moved = false;
+                for (i, slot) in c.iter_mut().enumerate() {
+                    let (lo, hi) = space.bounds(i);
+                    if hi > lo && rng.gen_bool(self.rate) {
+                        let mut v = rng.gen_range(lo..=hi);
+                        while v == *slot {
+                            v = rng.gen_range(lo..=hi);
+                        }
+                        *slot = v;
+                        moved = true;
+                    }
+                }
+                if !moved {
+                    space.mutate_one(&mut c, rng);
+                }
+                c
+            }
+            None => space.random(rng),
+        }
+    }
+
+    fn feedback(&mut self, _config: &Config, _measurement: &Measurement) {}
+}
+
+// --------------------------------------------------------------------------
+// Differential evolution
+// --------------------------------------------------------------------------
+
+/// Classic `DE/rand/1/bin` over index space with a small population.
+#[derive(Debug)]
+pub struct DifferentialEvolution {
+    population: Vec<(Config, f64)>,
+    /// Differential weight.
+    f: f64,
+    /// Crossover probability.
+    cr: f64,
+    pop_size: usize,
+}
+
+impl Default for DifferentialEvolution {
+    fn default() -> Self {
+        DifferentialEvolution {
+            population: Vec::new(),
+            f: 0.8,
+            cr: 0.6,
+            pop_size: 12,
+        }
+    }
+}
+
+impl DifferentialEvolution {
+    /// Creates the technique with default hyperparameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SearchTechnique for DifferentialEvolution {
+    fn name(&self) -> &'static str {
+        "differential-evolution"
+    }
+
+    fn propose(&mut self, space: &SearchSpace, history: &History, rng: &mut SmallRng) -> Config {
+        if self.population.len() < self.pop_size {
+            // Seed the population from history bests or random points.
+            let c = match history.best() {
+                Some((best, _)) if rng.gen_bool(0.3) => {
+                    let mut c = best.clone();
+                    space.clamp(&mut c);
+                    space.mutate_one(&mut c, rng);
+                    c
+                }
+                _ => space.random(rng),
+            };
+            return c;
+        }
+        let pick = |rng: &mut SmallRng| rng.gen_range(0..self.population.len());
+        let (a, b, c) = (pick(rng), pick(rng), pick(rng));
+        let base = &self.population[a].0;
+        let x = &self.population[b].0;
+        let y = &self.population[c].0;
+        let mut child: Config = base
+            .iter()
+            .zip(x.iter().zip(y.iter()))
+            .map(|(&bv, (&xv, &yv))| {
+                let diff = self.f * (xv as f64 - yv as f64);
+                (bv as f64 + diff).round().max(0.0) as u32
+            })
+            .collect();
+        // Binomial crossover against the incumbent best.
+        if let Some((best, _)) = history.best() {
+            for i in 0..child.len() {
+                if !rng.gen_bool(self.cr) {
+                    child[i] = best[i];
+                }
+            }
+        }
+        space.clamp(&mut child);
+        child
+    }
+
+    fn feedback(&mut self, config: &Config, measurement: &Measurement) {
+        let value = measurement.value;
+        if self.population.len() < self.pop_size {
+            self.population.push((config.clone(), value));
+            return;
+        }
+        // Replace the worst member if the child improves on it.
+        if let Some((worst_idx, _)) = self
+            .population
+            .iter()
+            .enumerate()
+            .max_by(|(_, (_, a)), (_, (_, b))| a.total_cmp(b))
+        {
+            if value < self.population[worst_idx].1 {
+                self.population[worst_idx] = (config.clone(), value);
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Particle swarm optimization
+// --------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Particle {
+    position: Vec<f64>,
+    velocity: Vec<f64>,
+    best_pos: Vec<f64>,
+    best_val: f64,
+}
+
+/// PSO over the continuous relaxation of index space.
+#[derive(Debug)]
+pub struct ParticleSwarm {
+    particles: Vec<Particle>,
+    swarm: usize,
+    inertia: f64,
+    c_personal: f64,
+    c_global: f64,
+    next: usize,
+    /// Particle index awaiting feedback.
+    pending: Option<usize>,
+}
+
+impl Default for ParticleSwarm {
+    fn default() -> Self {
+        ParticleSwarm {
+            particles: Vec::new(),
+            swarm: 10,
+            inertia: 0.7,
+            c_personal: 1.5,
+            c_global: 1.5,
+            next: 0,
+            pending: None,
+        }
+    }
+}
+
+impl ParticleSwarm {
+    /// Creates the technique with default hyperparameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SearchTechnique for ParticleSwarm {
+    fn name(&self) -> &'static str {
+        "particle-swarm"
+    }
+
+    fn propose(&mut self, space: &SearchSpace, history: &History, rng: &mut SmallRng) -> Config {
+        if self.particles.len() < self.swarm {
+            let c = space.random(rng);
+            let pos: Vec<f64> = c.iter().map(|&v| v as f64).collect();
+            self.particles.push(Particle {
+                position: pos.clone(),
+                velocity: vec![0.0; c.len()],
+                best_pos: pos,
+                best_val: f64::INFINITY,
+            });
+            self.pending = Some(self.particles.len() - 1);
+            return c;
+        }
+        let i = self.next % self.particles.len();
+        self.next += 1;
+        self.pending = Some(i);
+        let global_best: Vec<f64> = history
+            .best()
+            .map(|(c, _)| c.iter().map(|&v| v as f64).collect())
+            .unwrap_or_else(|| self.particles[i].best_pos.clone());
+        let p = &mut self.particles[i];
+        for ((pos, vel), (pb, gb)) in p
+            .position
+            .iter_mut()
+            .zip(p.velocity.iter_mut())
+            .zip(p.best_pos.iter().zip(&global_best))
+        {
+            let r1: f64 = rng.gen();
+            let r2: f64 = rng.gen();
+            *vel = self.inertia * *vel
+                + self.c_personal * r1 * (pb - *pos)
+                + self.c_global * r2 * (gb - *pos);
+            *pos += *vel;
+        }
+        let mut c: Config = p
+            .position
+            .iter()
+            .map(|&v| v.round().max(0.0) as u32)
+            .collect();
+        space.clamp(&mut c);
+        // Keep the particle on the clamped lattice point.
+        for (pd, &cv) in p.position.iter_mut().zip(&c) {
+            *pd = cv as f64;
+        }
+        c
+    }
+
+    fn feedback(&mut self, config: &Config, measurement: &Measurement) {
+        if let Some(i) = self.pending.take() {
+            let p = &mut self.particles[i];
+            if measurement.value < p.best_val {
+                p.best_val = measurement.value;
+                p.best_pos = config.iter().map(|&v| v as f64).collect();
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Simulated annealing
+// --------------------------------------------------------------------------
+
+/// Metropolis acceptance over single-factor neighbours with geometric
+/// cooling.
+#[derive(Debug)]
+pub struct SimulatedAnnealing {
+    current: Option<(Config, f64)>,
+    temperature: f64,
+    cooling: f64,
+    proposed: Option<Config>,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing {
+            current: None,
+            temperature: 1.0,
+            cooling: 0.97,
+            proposed: None,
+        }
+    }
+}
+
+impl SimulatedAnnealing {
+    /// Creates the technique with default hyperparameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current temperature (exposed for tests).
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+}
+
+impl SearchTechnique for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "simulated-annealing"
+    }
+
+    fn propose(&mut self, space: &SearchSpace, history: &History, rng: &mut SmallRng) -> Config {
+        let base = match (&self.current, history.best()) {
+            (Some((c, _)), _) => c.clone(),
+            (None, Some((b, _))) => b.clone(),
+            (None, None) => space.random(rng),
+        };
+        let mut c = base;
+        space.clamp(&mut c);
+        space.mutate_one(&mut c, rng);
+        self.proposed = Some(c.clone());
+        c
+    }
+
+    fn feedback(&mut self, config: &Config, measurement: &Measurement) {
+        if self.proposed.as_ref() != Some(config) {
+            return;
+        }
+        self.proposed = None;
+        let value = measurement.value;
+        let accept = match &self.current {
+            None => measurement.is_feasible(),
+            Some((_, cur)) => {
+                if value <= *cur {
+                    true
+                } else if value.is_finite() {
+                    // Metropolis on the relative regression.
+                    let delta = (value - cur) / cur.abs().max(1e-9);
+                    // Deterministic acceptance threshold tied to
+                    // temperature (we avoid a second RNG stream here so
+                    // replays are stable): accept while the relative
+                    // regression is under the current temperature.
+                    delta < self.temperature * 0.3
+                } else {
+                    false
+                }
+            }
+        };
+        if accept {
+            self.current = Some((config.clone(), value));
+        }
+        self.temperature *= self.cooling;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{ParamDef, ParamKind};
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new(vec![
+            ParamDef::new("a", ParamKind::PowerOfTwo { min: 1, max: 128 }),
+            ParamDef::new("b", ParamKind::Enum { n: 3 }),
+            ParamDef::new("c", ParamKind::IntRange { lo: 0, hi: 15 }),
+        ])
+    }
+
+    /// Convex objective: distance to a hidden optimum.
+    fn objective(c: &Config) -> f64 {
+        let target = [5u32, 1, 9];
+        c.iter()
+            .zip(target.iter())
+            .map(|(&v, &t)| ((v as f64) - (t as f64)).powi(2))
+            .sum::<f64>()
+            + 1.0
+    }
+
+    fn drive(mut tech: Box<dyn SearchTechnique + Send>, iters: usize) -> f64 {
+        let s = space();
+        let mut h = History::new();
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..iters {
+            let c = tech.propose(&s, &h, &mut rng);
+            assert!(s.contains(&c), "{} proposed out-of-bounds", tech.name());
+            let m = Measurement::new(objective(&c), 1.0);
+            tech.feedback(&c, &m);
+            h.record(c, m, vec![]);
+        }
+        h.best().unwrap().1
+    }
+
+    #[test]
+    fn all_techniques_make_progress() {
+        // Every technique should land well below a random-sample baseline.
+        for (tech, cap) in [
+            (
+                Box::new(GreedyMutation::new()) as Box<dyn SearchTechnique + Send>,
+                3.0,
+            ),
+            (Box::new(DifferentialEvolution::new()), 10.0),
+            (Box::new(ParticleSwarm::new()), 10.0),
+            (Box::new(SimulatedAnnealing::new()), 10.0),
+        ] {
+            let name = tech.name();
+            let best = drive(tech, 120);
+            assert!(best <= cap, "{name} ended at {best}, cap {cap}");
+        }
+    }
+
+    #[test]
+    fn greedy_mutation_moves_one_factor() {
+        let s = space();
+        let mut h = History::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let seed: Config = vec![3, 1, 7];
+        h.record(seed.clone(), Measurement::new(5.0, 1.0), vec![]);
+        let mut g = GreedyMutation::new();
+        for _ in 0..20 {
+            let c = g.propose(&s, &h, &mut rng);
+            let diffs = c.iter().zip(&seed).filter(|(a, b)| a != b).count();
+            assert_eq!(diffs, 1);
+        }
+    }
+
+    #[test]
+    fn annealing_cools() {
+        let s = space();
+        let mut h = History::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sa = SimulatedAnnealing::new();
+        let t0 = sa.temperature();
+        for _ in 0..10 {
+            let c = sa.propose(&s, &h, &mut rng);
+            let m = Measurement::new(objective(&c), 1.0);
+            sa.feedback(&c, &m);
+            h.record(c, m, vec![]);
+        }
+        assert!(sa.temperature() < t0);
+    }
+
+    #[test]
+    fn techniques_respect_restricted_spaces() {
+        let s = space().restricted(0, 2, 3).restricted(1, 0, 0);
+        let mut h = History::new();
+        let mut rng = SmallRng::seed_from_u64(11);
+        // best from *outside* the partition (global seed) must be clamped
+        h.record(vec![7, 2, 15], Measurement::new(2.0, 1.0), vec![]);
+        for mut tech in default_portfolio() {
+            for _ in 0..30 {
+                let c = tech.propose(&s, &h, &mut rng);
+                assert!(s.contains(&c), "{} escaped the partition", tech.name());
+                tech.feedback(&c, &Measurement::new(objective(&c), 1.0));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Random search (baseline technique, not in the default portfolio)
+// --------------------------------------------------------------------------
+
+/// Pure uniform random sampling. Not one of the paper's four techniques —
+/// provided as the reference baseline that any learning technique must
+/// beat, and useful as a portfolio member in ablation studies.
+#[derive(Debug, Default)]
+pub struct RandomSearch {
+    _private: (),
+}
+
+impl RandomSearch {
+    /// Creates the technique.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SearchTechnique for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random-search"
+    }
+
+    fn propose(&mut self, space: &SearchSpace, _history: &History, rng: &mut SmallRng) -> Config {
+        space.random(rng)
+    }
+
+    fn feedback(&mut self, _config: &Config, _measurement: &Measurement) {}
+}
+
+#[cfg(test)]
+mod random_tests {
+    use super::*;
+    use crate::param::{ParamDef, ParamKind};
+    use rand::SeedableRng;
+
+    #[test]
+    fn learning_techniques_beat_random_on_a_structured_landscape() {
+        let space = SearchSpace::new(
+            (0..6)
+                .map(|i| ParamDef::new(format!("p{i}"), ParamKind::IntRange { lo: 0, hi: 31 }))
+                .collect(),
+        );
+        let objective = |c: &Config| -> f64 {
+            c.iter().map(|&v| ((v as f64) - 7.0).powi(2)).sum::<f64>() + 1.0
+        };
+        let drive = |mut tech: Box<dyn SearchTechnique + Send>, seed: u64| -> f64 {
+            let mut h = History::new();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..150 {
+                let c = tech.propose(&space, &h, &mut rng);
+                let m = Measurement::new(objective(&c), 1.0);
+                tech.feedback(&c, &m);
+                h.record(c, m, vec![]);
+            }
+            h.best().unwrap().1
+        };
+        // average over a few seeds to avoid flakiness
+        let avg = |mk: &dyn Fn() -> Box<dyn SearchTechnique + Send>| -> f64 {
+            (0..5).map(|s| drive(mk(), 100 + s)).sum::<f64>() / 5.0
+        };
+        let random = avg(&|| Box::new(RandomSearch::new()));
+        let greedy = avg(&|| Box::new(GreedyMutation::new()));
+        assert!(
+            greedy < random,
+            "greedy mutation ({greedy:.1}) should beat random search ({random:.1})"
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! AES — block-cipher kernel (string processing).
+//!
+//! The offloaded lambda encrypts one 16-byte block with an AES-style
+//! substitution–permutation network: ten rounds of round-key mixing, an
+//! arithmetic S-box substitution, and a byte-diffusion step. (The S-box is
+//! computed arithmetically instead of via the Rijndael lookup table so the
+//! kernel stays inside S2FA's supported subset; the data movement,
+//! integer-only profile, and round structure — the properties that make
+//! AES memory-bound with 0 % DSP in Table 2 — are preserved.)
+
+use crate::common::{rng, Workload};
+use rand::Rng;
+use s2fa_hlsir::KernelSummary;
+use s2fa_hlsir::PipelineMode;
+use s2fa_merlin::{DesignConfig, LoopDirective};
+use s2fa_sjvm::builder::{Expr, FnBuilder};
+use s2fa_sjvm::{ClassTable, HostValue, JType, KernelSpec, MethodTable, RddOp, Shape};
+
+/// Block size in bytes.
+pub const BLOCK: u32 = 16;
+/// Rounds.
+pub const ROUNDS: u32 = 10;
+
+/// The user-written kernel spec: `block -> encrypted block`.
+pub fn spec() -> KernelSpec {
+    let mut classes = ClassTable::new();
+    let mut methods = MethodTable::new();
+    let barr = JType::array(JType::Byte);
+    let mut b = FnBuilder::new(
+        "call",
+        &[("block", barr.clone())],
+        Some(JType::array(JType::Int)),
+    );
+    let block = b.param(0);
+    let st = b.local("st", JType::array(JType::Int));
+    let st2 = b.local("st2", JType::array(JType::Int));
+    let j = b.local("j", JType::Int);
+    let r = b.local("r", JType::Int);
+    let v = b.local("v", JType::Int);
+    b.set(st, Expr::NewArray(JType::Int, BLOCK));
+    b.for_loop(j, Expr::const_i(0), Expr::const_i(BLOCK as i64), |b| {
+        b.set_index(
+            Expr::local(st),
+            Expr::local(j),
+            Expr::local(block)
+                .index(Expr::local(j))
+                .bitand(Expr::const_i(255)),
+        );
+    });
+    b.for_loop(r, Expr::const_i(0), Expr::const_i(ROUNDS as i64), |b| {
+        // AddRoundKey + SubBytes (arithmetic S-box)
+        let j1 = b.local("j1", JType::Int);
+        b.for_loop(j1, Expr::const_i(0), Expr::const_i(BLOCK as i64), |b| {
+            b.set(
+                v,
+                Expr::local(st).index(Expr::local(j1)).bitxor(
+                    Expr::local(r)
+                        .mul(Expr::const_i(31))
+                        .add(Expr::local(j1).mul(Expr::const_i(17)))
+                        .add(Expr::const_i(7))
+                        .bitand(Expr::const_i(255)),
+                ),
+            );
+            b.set_index(
+                Expr::local(st),
+                Expr::local(j1),
+                Expr::local(v)
+                    .mul(Expr::const_i(7))
+                    .add(Expr::const_i(99))
+                    .bitxor(Expr::local(v).shr(Expr::const_i(4)))
+                    .bitand(Expr::const_i(255)),
+            );
+        });
+        // ShiftRows/MixColumns-style byte diffusion
+        b.set(st2, Expr::NewArray(JType::Int, BLOCK));
+        let j2 = b.local("j2", JType::Int);
+        b.for_loop(j2, Expr::const_i(0), Expr::const_i(BLOCK as i64), |b| {
+            b.set_index(
+                Expr::local(st2),
+                Expr::local(j2),
+                Expr::local(st).index(Expr::local(j2)).bitxor(
+                    Expr::local(st).index(
+                        Expr::local(j2)
+                            .add(Expr::const_i(5))
+                            .bitand(Expr::const_i(15)),
+                    ),
+                ),
+            );
+        });
+        let j3 = b.local("j3", JType::Int);
+        b.for_loop(j3, Expr::const_i(0), Expr::const_i(BLOCK as i64), |b| {
+            b.set_index(
+                Expr::local(st),
+                Expr::local(j3),
+                Expr::local(st2).index(Expr::local(j3)),
+            );
+        });
+    });
+    b.ret(Expr::local(st));
+    let entry = b.finish(&mut classes, &mut methods).expect("AES builds");
+    KernelSpec {
+        name: "AES".into(),
+        classes,
+        methods,
+        entry,
+        operator: RddOp::Map,
+        input_shape: Shape::Array(JType::Byte, BLOCK),
+        output_shape: Shape::Array(JType::Int, BLOCK),
+    }
+}
+
+/// Native reference with identical 64-bit integer semantics.
+pub fn reference(block: &[i64]) -> Vec<i64> {
+    let mut st: Vec<i64> = block.iter().map(|&b| b & 255).collect();
+    st.resize(BLOCK as usize, 0);
+    for r in 0..ROUNDS as i64 {
+        for j in 0..BLOCK as i64 {
+            let v = st[j as usize] ^ ((r * 31 + j * 17 + 7) & 255);
+            st[j as usize] = ((v * 7 + 99) ^ (v >> 4)) & 255;
+        }
+        let mut st2 = vec![0i64; BLOCK as usize];
+        for j in 0..BLOCK as usize {
+            st2[j] = st[j] ^ st[(j + 5) & 15];
+        }
+        st.copy_from_slice(&st2);
+    }
+    st
+}
+
+/// Deterministic input generator: random printable blocks.
+pub fn gen_input(n: usize, seed: u64) -> Vec<HostValue> {
+    let mut r = rng(seed ^ 0x4145);
+    (0..n)
+        .map(|_| {
+            HostValue::Arr(
+                (0..BLOCK)
+                    .map(|_| HostValue::I(r.gen_range(0..256)))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// The expert design: flatten each round's byte loops (16-wide SPN
+/// stages), pipeline rounds, tile tasks for streaming, widest ports.
+/// The expert design: flatten each round stage 16-wide, pipeline rounds,
+/// replicate over 8 task PEs, stream 256-task tiles.
+pub fn manual_config(summary: &KernelSummary) -> DesignConfig {
+    let mut cfg = DesignConfig::area_seed(summary);
+    let loops: Vec<_> = summary
+        .loops
+        .iter()
+        .map(|l| (l.id, l.depth, l.trip_count))
+        .collect();
+    for (id, depth, tc) in loops {
+        let d = cfg.loop_directive_mut(id);
+        match (depth, tc) {
+            (0, _) => {
+                *d = LoopDirective {
+                    tile: Some(256),
+                    parallel: 8,
+                    pipeline: PipelineMode::On,
+                    tree_reduce: false,
+                };
+            }
+            (1, 10) => {
+                // the round loop: pipeline rounds
+                *d = LoopDirective {
+                    tile: None,
+                    parallel: 2,
+                    pipeline: PipelineMode::On,
+                    tree_reduce: false,
+                };
+            }
+            (1, _) => {
+                *d = LoopDirective {
+                    tile: None,
+                    parallel: 2,
+                    pipeline: PipelineMode::Flatten,
+                    tree_reduce: false,
+                };
+            }
+            _ => {
+                *d = LoopDirective {
+                    tile: None,
+                    parallel: 4,
+                    pipeline: PipelineMode::Flatten,
+                    tree_reduce: false,
+                };
+            }
+        }
+    }
+    for (_, bits) in cfg.buffer_bits.iter_mut() {
+        *bits = 512;
+    }
+    cfg
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "AES",
+        category: "string proc.",
+        spec: spec(),
+        manual_spec: spec(),
+        manual_config,
+        gen_input,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2fa_sjvm::Interp;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let spec = spec();
+        let mut interp = Interp::new(&spec.classes, &spec.methods);
+        for rec in gen_input(5, 77) {
+            let (out, _) = interp.run(spec.entry, std::slice::from_ref(&rec)).unwrap();
+            let block: Vec<i64> = rec
+                .elements()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_i64().unwrap())
+                .collect();
+            let want = reference(&block);
+            let got: Vec<i64> = out
+                .elements()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_i64().unwrap())
+                .collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn encryption_diffuses_single_bit() {
+        let a = reference(&[0; 16]);
+        let mut flipped = [0i64; 16];
+        flipped[0] = 1;
+        let b = reference(&flipped);
+        let differing = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        assert!(differing >= 8, "only {differing} bytes differ");
+    }
+
+    #[test]
+    fn output_bytes_in_range() {
+        for v in reference(&[255; 16]) {
+            assert!((0..256).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The common workload interface used by the experiment harness.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use s2fa_hlsir::KernelSummary;
+use s2fa_merlin::DesignConfig;
+use s2fa_sjvm::{HostValue, KernelSpec};
+
+/// One evaluation workload: the user-written kernel, its data, and the
+/// expert manual design it is compared against in Fig. 4.
+pub struct Workload {
+    /// Kernel name as reported in Table 2.
+    pub name: &'static str,
+    /// Application category column of Table 2.
+    pub category: &'static str,
+    /// The user-written Spark kernel (input to the automatic flow).
+    pub spec: KernelSpec,
+    /// The kernel the expert implements by hand. Usually identical to
+    /// [`spec`](Self::spec); for LR the expert restructured the lambda
+    /// itself (piecewise-linear sigmoid) as the paper describes.
+    pub manual_spec: KernelSpec,
+    /// The expert's design configuration, built against the manual
+    /// kernel's analysis summary.
+    pub manual_config: fn(&KernelSummary) -> DesignConfig,
+    /// Deterministic input generator.
+    pub gen_input: fn(usize, u64) -> Vec<HostValue>,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("category", &self.category)
+            .finish_non_exhaustive()
+    }
+}
+
+/// All eight workloads in Table 2 order.
+pub fn all_workloads() -> Vec<Workload> {
+    vec![
+        crate::pr::workload(),
+        crate::kmeans::workload(),
+        crate::knn::workload(),
+        crate::lr::workload(),
+        crate::svm::workload(),
+        crate::lls::workload(),
+        crate::aes::workload(),
+        crate::sw::workload(),
+    ]
+}
+
+/// Seeded RNG for generators.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// A random `f64` array in [-1, 1) as a host value.
+pub fn rand_f64_array(rng: &mut SmallRng, n: usize) -> HostValue {
+    HostValue::Arr(
+        (0..n)
+            .map(|_| HostValue::F(rng.gen_range(-1.0..1.0)))
+            .collect(),
+    )
+}
+
+/// A random DNA-alphabet string of exactly `n` characters.
+pub fn rand_dna(rng: &mut SmallRng, n: usize) -> String {
+    const ALPHABET: [u8; 4] = [b'A', b'C', b'G', b'T'];
+    (0..n)
+        .map(|_| ALPHABET[rng.gen_range(0..4)] as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = rng(7);
+        let mut b = rng(7);
+        assert_eq!(rand_f64_array(&mut a, 8), rand_f64_array(&mut b, 8));
+        assert_eq!(rand_dna(&mut a, 32), rand_dna(&mut b, 32));
+    }
+
+    #[test]
+    fn all_workloads_build_and_verify() {
+        let ws = all_workloads();
+        assert_eq!(ws.len(), 8);
+        let names: Vec<_> = ws.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec!["PR", "KMeans", "KNN", "LR", "SVM", "LLS", "AES", "S-W"]
+        );
+        for w in &ws {
+            w.spec.verify().expect(w.name);
+            w.manual_spec.verify().expect(w.name);
+            let input = (w.gen_input)(4, 1);
+            assert_eq!(input.len(), 4, "{}", w.name);
+        }
+    }
+}

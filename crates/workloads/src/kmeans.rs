@@ -1,0 +1,187 @@
+//! KMeans — nearest-centroid assignment kernel (classification).
+//!
+//! The offloaded lambda assigns one point to the nearest of `K` centroids
+//! (the compute step of a Lloyd iteration). The closure's captured
+//! centroid array travels with each record, exactly how Blaze serializes
+//! closure state over its primitive-typed interface.
+//!
+//! The loop nest is tiny (`K = 8` by `D = 8`), which makes KMeans the
+//! kernel with the *smallest design space* — the paper's Fig. 3 exception
+//! where vanilla OpenTuner catches up with S2FA because "the design space
+//! of KMeans is relatively small, so the benefit of design space partition
+//! is marginal".
+
+use crate::common::{rand_f64_array, rng, Workload};
+use s2fa_hlsir::KernelSummary;
+use s2fa_hlsir::PipelineMode;
+use s2fa_merlin::{DesignConfig, LoopDirective};
+use s2fa_sjvm::builder::{Expr, FnBuilder};
+use s2fa_sjvm::{ClassTable, HostValue, JType, KernelSpec, MethodTable, RddOp, Shape};
+
+/// Number of centroids.
+pub const K: u32 = 8;
+/// Point dimensionality.
+pub const D: u32 = 8;
+
+/// The user-written kernel spec: `(point, centroids) -> cluster id`.
+pub fn spec() -> KernelSpec {
+    let mut classes = ClassTable::new();
+    let darr = JType::array(JType::Double);
+    let pair = classes.define_tuple2(darr.clone(), darr.clone());
+    let mut methods = MethodTable::new();
+    let mut b = FnBuilder::new("call", &[("in", JType::Ref(pair))], Some(JType::Int));
+    let input = b.param(0);
+    let point = b.local("point", darr.clone());
+    let cents = b.local("cents", darr);
+    b.set(point, Expr::local(input).field("_1"));
+    b.set(cents, Expr::local(input).field("_2"));
+    let best = b.local("best", JType::Double);
+    let best_k = b.local("best_k", JType::Int);
+    let k = b.local("k", JType::Int);
+    let j = b.local("j", JType::Int);
+    let d = b.local("d", JType::Double);
+    let diff = b.local("diff", JType::Double);
+    b.set(best, Expr::const_f(1.0e30));
+    b.set(best_k, Expr::const_i(0));
+    b.for_loop(k, Expr::const_i(0), Expr::const_i(K as i64), |b| {
+        b.set(d, Expr::const_f(0.0));
+        b.for_loop(j, Expr::const_i(0), Expr::const_i(D as i64), |b| {
+            b.set(
+                diff,
+                Expr::local(point).index(Expr::local(j)).sub(
+                    Expr::local(cents).index(
+                        Expr::local(k)
+                            .mul(Expr::const_i(D as i64))
+                            .add(Expr::local(j)),
+                    ),
+                ),
+            );
+            b.set(
+                d,
+                Expr::local(d).add(Expr::local(diff).mul(Expr::local(diff))),
+            );
+        });
+        b.if_then(Expr::local(d).lt(Expr::local(best)), |b| {
+            b.set(best, Expr::local(d));
+            b.set(best_k, Expr::local(k));
+        });
+    });
+    b.ret(Expr::local(best_k));
+    let entry = b.finish(&mut classes, &mut methods).expect("KMeans builds");
+    KernelSpec {
+        name: "KMeans".into(),
+        classes,
+        methods,
+        entry,
+        operator: RddOp::Map,
+        input_shape: Shape::pair(
+            Shape::Array(JType::Double, D),
+            // centroids are captured closure state — broadcast per batch
+            Shape::broadcast(Shape::Array(JType::Double, K * D)),
+        ),
+        output_shape: Shape::Scalar(JType::Int),
+    }
+}
+
+/// Native reference with identical accumulation/tie-breaking order.
+pub fn reference(point: &[f64], cents: &[f64]) -> i64 {
+    let mut best = 1.0e30;
+    let mut best_k = 0i64;
+    for k in 0..K as usize {
+        let mut d = 0.0;
+        for j in 0..D as usize {
+            let diff = point[j] - cents[k * D as usize + j];
+            d += diff * diff;
+        }
+        if d < best {
+            best = d;
+            best_k = k as i64;
+        }
+    }
+    best_k
+}
+
+/// Deterministic input generator (same centroids per batch, as a captured
+/// closure value would be).
+pub fn gen_input(n: usize, seed: u64) -> Vec<HostValue> {
+    let mut r = rng(seed ^ 0x4B4D);
+    let cents = rand_f64_array(&mut r, (K * D) as usize);
+    (0..n)
+        .map(|_| HostValue::pair(rand_f64_array(&mut r, D as usize), cents.clone()))
+        .collect()
+}
+
+/// The expert design: flatten the distance computation (tiny nest), stage
+/// a big task tile in BRAM, widest ports.
+/// The expert design: flatten the whole per-point assignment into one
+/// spatial datapath, replicate it over 4 task PEs, stream tiles.
+pub fn manual_config(summary: &KernelSummary) -> DesignConfig {
+    let mut cfg = DesignConfig::area_seed(summary);
+    let loops: Vec<_> = summary.loops.iter().map(|l| (l.id, l.depth)).collect();
+    for (id, depth) in loops {
+        if depth == 0 {
+            *cfg.loop_directive_mut(id) = LoopDirective {
+                tile: Some(4),
+                parallel: 4,
+                pipeline: PipelineMode::Flatten,
+                tree_reduce: false,
+            };
+        }
+    }
+    for (_, bits) in cfg.buffer_bits.iter_mut() {
+        *bits = 512;
+    }
+    cfg
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "KMeans",
+        category: "classification",
+        spec: spec(),
+        manual_spec: spec(),
+        manual_config,
+        gen_input,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2fa_sjvm::Interp;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let spec = spec();
+        let mut interp = Interp::new(&spec.classes, &spec.methods);
+        for rec in gen_input(6, 3) {
+            let (out, _) = interp.run(spec.entry, std::slice::from_ref(&rec)).unwrap();
+            let fields = rec.elements().unwrap();
+            let point: Vec<f64> = fields[0]
+                .elements()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_f64().unwrap())
+                .collect();
+            let cents: Vec<f64> = fields[1]
+                .elements()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_f64().unwrap())
+                .collect();
+            assert_eq!(out.as_i64().unwrap(), reference(&point, &cents));
+        }
+    }
+
+    #[test]
+    fn picks_the_exact_centroid() {
+        // point equal to centroid 5 → cluster 5
+        let mut cents = vec![0.0; (K * D) as usize];
+        for j in 0..D as usize {
+            cents[5 * D as usize + j] = 3.0 + j as f64;
+        }
+        let point: Vec<f64> = (0..D as usize).map(|j| 3.0 + j as f64).collect();
+        assert_eq!(reference(&point, &cents), 5);
+    }
+}

@@ -1,0 +1,206 @@
+//! KNN — nearest-neighbor classification kernel.
+//!
+//! The offloaded lambda classifies one query point against a reference set
+//! of `T = 32` training points (`D = 8` dims each) shipped with the record,
+//! returning the label of the nearest neighbor. Distance evaluation over
+//! the training set dominates — a classic FPGA-friendly compute pattern,
+//! which is why the paper's KNN saturates FF/LUT near 50 %.
+
+use crate::common::{rand_f64_array, rng, Workload};
+use rand::Rng;
+use s2fa_hlsir::KernelSummary;
+use s2fa_hlsir::PipelineMode;
+use s2fa_merlin::{DesignConfig, LoopDirective};
+use s2fa_sjvm::builder::{Expr, FnBuilder};
+use s2fa_sjvm::{ClassTable, HostValue, JType, KernelSpec, MethodTable, RddOp, Shape};
+
+/// Training points per record.
+pub const T: u32 = 32;
+/// Dimensions per point.
+pub const D: u32 = 8;
+/// Distinct labels.
+pub const LABELS: i64 = 4;
+
+/// The user-written kernel spec: `(query, train, labels) -> label`.
+pub fn spec() -> KernelSpec {
+    let mut classes = ClassTable::new();
+    let darr = JType::array(JType::Double);
+    let iarr = JType::array(JType::Int);
+    let triple = classes.define_tuple3(darr.clone(), darr.clone(), iarr.clone());
+    let mut methods = MethodTable::new();
+    let mut b = FnBuilder::new("call", &[("in", JType::Ref(triple))], Some(JType::Int));
+    let input = b.param(0);
+    let q = b.local("q", darr.clone());
+    let train = b.local("train", darr);
+    let labels = b.local("labels", iarr);
+    b.set(q, Expr::local(input).field("_1"));
+    b.set(train, Expr::local(input).field("_2"));
+    b.set(labels, Expr::local(input).field("_3"));
+    let best = b.local("best", JType::Double);
+    let best_l = b.local("best_l", JType::Int);
+    let t = b.local("t", JType::Int);
+    let j = b.local("j", JType::Int);
+    let d = b.local("d", JType::Double);
+    let diff = b.local("diff", JType::Double);
+    b.set(best, Expr::const_f(1.0e30));
+    b.set(best_l, Expr::const_i(0));
+    b.for_loop(t, Expr::const_i(0), Expr::const_i(T as i64), |b| {
+        b.set(d, Expr::const_f(0.0));
+        b.for_loop(j, Expr::const_i(0), Expr::const_i(D as i64), |b| {
+            b.set(
+                diff,
+                Expr::local(q).index(Expr::local(j)).sub(
+                    Expr::local(train).index(
+                        Expr::local(t)
+                            .mul(Expr::const_i(D as i64))
+                            .add(Expr::local(j)),
+                    ),
+                ),
+            );
+            b.set(
+                d,
+                Expr::local(d).add(Expr::local(diff).mul(Expr::local(diff))),
+            );
+        });
+        b.if_then(Expr::local(d).lt(Expr::local(best)), |b| {
+            b.set(best, Expr::local(d));
+            b.set(best_l, Expr::local(labels).index(Expr::local(t)));
+        });
+    });
+    b.ret(Expr::local(best_l));
+    let entry = b.finish(&mut classes, &mut methods).expect("KNN builds");
+    KernelSpec {
+        name: "KNN".into(),
+        classes,
+        methods,
+        entry,
+        operator: RddOp::Map,
+        input_shape: Shape::Composite(vec![
+            Shape::Array(JType::Double, D),
+            // reference set and labels are captured closure state
+            Shape::broadcast(Shape::Array(JType::Double, T * D)),
+            Shape::broadcast(Shape::Array(JType::Int, T)),
+        ]),
+        output_shape: Shape::Scalar(JType::Int),
+    }
+}
+
+/// Native reference with identical order.
+pub fn reference(q: &[f64], train: &[f64], labels: &[i64]) -> i64 {
+    let mut best = 1.0e30;
+    let mut best_l = 0;
+    for t in 0..T as usize {
+        let mut d = 0.0;
+        for j in 0..D as usize {
+            let diff = q[j] - train[t * D as usize + j];
+            d += diff * diff;
+        }
+        if d < best {
+            best = d;
+            best_l = labels[t];
+        }
+    }
+    best_l
+}
+
+/// Deterministic input generator (shared training set per batch).
+pub fn gen_input(n: usize, seed: u64) -> Vec<HostValue> {
+    let mut r = rng(seed ^ 0x4B4E);
+    let train = rand_f64_array(&mut r, (T * D) as usize);
+    let labels = HostValue::Arr(
+        (0..T)
+            .map(|_| HostValue::I(r.gen_range(0..LABELS)))
+            .collect(),
+    );
+    (0..n)
+        .map(|_| {
+            HostValue::Tuple(vec![
+                rand_f64_array(&mut r, D as usize),
+                train.clone(),
+                labels.clone(),
+            ])
+        })
+        .collect()
+}
+
+/// The expert design: parallelize the training-set scan, flatten the
+/// per-point distance, stage task tiles, widest ports.
+/// The expert design: one fully spatial distance-scan datapath per task
+/// PE, with the cached reference set feeding all lanes.
+pub fn manual_config(summary: &KernelSummary) -> DesignConfig {
+    let mut cfg = DesignConfig::area_seed(summary);
+    let loops: Vec<_> = summary.loops.iter().map(|l| (l.id, l.depth)).collect();
+    for (id, depth) in loops {
+        if depth == 0 {
+            // one spatial distance-scan datapath already issues a task
+            // per cycle; replication would blow the DSP budget
+            *cfg.loop_directive_mut(id) = LoopDirective {
+                tile: Some(4),
+                parallel: 1,
+                pipeline: PipelineMode::Flatten,
+                tree_reduce: false,
+            };
+        }
+    }
+    for (_, bits) in cfg.buffer_bits.iter_mut() {
+        *bits = 512;
+    }
+    cfg
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "KNN",
+        category: "classification",
+        spec: spec(),
+        manual_spec: spec(),
+        manual_config,
+        gen_input,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2fa_sjvm::Interp;
+
+    fn unpack_f64(v: &HostValue) -> Vec<f64> {
+        v.elements()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_f64().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let spec = spec();
+        let mut interp = Interp::new(&spec.classes, &spec.methods);
+        for rec in gen_input(5, 11) {
+            let (out, _) = interp.run(spec.entry, std::slice::from_ref(&rec)).unwrap();
+            let f = rec.elements().unwrap();
+            let labels: Vec<i64> = f[2]
+                .elements()
+                .unwrap()
+                .iter()
+                .map(|x| x.as_i64().unwrap())
+                .collect();
+            assert_eq!(
+                out.as_i64().unwrap(),
+                reference(&unpack_f64(&f[0]), &unpack_f64(&f[1]), &labels)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_match_returns_its_label() {
+        let mut train = vec![10.0; (T * D) as usize];
+        // training point 7 = all zeros
+        for j in 0..D as usize {
+            train[7 * D as usize + j] = 0.0;
+        }
+        let labels: Vec<i64> = (0..T as i64).collect();
+        assert_eq!(reference(&[0.0; D as usize], &train, &labels), 7);
+    }
+}

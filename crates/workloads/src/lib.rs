@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # s2fa-workloads — the paper's evaluation kernels
+//!
+//! The eight Spark kernels of Table 2, authored in the builder DSL (the
+//! Scala stand-in) and lowered to bytecode exactly as a Spark application
+//! would deliver them to S2FA:
+//!
+//! | Kernel | Type | Module |
+//! |--------|------|--------|
+//! | PR (PageRank)                | graph proc.    | [`pr`] |
+//! | KMeans (K-Means)             | classification | [`kmeans`] |
+//! | KNN (K-Nearest Neighbor)     | classification | [`knn`] |
+//! | LR (Logistic Regression)     | regression     | [`lr`] |
+//! | SVM (Support Vector Machine) | regression     | [`svm`] |
+//! | LLS (Least linear square)    | regression     | [`lls`] |
+//! | AES (encryption)             | string proc.   | [`aes`] |
+//! | S-W (Smith-Waterman)         | string proc.   | [`sw`] |
+//!
+//! Each module provides the kernel spec, a deterministic input generator,
+//! a native Rust reference implementation (the correctness oracle beside
+//! the JVM interpreter), and the *manual expert design* used as the Fig. 4
+//! baseline — either a hand-picked configuration or, where the paper's
+//! expert restructured the code itself (LR), a rewritten kernel.
+//!
+//! Scope note (documented in DESIGN.md): S-W reports the optimal local
+//! alignment score and end position instead of reconstructing the aligned
+//! string pair — the DP loop nest, the dependence structure, and the
+//! interface shape that drive the paper's results are identical, but the
+//! traceback (irregular bounded-`while` control flow) lies outside the
+//! §3.3 subset our decompiler accepts.
+
+pub mod aes;
+pub mod common;
+pub mod kmeans;
+pub mod knn;
+pub mod lls;
+pub mod lr;
+pub mod pr;
+pub mod svm;
+pub mod sw;
+
+pub use common::{all_workloads, Workload};

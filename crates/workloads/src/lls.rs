@@ -1,0 +1,170 @@
+//! LLS — least-linear-squares gradient kernel (regression).
+//!
+//! The offloaded lambda computes one sample's least-squares gradient
+//! contribution `g = (wᵀx − y) · x` — the core of gradient-descent linear
+//! regression.
+
+use crate::common::{rand_f64_array, rng, Workload};
+use rand::Rng;
+use s2fa_hlsir::KernelSummary;
+use s2fa_hlsir::PipelineMode;
+use s2fa_merlin::{DesignConfig, LoopDirective};
+use s2fa_sjvm::builder::{Expr, FnBuilder};
+use s2fa_sjvm::{ClassTable, HostValue, JType, KernelSpec, MethodTable, RddOp, Shape};
+
+/// Feature dimensionality.
+pub const D: u32 = 16;
+
+/// The user-written kernel spec: `(x, y, w) -> gradient`.
+pub fn spec() -> KernelSpec {
+    let mut classes = ClassTable::new();
+    let darr = JType::array(JType::Double);
+    let triple = classes.define_tuple3(darr.clone(), JType::Double, darr.clone());
+    let mut methods = MethodTable::new();
+    let mut b = FnBuilder::new("call", &[("in", JType::Ref(triple))], Some(darr.clone()));
+    let input = b.param(0);
+    let x = b.local("x", darr.clone());
+    let w = b.local("w", darr.clone());
+    let y = b.local("y", JType::Double);
+    b.set(x, Expr::local(input).field("_1"));
+    b.set(y, Expr::local(input).field("_2"));
+    b.set(w, Expr::local(input).field("_3"));
+    let s = b.local("s", JType::Double);
+    let j = b.local("j", JType::Int);
+    b.set(s, Expr::const_f(0.0));
+    b.for_loop(j, Expr::const_i(0), Expr::const_i(D as i64), |b| {
+        b.set(
+            s,
+            Expr::local(s).add(
+                Expr::local(w)
+                    .index(Expr::local(j))
+                    .mul(Expr::local(x).index(Expr::local(j))),
+            ),
+        );
+    });
+    let r = b.local("r", JType::Double);
+    b.set(r, Expr::local(s).sub(Expr::local(y)));
+    let g = b.local("g", darr);
+    b.set(g, Expr::NewArray(JType::Double, D));
+    let j2 = b.local("j2", JType::Int);
+    b.for_loop(j2, Expr::const_i(0), Expr::const_i(D as i64), |b| {
+        b.set_index(
+            Expr::local(g),
+            Expr::local(j2),
+            Expr::local(r).mul(Expr::local(x).index(Expr::local(j2))),
+        );
+    });
+    b.ret(Expr::local(g));
+    let entry = b.finish(&mut classes, &mut methods).expect("LLS builds");
+    KernelSpec {
+        name: "LLS".into(),
+        classes,
+        methods,
+        entry,
+        operator: RddOp::Map,
+        input_shape: Shape::Composite(vec![
+            Shape::Array(JType::Double, D),
+            Shape::Scalar(JType::Double),
+            // the weight vector is captured closure state
+            Shape::broadcast(Shape::Array(JType::Double, D)),
+        ]),
+        output_shape: Shape::Array(JType::Double, D),
+    }
+}
+
+/// Native reference with identical order.
+pub fn reference(x: &[f64], y: f64, w: &[f64]) -> Vec<f64> {
+    let mut s = 0.0;
+    for j in 0..D as usize {
+        s += w[j] * x[j];
+    }
+    let r = s - y;
+    x.iter().take(D as usize).map(|&xj| r * xj).collect()
+}
+
+/// Deterministic input generator (shared weights per batch).
+pub fn gen_input(n: usize, seed: u64) -> Vec<HostValue> {
+    let mut r = rng(seed ^ 0x4C4C);
+    let w = rand_f64_array(&mut r, D as usize);
+    (0..n)
+        .map(|_| {
+            HostValue::Tuple(vec![
+                rand_f64_array(&mut r, D as usize),
+                HostValue::F(r.gen_range(-2.0..2.0)),
+                w.clone(),
+            ])
+        })
+        .collect()
+}
+
+/// The expert design (same family as SVM's: tree-reduced dot, parallel
+/// gradient, tiling, wide ports).
+/// The expert design: a fully spatial per-sample gradient datapath
+/// replicated over 16 task PEs.
+pub fn manual_config(summary: &KernelSummary) -> DesignConfig {
+    let mut cfg = DesignConfig::area_seed(summary);
+    let loops: Vec<_> = summary.loops.iter().map(|l| (l.id, l.depth)).collect();
+    for (id, depth) in loops {
+        if depth == 0 {
+            *cfg.loop_directive_mut(id) = LoopDirective {
+                tile: Some(4),
+                parallel: 16,
+                pipeline: PipelineMode::Flatten,
+                tree_reduce: false,
+            };
+        }
+    }
+    for (_, bits) in cfg.buffer_bits.iter_mut() {
+        *bits = 512;
+    }
+    cfg
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "LLS",
+        category: "regression",
+        spec: spec(),
+        manual_spec: spec(),
+        manual_config,
+        gen_input,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2fa_sjvm::Interp;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let spec = spec();
+        let mut interp = Interp::new(&spec.classes, &spec.methods);
+        for rec in gen_input(6, 21) {
+            let (out, _) = interp.run(spec.entry, std::slice::from_ref(&rec)).unwrap();
+            let f = rec.elements().unwrap();
+            let unpack = |v: &HostValue| -> Vec<f64> {
+                v.elements()
+                    .unwrap()
+                    .iter()
+                    .map(|x| x.as_f64().unwrap())
+                    .collect()
+            };
+            let want = reference(&unpack(&f[0]), f[1].as_f64().unwrap(), &unpack(&f[2]));
+            let got = unpack(&out);
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_residual_gives_zero_gradient() {
+        let x = vec![1.0; D as usize];
+        let w = vec![0.25; D as usize];
+        let y = 0.25 * D as f64;
+        let g = reference(&x, y, &w);
+        assert!(g.iter().all(|v| v.abs() < 1e-12));
+    }
+}

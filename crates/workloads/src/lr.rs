@@ -1,0 +1,237 @@
+//! LR — logistic-regression gradient kernel.
+//!
+//! The offloaded lambda computes one sample's gradient contribution:
+//! `g = (σ(wᵀx) − y) · x` with the exact sigmoid (`exp` + divide). The
+//! deep floating-point operator chain is what limits the automatic design
+//! — the paper reports "the core computation of LR is the regression model
+//! that involves floating point multiplication and exponential calculation
+//! so the minimal initiation interval is still 13", leaving a visible gap
+//! to the manual design.
+//!
+//! The expert's manual implementation restructures the *code itself* ("The
+//! LR manual design splits the computation statement to multiple stages to
+//! form a highly efficient pipeline"): here that is modelled by the
+//! classic hand-optimization of replacing the exact sigmoid with a
+//! piecewise-linear approximation ([`manual_spec`]), which removes the
+//! transcendental from the pipeline entirely.
+
+use crate::common::{rand_f64_array, rng, Workload};
+use rand::Rng;
+use s2fa_hlsir::KernelSummary;
+use s2fa_hlsir::PipelineMode;
+use s2fa_merlin::{DesignConfig, LoopDirective};
+use s2fa_sjvm::builder::{Expr, FnBuilder};
+use s2fa_sjvm::{ClassTable, HostValue, JType, KernelSpec, MethodTable, RddOp, Shape};
+
+/// Feature dimensionality.
+pub const D: u32 = 16;
+
+fn build(name: &str, exact_sigmoid: bool) -> KernelSpec {
+    let mut classes = ClassTable::new();
+    let darr = JType::array(JType::Double);
+    let triple = classes.define_tuple3(darr.clone(), JType::Double, darr.clone());
+    let mut methods = MethodTable::new();
+    let mut b = FnBuilder::new("call", &[("in", JType::Ref(triple))], Some(darr.clone()));
+    let input = b.param(0);
+    let x = b.local("x", darr.clone());
+    let w = b.local("w", darr.clone());
+    let y = b.local("y", JType::Double);
+    b.set(x, Expr::local(input).field("_1"));
+    b.set(y, Expr::local(input).field("_2"));
+    b.set(w, Expr::local(input).field("_3"));
+    let s = b.local("s", JType::Double);
+    let p = b.local("p", JType::Double);
+    let j = b.local("j", JType::Int);
+    let g = b.local("g", darr);
+    b.set(s, Expr::const_f(0.0));
+    b.for_loop(j, Expr::const_i(0), Expr::const_i(D as i64), |b| {
+        b.set(
+            s,
+            Expr::local(s).add(
+                Expr::local(w)
+                    .index(Expr::local(j))
+                    .mul(Expr::local(x).index(Expr::local(j))),
+            ),
+        );
+    });
+    if exact_sigmoid {
+        // p = 1 / (1 + exp(-s))
+        b.set(
+            p,
+            Expr::const_f(1.0).div(Expr::const_f(1.0).add(Expr::local(s).neg().exp())),
+        );
+    } else {
+        // piecewise-linear sigmoid: clamp(0.5 + 0.125·s, 0, 1)
+        b.set(
+            p,
+            Expr::const_f(0.5)
+                .add(Expr::const_f(0.125).mul(Expr::local(s)))
+                .max(Expr::const_f(0.0))
+                .min(Expr::const_f(1.0)),
+        );
+    }
+    b.set(g, Expr::NewArray(JType::Double, D));
+    let j2 = b.local("j2", JType::Int);
+    b.for_loop(j2, Expr::const_i(0), Expr::const_i(D as i64), |b| {
+        b.set_index(
+            Expr::local(g),
+            Expr::local(j2),
+            Expr::local(p)
+                .sub(Expr::local(y))
+                .mul(Expr::local(x).index(Expr::local(j2))),
+        );
+    });
+    b.ret(Expr::local(g));
+    let entry = b.finish(&mut classes, &mut methods).expect("LR builds");
+    KernelSpec {
+        name: name.into(),
+        classes,
+        methods,
+        entry,
+        operator: RddOp::Map,
+        input_shape: Shape::Composite(vec![
+            Shape::Array(JType::Double, D),
+            Shape::Scalar(JType::Double),
+            // the weight vector is captured closure state
+            Shape::broadcast(Shape::Array(JType::Double, D)),
+        ]),
+        output_shape: Shape::Array(JType::Double, D),
+    }
+}
+
+/// The user-written kernel (exact sigmoid).
+pub fn spec() -> KernelSpec {
+    build("LR", true)
+}
+
+/// The expert's restructured kernel (piecewise-linear sigmoid).
+pub fn manual_spec() -> KernelSpec {
+    build("LR", false)
+}
+
+/// Native reference of the exact-sigmoid kernel.
+pub fn reference(x: &[f64], y: f64, w: &[f64]) -> Vec<f64> {
+    let mut s = 0.0;
+    for j in 0..D as usize {
+        s += w[j] * x[j];
+    }
+    let p = 1.0 / (1.0 + (-s).exp());
+    x.iter().take(D as usize).map(|&xj| (p - y) * xj).collect()
+}
+
+/// Deterministic input generator (shared weights per batch).
+pub fn gen_input(n: usize, seed: u64) -> Vec<HostValue> {
+    let mut r = rng(seed ^ 0x4C52);
+    let w = rand_f64_array(&mut r, D as usize);
+    (0..n)
+        .map(|_| {
+            HostValue::Tuple(vec![
+                rand_f64_array(&mut r, D as usize),
+                HostValue::F(if r.gen_bool(0.5) { 1.0 } else { 0.0 }),
+                w.clone(),
+            ])
+        })
+        .collect()
+}
+
+/// The expert design over the restructured kernel.
+/// The expert design over the restructured kernel: a fully spatial
+/// per-sample gradient datapath replicated over 16 task PEs.
+pub fn manual_config(summary: &KernelSummary) -> DesignConfig {
+    let mut cfg = DesignConfig::area_seed(summary);
+    let loops: Vec<_> = summary.loops.iter().map(|l| (l.id, l.depth)).collect();
+    for (id, depth) in loops {
+        if depth == 0 {
+            *cfg.loop_directive_mut(id) = LoopDirective {
+                tile: Some(4),
+                parallel: 16,
+                pipeline: PipelineMode::Flatten,
+                tree_reduce: false,
+            };
+        }
+    }
+    for (_, bits) in cfg.buffer_bits.iter_mut() {
+        *bits = 512;
+    }
+    cfg
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "LR",
+        category: "regression",
+        spec: spec(),
+        manual_spec: manual_spec(),
+        manual_config,
+        gen_input,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2fa_sjvm::Interp;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let spec = spec();
+        let mut interp = Interp::new(&spec.classes, &spec.methods);
+        for rec in gen_input(5, 9) {
+            let (out, _) = interp.run(spec.entry, std::slice::from_ref(&rec)).unwrap();
+            let f = rec.elements().unwrap();
+            let x: Vec<f64> = f[0]
+                .elements()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_f64().unwrap())
+                .collect();
+            let y = f[1].as_f64().unwrap();
+            let w: Vec<f64> = f[2]
+                .elements()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_f64().unwrap())
+                .collect();
+            let want = reference(&x, y, &w);
+            let got: Vec<f64> = out
+                .elements()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_f64().unwrap())
+                .collect();
+            for (a, b) in got.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pwl_sigmoid_tracks_exact_near_zero() {
+        // both kernels agree reasonably for small margins
+        let exact = spec();
+        let manual = manual_spec();
+        let rec = gen_input(1, 5).pop().unwrap();
+        let mut ie = Interp::new(&exact.classes, &exact.methods);
+        let mut im = Interp::new(&manual.classes, &manual.methods);
+        let (a, _) = ie.run(exact.entry, std::slice::from_ref(&rec)).unwrap();
+        let (b, _) = im.run(manual.entry, std::slice::from_ref(&rec)).unwrap();
+        let ga = a.elements().unwrap()[0].as_f64().unwrap();
+        let gb = b.elements().unwrap()[0].as_f64().unwrap();
+        assert!((ga - gb).abs() < 0.2, "{ga} vs {gb}");
+    }
+
+    #[test]
+    fn exact_kernel_uses_exp_manual_does_not() {
+        use s2fa_sjvm::Op;
+        let has_exp = |s: &KernelSpec| {
+            s.methods
+                .get(s.entry)
+                .code
+                .iter()
+                .any(|o| matches!(o, Op::Math(s2fa_sjvm::MathFn::Exp, _)))
+        };
+        assert!(has_exp(&spec()));
+        assert!(!has_exp(&manual_spec()));
+    }
+}

@@ -1,0 +1,138 @@
+//! PR — PageRank contribution kernel (graph processing).
+//!
+//! The offloaded lambda computes one node's new rank from the rank
+//! contributions gathered from its in-neighbors:
+//! `rank' = 0.15 + 0.85 · Σ contribs[j]`. With 32 contributions in and a
+//! single double out, the kernel moves many bytes per floating add — the
+//! memory-bound profile the paper reports for PR (low resource
+//! utilization, modest speedup even for the manual design).
+
+use crate::common::{rand_f64_array, rng, Workload};
+use s2fa_hlsir::KernelSummary;
+use s2fa_hlsir::PipelineMode;
+use s2fa_merlin::{DesignConfig, LoopDirective};
+use s2fa_sjvm::builder::{Expr, FnBuilder};
+use s2fa_sjvm::{ClassTable, HostValue, JType, KernelSpec, MethodTable, RddOp, Shape};
+
+/// In-neighbor contributions per node.
+pub const DEGREE: u32 = 32;
+/// Damping factor.
+pub const DAMPING: f64 = 0.85;
+
+/// The user-written kernel spec.
+pub fn spec() -> KernelSpec {
+    let mut classes = ClassTable::new();
+    let mut methods = MethodTable::new();
+    let contribs_ty = JType::array(JType::Double);
+    let mut b = FnBuilder::new("call", &[("contribs", contribs_ty)], Some(JType::Double));
+    let contribs = b.param(0);
+    let s = b.local("s", JType::Double);
+    let j = b.local("j", JType::Int);
+    b.set(s, Expr::const_f(0.0));
+    b.for_loop(j, Expr::const_i(0), Expr::const_i(DEGREE as i64), |b| {
+        b.set(
+            s,
+            Expr::local(s).add(Expr::local(contribs).index(Expr::local(j))),
+        );
+    });
+    b.ret(Expr::const_f(1.0 - DAMPING).add(Expr::const_f(DAMPING).mul(Expr::local(s))));
+    let entry = b.finish(&mut classes, &mut methods).expect("PR builds");
+    KernelSpec {
+        name: "PR".into(),
+        classes,
+        methods,
+        entry,
+        operator: RddOp::Map,
+        input_shape: Shape::Array(JType::Double, DEGREE),
+        output_shape: Shape::Scalar(JType::Double),
+    }
+}
+
+/// Native reference (same accumulation order as the bytecode).
+pub fn reference(contribs: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for &c in contribs {
+        s += c;
+    }
+    (1.0 - DAMPING) + DAMPING * s
+}
+
+/// Deterministic input generator.
+pub fn gen_input(n: usize, seed: u64) -> Vec<HostValue> {
+    let mut r = rng(seed ^ 0x5052);
+    (0..n)
+        .map(|_| rand_f64_array(&mut r, DEGREE as usize))
+        .collect()
+}
+
+/// The expert design: wide ports, fully parallel tree reduction, task
+/// tiling for transfer overlap — PR is bandwidth-bound so this is as good
+/// as it gets.
+/// The expert design: wide ports, tree-reduced parallel accumulation,
+/// task tiling for transfer overlap — PR is bandwidth-bound so this is as
+/// good as it gets.
+pub fn manual_config(summary: &KernelSummary) -> DesignConfig {
+    let mut cfg = DesignConfig::area_seed(summary);
+    let loops: Vec<_> = summary.loops.iter().map(|l| (l.id, l.depth)).collect();
+    for (id, depth) in loops {
+        let d = cfg.loop_directive_mut(id);
+        if depth == 0 {
+            *d = LoopDirective {
+                tile: Some(4),
+                parallel: 16,
+                pipeline: PipelineMode::On,
+                tree_reduce: false,
+            };
+        } else {
+            *d = LoopDirective {
+                tile: None,
+                parallel: 8,
+                pipeline: PipelineMode::On,
+                tree_reduce: true,
+            };
+        }
+    }
+    for (_, bits) in cfg.buffer_bits.iter_mut() {
+        *bits = 512;
+    }
+    cfg
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "PR",
+        category: "graph proc.",
+        spec: spec(),
+        manual_spec: spec(),
+        manual_config,
+        gen_input,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2fa_sjvm::Interp;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let spec = spec();
+        let mut interp = Interp::new(&spec.classes, &spec.methods);
+        for rec in gen_input(8, 42) {
+            let (out, _) = interp.run(spec.entry, std::slice::from_ref(&rec)).unwrap();
+            let contribs: Vec<f64> = rec
+                .elements()
+                .unwrap()
+                .iter()
+                .map(|v| v.as_f64().unwrap())
+                .collect();
+            assert!((out.as_f64().unwrap() - reference(&contribs)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_of_zero_contributions_is_teleport() {
+        assert!((reference(&[0.0; 32]) - 0.15).abs() < 1e-12);
+    }
+}

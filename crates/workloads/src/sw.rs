@@ -1,0 +1,269 @@
+//! S-W — Smith-Waterman local alignment kernel (string processing).
+//!
+//! The offloaded lambda computes the optimal local-alignment score of a
+//! pair of 128-character sequences with the classic dynamic program
+//! (match +2, mismatch −1, gap −1), returning `(score, end position)`.
+//! The anti-diagonal dependence structure of the DP — every cell depends
+//! on its left, upper, and diagonal neighbours — is what forces the
+//! flattened hardware into deep combinational compare chains and drags the
+//! paper's S-W design down to 100 MHz.
+//!
+//! Per DESIGN.md, the traceback that reconstructs the aligned string pair
+//! is not offloaded (its irregular `while` control flow lies outside the
+//! §3.3 subset); the score/end-position interface preserves the loop nest,
+//! dependences, and data movement that drive every reported result.
+
+use crate::common::{rand_dna, rng, Workload};
+use s2fa_hlsir::KernelSummary;
+use s2fa_hlsir::PipelineMode;
+use s2fa_merlin::{DesignConfig, LoopDirective};
+use s2fa_sjvm::builder::{Expr, FnBuilder};
+use s2fa_sjvm::{ClassTable, HostValue, JType, KernelSpec, MethodTable, RddOp, Shape};
+
+/// Sequence length.
+pub const LEN: u32 = 128;
+/// Match score.
+pub const MATCH: i64 = 2;
+/// Mismatch penalty.
+pub const MISMATCH: i64 = -1;
+/// Gap penalty.
+pub const GAP: i64 = -1;
+
+/// The user-written kernel spec: `(a, b) -> (score, end position)`.
+pub fn spec() -> KernelSpec {
+    let mut classes = ClassTable::new();
+    let carr = JType::array(JType::Char);
+    let pair_in = classes.define_tuple2(carr.clone(), carr.clone());
+    let pair_out = classes.define_tuple2(JType::Int, JType::Int);
+    let mut methods = MethodTable::new();
+    let mut b = FnBuilder::new(
+        "call",
+        &[("in", JType::Ref(pair_in))],
+        Some(JType::Ref(pair_out)),
+    );
+    let input = b.param(0);
+    let a = b.local("a", carr.clone());
+    let s = b.local("s", carr);
+    b.set(a, Expr::local(input).field("_1"));
+    b.set(s, Expr::local(input).field("_2"));
+    let prev = b.local("prev", JType::array(JType::Int));
+    let cur = b.local("cur", JType::array(JType::Int));
+    b.set(prev, Expr::NewArray(JType::Int, LEN + 1));
+    b.set(cur, Expr::NewArray(JType::Int, LEN + 1));
+    let best = b.local("best", JType::Int);
+    let best_pos = b.local("best_pos", JType::Int);
+    b.set(best, Expr::const_i(0));
+    b.set(best_pos, Expr::const_i(0));
+    let ii = b.local("ii", JType::Int);
+    let jj = b.local("jj", JType::Int);
+    let kk = b.local("kk", JType::Int);
+    let h = b.local("h", JType::Int);
+    b.for_loop(ii, Expr::const_i(0), Expr::const_i(LEN as i64), |b| {
+        b.for_loop(jj, Expr::const_i(0), Expr::const_i(LEN as i64), |b| {
+            let mat = Expr::select(
+                Expr::local(a)
+                    .index(Expr::local(ii))
+                    .eq(Expr::local(s).index(Expr::local(jj))),
+                Expr::const_i(MATCH),
+                Expr::const_i(MISMATCH),
+            );
+            let diag = Expr::local(prev).index(Expr::local(jj)).add(mat);
+            let up = Expr::local(prev)
+                .index(Expr::local(jj).add(Expr::const_i(1)))
+                .add(Expr::const_i(GAP));
+            let left = Expr::local(cur)
+                .index(Expr::local(jj))
+                .add(Expr::const_i(GAP));
+            b.set(h, Expr::const_i(0).max(diag.max(up.max(left))));
+            b.set_index(
+                Expr::local(cur),
+                Expr::local(jj).add(Expr::const_i(1)),
+                Expr::local(h),
+            );
+            b.if_then(Expr::local(h).gt(Expr::local(best)), |b| {
+                b.set(best, Expr::local(h));
+                b.set(
+                    best_pos,
+                    Expr::local(ii)
+                        .mul(Expr::const_i(LEN as i64))
+                        .add(Expr::local(jj)),
+                );
+            });
+        });
+        b.for_loop(kk, Expr::const_i(0), Expr::const_i((LEN + 1) as i64), |b| {
+            b.set_index(
+                Expr::local(prev),
+                Expr::local(kk),
+                Expr::local(cur).index(Expr::local(kk)),
+            );
+        });
+    });
+    b.ret(Expr::NewObj(
+        pair_out,
+        vec![Expr::local(best), Expr::local(best_pos)],
+    ));
+    let entry = b.finish(&mut classes, &mut methods).expect("S-W builds");
+    KernelSpec {
+        name: "S-W".into(),
+        classes,
+        methods,
+        entry,
+        operator: RddOp::Map,
+        input_shape: Shape::pair(
+            Shape::Array(JType::Char, LEN),
+            Shape::Array(JType::Char, LEN),
+        ),
+        output_shape: Shape::pair(Shape::Scalar(JType::Int), Shape::Scalar(JType::Int)),
+    }
+}
+
+/// Native reference with identical order and tie-breaking.
+pub fn reference(a: &[u8], s: &[u8]) -> (i64, i64) {
+    let n = LEN as usize;
+    let mut prev = vec![0i64; n + 1];
+    let mut cur = vec![0i64; n + 1];
+    let mut best = 0i64;
+    let mut best_pos = 0i64;
+    let at = |x: &[u8], i: usize| -> i64 { x.get(i).copied().unwrap_or(0) as i64 };
+    for ii in 0..n {
+        for jj in 0..n {
+            let mat = if at(a, ii) == at(s, jj) {
+                MATCH
+            } else {
+                MISMATCH
+            };
+            let diag = prev[jj] + mat;
+            let up = prev[jj + 1] + GAP;
+            let left = cur[jj] + GAP;
+            let h = 0.max(diag.max(up.max(left)));
+            cur[jj + 1] = h;
+            if h > best {
+                best = h;
+                best_pos = (ii * n + jj) as i64;
+            }
+        }
+        prev.copy_from_slice(&cur);
+    }
+    (best, best_pos)
+}
+
+/// Deterministic input generator: DNA pairs with planted similarity.
+pub fn gen_input(n: usize, seed: u64) -> Vec<HostValue> {
+    let mut r = rng(seed ^ 0x5357);
+    (0..n)
+        .map(|_| {
+            let a = rand_dna(&mut r, LEN as usize);
+            // second sequence shares a planted subsequence with the first
+            let mut b: Vec<u8> = rand_dna(&mut r, LEN as usize).into_bytes();
+            let start = (LEN / 4) as usize;
+            let span = (LEN / 2) as usize;
+            b[start..start + span].copy_from_slice(&a.as_bytes()[start..start + span]);
+            HostValue::pair(
+                HostValue::Str(a),
+                HostValue::Str(String::from_utf8(b).expect("dna is ascii")),
+            )
+        })
+        .collect()
+}
+
+/// The expert design: a systolic wavefront — flatten the inner DP row so
+/// all 128 cells update per cycle group, pipeline rows, replicate over
+/// task pairs. The deep compare chains cost clock frequency (the paper's
+/// 100 MHz row in Table 2).
+pub fn manual_config(summary: &KernelSummary) -> DesignConfig {
+    let mut cfg = DesignConfig::area_seed(summary);
+    let loops: Vec<_> = summary
+        .loops
+        .iter()
+        .map(|l| (l.id, l.depth, l.trip_count))
+        .collect();
+    for (id, depth, tc) in loops {
+        let d = cfg.loop_directive_mut(id);
+        match (depth, tc) {
+            (0, _) => {
+                *d = LoopDirective {
+                    tile: Some(32),
+                    parallel: 2,
+                    pipeline: PipelineMode::On,
+                    tree_reduce: false,
+                };
+            }
+            (1, _) => {
+                // the row (ii) loop: flatten its body row-parallel
+                *d = LoopDirective {
+                    tile: None,
+                    parallel: 1,
+                    pipeline: PipelineMode::Flatten,
+                    tree_reduce: false,
+                };
+            }
+            _ => {}
+        }
+    }
+    for (_, bits) in cfg.buffer_bits.iter_mut() {
+        *bits = 512;
+    }
+    cfg
+}
+
+/// The packaged workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "S-W",
+        category: "string proc.",
+        spec: spec(),
+        manual_spec: spec(),
+        manual_config,
+        gen_input,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2fa_sjvm::Interp;
+
+    #[test]
+    fn interpreter_matches_reference() {
+        let spec = spec();
+        let mut interp = Interp::new(&spec.classes, &spec.methods);
+        for rec in gen_input(2, 13) {
+            let (out, _) = interp.run(spec.entry, std::slice::from_ref(&rec)).unwrap();
+            let f = rec.elements().unwrap();
+            let (HostValue::Str(a), HostValue::Str(b)) = (&f[0], &f[1]) else {
+                panic!("generator produces strings")
+            };
+            let (score, pos) = reference(a.as_bytes(), b.as_bytes());
+            let got = out.elements().unwrap();
+            assert_eq!(got[0].as_i64(), Some(score));
+            assert_eq!(got[1].as_i64(), Some(pos));
+        }
+    }
+
+    #[test]
+    fn identical_sequences_score_perfectly() {
+        let a = vec![b'A'; LEN as usize];
+        let (score, _) = reference(&a, &a);
+        assert_eq!(score, MATCH * LEN as i64);
+    }
+
+    #[test]
+    fn disjoint_alphabets_score_zero() {
+        let a = vec![b'A'; LEN as usize];
+        let b = vec![b'T'; LEN as usize];
+        let (score, _) = reference(&a, &b);
+        assert_eq!(score, 0);
+    }
+
+    #[test]
+    fn planted_similarity_is_found() {
+        let rec = gen_input(1, 99).pop().unwrap();
+        let f = rec.elements().unwrap();
+        let (HostValue::Str(a), HostValue::Str(b)) = (&f[0], &f[1]) else {
+            panic!()
+        };
+        let (score, _) = reference(a.as_bytes(), b.as_bytes());
+        // the planted half-length identical span guarantees a big score
+        assert!(score >= (LEN / 2) as i64, "score {score}");
+    }
+}

@@ -1,0 +1,99 @@
+//! A full machine-learning pipeline: K-Means Lloyd iterations with the
+//! assignment step offloaded through S2FA, exactly how a Spark ML job
+//! would use Blaze.
+//!
+//! Each iteration maps the dataset through the nearest-centroid kernel on
+//! the accelerator, then recomputes centroids on the driver — the
+//! compute-heavy step runs on "hardware", the reduction on the host.
+//!
+//! ```text
+//! cargo run --release -p s2fa --example kmeans_pipeline
+//! ```
+
+use s2fa::{S2fa, S2faOptions};
+use s2fa_blaze::{AccCall, AcceleratorRegistry, BlazeContext, Rdd};
+use s2fa_sjvm::HostValue;
+use s2fa_workloads::kmeans::{self, D, K};
+
+/// Rebuilds the per-record input (point, broadcast centroids).
+fn attach_centroids(points: &[Vec<f64>], centroids: &[f64]) -> Rdd {
+    points
+        .iter()
+        .map(|p| HostValue::pair(HostValue::f64_array(p), HostValue::f64_array(centroids)))
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Synthetic dataset: K gaussian-ish blobs.
+    let records = (kmeans::workload().gen_input)(512, 33);
+    let points: Vec<Vec<f64>> = records
+        .iter()
+        .map(|r| {
+            r.elements().expect("pair")[0]
+                .elements()
+                .expect("point array")
+                .iter()
+                .map(|v| v.as_f64().expect("floats"))
+                .collect()
+        })
+        .collect();
+
+    // Compile and register the assignment kernel.
+    println!("compiling the KMeans assignment kernel ...");
+    let framework = S2fa::new(S2faOptions::default());
+    let compiled = framework.compile(&kmeans::workload().spec)?;
+    let registry = AcceleratorRegistry::new();
+    registry.register(compiled.accelerator.clone());
+    let blaze = BlazeContext::new(&registry);
+    let call = AccCall {
+        id: "KMeans".into(),
+        spec: kmeans::workload().spec.clone(),
+    };
+
+    // Lloyd iterations.
+    let mut centroids: Vec<f64> = points
+        .iter()
+        .take(K as usize)
+        .flat_map(|p| p.iter().copied())
+        .collect();
+    let mut total_offload_ms = 0.0;
+    for iter in 0..5 {
+        let rdd = attach_centroids(&points, &centroids);
+        let (assignments, report) = blaze.wrap(rdd).map(&call)?;
+        total_offload_ms += report.time_ms;
+
+        // Driver-side centroid update.
+        let mut sums = vec![0.0f64; (K * D) as usize];
+        let mut counts = vec![0u32; K as usize];
+        for (p, a) in points.iter().zip(assignments.collect()) {
+            let k = a.as_i64().expect("cluster id") as usize;
+            counts[k] += 1;
+            for (j, &x) in p.iter().enumerate() {
+                sums[k * D as usize + j] += x;
+            }
+        }
+        let mut moved = 0.0;
+        for k in 0..K as usize {
+            if counts[k] == 0 {
+                continue;
+            }
+            for j in 0..D as usize {
+                let new = sums[k * D as usize + j] / counts[k] as f64;
+                moved += (new - centroids[k * D as usize + j]).abs();
+                centroids[k * D as usize + j] = new;
+            }
+        }
+        let occupied = counts.iter().filter(|&&c| c > 0).count();
+        println!(
+            "iteration {iter}: {occupied}/{K} clusters occupied, centroid movement {moved:.4}, \
+             offload {:.3} ms (modelled)",
+            report.time_ms
+        );
+    }
+    println!(
+        "\ntotal accelerator time over 5 iterations: {total_offload_ms:.3} ms (modelled) \
+         for {} assignments",
+        5 * points.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: compile a tiny Spark-style lambda to an FPGA accelerator.
+//!
+//! Mirrors the paper's programming model end to end in ~60 lines: write a
+//! "Scala" lambda (builder DSL → JVM bytecode), hand it to S2FA, and look
+//! at the generated HLS C, the explored design space, and the chosen
+//! design.
+//!
+//! ```text
+//! cargo run --release -p s2fa --example quickstart
+//! ```
+
+use s2fa::{S2fa, S2faOptions};
+use s2fa_sjvm::builder::{Expr, FnBuilder};
+use s2fa_sjvm::{ClassTable, JType, KernelSpec, MethodTable, RddOp, Shape};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The "Scala" lambda: def call(x: (Double, Double)): Double =
+    //        sqrt(x._1 * x._1 + x._2 * x._2)
+    let mut classes = ClassTable::new();
+    let pair = classes.define_tuple2(JType::Double, JType::Double);
+    let mut methods = MethodTable::new();
+    let mut b = FnBuilder::new("call", &[("x", JType::Ref(pair))], Some(JType::Double));
+    let x = b.param(0);
+    b.ret(
+        Expr::local(x)
+            .field("_1")
+            .mul(Expr::local(x).field("_1"))
+            .add(Expr::local(x).field("_2").mul(Expr::local(x).field("_2")))
+            .sqrt(),
+    );
+    let entry = b.finish(&mut classes, &mut methods)?;
+    let spec = KernelSpec {
+        name: "norm".into(),
+        classes,
+        methods,
+        entry,
+        operator: RddOp::Map,
+        input_shape: Shape::pair(Shape::Scalar(JType::Double), Shape::Scalar(JType::Double)),
+        output_shape: Shape::Scalar(JType::Double),
+    };
+
+    // 2. The automatic flow: bytecode → HLS C → design space → DSE.
+    let framework = S2fa::new(S2faOptions::default());
+    let compiled = framework.compile(&spec)?;
+
+    println!("=== generated HLS C (with the chosen design's pragmas) ===");
+    println!("{}", compiled.optimized_source);
+    println!(
+        "design space: 10^{:.1} points | explored: {} evaluations in {:.0} virtual minutes",
+        compiled.space_size_log10,
+        compiled
+            .dse
+            .as_ref()
+            .map(|d| d.total_evaluations)
+            .unwrap_or(0),
+        compiled
+            .dse
+            .as_ref()
+            .map(|d| d.elapsed_minutes)
+            .unwrap_or(0.0),
+    );
+    println!("chosen design: {}", compiled.design.brief());
+    println!("estimate:      {}", compiled.estimate);
+    Ok(())
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full repository health check: formatting, lints, docs, tests, examples,
+# and the experiment binaries. Everything must be green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== rustfmt =="
+cargo fmt --all -- --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustdoc =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== tests =="
+cargo test --workspace --release
+
+echo "== examples =="
+for e in quickstart smith_waterman kmeans_pipeline dse_anatomy; do
+  cargo run --release -p s2fa --example "$e" > /dev/null
+  echo "  example $e ok"
+done
+
+echo "== experiment binaries =="
+for b in table1 table2 fig3 fig4; do
+  cargo run --release -p s2fa-bench --bin "$b" > /dev/null
+  echo "  bin $b ok"
+done
+cargo run --release -p s2fa-bench --bin s2fa_cli -- --list > /dev/null
+echo "  bin s2fa_cli ok"
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,124 @@
+//! Table 1 assertions: the identified design space of every kernel matches
+//! the factor families of the paper and is far too large to enumerate.
+
+use s2fa::compile_kernel;
+use s2fa_dse::DesignSpace;
+use s2fa_hlsir::analysis;
+use s2fa_workloads::all_workloads;
+
+#[test]
+fn every_kernel_has_all_four_factor_families() {
+    for w in all_workloads() {
+        let g = compile_kernel(&w.spec).expect("compiles");
+        let s = analysis::summarize(&g.cfunc, 1024).expect("analyzes");
+        let ds = DesignSpace::build(&s);
+        let names: Vec<&str> = ds
+            .space()
+            .params()
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
+        // one {tile, parallel, pipeline} triple per loop
+        for l in &s.loops {
+            assert!(
+                names.contains(&format!("{}.tile", l.id).as_str()),
+                "{}",
+                w.name
+            );
+            assert!(
+                names.contains(&format!("{}.parallel", l.id).as_str()),
+                "{}",
+                w.name
+            );
+            assert!(
+                names.contains(&format!("{}.pipeline", l.id).as_str()),
+                "{}",
+                w.name
+            );
+        }
+        // one bit-width per interface buffer
+        let iface = s
+            .buffers
+            .iter()
+            .filter(|b| b.dir != s2fa_hlsir::BufferDir::Local)
+            .count();
+        let bit_params = names.iter().filter(|n| n.ends_with(".bits")).count();
+        assert_eq!(bit_params, iface, "{}", w.name);
+    }
+}
+
+#[test]
+fn bit_width_family_matches_table1() {
+    // b = 2^n with 8 < b <= 512
+    let w = &all_workloads()[0];
+    let g = compile_kernel(&w.spec).unwrap();
+    let s = analysis::summarize(&g.cfunc, 1024).unwrap();
+    let ds = DesignSpace::build(&s);
+    let p = &ds.space().params()[ds.space().param_index("in_1.bits").unwrap()];
+    let values: Vec<u32> = (0..p.cardinality()).map(|i| p.value_at(i)).collect();
+    assert_eq!(values, vec![16, 32, 64, 128, 256, 512]);
+}
+
+#[test]
+fn spaces_are_impractically_large() {
+    let mut max_log10 = 0.0f64;
+    for w in all_workloads() {
+        let g = compile_kernel(&w.spec).unwrap();
+        let s = analysis::summarize(&g.cfunc, 1024).unwrap();
+        let ds = DesignSpace::build(&s);
+        let log10 = ds.size_log10();
+        assert!(
+            log10 > 4.0,
+            "{} space should be far beyond exhaustive search, got 10^{log10:.1}",
+            w.name
+        );
+        max_log10 = max_log10.max(log10);
+    }
+    // "the design space of the S-W example contains more than a thousand
+    // trillion design points" (§4.1) — our largest space is of that order.
+    assert!(
+        max_log10 > 12.0,
+        "largest space should exceed 10^12, got 10^{max_log10:.1}"
+    );
+}
+
+#[test]
+fn kmeans_has_the_smallest_ml_space() {
+    // The Fig. 3 exception: "the design space of KMeans is relatively
+    // small, so the benefit of design space partition is marginal."
+    let mut sizes = std::collections::HashMap::new();
+    for w in all_workloads() {
+        let g = compile_kernel(&w.spec).unwrap();
+        let s = analysis::summarize(&g.cfunc, 1024).unwrap();
+        sizes.insert(w.name, DesignSpace::build(&s).size_log10());
+    }
+    for ml in ["KNN", "LR", "SVM", "LLS"] {
+        assert!(
+            sizes["KMeans"] < sizes[ml],
+            "KMeans (10^{:.1}) should be smaller than {ml} (10^{:.1})",
+            sizes["KMeans"],
+            sizes[ml]
+        );
+    }
+}
+
+#[test]
+fn decode_always_yields_normalized_feasible_syntax() {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    // decoding any random point must produce a config that normalizes
+    // without panicking and round-trips through the estimator
+    let est = s2fa_hlssim::Estimator::new();
+    for w in all_workloads() {
+        let g = compile_kernel(&w.spec).unwrap();
+        let s = analysis::summarize(&g.cfunc, 1024).unwrap();
+        let ds = DesignSpace::build(&s);
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let cfg = ds.space().random(&mut rng);
+            let dc = ds.decode(&cfg);
+            let e = est.evaluate(&s, &dc);
+            assert!(e.hls_minutes > 0.0);
+        }
+    }
+}

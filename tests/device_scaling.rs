@@ -1,0 +1,49 @@
+//! Reproduces the §5.2 remark: compute-bound kernels "fully utilize at
+//! least one kind of resource ... their performance can be potentially
+//! improved if a larger FPGA is provided", while memory-bound kernels
+//! (AES, PR) cannot.
+
+use s2fa::compile_kernel;
+use s2fa_dse::{run_dse, DseOptions};
+use s2fa_hlsir::analysis;
+use s2fa_hlssim::{Device, Estimator};
+use s2fa_workloads::all_workloads;
+
+fn best_on(device: Device, spec: &s2fa_sjvm::KernelSpec) -> f64 {
+    let g = compile_kernel(spec).unwrap();
+    let s = analysis::summarize(&g.cfunc, 1024).unwrap();
+    let est = Estimator::with_device(device);
+    let mut opts = DseOptions::s2fa();
+    opts.budget_minutes = 120.0;
+    run_dse(&s, &est, &opts).best_value()
+}
+
+#[test]
+fn larger_fpga_helps_compute_bound_kernels_only() {
+    let mut improved = Vec::new();
+    let mut unchanged = Vec::new();
+    for w in all_workloads() {
+        // one compute-bound and one memory-bound representative keep the
+        // test fast
+        if w.name != "LR" && w.name != "PR" {
+            continue;
+        }
+        let small = best_on(Device::vu9p(), &w.spec);
+        let big = best_on(Device::vu13p(), &w.spec);
+        assert!(
+            big <= small * 1.05,
+            "{}: a larger device must never hurt ({big} vs {small})",
+            w.name
+        );
+        if big < small * 0.97 {
+            improved.push(w.name);
+        } else {
+            unchanged.push(w.name);
+        }
+    }
+    // PR is pinned by the (identical) memory system
+    assert!(
+        unchanged.contains(&"PR"),
+        "PR should not improve on a larger device: improved={improved:?}"
+    );
+}

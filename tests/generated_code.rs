@@ -1,0 +1,111 @@
+//! Structural golden tests over the generated HLS C of every workload:
+//! guards the bytecode-to-C compiler against silent shape regressions
+//! (loop counts, interface arity, paper-style naming, template insertion).
+
+use s2fa::compile_kernel;
+use s2fa_hlsir::printer;
+use s2fa_workloads::all_workloads;
+
+/// Expected structural features per kernel:
+/// (name, loops in the generated C, input buffers, output buffers).
+const EXPECTED: &[(&str, usize, usize, usize)] = &[
+    ("PR", 2, 1, 1),
+    // task + init copies (2 via field binding) + k-loop + j-loop
+    ("KMeans", 3, 2, 1),
+    ("KNN", 3, 3, 1),
+    // task + dot + gradient + output copy
+    ("LR", 4, 3, 1),
+    ("SVM", 4, 3, 1),
+    ("LLS", 4, 3, 1),
+    // task + init + round { sub, mix, copy } + output copy
+    ("AES", 7, 1, 1),
+    // task + ii { jj, row-copy }
+    ("S-W", 4, 2, 2),
+];
+
+#[test]
+fn loop_and_interface_structure_is_stable() {
+    for w in all_workloads() {
+        let g = compile_kernel(&w.spec).expect("compiles");
+        let (_, loops, ins, outs) = EXPECTED
+            .iter()
+            .find(|(n, ..)| *n == w.name)
+            .expect("kernel listed");
+        assert_eq!(
+            g.cfunc.loop_ids().len(),
+            *loops,
+            "{}: loop count changed",
+            w.name
+        );
+        assert_eq!(
+            g.input_layout.slots.len(),
+            *ins,
+            "{}: input buffer count changed",
+            w.name
+        );
+        assert_eq!(
+            g.output_layout.slots.len(),
+            *outs,
+            "{}: output buffer count changed",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn code3_conventions_hold_for_every_kernel() {
+    for w in all_workloads() {
+        let g = compile_kernel(&w.spec).expect("compiles");
+        let src = printer::to_c(&g.cfunc);
+        // paper Code 3: batch size parameter `n`, template loop, flat
+        // in_k / out_k buffers
+        assert!(src.contains("(int n, "), "{}: missing batch param", w.name);
+        assert!(
+            src.contains("L0: for (int i = 0; i < n; i++)"),
+            "{}: missing template task loop\n{src}",
+            w.name
+        );
+        assert!(src.contains("in_1"), "{}", w.name);
+        assert!(src.contains("out_1"), "{}", w.name);
+        // no object-oriented residue
+        for forbidden in ["Tuple", "new ", "this.", "->"] {
+            assert!(
+                !src.contains(forbidden),
+                "{}: OO residue `{forbidden}`:\n{src}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn sw_kernel_text_matches_the_dp_structure() {
+    let w = all_workloads()
+        .into_iter()
+        .find(|w| w.name == "S-W")
+        .expect("S-W exists");
+    let g = compile_kernel(&w.spec).unwrap();
+    let src = printer::to_c(&g.cfunc);
+    // two 128-trip DP loops plus the 129-wide row copy
+    assert_eq!(src.matches("< 128;").count(), 2, "{src}");
+    assert_eq!(src.matches("< 129;").count(), 1);
+    // the match/mismatch select lowers to a scored branch
+    assert!(src.contains("= 2;"), "{src}");
+    assert!(src.contains("= -1;"), "{src}");
+    // both input strings are sliced per task (i * 128)
+    assert!(src.matches("(i * 128)").count() >= 2, "{src}");
+}
+
+#[test]
+fn broadcast_buffers_are_not_task_sliced() {
+    // KMeans centroids are broadcast: indexed without the task offset.
+    let w = all_workloads()
+        .into_iter()
+        .find(|w| w.name == "KMeans")
+        .expect("KMeans exists");
+    let g = compile_kernel(&w.spec).unwrap();
+    let src = printer::to_c(&g.cfunc);
+    // in_1 (point) is task-sliced, in_2 (centroids) is not
+    assert!(src.contains("(i * 8)"), "{src}");
+    assert!(!src.contains("in_2[(i"), "{src}");
+}

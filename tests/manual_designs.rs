@@ -1,0 +1,65 @@
+//! Regression guard for the Fig. 4 manual reference designs: every
+//! expert configuration must synthesize (feasible under the 75 % cap) and
+//! be at least as fast as the paper's narrative requires.
+
+use s2fa::compile_kernel;
+use s2fa_hlsir::analysis;
+use s2fa_hlssim::Estimator;
+use s2fa_merlin::DesignConfig;
+use s2fa_workloads::all_workloads;
+
+#[test]
+fn every_manual_design_synthesizes() {
+    let est = Estimator::new();
+    for w in all_workloads() {
+        let g = compile_kernel(&w.manual_spec).expect("manual kernel compiles");
+        let s = analysis::summarize(&g.cfunc, 1024).expect("manual kernel analyzes");
+        let cfg = (w.manual_config)(&s);
+        let e = est.evaluate(&s, &cfg);
+        assert!(
+            e.is_feasible(),
+            "{}: manual design fails synthesis: {e}",
+            w.name
+        );
+        assert!(e.freq_mhz >= 60.0);
+    }
+}
+
+#[test]
+fn manual_designs_beat_the_unoptimized_baseline() {
+    let est = Estimator::new();
+    for w in all_workloads() {
+        let g = compile_kernel(&w.manual_spec).unwrap();
+        let s = analysis::summarize(&g.cfunc, 1024).unwrap();
+        let manual = est.evaluate(&s, &(w.manual_config)(&s));
+        let baseline = est.evaluate(&s, &DesignConfig::area_seed(&s));
+        assert!(
+            manual.time_ms < baseline.time_ms,
+            "{}: manual {} ms should beat unoptimized {} ms",
+            w.name,
+            manual.time_ms,
+            baseline.time_ms
+        );
+    }
+}
+
+#[test]
+fn manual_configs_are_normalization_stable() {
+    // An expert writes legal directives: normalization must be a no-op
+    // beyond clamping (i.e. idempotent and non-degrading).
+    let est = Estimator::new();
+    for w in all_workloads() {
+        let g = compile_kernel(&w.manual_spec).unwrap();
+        let s = analysis::summarize(&g.cfunc, 1024).unwrap();
+        let cfg = (w.manual_config)(&s);
+        let mut normalized = cfg.clone();
+        normalized.normalize(&s);
+        let before = est.evaluate(&s, &cfg);
+        let after = est.evaluate(&s, &normalized);
+        assert_eq!(
+            before, after,
+            "{}: normalization changed the manual design's estimate",
+            w.name
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Regression guards for the calibrated Table-2 shapes: the qualitative
+//! claims EXPERIMENTS.md makes about the generated designs must keep
+//! holding as the model evolves.
+
+use s2fa::report::ResourceRow;
+use s2fa::{S2fa, S2faOptions};
+use s2fa_workloads::all_workloads;
+
+fn measured_rows() -> Vec<ResourceRow> {
+    let framework = S2fa::new(S2faOptions::default());
+    let device = framework.estimator().device().clone();
+    all_workloads()
+        .iter()
+        .map(|w| {
+            let compiled = framework.compile(&w.spec).expect("compiles");
+            ResourceRow::from_compiled(&compiled, w.category, &device)
+        })
+        .collect()
+}
+
+#[test]
+fn table2_shapes_hold() {
+    let rows = measured_rows();
+    let find = |n: &str| rows.iter().find(|r| r.kernel == n).expect("row");
+    let util_max = |r: &ResourceRow| r.bram_pct.max(r.dsp_pct).max(r.ff_pct).max(r.lut_pct);
+
+    // Memory-bound kernels stay modest (paper: AES & PR "do not fully
+    // utilize hardware resources").
+    for name in ["PR", "AES"] {
+        assert!(
+            util_max(find(name)) < 60.0,
+            "{name}: expected memory-bound utilization, got {:.0}%",
+            util_max(find(name))
+        );
+    }
+
+    // At least one compute-bound kernel pushes near the 75 % cap.
+    let compute_peak = ["KMeans", "KNN", "LR", "SVM", "LLS"]
+        .iter()
+        .map(|n| util_max(find(n)))
+        .fold(0.0f64, f64::max);
+    assert!(
+        compute_peak > 55.0,
+        "some compute-bound kernel should saturate a resource, peak {compute_peak:.0}%"
+    );
+
+    // Nothing exceeds the feasibility cap.
+    for r in &rows {
+        assert!(
+            util_max(r) <= 75.0 + 1e-9,
+            "{}: {:.0}% exceeds the cap",
+            r.kernel,
+            util_max(r)
+        );
+        // P&R closes between the floor and the device target.
+        assert!(
+            (60.0..=250.0).contains(&r.freq_mhz),
+            "{}: {} MHz out of range",
+            r.kernel,
+            r.freq_mhz
+        );
+    }
+
+    // Every design clears at least half the target clock — the paper's
+    // slowest row (S-W) is 100 of 250 MHz.
+    for r in &rows {
+        assert!(
+            r.freq_mhz >= 100.0,
+            "{}: {} MHz below the paper's worst case",
+            r.kernel,
+            r.freq_mhz
+        );
+    }
+}
