@@ -11,7 +11,7 @@ use s2fa_dse::{DesignSpace, Partitioner};
 use s2fa_hlsir::analysis;
 use s2fa_hlssim::Estimator;
 use s2fa_merlin::DesignConfig;
-use s2fa_tuner::{Measurement, TimeLimitOnly, TuningOptions, TuningRun};
+use s2fa_tuner::{Config, Measurement, TimeLimitOnly, TuningOptions, TuningRun};
 use s2fa_workloads::{kmeans, sw};
 
 fn bench_codegen(c: &mut Criterion) {
@@ -70,7 +70,7 @@ fn bench_tuner(c: &mut Criterion) {
             },
             |run| {
                 run.run(
-                    &mut |cfg| {
+                    &mut |cfg: &Config| {
                         let e = est.evaluate(&s, &ds.decode(cfg));
                         Measurement::new(e.objective(), e.hls_minutes)
                     },
@@ -93,7 +93,7 @@ fn bench_partitioner(c: &mut Criterion) {
     let est = Estimator::new();
     g.bench_function("decision_tree/S-W", |b| {
         b.iter(|| {
-            Partitioner::default().partition(&ds, &s, &mut |cfg| {
+            Partitioner::default().partition(&ds, &s, &mut |cfg: &Config| {
                 est.evaluate(&s, &ds.decode(cfg)).objective()
             })
         })

@@ -1,0 +1,138 @@
+//! `eval_throughput` — evals/sec of the evaluation engine across its
+//! operating regimes, written to `results/BENCH_eval_throughput.json`.
+//!
+//! ```text
+//! cargo run --release -p s2fa-bench --bin eval_throughput
+//! ```
+//!
+//! The headline number is the **memoization speedup**: evals/sec with a
+//! warm cache over evals/sec with caching disabled — the steady-state win
+//! the DSE driver sees when partitions, seeds, and the probe pass revisit
+//! canonical design points. Thread scaling of the batch path is reported
+//! alongside (it tracks the host's core count; single-core CI reports
+//! ~1×).
+
+use rand::{rngs::SmallRng, SeedableRng};
+use s2fa::compile_kernel;
+use s2fa_bench::results::{self, Json};
+use s2fa_dse::{DesignSpace, EvalEngine};
+use s2fa_hlsir::analysis;
+use s2fa_hlssim::Estimator;
+use s2fa_tuner::{Config, Measurement, Objective, ThreadedObjective};
+use s2fa_workloads::sw;
+use std::time::Instant;
+
+const BATCH: usize = 512;
+const ROUNDS: usize = 40;
+
+fn evals_per_sec(mut run_batch: impl FnMut()) -> f64 {
+    // one untimed warm-up round so lazy setup (thread pools, cache fills
+    // for the warm regime) stays out of the measurement
+    run_batch();
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        run_batch();
+    }
+    (BATCH * ROUNDS) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let w = sw::workload();
+    let g = compile_kernel(&w.spec).expect("compiles");
+    let s = analysis::summarize(&g.cfunc, 1024).expect("analyzes");
+    let ds = DesignSpace::build(&s);
+    let est = Estimator::new();
+    let mut rng = SmallRng::seed_from_u64(42);
+    let configs: Vec<Config> = (0..BATCH).map(|_| ds.space().random(&mut rng)).collect();
+    // the serial regimes measure the engine itself, on pre-decoded points
+    let designs: Vec<_> = configs.iter().map(|c| ds.decode(c)).collect();
+
+    // Uncached serial: the pre-engine baseline (estimator walk per eval).
+    let mut uncached_engine = EvalEngine::new(&s, &est);
+    uncached_engine.set_caching(false);
+    let uncached = evals_per_sec(|| {
+        for dc in &designs {
+            std::hint::black_box(uncached_engine.evaluate(dc));
+        }
+    });
+
+    // Warm cache: the DSE steady state (every eval a shard lookup).
+    let warm_engine = EvalEngine::new(&s, &est);
+    let warm = evals_per_sec(|| {
+        for dc in &designs {
+            std::hint::black_box(warm_engine.evaluate(dc));
+        }
+    });
+    let warm_stats = warm_engine.cache_stats();
+
+    // Batch path thread scaling (bounded by the host's core count).
+    let eval = |cfg: &Config| -> Measurement {
+        let e = uncached_engine.evaluate(&ds.decode(cfg));
+        Measurement {
+            value: e.objective(),
+            minutes: e.hls_minutes,
+        }
+    };
+    let mut threaded = Vec::new();
+    for threads in [1usize, 8] {
+        let mut obj = ThreadedObjective::new(&eval, threads);
+        let rate = evals_per_sec(|| {
+            std::hint::black_box(obj.measure_batch(&configs));
+        });
+        threaded.push((threads, rate));
+    }
+
+    let cache_speedup = warm / uncached;
+    let thread_speedup = threaded[1].1 / threaded[0].1;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!("evaluation-engine throughput (S-W design space, batch of {BATCH}):");
+    println!("  uncached serial   : {uncached:>12.0} evals/sec");
+    println!("  warm cache        : {warm:>12.0} evals/sec   ({cache_speedup:.1}x)");
+    for (t, r) in &threaded {
+        println!("  threaded x{t:<2}      : {r:>12.0} evals/sec");
+    }
+    println!("  host cores        : {cores}");
+    println!(
+        "  warm-cache hit rate: {:.1}% ({} hits / {} lookups)",
+        100.0 * warm_stats.hit_rate(),
+        warm_stats.hits,
+        warm_stats.hits + warm_stats.misses
+    );
+
+    let doc = Json::obj(vec![
+        ("kernel", Json::s("S-W")),
+        ("batch", Json::n(BATCH as f64)),
+        ("rounds", Json::n(ROUNDS as f64)),
+        ("host_cores", Json::n(cores as f64)),
+        ("uncached_evals_per_sec", Json::n(uncached)),
+        ("warm_cache_evals_per_sec", Json::n(warm)),
+        ("cache_speedup", Json::n(cache_speedup)),
+        (
+            "threaded_evals_per_sec",
+            Json::Arr(
+                threaded
+                    .iter()
+                    .map(|&(t, r)| {
+                        Json::obj(vec![
+                            ("threads", Json::n(t as f64)),
+                            ("evals_per_sec", Json::n(r)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("thread_speedup", Json::n(thread_speedup)),
+        ("cache_hits", Json::n(warm_stats.hits as f64)),
+        (
+            "cache_lookups",
+            Json::n((warm_stats.hits + warm_stats.misses) as f64),
+        ),
+        ("meets_2x_target", Json::Bool(cache_speedup >= 2.0)),
+    ]);
+    results::save("BENCH_eval_throughput", &doc);
+
+    if cache_speedup < 2.0 {
+        eprintln!("warning: memoization speedup {cache_speedup:.2}x below the 2x target");
+    }
+}

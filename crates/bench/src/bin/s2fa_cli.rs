@@ -100,6 +100,7 @@ fn main() {
     options.dse.budget_minutes = args.budget;
     let framework = S2fa::new(options);
 
+    let wall = std::time::Instant::now();
     let compiled = if args.manual {
         let generated = s2fa::compile_kernel(&w.manual_spec).expect("manual kernel compiles");
         let summary =
@@ -111,6 +112,7 @@ fn main() {
     } else {
         framework.compile(&w.spec).expect("automatic flow succeeds")
     };
+    let wall = wall.elapsed();
 
     println!(
         "{} [{}] — {} flow",
@@ -124,6 +126,14 @@ fn main() {
         println!(
             "dse: {} evaluations over {} partitions, terminated at {:.0} virtual minutes",
             dse.total_evaluations, dse.partitions, dse.elapsed_minutes
+        );
+        let lookups = dse.cache.hits + dse.cache.misses;
+        println!(
+            "dse: {:.0} evals/sec wall-clock, cache hit rate {:.1}% ({} of {} lookups)",
+            dse.total_evaluations as f64 / wall.as_secs_f64().max(1e-9),
+            100.0 * dse.cache.hit_rate(),
+            dse.cache.hits,
+            lookups
         );
     }
     if args.emit_c {

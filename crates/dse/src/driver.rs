@@ -7,19 +7,37 @@
 //! Shannon-entropy stopping criterion. Switching the three optimizations
 //! off ([`vanilla_options`]) reproduces the Fig. 3 baseline: one space, one
 //! random seed, top-8 parallel evaluation, and a fixed 4-hour time limit.
+//!
+//! ## Execution model
+//!
+//! All estimator calls go through one shared [`EvalEngine`]: the
+//! partitioner's probe pass, every partition's seeds, and the tuning loops
+//! hit the same memo table, so overlapping design points are synthesized
+//! once. Partitions run with *full* budget on a work-stealing pool of real
+//! OS threads (each tuning batch additionally fans out over
+//! `eval_threads`), and the virtual FCFS schedule of Fig. 2 is then
+//! *simulated* deterministically at merge time: partitions are assigned in
+//! index order to the virtual worker that frees first, and each
+//! partition's trajectory is truncated to the budget that worker had left.
+//! A tuning run's trajectory does not depend on its budget except as a
+//! stopping point, so the truncated prefix is byte-identical to what a
+//! live run under that budget would have produced — which is what makes
+//! the outcome independent of OS scheduling, thread counts, and caching.
 
 use crate::entropy::EntropyStop;
 use crate::partition::Partitioner;
 use crate::space::DesignSpace;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use s2fa_engine::{CacheStats, EvalEngine};
 use s2fa_hlsir::KernelSummary;
 use s2fa_hlssim::{Estimate, Estimator};
 use s2fa_merlin::DesignConfig;
 use s2fa_tuner::{
-    Measurement, NoImprovement, StopReason, StoppingCriterion, TimeLimitOnly, TuningOptions,
-    TuningOutcome, TuningRun,
+    Measurement, NoImprovement, StopReason, StoppingCriterion, ThreadedObjective, TimeLimitOnly,
+    TuningOptions, TuningOutcome, TuningRun,
 };
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Which early-stopping criterion a DSE run uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +80,14 @@ pub struct DseOptions {
     pub rng_seed: u64,
     /// Partitioner settings.
     pub partitioner: Partitioner,
+    /// Real OS threads measuring one tuning batch in parallel. Purely a
+    /// wall-clock knob: outcomes are identical for any value (the virtual
+    /// clock is governed by `parallel_evals` and `workers`).
+    pub eval_threads: usize,
+    /// Enable the shared memoized estimate cache. Also purely a
+    /// wall-clock knob: hits re-charge the stored virtual HLS minutes, so
+    /// outcomes are identical with caching on or off.
+    pub caching: bool,
 }
 
 impl Default for DseOptions {
@@ -83,6 +109,8 @@ impl DseOptions {
             budget_minutes: 240.0,
             rng_seed: 2018,
             partitioner: Partitioner::default(),
+            eval_threads: 8,
+            caching: true,
         }
     }
 }
@@ -98,6 +126,8 @@ pub fn vanilla_options() -> DseOptions {
         budget_minutes: 240.0,
         rng_seed: 2018,
         partitioner: Partitioner::default(),
+        eval_threads: 8,
+        caching: true,
     }
 }
 
@@ -138,6 +168,11 @@ pub struct DseOutcome {
     pub partitions: usize,
     /// Per-partition details.
     pub per_partition: Vec<PartitionRun>,
+    /// Estimate-cache counters for the whole run (all zeros when
+    /// `DseOptions::caching` is off). Hits measure how many virtual HLS
+    /// runs the memo table absorbed across the probe pass, seeds, and
+    /// every partition.
+    pub cache: CacheStats,
 }
 
 impl DseOutcome {
@@ -171,33 +206,89 @@ fn make_stopper(kind: StoppingKind, n_params: usize) -> Box<dyn StoppingCriterio
     }
 }
 
+/// A partition trajectory cut down to the budget its virtual worker had
+/// left. Because a [`TuningRun`] reads its budget only as a stopping
+/// condition, the prefix of a full-budget trajectory *is* the trajectory
+/// of a shorter-budget run — iteration for iteration.
+struct Truncated {
+    elapsed_minutes: f64,
+    evaluations: u64,
+    /// `(minute, value)` of every evaluation in the prefix, minutes
+    /// clamped to the budget (in-flight evaluations are killed at the
+    /// deadline but still counted, as in the live run).
+    events: Vec<(f64, f64)>,
+    best_value: f64,
+    reason: StopReason,
+}
+
+fn truncate_to_budget(out: &TuningOutcome, budget: f64) -> Truncated {
+    let trace = &out.trace;
+    let mut clock = 0.0f64;
+    let mut included = 0usize;
+    // Replay whole iterations while the clock is under budget — the live
+    // run's loop condition. The last event of an iteration carries the
+    // clock after the batch (the running max of the batch's minutes).
+    while included < trace.len() && clock < budget {
+        let iter = trace[included].iteration;
+        let mut end = included;
+        while end < trace.len() && trace[end].iteration == iter {
+            end += 1;
+        }
+        clock = trace[end - 1].minute;
+        included = end;
+    }
+    let events: Vec<(f64, f64)> = trace[..included]
+        .iter()
+        .map(|e| (e.minute.min(budget), e.value))
+        .collect();
+    let best_value = events
+        .iter()
+        .map(|&(_, v)| v)
+        .filter(|v| v.is_finite())
+        .fold(f64::INFINITY, f64::min);
+    let reason = if included < trace.len() || clock >= budget {
+        StopReason::TimeLimit
+    } else {
+        out.reason
+    };
+    Truncated {
+        elapsed_minutes: clock.min(budget),
+        evaluations: included as u64,
+        events,
+        best_value,
+        reason,
+    }
+}
+
 /// Runs a DSE for one kernel and returns the merged outcome.
 ///
-/// Deterministic given `opts.rng_seed`: partitions run on real threads but
-/// every partition's virtual timeline is independent, and partitions are
-/// statically assigned to workers round-robin (the deterministic
-/// realization of the FCFS schedule in Fig. 2).
+/// Deterministic given `opts.rng_seed` — independent of `workers` as a
+/// thread pool (only its virtual core count matters), of `eval_threads`,
+/// of `caching`, and of OS scheduling: real threads only decide *when*
+/// each partition's deterministic trajectory is computed, never what it
+/// contains, and the FCFS schedule over virtual workers is simulated at
+/// merge time from per-partition virtual durations.
 pub fn run_dse(summary: &KernelSummary, estimator: &Estimator, opts: &DseOptions) -> DseOutcome {
     let ds = DesignSpace::build(summary);
-    let objective = |cfg: &s2fa_tuner::Config| -> (Measurement, DesignConfig, Estimate) {
-        let dc = ds.decode(cfg);
-        let est = estimator.evaluate(summary, &dc);
-        (
-            Measurement {
-                value: est.objective(),
-                minutes: est.hls_minutes,
-            },
-            dc,
-            est,
-        )
+    let engine = {
+        let mut e = EvalEngine::new(summary, estimator);
+        e.set_caching(opts.caching);
+        e
+    };
+    let measure = |cfg: &s2fa_tuner::Config| -> Measurement {
+        let est = engine.evaluate(&ds.decode(cfg));
+        Measurement {
+            value: est.objective(),
+            minutes: est.hls_minutes,
+        }
     };
 
-    // 1. Partition (or not).
+    // 1. Partition (or not). The probe pass warms the shared cache.
     let (subspaces, rule_descriptions) = if opts.partition {
         let tree = opts
             .partitioner
             .clone()
-            .partition(&ds, summary, &mut |cfg| objective(cfg).0.value);
+            .partition(&ds, summary, &mut |cfg| measure(cfg).value);
         (tree.leaves(), tree.describe())
     } else {
         (vec![ds.space().clone()], vec!["(entire space)".to_string()])
@@ -218,12 +309,10 @@ pub fn run_dse(summary: &KernelSummary, estimator: &Estimator, opts: &DseOptions
             }
         };
 
-    // 3. Static FCFS schedule: partition i goes to worker i % workers.
     struct Job {
         index: usize,
         space: s2fa_tuner::SearchSpace,
         seeds: Vec<s2fa_tuner::Config>,
-        worker: usize,
     }
     let jobs: Vec<Job> = subspaces
         .into_iter()
@@ -234,105 +323,130 @@ pub fn run_dse(summary: &KernelSummary, estimator: &Estimator, opts: &DseOptions
                 index: i,
                 space,
                 seeds,
-                worker: i % opts.workers.max(1),
             }
         })
         .collect();
 
-    // 4. Run each worker's queue on its own thread.
-    let n_workers = opts.workers.max(1);
-    let mut worker_queues: Vec<Vec<&Job>> = vec![Vec::new(); n_workers];
-    for j in &jobs {
-        worker_queues[j.worker].push(j);
-    }
-    type WorkerResult = Vec<(usize, f64, TuningOutcome, Option<(DesignConfig, Estimate)>)>;
-    let results: Vec<WorkerResult> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for queue in &worker_queues {
-            let ds_ref = &ds;
-            let handle = scope.spawn(move |_| {
-                let mut clock = 0.0f64;
-                let mut out = Vec::new();
-                for job in queue {
-                    let budget = opts.budget_minutes - clock;
-                    if budget <= 0.0 {
-                        break;
-                    }
-                    let mut best_detail: Option<(DesignConfig, Estimate)> = None;
-                    let mut best_val = f64::INFINITY;
-                    let mut obj = |cfg: &s2fa_tuner::Config| -> Measurement {
-                        let dc = ds_ref.decode(cfg);
-                        let est = estimator.evaluate(summary, &dc);
-                        let m = Measurement {
-                            value: est.objective(),
-                            minutes: est.hls_minutes,
+    // 3. Explore every partition at full budget on a work-stealing pool:
+    // threads pull the next unstarted partition first-come-first-served.
+    // Each partition's trajectory depends only on its own RNG stream and
+    // the shared (order-insensitive) cache, so pull order is irrelevant.
+    let pool = opts.workers.max(1).min(jobs.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let full: Vec<TuningOutcome> = {
+        let mut slots: Vec<Option<TuningOutcome>> = (0..jobs.len()).map(|_| None).collect();
+        let chunks: Vec<Vec<(usize, TuningOutcome)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..pool)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let jobs = &jobs;
+                    let engine = &engine;
+                    let ds = &ds;
+                    scope.spawn(move || {
+                        let eval = |cfg: &s2fa_tuner::Config| -> Measurement {
+                            let est = engine.evaluate(&ds.decode(cfg));
+                            Measurement {
+                                value: est.objective(),
+                                minutes: est.hls_minutes,
+                            }
                         };
-                        if m.value < best_val {
-                            best_val = m.value;
-                            best_detail = Some((dc, est));
+                        let mut obj = ThreadedObjective::new(&eval, opts.eval_threads);
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs.len() {
+                                break;
+                            }
+                            let job = &jobs[i];
+                            let mut stopper = make_stopper(opts.stopping, job.space.params().len());
+                            let run = TuningRun::new(
+                                job.space.clone(),
+                                TuningOptions {
+                                    budget_minutes: opts.budget_minutes,
+                                    parallel_evals: opts.parallel_evals,
+                                    seeds: job.seeds.clone(),
+                                    rng_seed: opts.rng_seed.wrapping_add(job.index as u64 * 7919),
+                                    max_evaluations: 1_000_000,
+                                },
+                            );
+                            out.push((i, run.run(&mut obj, stopper.as_mut())));
                         }
-                        m
-                    };
-                    let mut stopper = make_stopper(opts.stopping, job.space.params().len());
-                    let run = TuningRun::new(
-                        job.space.clone(),
-                        TuningOptions {
-                            budget_minutes: budget,
-                            parallel_evals: opts.parallel_evals,
-                            seeds: job.seeds.clone(),
-                            rng_seed: opts.rng_seed.wrapping_add(job.index as u64 * 7919),
-                            max_evaluations: 1_000_000,
-                        },
-                    );
-                    let outcome = run.run(&mut obj, stopper.as_mut());
-                    let start = clock;
-                    clock += outcome.elapsed_minutes;
-                    out.push((job.index, start, outcome, best_detail));
-                }
-                out
-            });
-            handles.push(handle);
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        for (i, outcome) in chunks.into_iter().flatten() {
+            slots[i] = Some(outcome);
         }
-        handles
+        slots
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|o| o.expect("every partition explored"))
             .collect()
-    })
-    .expect("crossbeam scope failed");
+    };
 
-    // 5. Merge.
+    // 4. Simulate the virtual FCFS schedule and merge. Partition i goes to
+    // the virtual worker that frees first (lowest index on ties) and gets
+    // whatever budget that worker has left; its full-budget trajectory is
+    // truncated to that prefix.
+    let n_workers = opts.workers.max(1);
+    let mut worker_clock = vec![0.0f64; n_workers];
     let mut per_partition = Vec::new();
     let mut all_events: Vec<(f64, f64)> = Vec::new();
     let mut total_evals = 0u64;
     let mut makespan = 0.0f64;
-    let mut best: Option<(DesignConfig, Estimate)> = None;
-    let mut best_val = f64::INFINITY;
-    for (worker, worker_results) in results.into_iter().enumerate() {
-        for (index, start, outcome, detail) in worker_results {
-            total_evals += outcome.evaluations;
-            makespan = makespan.max(start + outcome.elapsed_minutes);
-            for e in &outcome.trace {
-                if e.value.is_finite() {
-                    all_events.push((start + e.minute, e.value));
-                }
+    // (value, job, eval index) of the global best — strict `<` keeps the
+    // earliest minimum, matching the tuner's incumbent rule.
+    let mut best_key: Option<(f64, usize, usize)> = None;
+    for (j, (job, outcome)) in jobs.iter().zip(&full).enumerate() {
+        let mut w = 0usize;
+        for k in 1..worker_clock.len() {
+            if worker_clock[k] < worker_clock[w] {
+                w = k;
             }
-            if let Some((dc, est)) = detail {
-                if est.objective() < best_val {
-                    best_val = est.objective();
-                    best = Some((dc, est));
-                }
-            }
-            per_partition.push(PartitionRun {
-                index,
-                rules: rule_descriptions.get(index).cloned().unwrap_or_default(),
-                worker,
-                start_minute: start,
-                elapsed_minutes: outcome.elapsed_minutes,
-                evaluations: outcome.evaluations,
-                best_value: outcome.best_value(),
-                reason: outcome.reason,
-            });
         }
+        let start = worker_clock[w];
+        let budget = opts.budget_minutes - start;
+        if budget <= 0.0 {
+            // Every virtual core is saturated to the deadline; this
+            // partition (and all later ones) never started.
+            continue;
+        }
+        let t = truncate_to_budget(outcome, budget);
+        worker_clock[w] = start + t.elapsed_minutes;
+        makespan = makespan.max(worker_clock[w]);
+        total_evals += t.evaluations;
+        for &(minute, value) in &t.events {
+            if value.is_finite() {
+                all_events.push((start + minute, value));
+            }
+        }
+        for (k, e) in outcome.history.evaluations()[..t.evaluations as usize]
+            .iter()
+            .enumerate()
+        {
+            let v = e.measurement.value;
+            if v.is_finite() && best_key.is_none_or(|(bv, _, _)| v < bv) {
+                best_key = Some((v, j, k));
+            }
+        }
+        per_partition.push(PartitionRun {
+            index: job.index,
+            rules: rule_descriptions
+                .get(job.index)
+                .cloned()
+                .unwrap_or_default(),
+            worker: w,
+            start_minute: start,
+            elapsed_minutes: t.elapsed_minutes,
+            evaluations: t.evaluations,
+            best_value: t.best_value,
+            reason: t.reason,
+        });
     }
     per_partition.sort_by_key(|p| p.index);
     all_events.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -345,6 +459,16 @@ pub fn run_dse(summary: &KernelSummary, estimator: &Estimator, opts: &DseOptions
         }
     }
 
+    // Snapshot the counters before re-deriving the winning estimate so the
+    // stats describe the search itself.
+    let cache = engine.cache_stats();
+    let best = best_key.map(|(_, j, k)| {
+        let cfg = &full[j].history.evaluations()[k].config;
+        let dc = ds.decode(cfg);
+        let est = engine.evaluate(&dc);
+        (dc, est)
+    });
+
     DseOutcome {
         best,
         convergence,
@@ -352,6 +476,7 @@ pub fn run_dse(summary: &KernelSummary, estimator: &Estimator, opts: &DseOptions
         total_evaluations: total_evals,
         partitions: jobs.len(),
         per_partition,
+        cache,
     }
 }
 
@@ -522,6 +647,73 @@ mod tests {
         assert_eq!(a.convergence, b.convergence);
     }
 
+    /// Everything about an outcome except the cache counters, in a
+    /// comparable shape.
+    #[allow(clippy::type_complexity)]
+    fn outcome_key(
+        out: &DseOutcome,
+    ) -> (
+        Option<(DesignConfig, Estimate)>,
+        Vec<(f64, f64)>,
+        f64,
+        u64,
+        usize,
+        Vec<(usize, usize, f64, f64, u64, f64, String)>,
+    ) {
+        (
+            out.best.clone(),
+            out.convergence.clone(),
+            out.elapsed_minutes,
+            out.total_evaluations,
+            out.partitions,
+            out.per_partition
+                .iter()
+                .map(|p| {
+                    (
+                        p.index,
+                        p.worker,
+                        p.start_minute,
+                        p.elapsed_minutes,
+                        p.evaluations,
+                        p.best_value,
+                        format!("{:?}", p.reason),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn outcome_invariant_to_eval_threads_and_caching() {
+        // `eval_threads` and `caching` are pure wall-clock knobs: the
+        // virtual schedule, RNG streams, and hence the whole outcome must
+        // be bit-identical across every combination — including under the
+        // work-stealing pool, whose real execution order varies run to run.
+        let s = summary();
+        let est = Estimator::new();
+        let mut base = DseOptions::s2fa();
+        base.budget_minutes = 60.0;
+        let reference = run_dse(&s, &est, &base);
+        let key = outcome_key(&reference);
+        // cache-on runs genuinely exercise the memo table (probe + seeds
+        // collide across partitions)
+        assert!(reference.cache.hits > 0, "expected cache hits");
+        for (threads, caching) in [(1, true), (8, false), (1, false), (3, true)] {
+            let mut opts = base.clone();
+            opts.eval_threads = threads;
+            opts.caching = caching;
+            let out = run_dse(&s, &est, &opts);
+            assert_eq!(
+                outcome_key(&out),
+                key,
+                "outcome changed at eval_threads={threads} caching={caching}"
+            );
+            if !caching {
+                assert_eq!(out.cache, CacheStats::default());
+            }
+        }
+    }
+
     #[test]
     fn trivial_stop_runs_longer_than_entropy() {
         let s = summary();
@@ -549,6 +741,7 @@ mod tests {
             total_evaluations: 2,
             partitions: 1,
             per_partition: vec![],
+            cache: CacheStats::default(),
         };
         assert!(out.best_at_minute(5.0).is_infinite());
         assert_eq!(out.best_at_minute(10.0), 100.0);

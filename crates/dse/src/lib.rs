@@ -33,4 +33,5 @@ pub mod space;
 pub use driver::{run_dse, vanilla_options, DseOptions, DseOutcome, PartitionRun, StoppingKind};
 pub use entropy::EntropyStop;
 pub use partition::{DecisionTree, Partitioner};
+pub use s2fa_engine::{CacheStats, EvalEngine};
 pub use space::DesignSpace;

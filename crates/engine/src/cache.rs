@@ -1,0 +1,165 @@
+//! The concurrent estimate memo table.
+//!
+//! A fixed array of mutex-striped `HashMap` shards keyed by design-point
+//! fingerprint. Reads and writes for different shards never contend, and
+//! the striping count (16) comfortably exceeds the worker parallelism of
+//! the DSE driver. Counters are lock-free atomics, so hot-path hits cost
+//! one shard lock plus one relaxed increment.
+
+use parking_lot::Mutex;
+use s2fa_hlssim::Estimate;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SHARDS: usize = 16;
+
+/// Monotonic counters of cache activity (see [`EstimateCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries written (at most one per distinct key, barring races).
+    pub inserts: u64,
+    /// Distinct entries currently stored.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, thread-safe `fingerprint → Estimate` memo table.
+#[derive(Debug, Default)]
+pub struct EstimateCache {
+    shards: [Mutex<HashMap<u128, Estimate>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl EstimateCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<HashMap<u128, Estimate>> {
+        // Fold the fingerprint; FNV output is well-mixed in the low bits.
+        let idx = ((key as u64) ^ ((key >> 64) as u64)) as usize % SHARDS;
+        &self.shards[idx]
+    }
+
+    /// Looks up an estimate, counting the hit or miss.
+    pub fn get(&self, key: u128) -> Option<Estimate> {
+        let found = self.shard(key).lock().get(&key).cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores an estimate. Racing inserts of the same key are benign: all
+    /// writers computed the same value from the same canonical point.
+    pub fn insert(&self, key: u128, estimate: Estimate) {
+        self.shard(key).lock().insert(key, estimate);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of distinct entries stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2fa_hlssim::{Feasibility, ResourceUsage};
+
+    fn estimate(tag: u64) -> Estimate {
+        Estimate {
+            compute_cycles: tag,
+            transfer_cycles: 0,
+            total_cycles: tag,
+            ii_critical: 1.0,
+            freq_mhz: 250.0,
+            time_ms: tag as f64,
+            batch_tasks: 1,
+            resources: ResourceUsage::new(),
+            feasibility: Feasibility::Feasible,
+            hls_minutes: 3.0,
+        }
+    }
+
+    #[test]
+    fn get_insert_and_counters() {
+        let c = EstimateCache::new();
+        assert!(c.get(7).is_none());
+        c.insert(7, estimate(1));
+        assert_eq!(c.get(7).unwrap().compute_cycles, 1);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts, s.entries), (1, 1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let c = EstimateCache::new();
+        for k in 0..64u128 {
+            c.insert(k, estimate(k as u64));
+        }
+        assert_eq!(c.len(), 64);
+        let populated = c.shards.iter().filter(|s| !s.lock().is_empty()).count();
+        assert!(populated > 1, "sequential keys should stripe");
+    }
+
+    #[test]
+    fn concurrent_mixed_load() {
+        let c = EstimateCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let c = &c;
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        let key = (i % 32) as u128;
+                        if c.get(key).is_none() {
+                            c.insert(key, estimate(key as u64));
+                        }
+                        let _ = t;
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 32);
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 800);
+    }
+}

@@ -1,0 +1,146 @@
+//! Canonical design-point fingerprints.
+//!
+//! A [`DesignConfig`] hashes to a 128-bit FNV-1a digest over a
+//! deterministic byte encoding of its fields. Both maps inside the config
+//! are `BTreeMap`s, so iteration order — and therefore the fingerprint —
+//! is canonical for a given set of entries. Callers are expected to
+//! normalize the configuration first so that equivalent raw points (e.g. a
+//! clamped parallel factor) collapse onto one key; the fingerprint itself
+//! is purely structural.
+//!
+//! At 128 bits, birthday collisions are negligible for any realistic run
+//! (a DSE evaluating 10⁹ distinct points has collision probability
+//! ~10⁻²⁰), so the memo table stores estimates keyed by digest alone.
+
+use s2fa_hlsir::PipelineMode;
+use s2fa_merlin::DesignConfig;
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013B;
+
+/// Incremental FNV-1a over a byte stream.
+struct Fnv(u128);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// The 128-bit canonical fingerprint of a design configuration.
+///
+/// Structural equality ⇒ equal fingerprints; field order is fixed by the
+/// `BTreeMap` keys, so the digest is independent of insertion history.
+pub fn fingerprint(config: &DesignConfig) -> u128 {
+    let mut h = Fnv::new();
+    for (id, d) in &config.loops {
+        h.write(&[0x01]);
+        h.write_u32(id.0);
+        match d.tile {
+            Some(t) => {
+                h.write(&[0x01]);
+                h.write_u32(t);
+            }
+            None => h.write(&[0x00]),
+        }
+        h.write_u32(d.parallel);
+        h.write(&[match d.pipeline {
+            PipelineMode::Off => 0u8,
+            PipelineMode::On => 1,
+            PipelineMode::Flatten => 2,
+        }]);
+        h.write(&[d.tree_reduce as u8]);
+    }
+    for (name, bits) in &config.buffer_bits {
+        h.write(&[0x02]);
+        h.write(name.as_bytes());
+        h.write(&[0x00]);
+        h.write_u32(*bits);
+    }
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2fa_hlsir::LoopId;
+    use s2fa_merlin::LoopDirective;
+
+    #[test]
+    fn equal_configs_equal_fingerprints() {
+        let mut a = DesignConfig::new();
+        a.loop_directive_mut(LoopId(0)).parallel = 4;
+        a.buffer_bits.insert("in".into(), 128);
+        let mut b = DesignConfig::new();
+        b.buffer_bits.insert("in".into(), 128); // different insertion order
+        b.loop_directive_mut(LoopId(0)).parallel = 4;
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn each_field_perturbs_the_digest() {
+        let mut base = DesignConfig::new();
+        base.loops.insert(
+            LoopId(1),
+            LoopDirective {
+                tile: Some(4),
+                parallel: 2,
+                pipeline: PipelineMode::On,
+                tree_reduce: false,
+            },
+        );
+        base.buffer_bits.insert("in".into(), 64);
+        let f0 = fingerprint(&base);
+
+        let mut m = base.clone();
+        m.loop_directive_mut(LoopId(1)).tile = None;
+        assert_ne!(fingerprint(&m), f0);
+
+        let mut m = base.clone();
+        m.loop_directive_mut(LoopId(1)).parallel = 3;
+        assert_ne!(fingerprint(&m), f0);
+
+        let mut m = base.clone();
+        m.loop_directive_mut(LoopId(1)).pipeline = PipelineMode::Flatten;
+        assert_ne!(fingerprint(&m), f0);
+
+        let mut m = base.clone();
+        m.loop_directive_mut(LoopId(1)).tree_reduce = true;
+        assert_ne!(fingerprint(&m), f0);
+
+        let mut m = base.clone();
+        m.buffer_bits.insert("in".into(), 128);
+        assert_ne!(fingerprint(&m), f0);
+
+        let mut m = base.clone();
+        m.buffer_bits.insert("in2".into(), 64);
+        assert_ne!(fingerprint(&m), f0);
+    }
+
+    #[test]
+    fn loop_id_vs_field_confusion_is_distinguished() {
+        // L0 with tile 1 vs L1 with no tile — byte streams must differ.
+        let mut a = DesignConfig::new();
+        a.loops.insert(
+            LoopId(0),
+            LoopDirective {
+                tile: Some(1),
+                ..LoopDirective::none()
+            },
+        );
+        let mut b = DesignConfig::new();
+        b.loops.insert(LoopId(1), LoopDirective::none());
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+}

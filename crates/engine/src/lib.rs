@@ -1,0 +1,297 @@
+#![warn(missing_docs)]
+
+//! # s2fa-engine — the evaluation engine
+//!
+//! The layer between the DSE/tuning loops and the HLS estimator. Every
+//! search component in the stack — the decision-tree partitioner's probe
+//! pass, the per-partition seed evaluation, and the OpenTuner-substitute
+//! loops themselves — asks the same question ("what does this design point
+//! cost?") about overlapping sets of design points: partitions share
+//! boundary regions, seeds repeat across partitions, and normalization
+//! collapses many raw configurations onto one canonical point.
+//!
+//! [`EvalEngine`] answers that question once per *canonical* design point:
+//!
+//! * configurations are normalized first, so two raw points that the
+//!   Merlin rewrite maps to the same legal design share one cache entry;
+//! * a 128-bit FNV fingerprint of the normalized configuration keys a
+//!   sharded, lock-striped memo table ([`EstimateCache`]) that is safe to
+//!   share across worker threads;
+//! * per-kernel invariants ([`s2fa_hlssim::KernelInvariants`]) are built
+//!   once, so cache *misses* also skip the estimator's repeated subtree
+//!   walks.
+//!
+//! Caching changes wall-clock time only. The virtual HLS cost
+//! (`Estimate::hls_minutes`) is stored with the estimate and re-charged on
+//! every hit, so DSE outcomes are identical with the cache on or off — a
+//! property the test suites of this crate and `s2fa-dse` pin down.
+
+pub mod cache;
+pub mod fingerprint;
+
+pub use cache::{CacheStats, EstimateCache};
+pub use fingerprint::fingerprint;
+
+use s2fa_hlsir::KernelSummary;
+use s2fa_hlssim::{Estimate, Estimator, KernelInvariants};
+use s2fa_merlin::DesignConfig;
+
+/// A memoizing, invariant-hoisting front-end to the HLS estimator for one
+/// kernel.
+///
+/// Shareable across threads by reference (`&EvalEngine` is `Send + Sync`);
+/// all methods take `&self`.
+#[derive(Debug)]
+pub struct EvalEngine {
+    summary: KernelSummary,
+    estimator: Estimator,
+    invariants: KernelInvariants,
+    cache: EstimateCache,
+    caching: bool,
+}
+
+impl EvalEngine {
+    /// An engine for `summary` under `estimator`, with caching enabled.
+    pub fn new(summary: &KernelSummary, estimator: &Estimator) -> Self {
+        EvalEngine {
+            invariants: estimator.invariants(summary),
+            summary: summary.clone(),
+            estimator: estimator.clone(),
+            cache: EstimateCache::default(),
+            caching: true,
+        }
+    }
+
+    /// Enables or disables memoization (estimates are identical either
+    /// way; only wall-clock time changes).
+    pub fn set_caching(&mut self, enabled: bool) {
+        self.caching = enabled;
+    }
+
+    /// Whether memoization is enabled.
+    pub fn caching(&self) -> bool {
+        self.caching
+    }
+
+    /// The kernel this engine evaluates.
+    pub fn summary(&self) -> &KernelSummary {
+        &self.summary
+    }
+
+    /// The underlying estimator.
+    pub fn estimator(&self) -> &Estimator {
+        &self.estimator
+    }
+
+    /// Evaluates one design point, memoized on its canonical form.
+    ///
+    /// Equal to `self.estimator().evaluate(self.summary(), config)` in all
+    /// cases — cache hits return the stored estimate including its virtual
+    /// `hls_minutes` charge, and normalization is idempotent, so the
+    /// canonical point evaluates to the same estimate as the raw one.
+    pub fn evaluate(&self, config: &DesignConfig) -> Estimate {
+        let mut cfg = config.clone();
+        cfg.normalize(&self.summary);
+        if !self.caching {
+            return self
+                .estimator
+                .evaluate_with(&self.summary, &self.invariants, &cfg);
+        }
+        let key = fingerprint(&cfg);
+        if let Some(hit) = self.cache.get(key) {
+            return hit;
+        }
+        let est = self
+            .estimator
+            .evaluate_with(&self.summary, &self.invariants, &cfg);
+        self.cache.insert(key, est.clone());
+        est
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2fa_hlsir::{
+        Access, BufferDir, BufferInfo, CarriedDep, LoopId, LoopInfo, OpCounts, Stride,
+    };
+
+    fn summary() -> KernelSummary {
+        let mut inner_ops = OpCounts::new();
+        inner_ops.fadd = 1;
+        inner_ops.fmul = 1;
+        inner_ops.mem_read = 2;
+        let mut chain = OpCounts::new();
+        chain.fadd = 1;
+        let mut outer_ops = OpCounts::new();
+        outer_ops.mem_write = 1;
+        KernelSummary {
+            name: "dot".into(),
+            loops: vec![
+                LoopInfo {
+                    id: LoopId(0),
+                    var: "t".into(),
+                    trip_count: 1024,
+                    depth: 0,
+                    parent: None,
+                    children: vec![LoopId(1)],
+                    body_ops: outer_ops,
+                    accesses: vec![Access {
+                        buffer: "out_1".into(),
+                        write: true,
+                        stride: Stride::Unit,
+                    }],
+                    carried: None,
+                },
+                LoopInfo {
+                    id: LoopId(1),
+                    var: "j".into(),
+                    trip_count: 64,
+                    depth: 1,
+                    parent: Some(LoopId(0)),
+                    children: vec![],
+                    body_ops: inner_ops,
+                    accesses: vec![
+                        Access {
+                            buffer: "in_1".into(),
+                            write: false,
+                            stride: Stride::Unit,
+                        },
+                        Access {
+                            buffer: "w".into(),
+                            write: false,
+                            stride: Stride::Zero,
+                        },
+                    ],
+                    carried: Some(CarriedDep {
+                        via: "s".into(),
+                        chain,
+                        reducible: true,
+                    }),
+                },
+            ],
+            buffers: vec![
+                BufferInfo {
+                    name: "in_1".into(),
+                    elem_bits: 32,
+                    len: 64,
+                    dir: BufferDir::In,
+                    broadcast: false,
+                },
+                BufferInfo {
+                    name: "w".into(),
+                    elem_bits: 32,
+                    len: 64,
+                    dir: BufferDir::In,
+                    broadcast: false,
+                },
+                BufferInfo {
+                    name: "out_1".into(),
+                    elem_bits: 32,
+                    len: 1,
+                    dir: BufferDir::Out,
+                    broadcast: false,
+                },
+            ],
+            task_loop: LoopId(0),
+            tasks_hint: 1024,
+        }
+    }
+
+    #[test]
+    fn engine_matches_direct_evaluation() {
+        let s = summary();
+        let est = Estimator::new();
+        let engine = EvalEngine::new(&s, &est);
+        for cfg in [
+            DesignConfig::area_seed(&s),
+            DesignConfig::perf_seed(&s),
+            DesignConfig::new(),
+        ] {
+            assert_eq!(engine.evaluate(&cfg), est.evaluate(&s, &cfg));
+        }
+    }
+
+    #[test]
+    fn repeat_evaluations_hit_the_cache() {
+        let s = summary();
+        let engine = EvalEngine::new(&s, &Estimator::new());
+        let cfg = DesignConfig::perf_seed(&s);
+        let a = engine.evaluate(&cfg);
+        let b = engine.evaluate(&cfg);
+        assert_eq!(a, b);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.entries, 1);
+        // hls_minutes is re-charged on hits (virtual cost unchanged)
+        assert_eq!(a.hls_minutes, b.hls_minutes);
+    }
+
+    #[test]
+    fn normalization_collapses_equivalent_points() {
+        let s = summary();
+        let engine = EvalEngine::new(&s, &Estimator::new());
+        // parallel factor beyond the trip count clamps to the same
+        // canonical point as the exact factor.
+        let mut a = DesignConfig::area_seed(&s);
+        a.loop_directive_mut(LoopId(1)).parallel = 9999;
+        let mut b = DesignConfig::area_seed(&s);
+        b.loop_directive_mut(LoopId(1)).parallel = 64;
+        engine.evaluate(&a);
+        engine.evaluate(&b);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 1, "clamped config should share the entry");
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn disabled_cache_still_matches() {
+        let s = summary();
+        let est = Estimator::new();
+        let mut engine = EvalEngine::new(&s, &est);
+        engine.set_caching(false);
+        let cfg = DesignConfig::perf_seed(&s);
+        assert_eq!(engine.evaluate(&cfg), est.evaluate(&s, &cfg));
+        assert_eq!(engine.cache_stats().entries, 0);
+        assert_eq!(engine.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn concurrent_evaluations_agree() {
+        let s = summary();
+        let est = Estimator::new();
+        let engine = EvalEngine::new(&s, &est);
+        let mut cfgs = Vec::new();
+        for p in [1u32, 2, 4, 8] {
+            let mut c = DesignConfig::area_seed(&s);
+            c.loop_directive_mut(LoopId(1)).parallel = p;
+            cfgs.push(c);
+        }
+        let results: Vec<Vec<Estimate>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let engine = &engine;
+                    let cfgs = &cfgs;
+                    scope.spawn(move || cfgs.iter().map(|c| engine.evaluate(c)).collect())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for (i, cfg) in cfgs.iter().enumerate() {
+            let expect = est.evaluate(&s, cfg);
+            for r in &results {
+                assert_eq!(r[i], expect);
+            }
+        }
+        assert_eq!(engine.cache_stats().entries, 4);
+    }
+}

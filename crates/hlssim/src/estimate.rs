@@ -2,6 +2,7 @@
 
 use crate::cost::HlsCosts;
 use crate::device::Device;
+use crate::invariants::{BufferBase, KernelInvariants};
 use crate::model::{achieved_frequency, ModelCtx};
 use crate::resource::ResourceUsage;
 use s2fa_hlsir::KernelSummary;
@@ -133,15 +134,38 @@ impl Estimator {
         &self.costs
     }
 
+    /// Precomputes the configuration-independent facts of a kernel.
+    ///
+    /// Build once per [`KernelSummary`] and evaluate many design points
+    /// against it with [`evaluate_with`](Self::evaluate_with) — the result
+    /// is identical to [`evaluate`](Self::evaluate), minus the repeated
+    /// subtree walks and operator-class scans.
+    pub fn invariants(&self, summary: &KernelSummary) -> KernelInvariants {
+        KernelInvariants::build(summary, &self.costs)
+    }
+
     /// Runs "HLS" for one design point.
     ///
     /// The configuration is normalized (factor dependencies enforced)
     /// before evaluation, exactly as the Merlin flow rewrites directives.
     pub fn evaluate(&self, summary: &KernelSummary, config: &DesignConfig) -> Estimate {
+        let inv = self.invariants(summary);
+        self.evaluate_with(summary, &inv, config)
+    }
+
+    /// [`evaluate`](Self::evaluate) against precomputed invariants (the
+    /// hot path — `inv` must come from [`invariants`](Self::invariants) on
+    /// the same `summary` and estimator).
+    pub fn evaluate_with(
+        &self,
+        summary: &KernelSummary,
+        inv: &KernelInvariants,
+        config: &DesignConfig,
+    ) -> Estimate {
         let mut cfg = config.clone();
         cfg.normalize(summary);
 
-        let mut ctx = ModelCtx::new(summary, &cfg, &self.costs);
+        let mut ctx = ModelCtx::new(summary, &cfg, &self.costs, inv);
         let compute = ctx.evaluate();
         ctx.charge_tiling();
         let resources = ctx.resources;
@@ -154,13 +178,13 @@ impl Estimator {
 
         // Transfer: bytes for the batch over the configured port widths,
         // capped by DDR bandwidth.
-        let (inb, outb) = summary.interface_bytes_per_task();
+        let (inb, outb) = inv.interface_bytes;
         let total_bytes =
-            (inb + outb) as f64 * summary.tasks_hint as f64 + summary.broadcast_bytes() as f64;
+            (inb + outb) as f64 * summary.tasks_hint as f64 + inv.broadcast_bytes as f64;
         let mut port_bytes_per_cycle = 0.0;
-        for b in &summary.buffers {
-            if b.dir != s2fa_hlsir::BufferDir::Local {
-                port_bytes_per_cycle += cfg.buffer_width(&b.name) as f64 / 8.0;
+        for bb in &inv.buffer_base {
+            if let BufferBase::Iface { name, .. } = bb {
+                port_bytes_per_cycle += cfg.buffer_width(name) as f64 / 8.0;
             }
         }
         let ddr_cap = self.device.ddr_bytes_per_cycle(freq);

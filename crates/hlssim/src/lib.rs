@@ -26,6 +26,7 @@
 pub mod cost;
 pub mod device;
 pub mod estimate;
+pub mod invariants;
 pub mod model;
 pub mod report;
 pub mod resource;
@@ -33,4 +34,5 @@ pub mod resource;
 pub use cost::HlsCosts;
 pub use device::Device;
 pub use estimate::{Estimate, Estimator, Feasibility};
+pub use invariants::KernelInvariants;
 pub use resource::ResourceUsage;

@@ -19,12 +19,12 @@
 //! * **Frequency** degrades with utilization, replication fan-out, and the
 //!   deep combinational chains produced by flattening recurrent loops.
 
-use crate::cost::HlsCosts;
+use crate::cost::{HlsCosts, OpProfile};
 use crate::device::Device;
+use crate::invariants::{BufferBase, KernelInvariants, LoopInvariants, MemPort};
 use crate::resource::ResourceUsage;
-use s2fa_hlsir::{BufferDir, KernelSummary, LoopId, PipelineMode};
+use s2fa_hlsir::{KernelSummary, LoopId, PipelineMode};
 use s2fa_merlin::DesignConfig;
-use std::collections::BTreeMap;
 
 /// Result of evaluating one loop subtree.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +42,7 @@ pub(crate) struct ModelCtx<'a> {
     pub summary: &'a KernelSummary,
     pub config: &'a DesignConfig,
     pub costs: &'a HlsCosts,
+    pub inv: &'a KernelInvariants,
     pub resources: ResourceUsage,
     /// Maximum PE replication product reached at any leaf.
     pub max_replication: f64,
@@ -56,11 +57,17 @@ pub(crate) struct ModelCtx<'a> {
 }
 
 impl<'a> ModelCtx<'a> {
-    pub fn new(summary: &'a KernelSummary, config: &'a DesignConfig, costs: &'a HlsCosts) -> Self {
+    pub fn new(
+        summary: &'a KernelSummary,
+        config: &'a DesignConfig,
+        costs: &'a HlsCosts,
+        inv: &'a KernelInvariants,
+    ) -> Self {
         ModelCtx {
             summary,
             config,
             costs,
+            inv,
             resources: ResourceUsage::new(),
             max_replication: 1.0,
             deep_logic: 0.0,
@@ -82,7 +89,8 @@ impl<'a> ModelCtx<'a> {
     }
 
     /// Static overhead: AXI/control logic plus per-buffer port FIFOs and
-    /// local arrays.
+    /// local arrays. Width-independent BRAM comes precomputed from the
+    /// invariants; only the port-width terms are evaluated here.
     fn base_resources(&mut self) {
         let dev_frac = ResourceUsage {
             bram_18k: 40.0,
@@ -91,26 +99,25 @@ impl<'a> ModelCtx<'a> {
             lut: 11_000.0,
         };
         self.resources += dev_frac;
-        for b in &self.summary.buffers {
-            match b.dir {
-                BufferDir::Local => {
+        let inv = self.inv;
+        for bb in &inv.buffer_base {
+            match bb {
+                BufferBase::Local { bram } => {
                     // Local arrays live in BRAM: banks sized 18 kbit.
-                    let bits = b.elem_bits as f64 * b.len as f64;
-                    self.resources.bram_18k += (bits / 18_432.0).ceil().max(1.0);
+                    self.resources.bram_18k += bram;
                 }
-                _ => {
-                    let width = self.config.buffer_width(&b.name) as f64;
+                BufferBase::Iface {
+                    name,
+                    broadcast_bram,
+                } => {
+                    let width = self.config.buffer_width(name) as f64;
                     // Port FIFO + width converter.
                     self.resources.bram_18k += (width / 72.0).ceil();
                     self.resources.lut += width * 14.0;
                     self.resources.ff += width * 20.0;
-                    if b.broadcast {
-                        // Broadcast inputs are cached on-chip for the whole
-                        // batch (Merlin's coalesced buffer for closure
-                        // state).
-                        let bits = b.elem_bits as f64 * b.len as f64;
-                        self.resources.bram_18k += (bits / 18_432.0).ceil().max(1.0);
-                    }
+                    // Broadcast inputs are cached on-chip for the whole
+                    // batch (Merlin's coalesced buffer for closure state).
+                    self.resources.bram_18k += broadcast_bram;
                 }
             }
         }
@@ -123,6 +130,7 @@ impl<'a> ModelCtx<'a> {
                 ii: 1.0,
             };
         };
+        let linv = self.inv.of(id);
         let d = self.config.loop_directive(id);
         let tc = li.trip_count.max(1) as f64;
         let u = (d.parallel_factor() as f64).min(tc);
@@ -134,9 +142,8 @@ impl<'a> ModelCtx<'a> {
         match d.pipeline {
             PipelineMode::Flatten if !li.children.is_empty() => {
                 // Fully unroll the subtree; pipeline this loop over it.
-                let flat_iters = self.summary.flattened_iters(id) as f64;
-                let ops = self.summary.subtree_ops(id);
-                let mut iter_lat = self.costs.critical_path(&ops) as f64;
+                let flat_iters = linv.flattened_iters;
+                let mut iter_lat = linv.subtree_critical_path;
                 // Recurrent descendants become *systolic chains*: HLS
                 // registers the unrolled recurrence every few stages, so
                 // the flattened body is a deep pipeline rather than pure
@@ -144,19 +151,12 @@ impl<'a> ModelCtx<'a> {
                 // (divided by the register spacing), and timing closure
                 // suffers from the residual carry/compare chains — the
                 // effect that pins the paper's S-W design at 100 MHz.
-                const REGISTER_SPACING: f64 = 4.0;
-                for c in self.summary.descendants(id) {
-                    if let Some(cl) = self.summary.loop_info(c) {
-                        if let Some(dep) = &cl.carried {
-                            let per = self.costs.chain_latency(&dep.chain) as f64;
-                            let tc_c = cl.trip_count as f64;
-                            iter_lat += per * tc_c / REGISTER_SPACING;
-                            self.deep_logic = self.deep_logic.max(per * tc_c / 2.0);
-                        }
-                    }
+                for &(chain_lat, deep) in &linv.flatten_chain {
+                    iter_lat += chain_lat;
+                    self.deep_logic = self.deep_logic.max(deep);
                 }
 
-                let rec = self.rec_mii(li, &d);
+                let rec = rec_mii(li, &d, linv.rec_chain_latency);
                 // Merlin fully partitions local arrays and inserts on-chip
                 // caches for the interface data a flattened body touches,
                 // so memory ports do not bound the II here; the recurrence
@@ -168,20 +168,10 @@ impl<'a> ModelCtx<'a> {
                 // Fully spatial body. Recurrent subtrees route as systolic
                 // chains (nearest-neighbour interconnect); only
                 // recurrence-free flattening pays the crossbar.
-                let systolic = self.summary.descendants(id).iter().any(|c| {
-                    self.summary
-                        .loop_info(*c)
-                        .is_some_and(|l| l.carried.is_some())
-                });
-                self.charge_ops_with(&ops, repl * u, ii, systolic);
+                self.charge_classes(&linv.subtree_classes, repl * u, ii, linv.systolic);
                 // Partitioned local arrays + interface caches.
                 self.resources.bram_18k += 2.0 * flat_iters.sqrt();
-                for b in &self.summary.buffers {
-                    if b.dir == BufferDir::In && !b.broadcast {
-                        let bits = b.elem_bits as f64 * b.len as f64;
-                        self.resources.bram_18k += (bits / 18_432.0).ceil();
-                    }
-                }
+                self.resources.bram_18k += linv.flatten_iface_bram;
 
                 LoopEval {
                     cycles: iter_lat + (iters - 1.0) * ii,
@@ -190,16 +180,16 @@ impl<'a> ModelCtx<'a> {
             }
             PipelineMode::On | PipelineMode::Flatten if li.children.is_empty() => {
                 // Fine-grained pipeline of a leaf loop.
-                let rec = self.rec_mii(li, &d);
-                let mem = self.mem_mii_leaf(li, u, locality);
+                let rec = rec_mii(li, &d, linv.rec_chain_latency);
+                let mem = self.mem_mii_leaf(linv, u, locality);
                 let ii = rec.max(mem).max(1.0);
                 self.worst_ii = self.worst_ii.max(ii);
-                let mut iter_lat = self.costs.critical_path(&li.body_ops) as f64;
+                let mut iter_lat = linv.body_critical_path;
                 if d.tree_reduce && u > 1.0 {
                     // adder tree depth
                     iter_lat += u.log2().ceil() * self.costs.fadd.latency as f64;
                 }
-                self.charge_ops(&li.body_ops, repl * u, ii);
+                self.charge_classes(&linv.body_classes, repl * u, ii, false);
                 LoopEval {
                     cycles: iter_lat + (iters - 1.0) * ii,
                     ii,
@@ -207,7 +197,7 @@ impl<'a> ModelCtx<'a> {
             }
             PipelineMode::On => {
                 // Coarse-grained (dataflow) pipelining over child stages.
-                let body_lat = self.costs.critical_path(&li.body_ops) as f64;
+                let body_lat = linv.body_critical_path;
                 let mut stage_sum = body_lat;
                 let mut stage_max = body_lat;
                 for c in li.children.clone() {
@@ -215,7 +205,7 @@ impl<'a> ModelCtx<'a> {
                     stage_sum += ev.cycles;
                     stage_max = stage_max.max(ev.cycles);
                 }
-                self.charge_ops(&li.body_ops, repl * u, 1.0);
+                self.charge_classes(&linv.body_classes, repl * u, 1.0, false);
                 // Double buffers between stages.
                 self.resources.bram_18k += 2.0 * li.children.len() as f64;
                 LoopEval {
@@ -225,14 +215,14 @@ impl<'a> ModelCtx<'a> {
             }
             PipelineMode::Off | PipelineMode::Flatten => {
                 // Sequential iterations (PE-replicated u ways).
-                let body_lat = self.costs.critical_path(&li.body_ops) as f64;
+                let body_lat = linv.body_critical_path;
                 let mut per_iter = body_lat + 2.0; // loop control overhead
                 for c in li.children.clone() {
                     let ev = self.eval_loop(c, repl * u);
                     per_iter += ev.cycles;
                 }
                 // Sequential bodies share functional units over time.
-                self.charge_ops(&li.body_ops, repl * u, 4.0);
+                self.charge_classes(&linv.body_classes, repl * u, 4.0, false);
                 LoopEval {
                     cycles: iters * per_iter,
                     ii: 1.0,
@@ -241,53 +231,25 @@ impl<'a> ModelCtx<'a> {
         }
     }
 
-    /// Recurrence-constrained MII of a loop.
-    fn rec_mii(&self, li: &s2fa_hlsir::LoopInfo, d: &s2fa_merlin::LoopDirective) -> f64 {
-        match &li.carried {
-            Some(dep) => {
-                if d.tree_reduce && dep.reducible {
-                    1.0
-                } else {
-                    self.costs.chain_latency(&dep.chain) as f64
-                }
-            }
-            None => 1.0,
-        }
-    }
-
     /// Memory-port MII of a leaf loop: the worst buffer contention.
-    fn mem_mii_leaf(&self, li: &s2fa_hlsir::LoopInfo, u: f64, locality: f64) -> f64 {
-        let mut per_buffer: BTreeMap<&str, f64> = BTreeMap::new();
-        for a in &li.accesses {
-            *per_buffer.entry(a.buffer.as_str()).or_insert(0.0) += 1.0;
-        }
+    /// Banked (local/broadcast) buffers see `u` banks × 2 ports; off-chip
+    /// ports move `port_bits / elem_bits` elements per cycle, so narrow
+    /// ports throttle unrolled loops.
+    fn mem_mii_leaf(&self, linv: &LoopInvariants, u: f64, locality: f64) -> f64 {
         let mut worst: f64 = 1.0;
-        for (name, count) in per_buffer {
-            worst = worst.max(self.buffer_mii(name, count, u, locality));
+        for m in &linv.mem_accesses {
+            let mii = match &m.kind {
+                MemPort::Banked => (m.count * u / (2.0 * u)).ceil().max(1.0),
+                MemPort::Ported { elem_bits } => {
+                    let width = self.config.buffer_width(&m.name) as f64;
+                    let elems_per_cycle = (width / elem_bits).max(1.0);
+                    (m.count * u * locality / elems_per_cycle).ceil().max(1.0)
+                }
+                MemPort::Unknown => 1.0,
+            };
+            worst = worst.max(mii);
         }
         worst
-    }
-
-    /// Cycles per issue group for `count·u` accesses to `name`.
-    fn buffer_mii(&self, name: &str, count: f64, u: f64, locality: f64) -> f64 {
-        let Some(b) = self.summary.buffer(name) else {
-            return 1.0;
-        };
-        match b.dir {
-            BufferDir::Local => {
-                // Partitioned with the unroll factor: u banks × 2 ports.
-                (count * u / (2.0 * u)).ceil().max(1.0)
-            }
-            _ if b.broadcast => {
-                // Cached on-chip: banked like a local array.
-                (count * u / (2.0 * u)).ceil().max(1.0)
-            }
-            _ => {
-                let width = self.config.buffer_width(name) as f64;
-                let elems_per_cycle = (width / b.elem_bits as f64).max(1.0);
-                (count * u * locality / elems_per_cycle).ceil().max(1.0)
-            }
-        }
     }
 
     /// Adds the functional units needed for `ops` at replication `repl`
@@ -299,13 +261,9 @@ impl<'a> ModelCtx<'a> {
     /// parallel factors infeasible on a real device (the paper's
     /// "performing coarse-grained parallelism with factor 256 ... might be
     /// infeasible for most designs due to high routing complexity").
-    fn charge_ops(&mut self, ops: &s2fa_hlsir::OpCounts, repl: f64, ii: f64) {
-        self.charge_ops_with(ops, repl, ii, false);
-    }
-
-    fn charge_ops_with(&mut self, ops: &s2fa_hlsir::OpCounts, repl: f64, ii: f64, systolic: bool) {
+    fn charge_classes(&mut self, classes: &[(u32, OpProfile)], repl: f64, ii: f64, systolic: bool) {
         let mut total_units = 0.0;
-        for (count, p) in self.costs.classes(ops) {
+        for &(count, ref p) in classes {
             let units = ((count as f64 * repl) / ii.max(1.0)).max(1.0);
             total_units += units;
             self.resources.dsp += p.dsp * units;
@@ -327,7 +285,7 @@ impl<'a> ModelCtx<'a> {
         for l in &self.summary.loops {
             if let Some(t) = self.config.loop_directive(l.id).tile {
                 if l.id == self.summary.task_loop {
-                    let (inb, outb) = self.summary.interface_bytes_per_task();
+                    let (inb, outb) = self.inv.interface_bytes;
                     let bits = (inb + outb) as f64 * 8.0 * t as f64 * 2.0;
                     self.resources.bram_18k += (bits / 18_432.0).ceil();
                 } else {
@@ -336,6 +294,21 @@ impl<'a> ModelCtx<'a> {
                 }
             }
         }
+    }
+}
+
+/// Recurrence-constrained MII of a loop, with the chain latency supplied
+/// from the precomputed invariants.
+fn rec_mii(li: &s2fa_hlsir::LoopInfo, d: &s2fa_merlin::LoopDirective, chain_latency: f64) -> f64 {
+    match &li.carried {
+        Some(dep) => {
+            if d.tree_reduce && dep.reducible {
+                1.0
+            } else {
+                chain_latency
+            }
+        }
+        None => 1.0,
     }
 }
 

@@ -28,6 +28,7 @@
 
 pub mod bandit;
 pub mod history;
+pub mod objective;
 pub mod param;
 pub mod runtime;
 pub mod stopping;
@@ -35,6 +36,7 @@ pub mod technique;
 
 pub use bandit::AucBandit;
 pub use history::{History, Measurement};
+pub use objective::{Objective, ThreadedObjective};
 pub use param::{Config, ParamDef, ParamKind, SearchSpace};
 pub use runtime::{TraceEvent, TuningOptions, TuningOutcome, TuningRun};
 pub use stopping::{NoImprovement, StopReason, StoppingCriterion, TimeLimitOnly};

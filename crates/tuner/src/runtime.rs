@@ -10,6 +10,7 @@
 
 use crate::bandit::AucBandit;
 use crate::history::{History, Measurement};
+use crate::objective::Objective;
 use crate::param::{Config, SearchSpace};
 use crate::stopping::{StopReason, StoppingCriterion};
 use crate::technique::{default_portfolio, SearchTechnique};
@@ -73,6 +74,12 @@ pub struct TuningOutcome {
     pub elapsed_minutes: f64,
     /// Total evaluations performed.
     pub evaluations: u64,
+    /// Batch slots abandoned because proposal could not find an unseen
+    /// configuration (16 mutation retries plus one fresh redraw all landed
+    /// on evaluated points). A non-zero count means the search was grinding
+    /// against an exhausted (sub-)space; the run stops with
+    /// [`StopReason::SpaceExhausted`] once a whole batch is lost this way.
+    pub exhaustion_events: u64,
     /// Why the run ended.
     pub reason: StopReason,
     /// The final history (for post-hoc analysis).
@@ -120,11 +127,17 @@ impl TuningRun {
 
     /// Runs to completion.
     ///
-    /// `objective` evaluates one configuration ("runs HLS"); `stop` is the
-    /// early-stopping criterion consulted once per iteration.
+    /// `objective` evaluates configurations ("runs HLS"); batches are
+    /// handed to [`Objective::measure_batch`], so a parallel objective
+    /// (e.g. [`ThreadedObjective`](crate::ThreadedObjective)) measures a
+    /// whole iteration concurrently. `stop` is the early-stopping
+    /// criterion consulted once per iteration. The run's decisions depend
+    /// only on the *order* of batch results, which every `Objective` must
+    /// preserve — outcomes are byte-identical across serial and threaded
+    /// objectives.
     pub fn run(
         mut self,
-        objective: &mut dyn FnMut(&Config) -> Measurement,
+        objective: &mut dyn Objective,
         stop: &mut dyn StoppingCriterion,
     ) -> TuningOutcome {
         let mut rng = SmallRng::seed_from_u64(self.options.rng_seed);
@@ -134,15 +147,18 @@ impl TuningRun {
         let mut clock = 0.0f64;
         let mut evals = 0u64;
         let mut iteration = 0u64;
+        let mut exhaustion_events = 0u64;
         let mut reason = StopReason::TimeLimit;
 
         // Seed evaluations: one batch, clock advances by the slowest.
         if !self.options.seeds.is_empty() {
             let mut batch_minutes = 0.0f64;
-            let seeds = std::mem::take(&mut self.options.seeds);
-            for mut seed in seeds {
-                self.space.clamp(&mut seed);
-                let m = objective(&seed);
+            let mut seeds = std::mem::take(&mut self.options.seeds);
+            for seed in seeds.iter_mut() {
+                self.space.clamp(seed);
+            }
+            let measurements = objective.measure_batch(&seeds);
+            for (seed, m) in seeds.into_iter().zip(measurements) {
                 batch_minutes = batch_minutes.max(m.minutes);
                 evals += 1;
                 let improved = history.record(seed, m, vec![]);
@@ -189,6 +205,10 @@ impl TuningRun {
                     // the incumbent — draw fresh.
                     cfg = self.space.random(&mut rng);
                     if history.seen(&cfg) || batch_seen.contains(&cfg) {
+                        // The slot is abandoned, not silently: count it so
+                        // callers can see how hard the search ground
+                        // against an exhausted space.
+                        exhaustion_events += 1;
                         continue;
                     }
                 }
@@ -200,14 +220,16 @@ impl TuningRun {
                 reason = if evals >= self.options.max_evaluations {
                     StopReason::IterationLimit
                 } else {
-                    StopReason::Converged
+                    StopReason::SpaceExhausted
                 };
                 break 'outer;
             }
-            // Phase 2: evaluate and only then feed results back.
+            // Phase 2: measure the whole batch (possibly on real threads),
+            // and only then feed results back, in proposal order.
+            let configs: Vec<Config> = batch.iter().map(|(_, c, _)| c.clone()).collect();
+            let measurements = objective.measure_batch(&configs);
             let mut batch_minutes = 0.0f64;
-            for (arm, cfg, mutated) in batch {
-                let m = objective(&cfg);
+            for ((arm, cfg, mutated), m) in batch.into_iter().zip(measurements) {
                 batch_minutes = batch_minutes.max(m.minutes);
                 evals += 1;
                 self.techniques[arm].feedback(&cfg, &m);
@@ -243,6 +265,7 @@ impl TuningRun {
             trace,
             elapsed_minutes: clock,
             evaluations: evals,
+            exhaustion_events,
             reason,
             history,
         }
@@ -312,7 +335,7 @@ mod tests {
                 ..TuningOptions::default()
             },
         );
-        let out = run.run(&mut |c| objective(c), &mut TimeLimitOnly);
+        let out = run.run(&mut objective, &mut TimeLimitOnly);
         assert!(out.best_value() < 20.0, "best = {}", out.best_value());
         assert!(out.elapsed_minutes >= 200.0);
         assert_eq!(out.reason, StopReason::TimeLimit);
@@ -330,7 +353,7 @@ mod tests {
                 ..TuningOptions::default()
             },
         )
-        .run(&mut |c| objective(c), &mut TimeLimitOnly);
+        .run(&mut objective, &mut TimeLimitOnly);
         let par = TuningRun::new(
             space(),
             TuningOptions {
@@ -339,7 +362,7 @@ mod tests {
                 ..TuningOptions::default()
             },
         )
-        .run(&mut |c| objective(c), &mut TimeLimitOnly);
+        .run(&mut objective, &mut TimeLimitOnly);
         assert!(
             par.evaluations >= seq.evaluations * 6,
             "8-wide should evaluate ~8x the points: {} vs {}",
@@ -358,7 +381,7 @@ mod tests {
                 ..TuningOptions::default()
             },
         );
-        let out = run.run(&mut |c| objective(c), &mut TimeLimitOnly);
+        let out = run.run(&mut objective, &mut TimeLimitOnly);
         assert_eq!(out.trace[0].technique, "seed");
         assert_eq!(out.trace[1].technique, "seed");
         // the good seed is optimal; nothing beats value 1.0
@@ -375,7 +398,7 @@ mod tests {
                 ..TuningOptions::default()
             },
         );
-        let out = run.run(&mut |c| objective(c), &mut NoImprovement::new(5));
+        let out = run.run(&mut objective, &mut NoImprovement::new(5));
         assert_eq!(out.reason, StopReason::Converged);
         assert!(out.elapsed_minutes < 10_000.0);
     }
@@ -391,7 +414,7 @@ mod tests {
                     ..TuningOptions::default()
                 },
             )
-            .run(&mut |c| objective(c), &mut TimeLimitOnly)
+            .run(&mut objective, &mut TimeLimitOnly)
         };
         let a = mk();
         let b = mk();
@@ -409,7 +432,7 @@ mod tests {
                 ..TuningOptions::default()
             },
         );
-        let out = run.run(&mut |c| objective(c), &mut TimeLimitOnly);
+        let out = run.run(&mut objective, &mut TimeLimitOnly);
         let mut seen = std::collections::HashSet::new();
         for e in out.history.evaluations() {
             assert!(seen.insert(e.config.clone()), "duplicate {:?}", e.config);
@@ -428,7 +451,7 @@ mod tests {
             },
         );
         let out = run.run(
-            &mut |c| Measurement::new(c[0] as f64 + 1.0, 1.0),
+            &mut |c: &Config| Measurement::new(c[0] as f64 + 1.0, 1.0),
             &mut TimeLimitOnly,
         );
         assert!(

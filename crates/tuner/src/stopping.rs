@@ -17,6 +17,9 @@ pub enum StopReason {
     Converged,
     /// The iteration cap was reached.
     IterationLimit,
+    /// Proposal could not find any unseen configuration: the (sub-)space
+    /// has been evaluated dry (see `TuningOutcome::exhaustion_events`).
+    SpaceExhausted,
 }
 
 /// A pluggable early-stopping criterion, consulted once per iteration.

@@ -445,18 +445,29 @@ mod tests {
     }
 
     #[test]
-    fn greedy_mutation_moves_one_factor() {
+    fn greedy_mutation_moves_at_least_one_factor_and_mostly_one() {
         let s = space();
         let mut h = History::new();
         let mut rng = SmallRng::seed_from_u64(3);
         let seed: Config = vec![3, 1, 7];
         h.record(seed.clone(), Measurement::new(5.0, 1.0), vec![]);
         let mut g = GreedyMutation::new();
-        for _ in 0..20 {
+        let mut single = 0usize;
+        const N: usize = 200;
+        for _ in 0..N {
             let c = g.propose(&s, &h, &mut rng);
             let diffs = c.iter().zip(&seed).filter(|(a, b)| a != b).count();
-            assert_eq!(diffs, 1);
+            assert!(diffs >= 1, "every proposal must move");
+            if diffs == 1 {
+                single += 1;
+            }
         }
+        // At a 10% per-factor rate over 3 factors, multi-factor moves are
+        // a small tail; the bulk must stay single-factor hill-climb steps.
+        assert!(
+            single > N * 3 / 4,
+            "only {single}/{N} proposals were single-factor"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use s2fa_tuner::{
-    Measurement, ParamDef, ParamKind, SearchSpace, TimeLimitOnly, TuningOptions, TuningRun,
+    Config, Measurement, ParamDef, ParamKind, SearchSpace, TimeLimitOnly, TuningOptions, TuningRun,
 };
 
 fn arb_space() -> impl Strategy<Value = SearchSpace> {
@@ -95,7 +95,7 @@ proptest! {
             },
         );
         let out = run.run(
-            &mut |cfg| Measurement::new(cfg.iter().map(|&v| v as f64).sum::<f64>() + 1.0, 3.0),
+            &mut |cfg: &Config| Measurement::new(cfg.iter().map(|&v| v as f64).sum::<f64>() + 1.0, 3.0),
             &mut TimeLimitOnly,
         );
         prop_assert!(out.elapsed_minutes <= budget + 1e-9);

@@ -67,7 +67,7 @@ pub fn rand_f64_array(rng: &mut SmallRng, n: usize) -> HostValue {
 pub fn rand_dna(rng: &mut SmallRng, n: usize) -> String {
     const ALPHABET: [u8; 4] = [b'A', b'C', b'G', b'T'];
     (0..n)
-        .map(|_| ALPHABET[rng.gen_range(0..4)] as char)
+        .map(|_| ALPHABET[rng.gen_range(0..4usize)] as char)
         .collect()
 }
 

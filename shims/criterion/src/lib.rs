@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and type surface this workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter` / `iter_batched`, `black_box`) with a
+//! simple mean-of-N timing loop instead of criterion's full statistical
+//! machinery: a short warm-up, then timed iterations until ~200 ms or a
+//! sample cap, printing the mean per-iteration time.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted for API
+/// compatibility; this shim always re-runs setup per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    warmup: Duration,
+    target: Duration,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            warmup: Duration::from_millis(30),
+            target: Duration::from_millis(200),
+            result: None,
+        }
+    }
+
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run untimed until the warm-up window elapses.
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            black_box(routine());
+        }
+        let timed = Instant::now();
+        let mut iters = 0u64;
+        while timed.elapsed() < self.target && iters < 1_000_000 {
+            black_box(routine());
+            iters += 1;
+        }
+        self.result = Some((timed.elapsed(), iters.max(1)));
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.target && iters < 1_000_000 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+            iters += 1;
+        }
+        self.result = Some((total, iters.max(1)));
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark and prints its mean time.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        match b.result {
+            Some((elapsed, iters)) => {
+                let mean = elapsed / iters as u32;
+                println!(
+                    "{}/{}  time: {}  ({} iterations)",
+                    self.name,
+                    id,
+                    human(mean),
+                    iters
+                );
+            }
+            None => println!("{}/{}  (no measurement)", self.name, id),
+        }
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's fixed measurement
+    /// window ignores the requested sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the measurement window is fixed.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group(id.to_string())
+            .bench_function("bench", f);
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        let mut hits = 0u64;
+        g.bench_function("iter", |b| b.iter(|| hits = hits.wrapping_add(1)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(hits > 0);
+    }
+}
