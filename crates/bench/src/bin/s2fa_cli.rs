@@ -5,13 +5,21 @@
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel KMeans
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel S-W --budget 120 --emit-c
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel LR --manual --report
+//! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel KMeans --trace kmeans.jsonl
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --list
 //! ```
+//!
+//! `--trace <path>` attaches the flight recorder: every structured event
+//! of the DSE run (evaluations on the virtual timeline, partition
+//! lifecycles, technique pulls/rewards, cache hits/misses) is appended to
+//! `<path>` as one JSON object per line.
 
 use s2fa::{S2fa, S2faOptions};
 use s2fa_hlsir::analysis;
 use s2fa_hlssim::report;
+use s2fa_trace::{JsonlSink, TraceSink};
 use s2fa_workloads::all_workloads;
+use std::sync::Arc;
 
 struct Args {
     kernel: Option<String>,
@@ -21,6 +29,7 @@ struct Args {
     emit_c: bool,
     report: bool,
     list: bool,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         emit_c: false,
         report: false,
         list: false,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -53,6 +63,9 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --tasks: {e}"))?;
             }
+            "--trace" => {
+                args.trace = Some(it.next().ok_or("--trace needs a path")?);
+            }
             "--manual" => args.manual = true,
             "--emit-c" => args.emit_c = true,
             "--report" => args.report = true,
@@ -67,7 +80,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 const USAGE: &str = "usage: s2fa_cli --kernel <name> [--budget <minutes>] [--tasks <n>] \
-[--manual] [--emit-c] [--report] | --list";
+[--manual] [--emit-c] [--report] [--trace <path>] | --list";
 
 fn main() {
     let args = match parse_args() {
@@ -98,7 +111,16 @@ fn main() {
         ..S2faOptions::default()
     };
     options.dse.budget_minutes = args.budget;
-    let framework = S2fa::new(options);
+    let sink: Option<Arc<JsonlSink>> = args.trace.as_deref().map(|path| {
+        Arc::new(JsonlSink::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot open trace file `{path}`: {e}");
+            std::process::exit(2);
+        }))
+    });
+    let mut framework = S2fa::new(options);
+    if let Some(sink) = &sink {
+        framework = framework.with_trace_sink(sink.clone() as Arc<dyn TraceSink>);
+    }
 
     let wall = std::time::Instant::now();
     let compiled = if args.manual {
@@ -127,13 +149,40 @@ fn main() {
             "dse: {} evaluations over {} partitions, terminated at {:.0} virtual minutes",
             dse.total_evaluations, dse.partitions, dse.elapsed_minutes
         );
+        if dse.killed_evals > 0 {
+            println!(
+                "dse: {} evaluation(s) straddled the deadline (harvested, clamped to budget)",
+                dse.killed_evals
+            );
+        }
         let lookups = dse.cache.hits + dse.cache.misses;
         println!(
-            "dse: {:.0} evals/sec wall-clock, cache hit rate {:.1}% ({} of {} lookups)",
+            "dse: {:.0} evals/sec wall-clock, cache hit rate {:.1}% ({} of {} lookups, {} racing overwrites)",
             dse.total_evaluations as f64 / wall.as_secs_f64().max(1e-9),
             100.0 * dse.cache.hit_rate(),
             dse.cache.hits,
-            lookups
+            lookups,
+            dse.cache.overwrites
+        );
+        if !dse.techniques.is_empty() {
+            println!(
+                "  {:<24} {:>5} {:>9}  best objective",
+                "technique", "evals", "improved"
+            );
+            for t in &dse.techniques {
+                println!(
+                    "  {:<24} {:>5} {:>9}  {:.4}",
+                    t.technique, t.evals, t.improvements, t.best_value
+                );
+            }
+        }
+    }
+    if let Some(sink) = &sink {
+        sink.flush();
+        println!(
+            "trace: {} events written to {}",
+            sink.emitted(),
+            sink.path().display()
         );
     }
     if args.emit_c {

@@ -55,4 +55,5 @@ pub use s2fa_hlsir as hlsir;
 pub use s2fa_hlssim as hlssim;
 pub use s2fa_merlin as merlin;
 pub use s2fa_sjvm as sjvm;
+pub use s2fa_trace as trace;
 pub use s2fa_tuner as tuner;

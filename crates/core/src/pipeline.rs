@@ -3,11 +3,13 @@
 use crate::codegen::{compile_kernel, GeneratedKernel};
 use crate::S2faError;
 use s2fa_blaze::{AccelTimeModel, Accelerator};
-use s2fa_dse::{run_dse, DesignSpace, DseOptions, DseOutcome};
+use s2fa_dse::{run_dse, run_dse_traced, DesignSpace, DseOptions, DseOutcome};
 use s2fa_hlsir::{analysis, printer, KernelSummary};
 use s2fa_hlssim::{Estimate, Estimator};
 use s2fa_merlin::{apply_structural, DesignConfig};
 use s2fa_sjvm::KernelSpec;
+use s2fa_trace::TraceSink;
+use std::sync::Arc;
 
 /// Options of one compilation.
 #[derive(Debug, Clone)]
@@ -55,6 +57,7 @@ pub struct CompiledAccelerator {
 pub struct S2fa {
     estimator: Estimator,
     options: S2faOptions,
+    trace_sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl S2fa {
@@ -64,12 +67,22 @@ impl S2fa {
         S2fa {
             estimator: Estimator::new(),
             options,
+            trace_sink: None,
         }
     }
 
     /// Replaces the HLS estimator (e.g. a different device).
     pub fn with_estimator(mut self, estimator: Estimator) -> Self {
         self.estimator = estimator;
+        self
+    }
+
+    /// Attaches a structured-event sink: [`compile`](Self::compile) then
+    /// streams the DSE's virtual schedule (evaluations, partitions,
+    /// technique pulls, cache activity) through it. Emission is purely
+    /// observational — outcomes are identical with or without a sink.
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
         self
     }
 
@@ -95,7 +108,12 @@ impl S2fa {
         let generated = compile_kernel(spec)?;
         let summary = analysis::summarize(&generated.cfunc, self.options.tasks_hint)?;
         let space = DesignSpace::build(&summary);
-        let dse = run_dse(&summary, &self.estimator, &self.options.dse);
+        let dse = match &self.trace_sink {
+            Some(sink) => {
+                run_dse_traced(&summary, &self.estimator, &self.options.dse, sink.clone())
+            }
+            None => run_dse(&summary, &self.estimator, &self.options.dse),
+        };
         let (design, estimate) = dse.best.clone().ok_or(S2faError::NoFeasibleDesign)?;
         let mut result = self.package(spec, generated, summary, design, estimate)?;
         result.space_size_log10 = space.size_log10();

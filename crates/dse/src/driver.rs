@@ -23,6 +23,15 @@
 //! stopping point, so the truncated prefix is byte-identical to what a
 //! live run under that budget would have produced — which is what makes
 //! the outcome independent of OS scheduling, thread counts, and caching.
+//! The replay leans on the `s2fa-trace` clock-accounting invariant that
+//! every event of a batch carries the batch-completion minute, and the
+//! `truncation_equals_live_run_at_shorter_budget` property test asserts
+//! the prefix equivalence event for event.
+//!
+//! [`run_dse_traced`] additionally streams the virtual schedule (run,
+//! partition, and evaluation events) plus host-side cache activity
+//! through a [`TraceSink`] — the `s2fa_cli --trace out.jsonl` flight
+//! recorder.
 
 use crate::entropy::EntropyStop;
 use crate::partition::Partitioner;
@@ -33,11 +42,13 @@ use s2fa_engine::{CacheStats, EvalEngine};
 use s2fa_hlsir::KernelSummary;
 use s2fa_hlssim::{Estimate, Estimator};
 use s2fa_merlin::DesignConfig;
+use s2fa_trace::{Event, NullSink, TechniqueStats, TechniqueTable, TraceSink};
 use s2fa_tuner::{
     Measurement, NoImprovement, StopReason, StoppingCriterion, ThreadedObjective, TimeLimitOnly,
-    TuningOptions, TuningOutcome, TuningRun,
+    TraceEvent, TuningOptions, TuningOutcome, TuningRun,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Which early-stopping criterion a DSE run uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -146,6 +157,10 @@ pub struct PartitionRun {
     pub elapsed_minutes: f64,
     /// Evaluations spent.
     pub evaluations: u64,
+    /// Evaluations in flight when the partition's budget ran out —
+    /// harvested into the results but clamped to the deadline (the
+    /// tuner's deadline-kill semantics, see `TuningRun::run`).
+    pub killed_evals: u64,
     /// Best objective found in the partition (ms; `+inf` if none).
     pub best_value: f64,
     /// Why the partition's run ended.
@@ -168,6 +183,13 @@ pub struct DseOutcome {
     pub partitions: usize,
     /// Per-partition details.
     pub per_partition: Vec<PartitionRun>,
+    /// Per-technique counters aggregated across every partition's
+    /// truncated trajectory (sorted by technique name; seeds appear as
+    /// `"seed"`).
+    pub techniques: Vec<TechniqueStats>,
+    /// Total evaluations that were in flight at a partition deadline
+    /// (sum of `PartitionRun::killed_evals`).
+    pub killed_evals: u64,
     /// Estimate-cache counters for the whole run (all zeros when
     /// `DseOptions::caching` is off). Hits measure how many virtual HLS
     /// runs the memo table absorbed across the probe pass, seeds, and
@@ -209,25 +231,36 @@ fn make_stopper(kind: StoppingKind, n_params: usize) -> Box<dyn StoppingCriterio
 /// A partition trajectory cut down to the budget its virtual worker had
 /// left. Because a [`TuningRun`] reads its budget only as a stopping
 /// condition, the prefix of a full-budget trajectory *is* the trajectory
-/// of a shorter-budget run — iteration for iteration.
+/// of a shorter-budget run — iteration for iteration, with exactly the
+/// tuner's deadline-kill semantics at the cut (the
+/// `truncation_equals_live_run_at_shorter_budget` property test pins the
+/// equivalence down event for event).
 struct Truncated {
     elapsed_minutes: f64,
     evaluations: u64,
-    /// `(minute, value)` of every evaluation in the prefix, minutes
-    /// clamped to the budget (in-flight evaluations are killed at the
-    /// deadline but still counted, as in the live run).
-    events: Vec<(f64, f64)>,
+    /// Evaluations of the final included batch whose completion overran
+    /// the budget — harvested but clamped, as in the live run.
+    killed_evals: u64,
+    /// Every trace event of the prefix, minutes clamped to the budget.
+    events: Vec<TraceEvent>,
+    /// Per-technique counters over the prefix.
+    techniques: Vec<TechniqueStats>,
     best_value: f64,
     reason: StopReason,
 }
 
-fn truncate_to_budget(out: &TuningOutcome, budget: f64) -> Truncated {
+/// `full_budget` is the budget `out` was produced under; it disambiguates
+/// the one case the clamped trace cannot answer alone (truncating at the
+/// full budget itself, where the overrunning batch's raw minutes were
+/// already clamped by the live run).
+fn truncate_to_budget(out: &TuningOutcome, budget: f64, full_budget: f64) -> Truncated {
     let trace = &out.trace;
     let mut clock = 0.0f64;
     let mut included = 0usize;
     // Replay whole iterations while the clock is under budget — the live
-    // run's loop condition. The last event of an iteration carries the
-    // clock after the batch (the running max of the batch's minutes).
+    // run's loop condition. Every event of an iteration carries the same
+    // batch-completion minute (the BatchClock stamp), so any member — we
+    // read the last — gives the clock after the batch.
     while included < trace.len() && clock < budget {
         let iter = trace[included].iteration;
         let mut end = included;
@@ -237,13 +270,31 @@ fn truncate_to_budget(out: &TuningOutcome, budget: f64) -> Truncated {
         clock = trace[end - 1].minute;
         included = end;
     }
-    let events: Vec<(f64, f64)> = trace[..included]
+    let killed_evals = if included == trace.len() && budget >= full_budget {
+        // Identity truncation: the live run's own kill count applies
+        // (its overrunning minutes were clamped to `full_budget`, so
+        // counting `> budget` here would miss them).
+        out.killed_evals
+    } else {
+        trace[..included]
+            .iter()
+            .filter(|e| e.minute > budget)
+            .count() as u64
+    };
+    let mut techniques = TechniqueTable::new();
+    let events: Vec<TraceEvent> = trace[..included]
         .iter()
-        .map(|e| (e.minute.min(budget), e.value))
+        .map(|e| {
+            techniques.record(&e.technique, e.value, e.improved);
+            TraceEvent {
+                minute: e.minute.min(budget),
+                ..e.clone()
+            }
+        })
         .collect();
     let best_value = events
         .iter()
-        .map(|&(_, v)| v)
+        .map(|e| e.value)
         .filter(|v| v.is_finite())
         .fold(f64::INFINITY, f64::min);
     let reason = if included < trace.len() || clock >= budget {
@@ -254,7 +305,9 @@ fn truncate_to_budget(out: &TuningOutcome, budget: f64) -> Truncated {
     Truncated {
         elapsed_minutes: clock.min(budget),
         evaluations: included as u64,
+        killed_evals,
         events,
+        techniques: techniques.into_rows(),
         best_value,
         reason,
     }
@@ -269,10 +322,29 @@ fn truncate_to_budget(out: &TuningOutcome, budget: f64) -> Truncated {
 /// contains, and the FCFS schedule over virtual workers is simulated at
 /// merge time from per-partition virtual durations.
 pub fn run_dse(summary: &KernelSummary, estimator: &Estimator, opts: &DseOptions) -> DseOutcome {
+    run_dse_traced(summary, estimator, opts, Arc::new(NullSink))
+}
+
+/// [`run_dse`] with a structured-event sink attached (flight recording).
+///
+/// The sink observes two time domains: evaluation/partition/run events
+/// are re-emitted at merge time from the *virtual* FCFS schedule, in
+/// partition index order with globalized minutes — deterministic given
+/// `opts.rng_seed` — while cache hit/miss events stream host-side from
+/// the shared engine as real threads touch the memo table (their
+/// interleaving is OS-dependent). Emission never influences the outcome:
+/// `run_dse` is this function with a [`NullSink`].
+pub fn run_dse_traced(
+    summary: &KernelSummary,
+    estimator: &Estimator,
+    opts: &DseOptions,
+    sink: Arc<dyn TraceSink>,
+) -> DseOutcome {
     let ds = DesignSpace::build(summary);
     let engine = {
         let mut e = EvalEngine::new(summary, estimator);
         e.set_caching(opts.caching);
+        e.set_sink(Some(sink.clone()));
         e
     };
     let measure = |cfg: &s2fa_tuner::Config| -> Measurement {
@@ -326,6 +398,11 @@ pub fn run_dse(summary: &KernelSummary, estimator: &Estimator, opts: &DseOptions
             }
         })
         .collect();
+    sink.emit(&Event::RunStart {
+        kernel: summary.name.clone(),
+        budget_minutes: opts.budget_minutes,
+        partitions: jobs.len() as u64,
+    });
 
     // 3. Explore every partition at full budget on a work-stealing pool:
     // threads pull the next unstarted partition first-come-first-served.
@@ -397,7 +474,9 @@ pub fn run_dse(summary: &KernelSummary, estimator: &Estimator, opts: &DseOptions
     let mut worker_clock = vec![0.0f64; n_workers];
     let mut per_partition = Vec::new();
     let mut all_events: Vec<(f64, f64)> = Vec::new();
+    let mut techniques = TechniqueTable::new();
     let mut total_evals = 0u64;
+    let mut killed_evals = 0u64;
     let mut makespan = 0.0f64;
     // (value, job, eval index) of the global best — strict `<` keeps the
     // earliest minimum, matching the tuner's incumbent rule.
@@ -416,15 +495,40 @@ pub fn run_dse(summary: &KernelSummary, estimator: &Estimator, opts: &DseOptions
             // partition (and all later ones) never started.
             continue;
         }
-        let t = truncate_to_budget(outcome, budget);
+        let t = truncate_to_budget(outcome, budget, opts.budget_minutes);
         worker_clock[w] = start + t.elapsed_minutes;
         makespan = makespan.max(worker_clock[w]);
         total_evals += t.evaluations;
-        for &(minute, value) in &t.events {
-            if value.is_finite() {
-                all_events.push((start + minute, value));
+        killed_evals += t.killed_evals;
+        techniques.merge(&t.techniques);
+        sink.emit(&Event::PartitionStart {
+            partition: job.index as u64,
+            worker: w as u64,
+            minute: start,
+        });
+        for e in &t.events {
+            sink.emit(&Event::Eval {
+                minute: start + e.minute,
+                partition: Some(job.index as u64),
+                iteration: e.iteration,
+                technique: e.technique.clone(),
+                value: e.value,
+                best_value: e.best_value,
+                improved: e.improved,
+            });
+            if e.value.is_finite() {
+                all_events.push((start + e.minute, e.value));
             }
         }
+        sink.emit(&Event::PartitionStop {
+            partition: job.index as u64,
+            worker: w as u64,
+            minute: start + t.elapsed_minutes,
+            evaluations: t.evaluations,
+            killed_evals: t.killed_evals,
+            best_value: t.best_value,
+            reason: format!("{:?}", t.reason),
+        });
         for (k, e) in outcome.history.evaluations()[..t.evaluations as usize]
             .iter()
             .enumerate()
@@ -444,6 +548,7 @@ pub fn run_dse(summary: &KernelSummary, estimator: &Estimator, opts: &DseOptions
             start_minute: start,
             elapsed_minutes: t.elapsed_minutes,
             evaluations: t.evaluations,
+            killed_evals: t.killed_evals,
             best_value: t.best_value,
             reason: t.reason,
         });
@@ -458,6 +563,12 @@ pub fn run_dse(summary: &KernelSummary, estimator: &Estimator, opts: &DseOptions
             convergence.push((m, running));
         }
     }
+
+    sink.emit(&Event::RunStop {
+        minute: makespan,
+        evaluations: total_evals,
+        reason: "merged".to_string(),
+    });
 
     // Snapshot the counters before re-deriving the winning estimate so the
     // stats describe the search itself.
@@ -476,6 +587,8 @@ pub fn run_dse(summary: &KernelSummary, estimator: &Estimator, opts: &DseOptions
         total_evaluations: total_evals,
         partitions: jobs.len(),
         per_partition,
+        techniques: techniques.into_rows(),
+        killed_evals,
         cache,
     }
 }
@@ -657,15 +770,19 @@ mod tests {
         Vec<(f64, f64)>,
         f64,
         u64,
+        u64,
         usize,
-        Vec<(usize, usize, f64, f64, u64, f64, String)>,
+        Vec<TechniqueStats>,
+        Vec<(usize, usize, f64, f64, u64, u64, f64, String)>,
     ) {
         (
             out.best.clone(),
             out.convergence.clone(),
             out.elapsed_minutes,
             out.total_evaluations,
+            out.killed_evals,
             out.partitions,
+            out.techniques.clone(),
             out.per_partition
                 .iter()
                 .map(|p| {
@@ -675,6 +792,7 @@ mod tests {
                         p.start_minute,
                         p.elapsed_minutes,
                         p.evaluations,
+                        p.killed_evals,
                         p.best_value,
                         format!("{:?}", p.reason),
                     )
@@ -741,11 +859,138 @@ mod tests {
             total_evaluations: 2,
             partitions: 1,
             per_partition: vec![],
+            techniques: vec![],
+            killed_evals: 0,
             cache: CacheStats::default(),
         };
         assert!(out.best_at_minute(5.0).is_infinite());
         assert_eq!(out.best_at_minute(10.0), 100.0);
         assert_eq!(out.best_at_minute(30.0), 100.0);
         assert_eq!(out.best_at_minute(55.0), 40.0);
+    }
+
+    /// The merge-layer contract: the truncated prefix of a full-budget
+    /// trajectory is *the* trajectory of a live run under the shorter
+    /// budget — event for event, counter for counter, including the
+    /// deadline-kill bookkeeping at the cut.
+    #[test]
+    fn truncation_equals_live_run_at_shorter_budget() {
+        use s2fa_tuner::{Config, ParamDef, ParamKind, SearchSpace};
+        let space = || {
+            SearchSpace::new(vec![
+                ParamDef::new("a", ParamKind::IntRange { lo: 0, hi: 63 }),
+                ParamDef::new("b", ParamKind::IntRange { lo: 0, hi: 63 }),
+            ])
+        };
+        // Jagged per-config minutes: batches straddle budgets unevenly,
+        // which is exactly where prefix-max stamping used to lie.
+        let objective = |c: &Config| {
+            let v = (c[0] as f64 - 40.0).powi(2) + (c[1] as f64 - 9.0).powi(2) + 1.0;
+            Measurement::new(v, 2.0 + (c[0] % 7) as f64)
+        };
+        let full_budget = 300.0;
+        for rng_seed in [11u64, 99, 2018] {
+            let mk = |budget: f64| {
+                let mut obj = objective;
+                TuningRun::new(
+                    space(),
+                    TuningOptions {
+                        budget_minutes: budget,
+                        parallel_evals: 4,
+                        seeds: vec![vec![40, 9], vec![0, 0]],
+                        rng_seed,
+                        max_evaluations: 1_000_000,
+                    },
+                )
+                .run(&mut obj, &mut NoImprovement::new(40))
+            };
+            let full = mk(full_budget);
+            for budget in [5.0, 17.0, 42.0, 61.5, 120.0, 213.0, full_budget] {
+                let live = mk(budget);
+                let t = truncate_to_budget(&full, budget, full_budget);
+                assert_eq!(
+                    t.events, live.trace,
+                    "trace diverged at seed {rng_seed} budget {budget}"
+                );
+                assert_eq!(t.evaluations, live.evaluations);
+                assert_eq!(t.killed_evals, live.killed_evals);
+                assert_eq!(t.elapsed_minutes, live.elapsed_minutes);
+                assert_eq!(t.reason, live.reason);
+                assert_eq!(t.best_value, live.best_value());
+                assert_eq!(t.techniques, live.technique_stats);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_run_streams_the_virtual_schedule() {
+        let s = summary();
+        let est = Estimator::new();
+        let mut opts = DseOptions::s2fa();
+        opts.budget_minutes = 60.0;
+        let ring = Arc::new(s2fa_trace::RingSink::new(1 << 20));
+        let out = run_dse_traced(&s, &est, &opts, ring.clone());
+        // emission is observational: the traced outcome matches run_dse
+        let plain = run_dse(&s, &est, &opts);
+        assert_eq!(outcome_key(&out), outcome_key(&plain));
+        let evs = ring.events();
+        let count = |k: &str| evs.iter().filter(|e| e.kind() == k).count() as u64;
+        assert_eq!(count("run_start"), 1);
+        assert_eq!(count("run_stop"), 1);
+        assert_eq!(count("partition_start"), out.per_partition.len() as u64);
+        assert_eq!(count("partition_stop"), out.per_partition.len() as u64);
+        assert_eq!(count("eval"), out.total_evaluations);
+        assert!(count("cache_hit") > 0, "shared cache should see hits");
+        assert!(count("cache_miss") > 0);
+        // each partition's eval minutes are monotone non-decreasing on
+        // the virtual timeline
+        for p in &out.per_partition {
+            let minutes: Vec<f64> = evs
+                .iter()
+                .filter_map(|e| match e {
+                    Event::Eval {
+                        minute,
+                        partition: Some(pi),
+                        ..
+                    } if *pi == p.index as u64 => Some(*minute),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(minutes.len() as u64, p.evaluations);
+            for w in minutes.windows(2) {
+                assert!(w[1] >= w[0], "partition {} went backwards", p.index);
+            }
+        }
+    }
+
+    #[test]
+    fn technique_counters_account_for_every_evaluation() {
+        let s = summary();
+        let est = Estimator::new();
+        let mut opts = DseOptions::s2fa();
+        opts.budget_minutes = 120.0;
+        let out = run_dse(&s, &est, &opts);
+        let sum: u64 = out.techniques.iter().map(|t| t.evals).sum();
+        assert_eq!(sum, out.total_evaluations);
+        assert!(out.techniques.iter().any(|t| t.technique == "seed"));
+        let killed: u64 = out.per_partition.iter().map(|p| p.killed_evals).sum();
+        assert_eq!(killed, out.killed_evals);
+        // rows arrive sorted regardless of partition exploration order
+        for w in out.techniques.windows(2) {
+            assert!(w[0].technique < w[1].technique);
+        }
+        // the best objective seen by any technique is the best of any
+        // partition (both live in objective-value space)
+        let tech_best = out
+            .techniques
+            .iter()
+            .map(|t| t.best_value)
+            .fold(f64::INFINITY, f64::min);
+        let part_best = out
+            .per_partition
+            .iter()
+            .map(|p| p.best_value)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(tech_best, part_best);
     }
 }

@@ -30,7 +30,9 @@ pub mod entropy;
 pub mod partition;
 pub mod space;
 
-pub use driver::{run_dse, vanilla_options, DseOptions, DseOutcome, PartitionRun, StoppingKind};
+pub use driver::{
+    run_dse, run_dse_traced, vanilla_options, DseOptions, DseOutcome, PartitionRun, StoppingKind,
+};
 pub use entropy::EntropyStop;
 pub use partition::{DecisionTree, Partitioner};
 pub use s2fa_engine::{CacheStats, EvalEngine};

@@ -20,8 +20,13 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
-    /// Entries written (at most one per distinct key, barring races).
+    /// First-writes: insertions that created a new entry. Counted via the
+    /// entry API, so `inserts == entries` holds even under racing workers
+    /// (an invariant the tests pin down).
     pub inserts: u64,
+    /// Insertions that replaced an existing entry — benign races where
+    /// two workers priced the same canonical point concurrently.
+    pub overwrites: u64,
     /// Distinct entries currently stored.
     pub entries: u64,
 }
@@ -45,6 +50,7 @@ pub struct EstimateCache {
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
+    overwrites: AtomicU64,
 }
 
 impl EstimateCache {
@@ -69,11 +75,29 @@ impl EstimateCache {
         found
     }
 
-    /// Stores an estimate. Racing inserts of the same key are benign: all
-    /// writers computed the same value from the same canonical point.
-    pub fn insert(&self, key: u128, estimate: Estimate) {
-        self.shard(key).lock().insert(key, estimate);
-        self.inserts.fetch_add(1, Ordering::Relaxed);
+    /// Stores an estimate; returns `true` if the key was new. Racing
+    /// inserts of the same key are benign — all writers computed the same
+    /// value from the same canonical point — but only the first writer is
+    /// counted as an insert (the loser counts as an overwrite), so
+    /// `inserts` can never exceed `entries` and derived numbers (e.g. the
+    /// CLI's distinct-points line) don't drift under concurrency.
+    pub fn insert(&self, key: u128, estimate: Estimate) -> bool {
+        use std::collections::hash_map::Entry;
+        let mut shard = self.shard(key).lock();
+        match shard.entry(key) {
+            Entry::Vacant(v) => {
+                v.insert(estimate);
+                drop(shard);
+                self.inserts.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Entry::Occupied(mut o) => {
+                o.insert(estimate);
+                drop(shard);
+                self.overwrites.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
     }
 
     /// Number of distinct entries stored.
@@ -92,6 +116,7 @@ impl EstimateCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
+            overwrites: self.overwrites.load(Ordering::Relaxed),
             entries: self.len() as u64,
         }
     }
@@ -121,13 +146,48 @@ mod tests {
     fn get_insert_and_counters() {
         let c = EstimateCache::new();
         assert!(c.get(7).is_none());
-        c.insert(7, estimate(1));
+        assert!(c.insert(7, estimate(1)));
         assert_eq!(c.get(7).unwrap().compute_cycles, 1);
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.inserts, s.entries), (1, 1, 1, 1));
+        assert_eq!(s.overwrites, 0);
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(c.len(), 1);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn repeated_insert_counts_as_overwrite_not_insert() {
+        let c = EstimateCache::new();
+        assert!(c.insert(7, estimate(1)));
+        assert!(!c.insert(7, estimate(1)));
+        assert!(!c.insert(7, estimate(1)));
+        let s = c.stats();
+        assert_eq!(s.inserts, 1, "only the first write creates the entry");
+        assert_eq!(s.overwrites, 2);
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn inserts_equal_entries_even_under_racing_writers() {
+        // 8 workers all blindly insert the same 32 keys: first-writes must
+        // equal distinct entries, with every other write an overwrite —
+        // the counter invariant that keeps derived stats honest.
+        let c = EstimateCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = &c;
+                scope.spawn(move || {
+                    for i in 0..96u64 {
+                        c.insert((i % 32) as u128, estimate(i % 32));
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert_eq!(s.entries, 32);
+        assert_eq!(s.inserts, s.entries, "inserts drifted from entries");
+        assert_eq!(s.inserts + s.overwrites, 8 * 96);
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub use fingerprint::fingerprint;
 use s2fa_hlsir::KernelSummary;
 use s2fa_hlssim::{Estimate, Estimator, KernelInvariants};
 use s2fa_merlin::DesignConfig;
+use s2fa_trace::{Event, TraceSink};
+use std::sync::Arc;
 
 /// A memoizing, invariant-hoisting front-end to the HLS estimator for one
 /// kernel.
@@ -48,6 +50,7 @@ pub struct EvalEngine {
     invariants: KernelInvariants,
     cache: EstimateCache,
     caching: bool,
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl EvalEngine {
@@ -59,7 +62,16 @@ impl EvalEngine {
             estimator: estimator.clone(),
             cache: EstimateCache::default(),
             caching: true,
+            sink: None,
         }
+    }
+
+    /// Attaches a structured-event sink; the engine reports memo-table
+    /// hits and misses through it ([`Event::CacheHit`] /
+    /// [`Event::CacheMiss`]). Cache events are host-side — they carry no
+    /// virtual minute and never influence an estimate.
+    pub fn set_sink(&mut self, sink: Option<Arc<dyn TraceSink>>) {
+        self.sink = sink;
     }
 
     /// Enables or disables memoization (estimates are identical either
@@ -99,7 +111,13 @@ impl EvalEngine {
         }
         let key = fingerprint(&cfg);
         if let Some(hit) = self.cache.get(key) {
+            if let Some(sink) = &self.sink {
+                sink.emit(&Event::CacheHit);
+            }
             return hit;
+        }
+        if let Some(sink) = &self.sink {
+            sink.emit(&Event::CacheMiss);
         }
         let est = self
             .estimator

@@ -1,0 +1,312 @@
+//! Typed pipeline events and their single-line JSON form.
+
+use std::fmt::Write as _;
+
+/// One structured observability event.
+///
+/// Events with a `minute` are stamped on the *virtual* clock (see the
+/// crate docs); cache events are host-side and carry no minute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A DSE/tuning run began.
+    RunStart {
+        /// Kernel under exploration.
+        kernel: String,
+        /// Virtual budget in minutes.
+        budget_minutes: f64,
+        /// Number of partitions the space was split into.
+        partitions: u64,
+    },
+    /// One design-point evaluation finished.
+    Eval {
+        /// Batch-completion minute (all evaluations of one batch share it).
+        minute: f64,
+        /// Partition index, if the run was partitioned.
+        partition: Option<u64>,
+        /// Iteration (batch) index within the run.
+        iteration: u64,
+        /// Technique that proposed the point (`"seed"` for seeds).
+        technique: String,
+        /// Objective value.
+        value: f64,
+        /// Incumbent best after this evaluation.
+        best_value: f64,
+        /// Whether this evaluation improved the incumbent.
+        improved: bool,
+    },
+    /// The estimate memo table served a lookup.
+    CacheHit,
+    /// The estimate memo table missed and the estimator ran.
+    CacheMiss,
+    /// The bandit selected a technique to propose the next candidate.
+    TechniquePull {
+        /// Technique name.
+        technique: String,
+        /// Iteration the pull happened in.
+        iteration: u64,
+    },
+    /// A technique's proposal was measured and credited to the bandit.
+    TechniqueReward {
+        /// Technique name.
+        technique: String,
+        /// Whether the proposal improved the incumbent.
+        improved: bool,
+    },
+    /// A partition started exploring on a virtual worker.
+    PartitionStart {
+        /// Partition index.
+        partition: u64,
+        /// Virtual worker core.
+        worker: u64,
+        /// Virtual minute the partition started.
+        minute: f64,
+    },
+    /// A partition finished exploring.
+    PartitionStop {
+        /// Partition index.
+        partition: u64,
+        /// Virtual worker core.
+        worker: u64,
+        /// Virtual minute the partition stopped.
+        minute: f64,
+        /// Evaluations charged to the partition.
+        evaluations: u64,
+        /// Evaluations in flight at the deadline (recorded but killed).
+        killed_evals: u64,
+        /// Best objective found (ms).
+        best_value: f64,
+        /// Why the partition's run ended.
+        reason: String,
+    },
+    /// The whole run ended.
+    RunStop {
+        /// Virtual minute the run ended (the makespan for a DSE).
+        minute: f64,
+        /// Total evaluations.
+        evaluations: u64,
+        /// Stop reason (a tuning run's `StopReason`, or `"merged"` for a
+        /// DSE outcome assembled from per-partition runs).
+        reason: String,
+    },
+}
+
+impl Event {
+    /// Short machine tag of the variant (the JSON `type` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run_start",
+            Event::Eval { .. } => "eval",
+            Event::CacheHit => "cache_hit",
+            Event::CacheMiss => "cache_miss",
+            Event::TechniquePull { .. } => "technique_pull",
+            Event::TechniqueReward { .. } => "technique_reward",
+            Event::PartitionStart { .. } => "partition_start",
+            Event::PartitionStop { .. } => "partition_stop",
+            Event::RunStop { .. } => "run_stop",
+        }
+    }
+
+    /// Serializes the event as one line of JSON (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push('{');
+        push_str_field(&mut s, "type", self.kind());
+        match self {
+            Event::RunStart {
+                kernel,
+                budget_minutes,
+                partitions,
+            } => {
+                push_str_field(&mut s, "kernel", kernel);
+                push_num_field(&mut s, "budget_minutes", *budget_minutes);
+                push_int_field(&mut s, "partitions", *partitions);
+            }
+            Event::Eval {
+                minute,
+                partition,
+                iteration,
+                technique,
+                value,
+                best_value,
+                improved,
+            } => {
+                push_num_field(&mut s, "minute", *minute);
+                if let Some(p) = partition {
+                    push_int_field(&mut s, "partition", *p);
+                }
+                push_int_field(&mut s, "iteration", *iteration);
+                push_str_field(&mut s, "technique", technique);
+                push_num_field(&mut s, "value", *value);
+                push_num_field(&mut s, "best_value", *best_value);
+                push_bool_field(&mut s, "improved", *improved);
+            }
+            Event::CacheHit | Event::CacheMiss => {}
+            Event::TechniquePull {
+                technique,
+                iteration,
+            } => {
+                push_str_field(&mut s, "technique", technique);
+                push_int_field(&mut s, "iteration", *iteration);
+            }
+            Event::TechniqueReward {
+                technique,
+                improved,
+            } => {
+                push_str_field(&mut s, "technique", technique);
+                push_bool_field(&mut s, "improved", *improved);
+            }
+            Event::PartitionStart {
+                partition,
+                worker,
+                minute,
+            } => {
+                push_int_field(&mut s, "partition", *partition);
+                push_int_field(&mut s, "worker", *worker);
+                push_num_field(&mut s, "minute", *minute);
+            }
+            Event::PartitionStop {
+                partition,
+                worker,
+                minute,
+                evaluations,
+                killed_evals,
+                best_value,
+                reason,
+            } => {
+                push_int_field(&mut s, "partition", *partition);
+                push_int_field(&mut s, "worker", *worker);
+                push_num_field(&mut s, "minute", *minute);
+                push_int_field(&mut s, "evaluations", *evaluations);
+                push_int_field(&mut s, "killed_evals", *killed_evals);
+                push_num_field(&mut s, "best_value", *best_value);
+                push_str_field(&mut s, "reason", reason);
+            }
+            Event::RunStop {
+                minute,
+                evaluations,
+                reason,
+            } => {
+                push_num_field(&mut s, "minute", *minute);
+                push_int_field(&mut s, "evaluations", *evaluations);
+                push_str_field(&mut s, "reason", reason);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn push_key(s: &mut String, key: &str) {
+    if !s.ends_with('{') {
+        s.push(',');
+    }
+    let _ = write!(s, "\"{key}\":");
+}
+
+fn push_str_field(s: &mut String, key: &str, value: &str) {
+    push_key(s, key);
+    s.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// Numbers must be valid JSON: non-finite values (infeasible objectives
+/// are `+inf`) map to `null`.
+fn push_num_field(s: &mut String, key: &str, value: f64) {
+    push_key(s, key);
+    if value.is_finite() {
+        let _ = write!(s, "{value}");
+    } else {
+        s.push_str("null");
+    }
+}
+
+fn push_int_field(s: &mut String, key: &str, value: u64) {
+    push_key(s, key);
+    let _ = write!(s, "{value}");
+}
+
+fn push_bool_field(s: &mut String, key: &str, value: bool) {
+    push_key(s, key);
+    let _ = write!(s, "{value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_serializes_all_fields() {
+        let e = Event::Eval {
+            minute: 12.5,
+            partition: Some(3),
+            iteration: 7,
+            technique: "greedy".into(),
+            value: 4.25,
+            best_value: 4.25,
+            improved: true,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"eval\",\"minute\":12.5,\"partition\":3,\"iteration\":7,\
+             \"technique\":\"greedy\",\"value\":4.25,\"best_value\":4.25,\"improved\":true}"
+        );
+    }
+
+    #[test]
+    fn eval_without_partition_omits_the_field() {
+        let e = Event::Eval {
+            minute: 1.0,
+            partition: None,
+            iteration: 0,
+            technique: "seed".into(),
+            value: 1.0,
+            best_value: 1.0,
+            improved: true,
+        };
+        assert!(!e.to_json().contains("partition"));
+    }
+
+    #[test]
+    fn infinite_values_become_null() {
+        let e = Event::Eval {
+            minute: 1.0,
+            partition: None,
+            iteration: 0,
+            technique: "seed".into(),
+            value: f64::INFINITY,
+            best_value: f64::INFINITY,
+            improved: false,
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"value\":null"));
+        assert!(j.contains("\"best_value\":null"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = Event::RunStop {
+            minute: 0.0,
+            evaluations: 0,
+            reason: "a\"b\\c\nd".into(),
+        };
+        assert!(e.to_json().contains(r#""reason":"a\"b\\c\nd""#));
+    }
+
+    #[test]
+    fn cache_events_are_bare() {
+        assert_eq!(Event::CacheHit.to_json(), "{\"type\":\"cache_hit\"}");
+        assert_eq!(Event::CacheMiss.to_json(), "{\"type\":\"cache_miss\"}");
+    }
+}

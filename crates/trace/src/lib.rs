@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # s2fa-trace — virtual-clock accounting and structured observability
+//!
+//! Every time-series claim this reproduction makes (Fig. 3 is *normalized
+//! cycles vs wall-clock minutes*) rests on the minute stamped on a trace
+//! event, so clock arithmetic must live in exactly one audited place. This
+//! crate is that place, plus the structured-event layer the rest of the
+//! pipeline reports through:
+//!
+//! * [`BatchClock`] — the virtual clock of a batched tuning run. A batch
+//!   of `k` parallel evaluations advances the clock by its *slowest*
+//!   member (footnote 3 of the paper), and **every** event of the batch is
+//!   stamped with the batch-completion minute. This replaces the old
+//!   per-event running prefix-max in `TuningRun::run`, which stamped
+//!   events inside one batch with inconsistent, proposal-order-dependent
+//!   minutes.
+//! * [`Event`] — typed pipeline events: evaluations, cache hits/misses,
+//!   technique pulls/rewards, partition start/stop, and run stop reasons.
+//!   Events serialize to single-line JSON for flight recording.
+//! * [`TraceSink`] — the pluggable emission channel: [`NullSink`] (drop
+//!   everything), [`RingSink`] (bounded in-memory ring, for tests and
+//!   post-hoc inspection), and [`JsonlSink`] (a JSONL flight recorder,
+//!   driven by `s2fa_cli --trace out.jsonl`).
+//! * [`TechniqueTable`] / [`TechniqueStats`] — per-technique counters
+//!   (evaluations, improvements) aggregated from the event stream onto
+//!   `TuningOutcome` and `DseOutcome`.
+//!
+//! ## Two time domains
+//!
+//! Events carrying a `minute` live on the *virtual* clock — the simulated
+//! HLS wall-clock of the paper's experiments, fully deterministic given
+//! the RNG seed. Cache events have no minute: they are *host-side* events
+//! recording real memo-table activity, and their interleaving under a
+//! multi-threaded run is OS-dependent (each event is self-describing, so
+//! the flight record stays analyzable).
+
+pub mod agg;
+pub mod clock;
+pub mod event;
+pub mod sink;
+
+pub use agg::{TechniqueStats, TechniqueTable};
+pub use clock::BatchClock;
+pub use event::Event;
+pub use sink::{JsonlSink, NullSink, RingSink, TraceSink};

@@ -7,6 +7,15 @@
 //! iteration and advances the clock by the *slowest* of the batch —
 //! footnote 3's "the OpenTuner ... uses the eight cores to evaluate top-8
 //! candidates at one iteration".
+//!
+//! Clock arithmetic is delegated to [`s2fa_trace::BatchClock`]: a batch
+//! completes as one unit, so every [`TraceEvent`] of a batch carries the
+//! same batch-completion minute. (Events used to be stamped with a running
+//! prefix-max of the batch's minutes, which handed out inconsistent,
+//! proposal-order-dependent timestamps inside one batch.) Structured
+//! events — evaluations, technique pulls/rewards, the stop reason — are
+//! additionally emitted through the run's [`TraceSink`]
+//! ([`TuningRun::with_sink`]; the default [`NullSink`] drops them).
 
 use crate::bandit::AucBandit;
 use crate::history::{History, Measurement};
@@ -16,6 +25,8 @@ use crate::stopping::{StopReason, StoppingCriterion};
 use crate::technique::{default_portfolio, SearchTechnique};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use s2fa_trace::{BatchClock, Event, NullSink, TechniqueStats, TechniqueTable, TraceSink};
+use std::sync::Arc;
 
 /// Options controlling one tuning run.
 #[derive(Debug, Clone)]
@@ -49,7 +60,8 @@ impl Default for TuningOptions {
 /// One point on the convergence trace (the Fig. 3 series).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
-    /// Virtual minutes elapsed when the evaluation finished.
+    /// Virtual minutes elapsed when the evaluation's *batch* completed —
+    /// every event of one batch carries the same minute.
     pub minute: f64,
     /// Iteration (batch) index.
     pub iteration: u64,
@@ -74,6 +86,12 @@ pub struct TuningOutcome {
     pub elapsed_minutes: f64,
     /// Total evaluations performed.
     pub evaluations: u64,
+    /// Evaluations of the final batch that were still in flight when the
+    /// budget ran out. Their measurements are *harvested* — recorded into
+    /// the history, counted in `evaluations`, eligible to become `best` —
+    /// but their trace minutes are clamped to the budget. See the
+    /// deadline-kill note in [`TuningRun::run`].
+    pub killed_evals: u64,
     /// Batch slots abandoned because proposal could not find an unseen
     /// configuration (16 mutation retries plus one fresh redraw all landed
     /// on evaluated points). A non-zero count means the search was grinding
@@ -82,6 +100,9 @@ pub struct TuningOutcome {
     pub exhaustion_events: u64,
     /// Why the run ended.
     pub reason: StopReason,
+    /// Per-technique counters (evaluations, improvements, best value),
+    /// sorted by technique name; seeds appear as technique `"seed"`.
+    pub technique_stats: Vec<TechniqueStats>,
     /// The final history (for post-hoc analysis).
     pub history: History,
 }
@@ -106,6 +127,7 @@ pub struct TuningRun {
     space: SearchSpace,
     options: TuningOptions,
     techniques: Vec<Box<dyn SearchTechnique + Send>>,
+    sink: Arc<dyn TraceSink>,
 }
 
 impl TuningRun {
@@ -115,6 +137,7 @@ impl TuningRun {
             space,
             options,
             techniques: default_portfolio(),
+            sink: Arc::new(NullSink),
         }
     }
 
@@ -122,6 +145,13 @@ impl TuningRun {
     pub fn with_techniques(mut self, techniques: Vec<Box<dyn SearchTechnique + Send>>) -> Self {
         assert!(!techniques.is_empty(), "at least one technique required");
         self.techniques = techniques;
+        self
+    }
+
+    /// Attaches a structured-event sink. Emission is observational only:
+    /// the run's decisions and outcome are identical for any sink.
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = sink;
         self
     }
 
@@ -135,6 +165,19 @@ impl TuningRun {
     /// only on the *order* of batch results, which every `Objective` must
     /// preserve — outcomes are byte-identical across serial and threaded
     /// objectives.
+    ///
+    /// ## Deadline-kill semantics
+    ///
+    /// The final batch may straddle the budget: its evaluations were in
+    /// flight when the deadline hit. Their measurements are still
+    /// harvested — the HLS results existed by the time the driver noticed
+    /// the clock, so they are recorded into the history, counted in
+    /// `evaluations`, and may become `best` — but the clock and every
+    /// trace minute are clamped to the budget, and
+    /// [`TuningOutcome::killed_evals`] reports how many evaluations
+    /// overran it. `truncate_to_budget` in `s2fa-dse` mirrors exactly
+    /// these semantics when it replays a trajectory under a shorter
+    /// budget.
     pub fn run(
         mut self,
         objective: &mut dyn Objective,
@@ -144,27 +187,30 @@ impl TuningRun {
         let mut bandit = AucBandit::new(self.techniques.len());
         let mut history = History::new();
         let mut trace = Vec::new();
-        let mut clock = 0.0f64;
+        let mut techniques_seen = TechniqueTable::new();
+        let mut clock = BatchClock::new(self.options.budget_minutes);
         let mut evals = 0u64;
         let mut iteration = 0u64;
         let mut exhaustion_events = 0u64;
         let mut reason = StopReason::TimeLimit;
 
-        // Seed evaluations: one batch, clock advances by the slowest.
+        // Seed evaluations: one batch — the clock advances by the slowest
+        // member and every seed event carries the batch-completion minute.
         if !self.options.seeds.is_empty() {
-            let mut batch_minutes = 0.0f64;
             let mut seeds = std::mem::take(&mut self.options.seeds);
             for seed in seeds.iter_mut() {
                 self.space.clamp(seed);
             }
             let measurements = objective.measure_batch(&seeds);
+            let minute = clock.complete_batch(measurements.iter().map(|m| m.minutes));
             for (seed, m) in seeds.into_iter().zip(measurements) {
-                batch_minutes = batch_minutes.max(m.minutes);
                 evals += 1;
                 let improved = history.record(seed, m, vec![]);
-                clock_trace(
+                record_eval(
+                    self.sink.as_ref(),
                     &mut trace,
-                    clock + batch_minutes,
+                    &mut techniques_seen,
+                    minute,
                     iteration,
                     "seed",
                     m,
@@ -172,11 +218,10 @@ impl TuningRun {
                     improved,
                 );
             }
-            clock += batch_minutes;
             iteration += 1;
         }
 
-        'outer: while clock < self.options.budget_minutes && evals < self.options.max_evaluations {
+        'outer: while clock.within_budget() && evals < self.options.max_evaluations {
             if stop.should_stop(&history) {
                 reason = StopReason::Converged;
                 break;
@@ -192,6 +237,10 @@ impl TuningRun {
                     break;
                 }
                 let arm = bandit.select();
+                self.sink.emit(&Event::TechniquePull {
+                    technique: self.techniques[arm].name().to_string(),
+                    iteration,
+                });
                 let mut cfg = self.techniques[arm].propose(&self.space, &history, &mut rng);
                 // Dedupe against history and the in-flight batch: don't
                 // waste an HLS run on a repeat.
@@ -225,19 +274,26 @@ impl TuningRun {
                 break 'outer;
             }
             // Phase 2: measure the whole batch (possibly on real threads),
-            // and only then feed results back, in proposal order.
+            // and only then feed results back, in proposal order. The
+            // batch completes as one unit: one clock advance, one shared
+            // event minute.
             let configs: Vec<Config> = batch.iter().map(|(_, c, _)| c.clone()).collect();
             let measurements = objective.measure_batch(&configs);
-            let mut batch_minutes = 0.0f64;
+            let minute = clock.complete_batch(measurements.iter().map(|m| m.minutes));
             for ((arm, cfg, mutated), m) in batch.into_iter().zip(measurements) {
-                batch_minutes = batch_minutes.max(m.minutes);
                 evals += 1;
                 self.techniques[arm].feedback(&cfg, &m);
                 let improved = history.record(cfg, m, mutated);
                 bandit.reward(arm, improved);
-                clock_trace(
+                self.sink.emit(&Event::TechniqueReward {
+                    technique: self.techniques[arm].name().to_string(),
+                    improved,
+                });
+                record_eval(
+                    self.sink.as_ref(),
                     &mut trace,
-                    clock + batch_minutes,
+                    &mut techniques_seen,
+                    minute,
                     iteration,
                     self.techniques[arm].name(),
                     m,
@@ -245,28 +301,38 @@ impl TuningRun {
                     improved,
                 );
             }
-            clock += batch_minutes;
             iteration += 1;
         }
 
-        // Evaluations in flight at the deadline are killed: the clock never
-        // reads past the budget (OpenTuner's timeout semantics).
-        if clock > self.options.budget_minutes {
-            clock = self.options.budget_minutes;
-            for e in trace.iter_mut() {
-                if e.minute > clock {
-                    e.minute = clock;
-                }
+        // Deadline kill (see the method docs): count the final batch's
+        // overrunning evaluations, then clamp the clock and their event
+        // minutes to the budget — the clock never reads past it.
+        let killed_evals = trace
+            .iter()
+            .filter(|e| e.minute > self.options.budget_minutes)
+            .count() as u64;
+        let elapsed = clock.clamp_to_budget();
+        for e in trace.iter_mut() {
+            if e.minute > elapsed {
+                e.minute = elapsed;
             }
         }
+
+        self.sink.emit(&Event::RunStop {
+            minute: elapsed,
+            evaluations: evals,
+            reason: format!("{reason:?}"),
+        });
 
         TuningOutcome {
             best: history.best().map(|(c, v)| (c.clone(), v)),
             trace,
-            elapsed_minutes: clock,
+            elapsed_minutes: elapsed,
             evaluations: evals,
+            killed_evals,
             exhaustion_events,
             reason,
+            technique_stats: techniques_seen.into_rows(),
             history,
         }
     }
@@ -287,9 +353,13 @@ fn mutated_params(history: &History, cfg: &Config) -> Vec<usize> {
     }
 }
 
+/// Books one evaluation everywhere it is observable: the convergence
+/// trace, the per-technique counters, and the structured-event sink.
 #[allow(clippy::too_many_arguments)]
-fn clock_trace(
+fn record_eval(
+    sink: &dyn TraceSink,
     trace: &mut Vec<TraceEvent>,
+    techniques: &mut TechniqueTable,
     minute: f64,
     iteration: u64,
     technique: &str,
@@ -297,12 +367,23 @@ fn clock_trace(
     history: &History,
     improved: bool,
 ) {
+    let best_value = history.best().map(|(_, v)| v).unwrap_or(f64::INFINITY);
+    techniques.record(technique, m.value, improved);
+    sink.emit(&Event::Eval {
+        minute,
+        partition: None,
+        iteration,
+        technique: technique.to_string(),
+        value: m.value,
+        best_value,
+        improved,
+    });
     trace.push(TraceEvent {
         minute,
         iteration,
         technique: technique.to_string(),
         value: m.value,
-        best_value: history.best().map(|(_, v)| v).unwrap_or(f64::INFINITY),
+        best_value,
         improved,
     });
 }
@@ -312,6 +393,7 @@ mod tests {
     use super::*;
     use crate::param::{ParamDef, ParamKind};
     use crate::stopping::{NoImprovement, TimeLimitOnly};
+    use s2fa_trace::RingSink;
 
     fn space() -> SearchSpace {
         SearchSpace::new(vec![
@@ -421,6 +503,7 @@ mod tests {
         assert_eq!(a.best_value(), b.best_value());
         assert_eq!(a.evaluations, b.evaluations);
         assert_eq!(a.convergence(), b.convergence());
+        assert_eq!(a.technique_stats, b.technique_stats);
     }
 
     #[test]
@@ -460,5 +543,164 @@ mod tests {
             out.evaluations
         );
         assert_eq!(out.best_value(), 1.0);
+        // the run must report *why* it ended: the whole space was
+        // evaluated dry, well before the time/iteration limits.
+        assert_eq!(out.reason, StopReason::SpaceExhausted);
+        assert!(out.exhaustion_events > 0);
+    }
+
+    // --- trace integrity ------------------------------------------------
+
+    /// Per-eval minutes that differ within a batch: evaluation `i` of a
+    /// batch takes `3 + (i % 5)` minutes, so a prefix-max stamping would
+    /// hand out several distinct minutes inside one iteration.
+    fn jagged_objective() -> impl FnMut(&Config) -> Measurement {
+        let mut i = 0usize;
+        move |c: &Config| {
+            i += 1;
+            let v = (c[0] as f64 - 20.0).powi(2) + (c[1] as f64 - 3.0).powi(2) + 1.0;
+            Measurement::new(v, 3.0 + (i % 5) as f64)
+        }
+    }
+
+    #[test]
+    fn all_events_of_a_batch_share_the_batch_completion_minute() {
+        let run = TuningRun::new(
+            space(),
+            TuningOptions {
+                budget_minutes: 150.0,
+                parallel_evals: 8,
+                seeds: vec![vec![20, 3], vec![0, 0], vec![5, 5]],
+                ..TuningOptions::default()
+            },
+        );
+        let out = run.run(&mut jagged_objective(), &mut TimeLimitOnly);
+        assert!(out.evaluations > 16, "need several batches");
+        let mut by_iter: std::collections::BTreeMap<u64, Vec<f64>> = Default::default();
+        for e in &out.trace {
+            by_iter.entry(e.iteration).or_default().push(e.minute);
+        }
+        for (iter, minutes) in &by_iter {
+            assert!(
+                minutes.iter().all(|&m| m == minutes[0]),
+                "iteration {iter} has spread minutes {minutes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_minutes_are_monotone_non_decreasing() {
+        let run = TuningRun::new(
+            space(),
+            TuningOptions {
+                budget_minutes: 150.0,
+                parallel_evals: 4,
+                seeds: vec![vec![20, 3], vec![0, 0]],
+                ..TuningOptions::default()
+            },
+        );
+        let out = run.run(&mut jagged_objective(), &mut TimeLimitOnly);
+        for w in out.trace.windows(2) {
+            assert!(
+                w[1].minute >= w[0].minute,
+                "minutes went backwards: {} after {}",
+                w[1].minute,
+                w[0].minute
+            );
+        }
+    }
+
+    #[test]
+    fn killed_evals_are_recorded_but_clamped() {
+        // 7-minute evaluations against a 10-minute budget: the second
+        // batch is in flight at the deadline (raw completion minute 14).
+        let run = TuningRun::new(
+            space(),
+            TuningOptions {
+                budget_minutes: 10.0,
+                parallel_evals: 1,
+                ..TuningOptions::default()
+            },
+        );
+        let out = run.run(
+            &mut |c: &Config| Measurement::new(objective(c).value, 7.0),
+            &mut TimeLimitOnly,
+        );
+        assert_eq!(out.evaluations, 2);
+        assert_eq!(out.killed_evals, 1, "second batch overran the deadline");
+        // harvested: the measurement is in the history and may be best
+        assert_eq!(out.history.len(), 2);
+        // but the clock and the event minute never read past the budget
+        assert_eq!(out.elapsed_minutes, 10.0);
+        assert_eq!(out.trace[1].minute, 10.0);
+        // a batch finishing exactly at the budget is not killed
+        let exact = TuningRun::new(
+            space(),
+            TuningOptions {
+                budget_minutes: 10.0,
+                parallel_evals: 1,
+                ..TuningOptions::default()
+            },
+        )
+        .run(
+            &mut |c: &Config| Measurement::new(objective(c).value, 5.0),
+            &mut TimeLimitOnly,
+        );
+        assert_eq!(exact.killed_evals, 0);
+        assert_eq!(exact.evaluations, 2);
+    }
+
+    #[test]
+    fn sink_sees_evals_pulls_rewards_and_stop() {
+        let ring = Arc::new(RingSink::new(4096));
+        let run = TuningRun::new(
+            space(),
+            TuningOptions {
+                budget_minutes: 60.0,
+                seeds: vec![vec![20, 3]],
+                ..TuningOptions::default()
+            },
+        )
+        .with_sink(ring.clone());
+        let out = run.run(&mut objective, &mut TimeLimitOnly);
+        let evs = ring.events();
+        let evals = evs.iter().filter(|e| e.kind() == "eval").count() as u64;
+        assert_eq!(evals, out.evaluations);
+        let pulls = evs.iter().filter(|e| e.kind() == "technique_pull").count() as u64;
+        let rewards = evs
+            .iter()
+            .filter(|e| e.kind() == "technique_reward")
+            .count() as u64;
+        // one pull per proposal slot, one reward per measured proposal;
+        // seeds are neither pulled nor rewarded
+        assert!(pulls >= rewards);
+        assert_eq!(rewards, out.evaluations - 1);
+        assert!(matches!(evs.last(), Some(Event::RunStop { .. })));
+    }
+
+    #[test]
+    fn technique_stats_account_for_every_evaluation() {
+        let run = TuningRun::new(
+            space(),
+            TuningOptions {
+                budget_minutes: 100.0,
+                seeds: vec![vec![20, 3], vec![0, 0]],
+                ..TuningOptions::default()
+            },
+        );
+        let out = run.run(&mut objective, &mut TimeLimitOnly);
+        let total: u64 = out.technique_stats.iter().map(|t| t.evals).sum();
+        assert_eq!(total, out.evaluations);
+        let seed_row = out
+            .technique_stats
+            .iter()
+            .find(|t| t.technique == "seed")
+            .expect("seed row present");
+        assert_eq!(seed_row.evals, 2);
+        assert_eq!(seed_row.best_value, 1.0);
+        // rows are sorted by name
+        for w in out.technique_stats.windows(2) {
+            assert!(w[0].technique < w[1].technique);
+        }
     }
 }
