@@ -6,22 +6,40 @@
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel S-W --budget 120 --emit-c
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel LR --manual --report
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel KMeans --trace kmeans.jsonl
+//! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel KMeans --prescreen
+//! cargo run --release -p s2fa-bench --bin s2fa_cli -- lint
+//! cargo run --release -p s2fa-bench --bin s2fa_cli -- lint --format json --save
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --list
 //! ```
 //!
 //! `--trace <path>` attaches the flight recorder: every structured event
 //! of the DSE run (evaluations on the virtual timeline, partition
-//! lifecycles, technique pulls/rewards, cache hits/misses) is appended to
-//! `<path>` as one JSON object per line.
+//! lifecycles, technique pulls/rewards, cache hits/misses, legality
+//! prunes) is appended to `<path>` as one JSON object per line.
+//!
+//! `lint` runs the `s2fa-lint` static analyses over every workload (or
+//! one selected with `--kernel`) *without* exploring anything: the IR
+//! well-formedness verifier before and after the structural transforms,
+//! the per-seed legality verdicts, and the sampled statically-dead
+//! fraction of each design space. The process exits non-zero if any
+//! kernel has an error-severity well-formedness finding (seed prescreen
+//! verdicts are search-space facts and only reported). `--format json`
+//! emits a machine-readable document; `--save` also writes it to
+//! `results/lint_report.json` for the CI golden diff.
 
+use s2fa::lint::{factor_diagnostics, new_errors, verify_function, Legality, Severity};
 use s2fa::{S2fa, S2faOptions};
+use s2fa_bench::results::{save, Json};
+use s2fa_dse::DesignSpace;
 use s2fa_hlsir::analysis;
-use s2fa_hlssim::report;
+use s2fa_hlssim::{report, Estimator};
+use s2fa_merlin::{apply_structural, DesignConfig};
 use s2fa_trace::{JsonlSink, TraceSink};
 use s2fa_workloads::all_workloads;
 use std::sync::Arc;
 
 struct Args {
+    lint: bool,
     kernel: Option<String>,
     budget: f64,
     tasks: u32,
@@ -30,10 +48,20 @@ struct Args {
     report: bool,
     list: bool,
     trace: Option<String>,
+    prescreen: bool,
+    format: Format,
+    save: bool,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Text,
+    Json,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
+        lint: false,
         kernel: None,
         budget: 240.0,
         tasks: 1024,
@@ -42,8 +70,15 @@ fn parse_args() -> Result<Args, String> {
         report: false,
         list: false,
         trace: None,
+        prescreen: false,
+        format: Format::Text,
+        save: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("lint") {
+        args.lint = true;
+        it.next();
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
             "--kernel" => {
@@ -66,10 +101,19 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => {
                 args.trace = Some(it.next().ok_or("--trace needs a path")?);
             }
+            "--format" => {
+                args.format = match it.next().ok_or("--format needs text|json")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("bad --format `{other}` (text|json)")),
+                };
+            }
             "--manual" => args.manual = true,
             "--emit-c" => args.emit_c = true,
             "--report" => args.report = true,
             "--list" => args.list = true,
+            "--prescreen" => args.prescreen = true,
+            "--save" => args.save = true,
             "--help" | "-h" => {
                 return Err(USAGE.to_string());
             }
@@ -80,7 +124,8 @@ fn parse_args() -> Result<Args, String> {
 }
 
 const USAGE: &str = "usage: s2fa_cli --kernel <name> [--budget <minutes>] [--tasks <n>] \
-[--manual] [--emit-c] [--report] [--trace <path>] | --list";
+[--manual] [--emit-c] [--report] [--prescreen] [--trace <path>] | --list\n       \
+s2fa_cli lint [--kernel <name>] [--tasks <n>] [--format text|json] [--save]";
 
 fn main() {
     let args = match parse_args() {
@@ -90,6 +135,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.lint {
+        std::process::exit(run_lint(&args));
+    }
     if args.list {
         println!("available kernels:");
         for w in all_workloads() {
@@ -111,6 +159,7 @@ fn main() {
         ..S2faOptions::default()
     };
     options.dse.budget_minutes = args.budget;
+    options.dse.prescreen = args.prescreen;
     let sink: Option<Arc<JsonlSink>> = args.trace.as_deref().map(|path| {
         Arc::new(JsonlSink::create(path).unwrap_or_else(|e| {
             eprintln!("cannot open trace file `{path}`: {e}");
@@ -164,6 +213,17 @@ fn main() {
             lookups,
             dse.cache.overwrites
         );
+        if args.prescreen {
+            println!(
+                "dse: {} design point(s) pruned by the legality pre-screen",
+                dse.pruned_illegal
+            );
+            for (code, n) in &dse.pruned_by_rule {
+                if *n > 0 {
+                    println!("  {code:<10} {n:>5}");
+                }
+            }
+        }
         if !dse.techniques.is_empty() {
             println!(
                 "  {:<24} {:>5} {:>9}  best objective",
@@ -199,4 +259,145 @@ fn main() {
             )
         );
     }
+}
+
+/// Number of random design points sampled when estimating each space's
+/// statically-dead fraction. Fixed (with the seed) so the JSON report is
+/// reproducible and diffable in CI.
+const DEAD_SAMPLES: usize = 256;
+const DEAD_SEED: u64 = 2018;
+
+/// The `lint` subcommand: run every static analysis, print or save the
+/// report, and return the process exit code (0 = no well-formedness
+/// errors anywhere).
+fn run_lint(args: &Args) -> i32 {
+    let workloads: Vec<_> = all_workloads()
+        .into_iter()
+        .filter(|w| args.kernel.as_deref().is_none_or(|k| k == w.name))
+        .collect();
+    if workloads.is_empty() {
+        eprintln!(
+            "unknown kernel `{}` — try --list",
+            args.kernel.as_deref().unwrap_or("")
+        );
+        return 2;
+    }
+
+    let estimator = Estimator::new();
+    let mut kernels = Vec::new();
+    let mut total_errors = 0u64;
+
+    for w in &workloads {
+        let generated = s2fa::compile_kernel(&w.spec).expect("workload compiles");
+        let wellformed = verify_function(&generated.cfunc);
+        let summary = analysis::summarize(&generated.cfunc, args.tasks).expect("workload analyzes");
+        let ds = DesignSpace::build(&summary);
+        let oracle = Legality::new(&summary, &estimator);
+
+        // Differential check: the structural rewrite of the (normalized)
+        // performance seed must not introduce errors the generated
+        // function did not have.
+        let mut perf = DesignConfig::perf_seed(&summary);
+        perf.normalize(&summary);
+        let (optimized, _) = apply_structural(&generated.cfunc, &perf);
+        let introduced = new_errors(&wellformed, &verify_function(&optimized));
+
+        let seeds: Vec<(&str, DesignConfig)> = vec![
+            ("perf", DesignConfig::perf_seed(&summary)),
+            ("area", DesignConfig::area_seed(&summary)),
+        ];
+        let seed_docs: Vec<(String, Json)> = seeds
+            .iter()
+            .map(|(tag, cfg)| {
+                let mut diags = oracle.check(cfg).diagnostics;
+                diags.extend(factor_diagnostics(&generated.cfunc, cfg));
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.code.severity == Severity::Error)
+                    .count();
+                (
+                    tag.to_string(),
+                    Json::obj(vec![
+                        ("errors", Json::n(errors as f64)),
+                        ("warnings", Json::n((diags.len() - errors) as f64)),
+                        (
+                            "codes",
+                            Json::Arr(diags.iter().map(|d| Json::s(d.code.code)).collect()),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+
+        let dead = ds.dead_fraction(ds.space(), &oracle, DEAD_SAMPLES, DEAD_SEED);
+        let (wf_errors, wf_warnings) = wellformed.counts();
+        total_errors += (wf_errors + introduced.len()) as u64;
+
+        if args.format == Format::Text {
+            println!("{}", wellformed.render());
+            for d in &introduced {
+                println!("  transform introduced: {d}");
+            }
+            for (tag, cfg) in &seeds {
+                let r = oracle.check(cfg);
+                let (e, warn) = r.counts();
+                println!(
+                    "  {tag} seed: {e} prescreen error(s), {warn} warning(s){}",
+                    if e > 0 {
+                        " [statically infeasible]"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            println!(
+                "  statically dead fraction: {:.1}% ({DEAD_SAMPLES} samples)\n",
+                dead * 100.0
+            );
+        }
+
+        kernels.push(Json::obj(vec![
+            ("name", Json::s(w.name)),
+            (
+                "wellformed",
+                Json::obj(vec![
+                    ("errors", Json::n(wf_errors as f64)),
+                    ("warnings", Json::n(wf_warnings as f64)),
+                    (
+                        "diagnostics",
+                        Json::Arr(
+                            wellformed
+                                .diagnostics
+                                .iter()
+                                .map(|d| Json::s(d.to_string()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            ("transform_new_errors", Json::n(introduced.len() as f64)),
+            ("seeds", Json::Obj(seed_docs)),
+            ("dead_fraction", Json::n(dead)),
+        ]));
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::s("s2fa-lint-report/v1")),
+        ("kernels", Json::Arr(kernels)),
+        ("total_errors", Json::n(total_errors as f64)),
+        ("clean", Json::Bool(total_errors == 0)),
+    ]);
+    if args.format == Format::Json {
+        print!("{}", doc.render());
+    } else {
+        println!(
+            "lint: {} kernel(s), {} well-formedness error(s)",
+            workloads.len(),
+            total_errors
+        );
+    }
+    if args.save {
+        save("lint_report", &doc);
+    }
+    i32::from(total_errors > 0)
 }

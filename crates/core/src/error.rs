@@ -15,6 +15,10 @@ pub enum S2faError {
     Shape(String),
     /// Analysis of the generated C failed.
     Analysis(String),
+    /// The generated (or transformed) C kernel failed the `s2fa-lint`
+    /// well-formedness verifier — a compiler bug surfaced as a structured
+    /// diagnostic rather than downstream miscompilation.
+    IllFormed(String),
     /// The DSE found no feasible design.
     NoFeasibleDesign,
 }
@@ -26,6 +30,7 @@ impl fmt::Display for S2faError {
             S2faError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
             S2faError::Shape(m) => write!(f, "shape mismatch: {m}"),
             S2faError::Analysis(m) => write!(f, "kernel analysis failed: {m}"),
+            S2faError::IllFormed(m) => write!(f, "ill-formed kernel IR: {m}"),
             S2faError::NoFeasibleDesign => {
                 write!(f, "design space exploration found no feasible design")
             }

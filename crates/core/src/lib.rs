@@ -53,6 +53,7 @@ pub use s2fa_blaze as blaze;
 pub use s2fa_dse as dse;
 pub use s2fa_hlsir as hlsir;
 pub use s2fa_hlssim as hlssim;
+pub use s2fa_lint as lint;
 pub use s2fa_merlin as merlin;
 pub use s2fa_sjvm as sjvm;
 pub use s2fa_trace as trace;

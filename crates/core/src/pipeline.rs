@@ -6,6 +6,7 @@ use s2fa_blaze::{AccelTimeModel, Accelerator};
 use s2fa_dse::{run_dse, run_dse_traced, DesignSpace, DseOptions, DseOutcome};
 use s2fa_hlsir::{analysis, printer, KernelSummary};
 use s2fa_hlssim::{Estimate, Estimator};
+use s2fa_lint::{new_errors, verify_function, LintReport};
 use s2fa_merlin::{apply_structural, DesignConfig};
 use s2fa_sjvm::KernelSpec;
 use s2fa_trace::TraceSink;
@@ -106,6 +107,7 @@ impl S2fa {
     /// that synthesizes.
     pub fn compile(&self, spec: &KernelSpec) -> Result<CompiledAccelerator, S2faError> {
         let generated = compile_kernel(spec)?;
+        ensure_well_formed(&generated.cfunc)?;
         let summary = analysis::summarize(&generated.cfunc, self.options.tasks_hint)?;
         let space = DesignSpace::build(&summary);
         let dse = match &self.trace_sink {
@@ -135,6 +137,7 @@ impl S2fa {
         design: &DesignConfig,
     ) -> Result<CompiledAccelerator, S2faError> {
         let generated = compile_kernel(spec)?;
+        ensure_well_formed(&generated.cfunc)?;
         let summary = analysis::summarize(&generated.cfunc, self.options.tasks_hint)?;
         let space = DesignSpace::build(&summary);
         let estimate = self.estimator.evaluate(&summary, design);
@@ -161,6 +164,7 @@ impl S2fa {
         // the same function is both the shipped source and the functional
         // kernel behind the registered accelerator.
         let (optimized, _transform_report) = apply_structural(&generated.cfunc, &normalized);
+        ensure_no_new_errors(&generated.cfunc, &optimized)?;
         let source = printer::to_c(&optimized);
         let time_model = AccelTimeModel {
             per_task_ms: estimate.time_ms / estimate.batch_tasks.max(1) as f64,
@@ -185,4 +189,31 @@ impl S2fa {
             accelerator,
         })
     }
+}
+
+/// Runs the `s2fa-lint` well-formedness verifier over freshly generated
+/// C and rejects the compilation on any error-severity finding.
+fn ensure_well_formed(f: &s2fa_hlsir::CFunction) -> Result<LintReport, S2faError> {
+    let report = verify_function(f);
+    if report.has_errors() {
+        let first = report.errors().next().expect("has_errors implies one");
+        return Err(S2faError::IllFormed(first.to_string()));
+    }
+    Ok(report)
+}
+
+/// Differential verification around `apply_structural`: structural
+/// rewrites must not *introduce* errors the pre-image did not have.
+fn ensure_no_new_errors(
+    before: &s2fa_hlsir::CFunction,
+    after: &s2fa_hlsir::CFunction,
+) -> Result<(), S2faError> {
+    let baseline = verify_function(before);
+    let post = verify_function(after);
+    if let Some(d) = new_errors(&baseline, &post).first() {
+        return Err(S2faError::IllFormed(format!(
+            "structural transform introduced {d}"
+        )));
+    }
+    Ok(())
 }

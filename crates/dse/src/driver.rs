@@ -41,6 +41,7 @@ use rand::SeedableRng;
 use s2fa_engine::{CacheStats, EvalEngine};
 use s2fa_hlsir::KernelSummary;
 use s2fa_hlssim::{Estimate, Estimator};
+use s2fa_lint::Legality;
 use s2fa_merlin::DesignConfig;
 use s2fa_trace::{Event, NullSink, TechniqueStats, TechniqueTable, TraceSink};
 use s2fa_tuner::{
@@ -48,6 +49,11 @@ use s2fa_tuner::{
     TraceEvent, TuningOptions, TuningOutcome, TuningRun,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sample size behind [`PartitionRun::dead_fraction`] — enough for a
+/// coarse share estimate at negligible cost (the oracle runs the model
+/// walk only, no estimator bookkeeping).
+const DEAD_FRACTION_SAMPLES: usize = 64;
 use std::sync::Arc;
 
 /// Which early-stopping criterion a DSE run uses.
@@ -99,6 +105,13 @@ pub struct DseOptions {
     /// wall-clock knob: hits re-charge the stored virtual HLS minutes, so
     /// outcomes are identical with caching on or off.
     pub caching: bool,
+    /// Enable the `s2fa-lint` legality pre-screen ahead of the estimator:
+    /// statically infeasible points keep their `+inf` objective but charge
+    /// zero virtual HLS minutes and never invoke the estimator. Off by
+    /// default so existing outcomes stay bit-identical; the screen is
+    /// exact, so turning it on can only shrink the virtual clock, never
+    /// change an objective value.
+    pub prescreen: bool,
 }
 
 impl Default for DseOptions {
@@ -122,6 +135,7 @@ impl DseOptions {
             partitioner: Partitioner::default(),
             eval_threads: 8,
             caching: true,
+            prescreen: false,
         }
     }
 }
@@ -139,6 +153,7 @@ pub fn vanilla_options() -> DseOptions {
         partitioner: Partitioner::default(),
         eval_threads: 8,
         caching: true,
+        prescreen: false,
     }
 }
 
@@ -165,6 +180,11 @@ pub struct PartitionRun {
     pub best_value: f64,
     /// Why the partition's run ended.
     pub reason: StopReason,
+    /// Fraction of a deterministic uniform sample of this partition that
+    /// the `s2fa-lint` legality pre-screen proves statically infeasible.
+    /// Diagnostic only (a side RNG stream; never feeds the search), and
+    /// reported whether or not pruning is enabled.
+    pub dead_fraction: f64,
 }
 
 /// Result of a full DSE run.
@@ -195,6 +215,13 @@ pub struct DseOutcome {
     /// runs the memo table absorbed across the probe pass, seeds, and
     /// every partition.
     pub cache: CacheStats,
+    /// Design points the legality pre-screen rejected before the
+    /// estimator ran (0 when `DseOptions::prescreen` is off). Equals
+    /// `cache.pruned_illegal`, surfaced here for reporting.
+    pub pruned_illegal: u64,
+    /// Per-rule pre-screen hit counts as `(lint code, hits)`, in stable
+    /// rule order.
+    pub pruned_by_rule: Vec<(String, u64)>,
 }
 
 impl DseOutcome {
@@ -344,6 +371,7 @@ pub fn run_dse_traced(
     let engine = {
         let mut e = EvalEngine::new(summary, estimator);
         e.set_caching(opts.caching);
+        e.set_prescreen(opts.prescreen);
         e.set_sink(Some(sink.clone()));
         e
     };
@@ -403,6 +431,19 @@ pub fn run_dse_traced(
         budget_minutes: opts.budget_minutes,
         partitions: jobs.len() as u64,
     });
+
+    // Statically-dead share of each partition, from a deterministic side
+    // sample (diagnostic; independent of both the search RNG and the
+    // engine's counters).
+    let oracle = Legality::new(summary, estimator);
+    let dead_fractions: Vec<f64> = jobs
+        .iter()
+        .map(|job| {
+            let seed = (opts.rng_seed ^ 0xDEAD_F7AC)
+                .wrapping_add((job.index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            ds.dead_fraction(&job.space, &oracle, DEAD_FRACTION_SAMPLES, seed)
+        })
+        .collect();
 
     // 3. Explore every partition at full budget on a work-stealing pool:
     // threads pull the next unstarted partition first-come-first-served.
@@ -551,6 +592,7 @@ pub fn run_dse_traced(
             killed_evals: t.killed_evals,
             best_value: t.best_value,
             reason: t.reason,
+            dead_fraction: dead_fractions[job.index],
         });
     }
     per_partition.sort_by_key(|p| p.index);
@@ -573,6 +615,7 @@ pub fn run_dse_traced(
     // Snapshot the counters before re-deriving the winning estimate so the
     // stats describe the search itself.
     let cache = engine.cache_stats();
+    let pruned_by_rule = engine.prune_counts();
     let best = best_key.map(|(_, j, k)| {
         let cfg = &full[j].history.evaluations()[k].config;
         let dc = ds.decode(cfg);
@@ -589,7 +632,9 @@ pub fn run_dse_traced(
         per_partition,
         techniques: techniques.into_rows(),
         killed_evals,
+        pruned_illegal: cache.pruned_illegal,
         cache,
+        pruned_by_rule,
     }
 }
 
@@ -862,6 +907,8 @@ mod tests {
             techniques: vec![],
             killed_evals: 0,
             cache: CacheStats::default(),
+            pruned_illegal: 0,
+            pruned_by_rule: vec![],
         };
         assert!(out.best_at_minute(5.0).is_infinite());
         assert_eq!(out.best_at_minute(10.0), 100.0);

@@ -12,7 +12,10 @@
 //! and maps index-encoded tuner configurations back to Merlin
 //! [`DesignConfig`]s.
 
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use s2fa_hlsir::{BufferDir, KernelSummary, LoopId, PipelineMode};
+use s2fa_lint::Legality;
 use s2fa_merlin::DesignConfig;
 use s2fa_tuner::{Config, ParamDef, ParamKind, SearchSpace};
 
@@ -111,6 +114,31 @@ impl DesignSpace {
     /// Base-10 log of the number of design points.
     pub fn size_log10(&self) -> f64 {
         self.space.size_log10()
+    }
+
+    /// Estimates the statically-dead fraction of `space` (a subspace of
+    /// this design space, e.g. one partition leaf): samples `samples`
+    /// uniform configurations with an RNG derived *only* from `seed` and
+    /// returns the share that `oracle` proves infeasible.
+    ///
+    /// Purely diagnostic: the side RNG stream never touches the search's
+    /// RNG, and the oracle is counter-free, so reporting the fraction
+    /// cannot perturb a run.
+    pub fn dead_fraction(
+        &self,
+        space: &SearchSpace,
+        oracle: &Legality,
+        samples: usize,
+        seed: u64,
+    ) -> f64 {
+        if samples == 0 {
+            return 0.0;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dead = (0..samples)
+            .filter(|_| oracle.is_statically_dead(&self.decode(&space.random(&mut rng))))
+            .count();
+        dead as f64 / samples as f64
     }
 
     /// Decodes a tuner configuration into a Merlin design configuration.

@@ -29,6 +29,11 @@ pub struct CacheStats {
     pub overwrites: u64,
     /// Distinct entries currently stored.
     pub entries: u64,
+    /// Design points the `s2fa-lint` legality pre-screen rejected before
+    /// the estimator or the memo table was consulted. Counted even when
+    /// caching is disabled — pruning is an engine property, and this
+    /// snapshot is the engine's single activity record.
+    pub pruned_illegal: u64,
 }
 
 impl CacheStats {
@@ -51,6 +56,7 @@ pub struct EstimateCache {
     misses: AtomicU64,
     inserts: AtomicU64,
     overwrites: AtomicU64,
+    pruned: AtomicU64,
 }
 
 impl EstimateCache {
@@ -100,6 +106,12 @@ impl EstimateCache {
         }
     }
 
+    /// Counts one legality-pre-screen rejection. Pruned points never
+    /// touch the table or the hit/miss counters.
+    pub fn count_pruned(&self) {
+        self.pruned.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of distinct entries stored.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
@@ -118,6 +130,7 @@ impl EstimateCache {
             inserts: self.inserts.load(Ordering::Relaxed),
             overwrites: self.overwrites.load(Ordering::Relaxed),
             entries: self.len() as u64,
+            pruned_illegal: self.pruned.load(Ordering::Relaxed),
         }
     }
 }
@@ -188,6 +201,16 @@ mod tests {
         assert_eq!(s.entries, 32);
         assert_eq!(s.inserts, s.entries, "inserts drifted from entries");
         assert_eq!(s.inserts + s.overwrites, 8 * 96);
+    }
+
+    #[test]
+    fn pruned_counter_is_independent_of_the_table() {
+        let c = EstimateCache::new();
+        c.count_pruned();
+        c.count_pruned();
+        let s = c.stats();
+        assert_eq!(s.pruned_illegal, 2);
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
     }
 
     #[test]

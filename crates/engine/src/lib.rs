@@ -25,6 +25,13 @@
 //! (`Estimate::hls_minutes`) is stored with the estimate and re-charged on
 //! every hit, so DSE outcomes are identical with the cache on or off — a
 //! property the test suites of this crate and `s2fa-dse` pin down.
+//!
+//! Ahead of the cache sits an optional `s2fa-lint` legality pre-screen
+//! ([`EvalEngine::set_prescreen`]): points the static screen proves
+//! infeasible return the same `+inf` objective a full evaluation would,
+//! but charge zero virtual minutes and never reach the estimator. Because
+//! the screen is exact, enabling it changes the virtual *clock*, not the
+//! search values.
 
 pub mod cache;
 pub mod fingerprint;
@@ -34,8 +41,10 @@ pub use fingerprint::fingerprint;
 
 use s2fa_hlsir::KernelSummary;
 use s2fa_hlssim::{Estimate, Estimator, KernelInvariants};
+use s2fa_lint::{Legality, PruneRule};
 use s2fa_merlin::DesignConfig;
 use s2fa_trace::{Event, TraceSink};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A memoizing, invariant-hoisting front-end to the HLS estimator for one
@@ -50,6 +59,8 @@ pub struct EvalEngine {
     invariants: KernelInvariants,
     cache: EstimateCache,
     caching: bool,
+    prescreen: Option<Legality>,
+    pruned_by_rule: [AtomicU64; PruneRule::ALL.len()],
     sink: Option<Arc<dyn TraceSink>>,
 }
 
@@ -62,6 +73,8 @@ impl EvalEngine {
             estimator: estimator.clone(),
             cache: EstimateCache::default(),
             caching: true,
+            prescreen: None,
+            pruned_by_rule: Default::default(),
             sink: None,
         }
     }
@@ -85,6 +98,39 @@ impl EvalEngine {
         self.caching
     }
 
+    /// Enables or disables the `s2fa-lint` legality pre-screen.
+    ///
+    /// When on, points the static screen proves infeasible skip the
+    /// estimator and the memo table entirely: the engine returns a
+    /// synthetic infeasible estimate whose objective (`+inf`) equals what
+    /// the estimator would have reported, but with **zero** virtual HLS
+    /// minutes charged. The screen is exact (it rejects iff the estimator
+    /// reports infeasible — property-tested), so search *values* are
+    /// unchanged; only the virtual clock and the estimator invocation
+    /// counts shrink. Off by default.
+    pub fn set_prescreen(&mut self, enabled: bool) {
+        self.prescreen = enabled.then(|| Legality::new(&self.summary, &self.estimator));
+    }
+
+    /// Whether the legality pre-screen is enabled.
+    pub fn prescreen(&self) -> bool {
+        self.prescreen.is_some()
+    }
+
+    /// Per-rule pre-screen hit counts as `(lint code, hits)`, in stable
+    /// rule order.
+    pub fn prune_counts(&self) -> Vec<(String, u64)> {
+        PruneRule::ALL
+            .iter()
+            .map(|r| {
+                (
+                    r.code().code.to_string(),
+                    self.pruned_by_rule[r.index()].load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
     /// The kernel this engine evaluates.
     pub fn summary(&self) -> &KernelSummary {
         &self.summary
@@ -104,6 +150,18 @@ impl EvalEngine {
     pub fn evaluate(&self, config: &DesignConfig) -> Estimate {
         let mut cfg = config.clone();
         cfg.normalize(&self.summary);
+        if let Some(oracle) = &self.prescreen {
+            if let Some(hit) = oracle.prescreen(&cfg) {
+                self.cache.count_pruned();
+                self.pruned_by_rule[hit.rule.index()].fetch_add(1, Ordering::Relaxed);
+                if let Some(sink) = &self.sink {
+                    sink.emit(&Event::Prune {
+                        rule: hit.rule.code().code.to_string(),
+                    });
+                }
+                return oracle.pruned_estimate(&hit);
+            }
+        }
         if !self.caching {
             return self
                 .estimator
@@ -279,6 +337,68 @@ mod tests {
         assert_eq!(engine.evaluate(&cfg), est.evaluate(&s, &cfg));
         assert_eq!(engine.cache_stats().entries, 0);
         assert_eq!(engine.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn prescreen_skips_the_estimator_but_keeps_the_objective() {
+        let s = summary();
+        let est = Estimator::new();
+        let mut engine = EvalEngine::new(&s, &est);
+        engine.set_prescreen(true);
+        assert!(engine.prescreen());
+        // an unroutable/over-cap point
+        let mut dead = DesignConfig::perf_seed(&s);
+        dead.loop_directive_mut(LoopId(0)).parallel = 512;
+        dead.loop_directive_mut(LoopId(1)).parallel = 64;
+        let direct = est.evaluate(&s, &dead);
+        assert!(!direct.is_feasible(), "fixture must be infeasible");
+        let pruned = engine.evaluate(&dead);
+        assert!(!pruned.is_feasible());
+        assert_eq!(pruned.objective(), direct.objective());
+        assert_eq!(pruned.hls_minutes, 0.0, "static pruning is free");
+        let stats = engine.cache_stats();
+        assert_eq!(stats.pruned_illegal, 1);
+        assert_eq!(
+            (stats.hits, stats.misses, stats.entries),
+            (0, 0, 0),
+            "pruned points must never touch the memo table"
+        );
+        let by_rule: u64 = engine.prune_counts().iter().map(|(_, n)| n).sum();
+        assert_eq!(by_rule, 1);
+
+        // feasible points pass through to the estimator untouched
+        let ok = DesignConfig::area_seed(&s);
+        assert_eq!(engine.evaluate(&ok), est.evaluate(&s, &ok));
+        assert_eq!(engine.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn prescreen_counts_even_with_caching_off() {
+        let s = summary();
+        let mut engine = EvalEngine::new(&s, &Estimator::new());
+        engine.set_caching(false);
+        engine.set_prescreen(true);
+        let mut dead = DesignConfig::perf_seed(&s);
+        dead.loop_directive_mut(LoopId(0)).parallel = 512;
+        dead.loop_directive_mut(LoopId(1)).parallel = 64;
+        engine.evaluate(&dead);
+        assert_eq!(engine.cache_stats().pruned_illegal, 1);
+    }
+
+    #[test]
+    fn prescreen_emits_prune_events() {
+        use s2fa_trace::RingSink;
+        let s = summary();
+        let mut engine = EvalEngine::new(&s, &Estimator::new());
+        engine.set_prescreen(true);
+        let ring = Arc::new(RingSink::new(16));
+        engine.set_sink(Some(ring.clone()));
+        let mut dead = DesignConfig::perf_seed(&s);
+        dead.loop_directive_mut(LoopId(0)).parallel = 512;
+        dead.loop_directive_mut(LoopId(1)).parallel = 64;
+        engine.evaluate(&dead);
+        let events = ring.events();
+        assert!(matches!(events.as_slice(), [Event::Prune { rule }] if rule.starts_with("S2FA-E")));
     }
 
     #[test]

@@ -90,6 +90,14 @@ impl CNumKind {
     pub fn is_float(self) -> bool {
         matches!(self, CNumKind::F32 | CNumKind::F64)
     }
+
+    /// Bit width of values of this kind.
+    pub fn bits(self) -> u32 {
+        match self {
+            CNumKind::I32 | CNumKind::F32 => 32,
+            CNumKind::I64 | CNumKind::F64 => 64,
+        }
+    }
 }
 
 /// Binary operators (comparisons produce a 0/1 `I32`).

@@ -1,0 +1,295 @@
+//! Design-point legality pre-screen over `(KernelSummary, DesignConfig)`.
+//!
+//! Two layers with very different contracts:
+//!
+//! * **Warnings (`W21x`)** flag directives the Merlin normalization will
+//!   repair or the estimator will price as waste — pipeline on an
+//!   irreducible recurrence, factors the structural transform rejects,
+//!   narrow ports. These never prune anything: the pipeline is defined to
+//!   survive them.
+//! * **Errors (`E201`/`E202`)** are the [`Legality::prescreen`]: a design
+//!   point is marked statically dead **iff** a full
+//!   [`Estimator::evaluate`] would report it infeasible. The screen calls
+//!   [`Estimator::resource_screen_with`] — the exact resource accounting
+//!   the estimator's own feasibility verdict reads — so there can be no
+//!   false positives by construction (property-tested across workloads).
+
+use crate::diag::{codes, Diagnostic, LintReport, Span};
+use s2fa_hlsir::{CFunction, KernelSummary, PipelineMode};
+use s2fa_hlssim::{Estimate, Estimator, Feasibility, KernelInvariants, ResourceScreen};
+use s2fa_merlin::{check_factors, DesignConfig, TransformError};
+
+/// Why the pre-screen rejected a point. The two variants mirror the
+/// estimator's only two infeasibility conditions, in check order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruneRule {
+    /// `S2FA-E201`: the resource floor exceeds the utilization cap.
+    ResourceCap,
+    /// `S2FA-E202`: the replication product exceeds the routing bound.
+    Unroutable,
+}
+
+impl PruneRule {
+    /// All rules, in stable reporting order.
+    pub const ALL: [PruneRule; 2] = [PruneRule::ResourceCap, PruneRule::Unroutable];
+
+    /// The lint code this rule reports under.
+    pub fn code(self) -> crate::diag::LintCode {
+        match self {
+            PruneRule::ResourceCap => codes::RESOURCE_CAP,
+            PruneRule::Unroutable => codes::UNROUTABLE,
+        }
+    }
+
+    /// Dense index into per-rule counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            PruneRule::ResourceCap => 0,
+            PruneRule::Unroutable => 1,
+        }
+    }
+}
+
+/// One pre-screen rejection: the rule, the estimator's reason string, and
+/// the resource screen that proved it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneHit {
+    /// Which rule fired.
+    pub rule: PruneRule,
+    /// The reason a full evaluation would have reported.
+    pub reason: String,
+    /// The resource accounting behind the verdict.
+    pub screen: ResourceScreen,
+}
+
+/// The design-point legality oracle for one kernel.
+///
+/// Build once per kernel (it precomputes the estimator invariants) and
+/// query many configurations. All methods are pure: the oracle keeps no
+/// counters and emits no events, so diagnostic sampling (e.g. a
+/// partition's statically-dead fraction) can never perturb a search.
+#[derive(Debug, Clone)]
+pub struct Legality {
+    summary: KernelSummary,
+    estimator: Estimator,
+    invariants: KernelInvariants,
+}
+
+impl Legality {
+    /// An oracle for `summary` under `estimator`'s device and cost model.
+    pub fn new(summary: &KernelSummary, estimator: &Estimator) -> Self {
+        Legality {
+            invariants: estimator.invariants(summary),
+            summary: summary.clone(),
+            estimator: estimator.clone(),
+        }
+    }
+
+    /// The kernel this oracle screens.
+    pub fn summary(&self) -> &KernelSummary {
+        &self.summary
+    }
+
+    /// The pre-screen: `Some` iff the estimator would report `config`
+    /// infeasible (after normalization, like every evaluation). The rule
+    /// order matches the estimator's verdict order: utilization cap first,
+    /// routing bound second.
+    pub fn prescreen(&self, config: &DesignConfig) -> Option<PruneHit> {
+        let screen = self
+            .estimator
+            .resource_screen_with(&self.summary, &self.invariants, config);
+        match screen.feasibility(self.estimator.device()) {
+            Feasibility::Feasible => None,
+            Feasibility::Infeasible(reason) => {
+                let util = screen.resources.max_utilization(self.estimator.device());
+                let rule = if util > self.estimator.device().max_util {
+                    PruneRule::ResourceCap
+                } else {
+                    PruneRule::Unroutable
+                };
+                Some(PruneHit {
+                    rule,
+                    reason,
+                    screen,
+                })
+            }
+        }
+    }
+
+    /// True iff [`prescreen`](Self::prescreen) rejects the point.
+    pub fn is_statically_dead(&self, config: &DesignConfig) -> bool {
+        self.prescreen(config).is_some()
+    }
+
+    /// The synthetic estimate the evaluation engine returns for a pruned
+    /// point: infeasible (objective `+inf`, exactly what the estimator
+    /// would report) with **zero virtual HLS minutes** — static analysis
+    /// is free, which is the entire value of pruning.
+    pub fn pruned_estimate(&self, hit: &PruneHit) -> Estimate {
+        Estimate {
+            compute_cycles: 0,
+            transfer_cycles: 0,
+            total_cycles: 0,
+            ii_critical: 0.0,
+            freq_mhz: 0.0,
+            time_ms: f64::INFINITY,
+            batch_tasks: self.summary.tasks_hint,
+            resources: hit.screen.resources,
+            feasibility: Feasibility::Infeasible(format!(
+                "pruned by {}: {}",
+                hit.rule.code().code,
+                hit.reason
+            )),
+            hls_minutes: 0.0,
+        }
+    }
+
+    /// Full diagnostic check of one (raw) design point: `W21x` warnings
+    /// for directives normalization will repair or the estimator will
+    /// price as waste, plus the `E20x` pre-screen verdict.
+    pub fn check(&self, config: &DesignConfig) -> LintReport {
+        let mut report = LintReport::new(&self.summary.name);
+        self.warn_directives(config, &mut report);
+        if let Some(hit) = self.prescreen(config) {
+            report.push(hit.rule.code(), Span::kernel(), hit.reason);
+        }
+        report
+    }
+
+    fn warn_directives(&self, config: &DesignConfig, report: &mut LintReport) {
+        for (&id, d) in &config.loops {
+            let Some(l) = self.summary.loop_info(id) else {
+                continue;
+            };
+            let tc = l.trip_count;
+            if let Some(t) = d.tile {
+                if t <= 1 || t >= tc {
+                    report.push(
+                        codes::FACTOR_OUT_OF_RANGE,
+                        Span::at_loop(id),
+                        format!("tile factor {t} is outside (1, {tc}); normalization drops it"),
+                    );
+                } else if tc % t != 0 {
+                    report.push(
+                        codes::NON_DIVIDING_FACTOR,
+                        Span::at_loop(id),
+                        format!("tile factor {t} does not divide trip count {tc}"),
+                    );
+                }
+            }
+            let u = d.parallel_factor();
+            if u > tc {
+                report.push(
+                    codes::FACTOR_OUT_OF_RANGE,
+                    Span::at_loop(id),
+                    format!("parallel factor {u} exceeds trip count {tc}; normalization clamps it"),
+                );
+            } else if u > 1 && tc % u != 0 {
+                report.push(
+                    codes::NON_DIVIDING_FACTOR,
+                    Span::at_loop(id),
+                    format!("parallel factor {u} does not divide trip count {tc}"),
+                );
+            }
+            let irreducible = l.carried.as_ref().is_some_and(|c| !c.reducible);
+            let reducible = l.carried.as_ref().is_some_and(|c| c.reducible);
+            if d.pipeline == PipelineMode::On && irreducible {
+                report.push(
+                    codes::PIPELINE_IRREDUCIBLE,
+                    Span::at_loop(id),
+                    format!("loop {id} carries an irreducible recurrence; the II stays chained"),
+                );
+            }
+            if u > 1 && irreducible {
+                report.push(
+                    codes::PARALLEL_IRREDUCIBLE,
+                    Span::at_loop(id),
+                    format!(
+                        "parallel {u} on the non-reducible recurrence of {id}; \
+                         normalization resets it to 1"
+                    ),
+                );
+            }
+            if d.tree_reduce && !reducible {
+                report.push(
+                    codes::USELESS_TREE_REDUCE,
+                    Span::at_loop(id),
+                    format!("loop {id} has no reducible recurrence to tree-reduce"),
+                );
+            }
+            if d.pipeline == PipelineMode::Flatten {
+                let live: Vec<_> = self
+                    .summary
+                    .descendants(id)
+                    .into_iter()
+                    .filter(|sub| {
+                        config.loops.get(sub).is_some_and(|sd| {
+                            sd.tile.is_some()
+                                || sd.parallel_factor() > 1
+                                || sd.pipeline != PipelineMode::Off
+                                || sd.tree_reduce
+                        })
+                    })
+                    .collect();
+                if !live.is_empty() {
+                    let subs = live
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    report.push(
+                        codes::FLATTEN_LIVE_SUBLOOPS,
+                        Span::at_loop(id),
+                        format!(
+                            "flatten on {id} fully unrolls {subs}, whose own factors \
+                             are dead; normalization zeroes them"
+                        ),
+                    );
+                }
+            }
+        }
+        for (name, &bits) in &config.buffer_bits {
+            if let Some(b) = self.summary.buffer(name) {
+                if bits < b.elem_bits {
+                    report.push(
+                        codes::NARROW_PORT,
+                        Span::subject(name.as_str()),
+                        format!(
+                            "port width {bits} is below the {}-bit element of `{name}`; \
+                             every access straddles words",
+                            b.elem_bits
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Maps the [`TransformError`]s of [`check_factors`] against the real AST
+/// into `W212`/`W213` diagnostics — the structural-transform view of the
+/// factor rules, used by `s2fa_cli lint` where the generated `CFunction`
+/// is at hand.
+pub fn factor_diagnostics(f: &CFunction, config: &DesignConfig) -> Vec<Diagnostic> {
+    check_factors(f, config)
+        .into_iter()
+        .map(|e| {
+            let (code, span) = match &e {
+                TransformError::NonDividingFactor { id, .. } => {
+                    (codes::NON_DIVIDING_FACTOR, Span::at_loop(*id))
+                }
+                TransformError::BadFactor { id, .. } => {
+                    (codes::FACTOR_OUT_OF_RANGE, Span::at_loop(*id))
+                }
+                TransformError::NoSuchLoop(id) | TransformError::DynamicBound(id) => {
+                    (codes::FACTOR_OUT_OF_RANGE, Span::at_loop(*id))
+                }
+            };
+            Diagnostic {
+                code,
+                span,
+                message: e.to_string(),
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,198 @@
+#![warn(missing_docs)]
+
+//! # s2fa-lint — static legality & well-formedness analysis
+//!
+//! S2FA's DSE burns multi-minute virtual HLS evaluations; spending them on
+//! design points that are *statically* doomed — or on kernels a transform
+//! has silently corrupted — is pure waste. This crate lifts those checks
+//! into a rule-based analyzer with stable `S2FA-Exxx` / `S2FA-Wxxx` codes
+//! (rustc-style rendering, loop-path/buffer spans), in two families:
+//!
+//! * [`wellformed::verify_function`] — IR well-formedness over the
+//!   generated [`CFunction`](s2fa_hlsir::CFunction) AST: use-before-def,
+//!   constant out-of-bounds indices, duplicate loop ids, writes to input
+//!   buffers, intrinsic arity, silent truncation, dead loops. Runs after
+//!   bytecode→C codegen, and differentially ([`wellformed::new_errors`])
+//!   after every `merlin::apply_structural` rewrite.
+//! * [`legality::Legality`] — a design-point pre-screen over
+//!   `(KernelSummary, DesignConfig)`. Warnings flag directives the Merlin
+//!   normalization repairs (they are never pruned); the `E201`/`E202`
+//!   errors mark a point statically dead **iff** the estimator would
+//!   report it infeasible — the screen shares the estimator's own
+//!   resource accounting ([`s2fa_hlssim::ResourceScreen`]), so it has no
+//!   false positives by construction.
+//!
+//! The evaluation engine consults the oracle ahead of its memo cache
+//! (`pruned_illegal` on `CacheStats`, `Event::Prune` in the trace stream),
+//! the DSE reports each partition's statically-dead fraction, and
+//! `s2fa_cli lint` prints the per-kernel reports. The severity split is
+//! load-bearing: only verdicts that provably match the dynamic pipeline
+//! (`E`) may prune; everything heuristic stays `W`.
+
+pub mod diag;
+pub mod legality;
+pub mod wellformed;
+
+pub use diag::{codes, Diagnostic, LintCode, LintReport, Severity, Span};
+pub use legality::{factor_diagnostics, Legality, PruneHit, PruneRule};
+pub use wellformed::{new_errors, verify_function};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2fa_hlsir::{
+        Access, BufferDir, BufferInfo, CarriedDep, KernelSummary, LoopId, LoopInfo, OpCounts,
+        PipelineMode, Stride,
+    };
+    use s2fa_hlssim::Estimator;
+    use s2fa_merlin::DesignConfig;
+
+    /// The dot-product fixture shared with the hlssim/engine test suites:
+    /// task loop (1024) over a reducible reduction loop (64).
+    fn summary() -> KernelSummary {
+        let mut inner_ops = OpCounts::new();
+        inner_ops.fadd = 1;
+        inner_ops.fmul = 1;
+        inner_ops.mem_read = 2;
+        let mut chain = OpCounts::new();
+        chain.fadd = 1;
+        let mut outer_ops = OpCounts::new();
+        outer_ops.mem_write = 1;
+        KernelSummary {
+            name: "dot".into(),
+            loops: vec![
+                LoopInfo {
+                    id: LoopId(0),
+                    var: "t".into(),
+                    trip_count: 1024,
+                    depth: 0,
+                    parent: None,
+                    children: vec![LoopId(1)],
+                    body_ops: outer_ops,
+                    accesses: vec![Access {
+                        buffer: "out_1".into(),
+                        write: true,
+                        stride: Stride::Unit,
+                    }],
+                    carried: None,
+                },
+                LoopInfo {
+                    id: LoopId(1),
+                    var: "j".into(),
+                    trip_count: 64,
+                    depth: 1,
+                    parent: Some(LoopId(0)),
+                    children: vec![],
+                    body_ops: inner_ops,
+                    accesses: vec![
+                        Access {
+                            buffer: "in_1".into(),
+                            write: false,
+                            stride: Stride::Unit,
+                        },
+                        Access {
+                            buffer: "w".into(),
+                            write: false,
+                            stride: Stride::Unit,
+                        },
+                    ],
+                    carried: Some(CarriedDep {
+                        via: "s".into(),
+                        chain,
+                        reducible: true,
+                    }),
+                },
+            ],
+            buffers: vec![
+                BufferInfo {
+                    name: "in_1".into(),
+                    elem_bits: 32,
+                    len: 64,
+                    dir: BufferDir::In,
+                    broadcast: false,
+                },
+                BufferInfo {
+                    name: "w".into(),
+                    elem_bits: 32,
+                    len: 64,
+                    dir: BufferDir::In,
+                    broadcast: false,
+                },
+                BufferInfo {
+                    name: "out_1".into(),
+                    elem_bits: 32,
+                    len: 1,
+                    dir: BufferDir::Out,
+                    broadcast: false,
+                },
+            ],
+            task_loop: LoopId(0),
+            tasks_hint: 1024,
+        }
+    }
+
+    #[test]
+    fn prescreen_matches_the_estimator_verdict() {
+        let s = summary();
+        let est = Estimator::new();
+        let oracle = Legality::new(&s, &est);
+        let mut cfgs = vec![DesignConfig::area_seed(&s), DesignConfig::perf_seed(&s)];
+        let mut huge = DesignConfig::perf_seed(&s);
+        huge.loop_directive_mut(LoopId(0)).parallel = 512;
+        huge.loop_directive_mut(LoopId(1)).parallel = 64;
+        cfgs.push(huge);
+        for cfg in &cfgs {
+            let dead = oracle.prescreen(cfg);
+            let eval = est.evaluate(&s, cfg);
+            assert_eq!(dead.is_some(), !eval.is_feasible(), "{cfg:?}");
+            if let Some(hit) = dead {
+                let est = oracle.pruned_estimate(&hit);
+                assert_eq!(est.objective(), eval.objective());
+                assert_eq!(est.hls_minutes, 0.0, "pruning must be free");
+            }
+        }
+    }
+
+    #[test]
+    fn seed_verdicts_match_the_estimator() {
+        let s = summary();
+        let est = Estimator::new();
+        let oracle = Legality::new(&s, &est);
+        // The conservative area seed is always clean; the aggressive perf
+        // seed may legitimately blow the cap — either way the E-verdict
+        // must equal the estimator's.
+        let area = oracle.check(&DesignConfig::area_seed(&s));
+        assert!(!area.has_errors(), "{}", area.render());
+        for cfg in [DesignConfig::area_seed(&s), DesignConfig::perf_seed(&s)] {
+            let r = oracle.check(&cfg);
+            assert_eq!(r.has_errors(), !est.evaluate(&s, &cfg).is_feasible());
+        }
+    }
+
+    #[test]
+    fn directive_smells_produce_w_codes() {
+        let s = summary();
+        let oracle = Legality::new(&s, &Estimator::new());
+        let mut cfg = DesignConfig::area_seed(&s);
+        {
+            let d = cfg.loop_directive_mut(LoopId(1));
+            d.tile = Some(48); // 48 does not divide 64
+            d.parallel = 9999; // clamps
+            d.tree_reduce = false;
+        }
+        cfg.loop_directive_mut(LoopId(0)).pipeline = PipelineMode::Flatten;
+        cfg.loop_directive_mut(LoopId(0)).tree_reduce = true;
+        cfg.buffer_bits.insert("in_1".into(), 16);
+        let r = oracle.check(&cfg);
+        let fired: Vec<_> = r.diagnostics.iter().map(|d| d.code.code).collect();
+        for expect in [
+            "S2FA-W211", // flatten over a live sub-loop
+            "S2FA-W212", // non-dividing tile
+            "S2FA-W213", // clamped parallel
+            "S2FA-W216", // tree_reduce without a recurrence on L0
+            "S2FA-W215", // 16-bit port under a 32-bit element
+        ] {
+            assert!(fired.contains(&expect), "missing {expect} in {fired:?}");
+        }
+    }
+}

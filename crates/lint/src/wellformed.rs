@@ -1,0 +1,527 @@
+//! IR well-formedness verification over the generated [`CFunction`] AST.
+//!
+//! [`verify_function`] runs after bytecode→C codegen; [`new_errors`] is the
+//! differential form run after every `merlin::apply_structural` rewrite so
+//! a structural transform can never silently corrupt the kernel.
+
+use crate::diag::{codes, LintReport, Span};
+use s2fa_hlsir::{CFunction, CNumKind, CType, Expr, LValue, LoopId, ParamKind, Stmt};
+use std::collections::BTreeSet;
+
+/// What a name is bound to at a use site.
+#[derive(Debug, Clone, Copy)]
+enum Binding {
+    /// A scalar variable of the given type.
+    Scalar(CType),
+    /// An array; `len` is known for constant-size locals only (interface
+    /// buffers span the whole batch), `writable` is false for inputs.
+    Array {
+        ty: CType,
+        len: Option<u32>,
+        writable: bool,
+    },
+}
+
+/// The verifier's walking state: a block-scoped environment plus
+/// already-reported names (one E101 per name, not per use).
+struct Verifier {
+    env: Vec<(String, Binding)>,
+    loop_path: Vec<LoopId>,
+    seen_loops: BTreeSet<u32>,
+    reported_undefined: BTreeSet<String>,
+    report: LintReport,
+}
+
+/// Verifies the static well-formedness of a generated kernel: every name
+/// is defined before use (E101), constant indices stay inside local array
+/// bounds (E102), loop ids are unique (E103), input buffers are never
+/// written (E104), intrinsic arities match (E105), assignments do not
+/// silently narrow (W110), and no loop is dead (W111).
+pub fn verify_function(f: &CFunction) -> LintReport {
+    let mut v = Verifier {
+        env: Vec::new(),
+        loop_path: Vec::new(),
+        seen_loops: BTreeSet::new(),
+        reported_undefined: BTreeSet::new(),
+        report: LintReport::new(&f.name),
+    };
+    for p in &f.params {
+        let binding = match p.kind {
+            ParamKind::ScalarIn => Binding::Scalar(p.ty),
+            ParamKind::BufIn => Binding::Array {
+                ty: p.ty,
+                len: None,
+                writable: false,
+            },
+            ParamKind::BufOut => Binding::Array {
+                ty: p.ty,
+                len: None,
+                writable: true,
+            },
+        };
+        v.env.push((p.name.clone(), binding));
+    }
+    v.walk(&f.body);
+    v.report
+}
+
+/// Error-severity findings present in `after` but not in `baseline` — the
+/// differential check run on the output of a structural rewrite. Fresh
+/// loop ids may shift spans of pre-existing findings; for the generated
+/// kernels the baseline is clean, so anything here is transform damage.
+pub fn new_errors(baseline: &LintReport, after: &LintReport) -> Vec<crate::diag::Diagnostic> {
+    after
+        .errors()
+        .filter(|d| !baseline.diagnostics.contains(d))
+        .cloned()
+        .collect()
+}
+
+impl Verifier {
+    fn lookup(&self, name: &str) -> Option<Binding> {
+        self.env
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| *b)
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            loop_path: self.loop_path.clone(),
+            subject: None,
+        }
+    }
+
+    fn undefined(&mut self, name: &str) {
+        if self.reported_undefined.insert(name.to_string()) {
+            let span = self.span().with_subject(name);
+            self.report.push(
+                codes::USE_BEFORE_DEF,
+                span,
+                format!("`{name}` is used but never declared in scope"),
+            );
+        }
+    }
+
+    /// Checks all uses inside an rvalue: definedness, constant index
+    /// bounds, intrinsic arity.
+    fn check_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::ConstI(_) | Expr::ConstF(_) => {}
+            Expr::Var(n) => {
+                if self.lookup(n).is_none() {
+                    self.undefined(n);
+                }
+            }
+            Expr::Index(base, idx) => {
+                self.check_index(base, idx);
+                self.check_expr(idx);
+            }
+            Expr::Bin(_, _, a, b) => {
+                self.check_expr(a);
+                self.check_expr(b);
+            }
+            Expr::Neg(_, a) | Expr::Cast(_, _, a) => self.check_expr(a),
+            Expr::Call(f, _, args) => {
+                if args.len() != f.arity() {
+                    let span = self.span().with_subject(f.c_name());
+                    self.report.push(
+                        codes::BAD_ARITY,
+                        span,
+                        format!(
+                            "`{}` takes {} argument(s), got {}",
+                            f.c_name(),
+                            f.arity(),
+                            args.len()
+                        ),
+                    );
+                }
+                for a in args {
+                    self.check_expr(a);
+                }
+            }
+            Expr::Select(c, a, b) => {
+                self.check_expr(c);
+                self.check_expr(a);
+                self.check_expr(b);
+            }
+        }
+    }
+
+    /// Definedness + constant-bounds check for one `base[idx]` site.
+    fn check_index(&mut self, base: &str, idx: &Expr) {
+        match self.lookup(base) {
+            None => self.undefined(base),
+            Some(Binding::Scalar(_)) => {
+                let span = self.span().with_subject(base);
+                self.report.push(
+                    codes::USE_BEFORE_DEF,
+                    span,
+                    format!("`{base}` is a scalar but is indexed like an array"),
+                );
+            }
+            Some(Binding::Array { len, .. }) => {
+                if let Expr::ConstI(v) = idx {
+                    let oob = *v < 0 || len.is_some_and(|l| *v >= l as i64);
+                    if oob {
+                        let bound = len.map_or("<runtime>".to_string(), |l| l.to_string());
+                        let span = self.span().with_subject(base);
+                        self.report.push(
+                            codes::OOB_INDEX,
+                            span,
+                            format!("constant index {v} is outside `{base}[{bound}]`"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The numeric kind an expression evaluates to, when derivable.
+    /// Literals return `None` (they adapt to their context).
+    fn result_kind(&self, e: &Expr) -> Option<CNumKind> {
+        match e {
+            Expr::ConstI(_) | Expr::ConstF(_) => None,
+            Expr::Var(n) => match self.lookup(n)? {
+                Binding::Scalar(t) => Some(t.num_kind()),
+                Binding::Array { .. } => None,
+            },
+            Expr::Index(base, _) => match self.lookup(base)? {
+                Binding::Array { ty, .. } => Some(ty.num_kind()),
+                Binding::Scalar(_) => None,
+            },
+            Expr::Bin(op, k, _, _) => Some(if op.is_cmp() { CNumKind::I32 } else { *k }),
+            Expr::Neg(k, _) | Expr::Call(_, k, _) => Some(*k),
+            Expr::Cast(_, to, _) => Some(*to),
+            Expr::Select(_, a, b) => self.result_kind(a).or_else(|| self.result_kind(b)),
+        }
+    }
+
+    /// W110: an implicit store that loses width or floatness.
+    fn check_store_width(&mut self, target: &str, target_ty: CType, rhs: &Expr) {
+        let Some(k) = self.result_kind(rhs) else {
+            return;
+        };
+        let narrows = k.bits() > target_ty.bits() || (k.is_float() && !target_ty.is_float());
+        if narrows {
+            let span = self.span().with_subject(target);
+            self.report.push(
+                codes::TRUNCATING_ASSIGN,
+                span,
+                format!(
+                    "a {}-bit {} value is stored into `{target}: {}` without a cast",
+                    k.bits(),
+                    if k.is_float() { "float" } else { "integer" },
+                    target_ty
+                ),
+            );
+        }
+    }
+
+    fn walk(&mut self, stmts: &[Stmt]) {
+        let scope = self.env.len();
+        for s in stmts {
+            match s {
+                Stmt::DeclArr { name, ty, len } => {
+                    self.env.push((
+                        name.clone(),
+                        Binding::Array {
+                            ty: *ty,
+                            len: Some(*len),
+                            writable: true,
+                        },
+                    ));
+                }
+                Stmt::Decl { name, ty, init } => {
+                    if let Some(e) = init {
+                        self.check_expr(e);
+                        // bind after checking: `int x = x;` is use-before-def
+                        self.env.push((name.clone(), Binding::Scalar(*ty)));
+                        self.check_store_width(name, *ty, e);
+                    } else {
+                        self.env.push((name.clone(), Binding::Scalar(*ty)));
+                    }
+                }
+                Stmt::Assign { lhs, rhs } => {
+                    self.check_expr(rhs);
+                    match lhs {
+                        LValue::Var(n) => match self.lookup(n) {
+                            None => self.undefined(n),
+                            Some(Binding::Scalar(t)) => self.check_store_width(n, t, rhs),
+                            Some(Binding::Array { .. }) => {
+                                let span = self.span().with_subject(n.as_str());
+                                self.report.push(
+                                    codes::USE_BEFORE_DEF,
+                                    span,
+                                    format!("`{n}` is an array but is assigned like a scalar"),
+                                );
+                            }
+                        },
+                        LValue::Index(base, idx) => {
+                            self.check_index(base, idx);
+                            self.check_expr(idx);
+                            if let Some(Binding::Array { ty, writable, .. }) = self.lookup(base) {
+                                if !writable {
+                                    let span = self.span().with_subject(base.as_str());
+                                    self.report.push(
+                                        codes::WRITE_TO_INPUT,
+                                        span,
+                                        format!("`{base}` is a read-only input buffer"),
+                                    );
+                                }
+                                self.check_store_width(base, ty, rhs);
+                            }
+                        }
+                    }
+                }
+                Stmt::For {
+                    id,
+                    var,
+                    bound,
+                    trip_count,
+                    body,
+                    ..
+                } => {
+                    if !self.seen_loops.insert(id.0) {
+                        self.report.push(
+                            codes::DUP_LOOP_ID,
+                            Span::at_loop(*id),
+                            format!("loop id {id} appears more than once"),
+                        );
+                    }
+                    if *trip_count == Some(0) || body.is_empty() {
+                        self.report.push(
+                            codes::DEAD_LOOP,
+                            Span::at_loop(*id),
+                            if body.is_empty() {
+                                format!("loop {id} has an empty body")
+                            } else {
+                                format!("loop {id} has a zero trip count")
+                            },
+                        );
+                    }
+                    self.check_expr(bound);
+                    self.loop_path.push(*id);
+                    let inner = self.env.len();
+                    self.env
+                        .push((var.clone(), Binding::Scalar(CType::Int(32))));
+                    self.walk(body);
+                    self.env.truncate(inner);
+                    self.loop_path.pop();
+                }
+                Stmt::If { cond, then, els } => {
+                    self.check_expr(cond);
+                    self.walk(then);
+                    self.walk(els);
+                }
+            }
+        }
+        self.env.truncate(scope);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2fa_hlsir::{CBinOp, CIntrinsic, Param};
+
+    /// A minimal well-formed kernel: `for t in 0..N { acc[0] = in_1[t] }`.
+    fn kernel() -> CFunction {
+        CFunction {
+            name: "k".into(),
+            params: vec![
+                Param {
+                    name: "n".into(),
+                    ty: CType::Int(32),
+                    kind: ParamKind::ScalarIn,
+                    elems_per_task: None,
+                    broadcast: false,
+                },
+                Param {
+                    name: "in_1".into(),
+                    ty: CType::Float,
+                    kind: ParamKind::BufIn,
+                    elems_per_task: Some(1),
+                    broadcast: false,
+                },
+                Param {
+                    name: "out_1".into(),
+                    ty: CType::Float,
+                    kind: ParamKind::BufOut,
+                    elems_per_task: Some(1),
+                    broadcast: false,
+                },
+            ],
+            body: vec![
+                Stmt::DeclArr {
+                    name: "acc".into(),
+                    ty: CType::Float,
+                    len: 4,
+                },
+                Stmt::counted_for(
+                    LoopId(0),
+                    "t",
+                    16,
+                    vec![Stmt::Assign {
+                        lhs: LValue::Index("acc".into(), Box::new(Expr::ConstI(0))),
+                        rhs: Expr::index("in_1", Expr::var("t")),
+                    }],
+                ),
+                Stmt::Assign {
+                    lhs: LValue::Index("out_1".into(), Box::new(Expr::ConstI(0))),
+                    rhs: Expr::index("acc", Expr::ConstI(0)),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_kernel_passes() {
+        let r = verify_function(&kernel());
+        assert!(r.diagnostics.is_empty(), "{}", r.render());
+    }
+
+    #[test]
+    fn undefined_variable_is_e101() {
+        let mut f = kernel();
+        f.body.push(Stmt::Assign {
+            lhs: LValue::Var("ghost".into()),
+            rhs: Expr::var("phantom"),
+        });
+        let r = verify_function(&f);
+        let codes: Vec<_> = r.errors().map(|d| d.code.code).collect();
+        assert_eq!(codes, vec!["S2FA-E101", "S2FA-E101"]);
+        assert!(r.render().contains("`phantom`"));
+    }
+
+    #[test]
+    fn loop_scope_ends_with_the_loop() {
+        let mut f = kernel();
+        // the induction variable of L0 is dead here
+        f.body.push(Stmt::Assign {
+            lhs: LValue::Index("out_1".into(), Box::new(Expr::ConstI(1))),
+            rhs: Expr::var("t"),
+        });
+        let r = verify_function(&f);
+        assert!(r.errors().any(|d| d.code == codes::USE_BEFORE_DEF));
+    }
+
+    #[test]
+    fn constant_oob_index_is_e102() {
+        let mut f = kernel();
+        f.body.push(Stmt::Assign {
+            lhs: LValue::Index("acc".into(), Box::new(Expr::ConstI(9))),
+            rhs: Expr::ConstF(0.0),
+        });
+        f.body.push(Stmt::Assign {
+            lhs: LValue::Index("acc".into(), Box::new(Expr::ConstI(-1))),
+            rhs: Expr::ConstF(0.0),
+        });
+        let r = verify_function(&f);
+        assert_eq!(r.errors().filter(|d| d.code == codes::OOB_INDEX).count(), 2);
+        assert!(r.render().contains("outside `acc[4]`"));
+    }
+
+    #[test]
+    fn duplicate_loop_id_is_e103() {
+        let mut f = kernel();
+        f.body.push(Stmt::counted_for(LoopId(0), "u", 4, vec![]));
+        let r = verify_function(&f);
+        assert!(r.errors().any(|d| d.code == codes::DUP_LOOP_ID));
+        // the empty body also fires W111
+        assert!(r.diagnostics.iter().any(|d| d.code == codes::DEAD_LOOP));
+    }
+
+    #[test]
+    fn write_to_input_is_e104() {
+        let mut f = kernel();
+        f.body.push(Stmt::Assign {
+            lhs: LValue::Index("in_1".into(), Box::new(Expr::var("n"))),
+            rhs: Expr::ConstF(1.0),
+        });
+        let r = verify_function(&f);
+        assert!(r.errors().any(|d| d.code == codes::WRITE_TO_INPUT));
+    }
+
+    #[test]
+    fn intrinsic_arity_is_e105() {
+        let mut f = kernel();
+        f.body.push(Stmt::Decl {
+            name: "m".into(),
+            ty: CType::Float,
+            init: Some(Expr::Call(
+                CIntrinsic::Min,
+                CNumKind::F32,
+                vec![Expr::ConstF(1.0)],
+            )),
+        });
+        let r = verify_function(&f);
+        assert!(r.errors().any(|d| d.code == codes::BAD_ARITY));
+    }
+
+    #[test]
+    fn implicit_truncation_is_w110() {
+        let mut f = kernel();
+        f.body.push(Stmt::Decl {
+            name: "narrow".into(),
+            ty: CType::Int(32),
+            init: Some(Expr::bin(
+                CBinOp::Add,
+                CNumKind::F64,
+                Expr::ConstF(1.0),
+                Expr::ConstF(2.0),
+            )),
+        });
+        let r = verify_function(&f);
+        assert!(!r.has_errors());
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::TRUNCATING_ASSIGN));
+        // an explicit cast silences it
+        let mut g = kernel();
+        g.body.push(Stmt::Decl {
+            name: "narrow".into(),
+            ty: CType::Int(32),
+            init: Some(Expr::Cast(
+                CNumKind::F64,
+                CNumKind::I32,
+                Box::new(Expr::ConstF(1.0)),
+            )),
+        });
+        assert!(verify_function(&g).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn zero_trip_loop_is_w111() {
+        let mut f = kernel();
+        f.body.push(Stmt::counted_for(
+            LoopId(7),
+            "z",
+            0,
+            vec![Stmt::Assign {
+                lhs: LValue::Index("out_1".into(), Box::new(Expr::ConstI(0))),
+                rhs: Expr::ConstF(0.0),
+            }],
+        ));
+        let r = verify_function(&f);
+        assert!(r.diagnostics.iter().any(|d| d.code == codes::DEAD_LOOP));
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn differential_reports_only_fresh_errors() {
+        let base = verify_function(&kernel());
+        let mut f = kernel();
+        f.body.push(Stmt::Assign {
+            lhs: LValue::Var("ghost".into()),
+            rhs: Expr::ConstI(0),
+        });
+        let after = verify_function(&f);
+        let fresh = new_errors(&base, &after);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].code, codes::USE_BEFORE_DEF);
+        assert!(new_errors(&base, &base).is_empty());
+    }
+}

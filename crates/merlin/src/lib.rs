@@ -27,5 +27,6 @@ pub mod transform;
 
 pub use config::{DesignConfig, LoopDirective};
 pub use transform::{
-    apply_directives, apply_structural, tile_loop, unroll_loop, TransformError, TransformReport,
+    apply_directives, apply_structural, check_factors, tile_loop, unroll_loop, TransformError,
+    TransformReport,
 };

@@ -319,6 +319,47 @@ fn subst_expr(e: &Expr, name: &str, rep: &Expr) -> Expr {
 /// always stays an attribute — it is realized by the runtime's batch
 /// staging, not by loop restructuring.
 ///
+/// Statically reports every [`TransformError`] that `config`'s tile and
+/// unroll factors would raise against `f`, without mutating anything.
+///
+/// This mirrors what [`tile_loop`] / [`unroll_loop`] would reject, in the
+/// order they check: factor range first, divisibility second. Loops the
+/// config names that do not exist in `f` are skipped (the appliers ignore
+/// them), and loops without a compile-time trip count — the task loop,
+/// whose factors are realized as attributes and batch staging — are
+/// skipped too, matching [`apply_structural`]'s pre-filter.
+pub fn check_factors(f: &CFunction, config: &DesignConfig) -> Vec<TransformError> {
+    let mut errors = Vec::new();
+    for (&id, d) in &config.loops {
+        let tc = match f.loop_stmt(id) {
+            Some(Stmt::For { trip_count, .. }) => *trip_count,
+            _ => continue,
+        };
+        let Some(tc) = tc else { continue };
+        if let Some(t) = d.tile {
+            if t <= 1 || t >= tc {
+                errors.push(TransformError::BadFactor { id, factor: t });
+            } else if tc % t != 0 {
+                errors.push(TransformError::NonDividingFactor { id, tc, factor: t });
+            }
+        }
+        let u = d.parallel_factor();
+        if u > tc {
+            errors.push(TransformError::BadFactor { id, factor: u });
+        } else if tc % u != 0 {
+            errors.push(TransformError::NonDividingFactor { id, tc, factor: u });
+        }
+    }
+    errors
+}
+
+/// Applies a configuration *structurally* where possible: inner loops with
+/// a constant trip count divisible by their tile factor are actually split
+/// (the Merlin source-to-source rewrite), and the remaining directives are
+/// attached as attributes. The task loop's tile (a runtime-bounded loop)
+/// always stays an attribute — it is realized by the runtime's batch
+/// staging, not by loop restructuring.
+///
 /// Returns the transformed function and the report of what was applied.
 /// Structural rewrites preserve semantics (property-tested), so the result
 /// is safe to execute and to ship as the final design source.
@@ -401,6 +442,43 @@ mod tests {
             .run(&BTreeMap::new(), &mut buffers)
             .unwrap();
         buffers.remove("out_1").unwrap()
+    }
+
+    #[test]
+    fn check_factors_mirrors_the_appliers() {
+        let base = add_index_kernel();
+        // tc = 16: tile 4 and parallel 8 are clean
+        let mut ok = DesignConfig::new();
+        ok.loop_directive_mut(LoopId(0)).tile = Some(4);
+        ok.loop_directive_mut(LoopId(0)).parallel = 8;
+        assert!(check_factors(&base, &ok).is_empty());
+
+        // non-dividing tile, out-of-range parallel
+        let mut bad = DesignConfig::new();
+        bad.loop_directive_mut(LoopId(0)).tile = Some(3);
+        bad.loop_directive_mut(LoopId(0)).parallel = 32;
+        let errs = check_factors(&base, &bad);
+        assert_eq!(errs.len(), 2);
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            TransformError::NonDividingFactor {
+                tc: 16,
+                factor: 3,
+                ..
+            }
+        )));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, TransformError::BadFactor { factor: 32, .. })));
+        // each reported factor is exactly what the applier rejects
+        let mut f = base.clone();
+        assert!(tile_loop(&mut f, LoopId(0), 3).is_err());
+        assert!(unroll_loop(&mut f, LoopId(0), 32).is_err());
+
+        // unknown loop ids are ignored, like apply_directives
+        let mut ghost = DesignConfig::new();
+        ghost.loop_directive_mut(LoopId(99)).tile = Some(3);
+        assert!(check_factors(&base, &ghost).is_empty());
     }
 
     #[test]

@@ -38,6 +38,13 @@ pub enum Event {
     CacheHit,
     /// The estimate memo table missed and the estimator ran.
     CacheMiss,
+    /// The legality pre-screen rejected a design point before the
+    /// estimator or the memo table was consulted. Host-side, like the
+    /// cache events: no virtual minute (static analysis is free).
+    Prune {
+        /// The lint rule that fired (e.g. `S2FA-E201`).
+        rule: String,
+    },
     /// The bandit selected a technique to propose the next candidate.
     TechniquePull {
         /// Technique name.
@@ -98,6 +105,7 @@ impl Event {
             Event::Eval { .. } => "eval",
             Event::CacheHit => "cache_hit",
             Event::CacheMiss => "cache_miss",
+            Event::Prune { .. } => "prune",
             Event::TechniquePull { .. } => "technique_pull",
             Event::TechniqueReward { .. } => "technique_reward",
             Event::PartitionStart { .. } => "partition_start",
@@ -141,6 +149,9 @@ impl Event {
                 push_bool_field(&mut s, "improved", *improved);
             }
             Event::CacheHit | Event::CacheMiss => {}
+            Event::Prune { rule } => {
+                push_str_field(&mut s, "rule", rule);
+            }
             Event::TechniquePull {
                 technique,
                 iteration,
@@ -308,5 +319,14 @@ mod tests {
     fn cache_events_are_bare() {
         assert_eq!(Event::CacheHit.to_json(), "{\"type\":\"cache_hit\"}");
         assert_eq!(Event::CacheMiss.to_json(), "{\"type\":\"cache_miss\"}");
+    }
+
+    #[test]
+    fn prune_carries_its_rule() {
+        let e = Event::Prune {
+            rule: "S2FA-E201".into(),
+        };
+        assert_eq!(e.kind(), "prune");
+        assert_eq!(e.to_json(), "{\"type\":\"prune\",\"rule\":\"S2FA-E201\"}");
     }
 }

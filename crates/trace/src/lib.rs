@@ -30,10 +30,11 @@
 //!
 //! Events carrying a `minute` live on the *virtual* clock — the simulated
 //! HLS wall-clock of the paper's experiments, fully deterministic given
-//! the RNG seed. Cache events have no minute: they are *host-side* events
-//! recording real memo-table activity, and their interleaving under a
-//! multi-threaded run is OS-dependent (each event is self-describing, so
-//! the flight record stays analyzable).
+//! the RNG seed. Cache and prune events have no minute: they are
+//! *host-side* events recording real memo-table and pre-screen activity,
+//! and their interleaving under a multi-threaded run is OS-dependent
+//! (each event is self-describing, so the flight record stays
+//! analyzable).
 
 pub mod agg;
 pub mod clock;

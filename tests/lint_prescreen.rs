@@ -1,0 +1,165 @@
+//! The legality pre-screen inside the DSE: exact pruning must be free.
+//!
+//! `DseOptions::prescreen` routes every candidate through the
+//! `s2fa-lint` legality oracle before the estimator. Because the oracle
+//! shares the estimator's own `ResourceScreen` accounting, a pruned point
+//! keeps the exact `+inf` objective the estimator would have produced —
+//! the search trajectory is value-identical, only the virtual HLS clock
+//! (and the real estimator invocations) shrink. These tests pin that
+//! bargain down over the paper's eight workloads.
+
+use s2fa::compile_kernel;
+use s2fa_dse::{run_dse, run_dse_traced, DseOptions, DseOutcome};
+use s2fa_hlsir::{analysis, KernelSummary};
+use s2fa_hlssim::Estimator;
+use s2fa_trace::RingSink;
+use s2fa_workloads::all_workloads;
+use std::sync::Arc;
+
+fn summaries() -> Vec<(&'static str, KernelSummary)> {
+    all_workloads()
+        .iter()
+        .map(|w| {
+            let g = compile_kernel(&w.spec).expect(w.name);
+            let s = analysis::summarize(&g.cfunc, 1024).expect(w.name);
+            (w.name, s)
+        })
+        .collect()
+}
+
+fn prescreen_options() -> DseOptions {
+    let mut opts = DseOptions::s2fa();
+    opts.prescreen = true;
+    opts
+}
+
+/// The fields that define an outcome's search trajectory (everything the
+/// clock-accounting can influence), for bit-identity comparisons.
+fn outcome_key(o: &DseOutcome) -> (Option<String>, Vec<(u64, u64)>, u64, u64) {
+    (
+        o.best.as_ref().map(|(c, e)| format!("{c:?} {e:?}")),
+        o.convergence
+            .iter()
+            .map(|&(m, v)| (m.to_bits(), v.to_bits()))
+            .collect(),
+        o.total_evaluations,
+        o.elapsed_minutes.to_bits(),
+    )
+}
+
+#[test]
+fn prescreen_keeps_qor_and_cuts_estimator_invocations() {
+    // The tentpole acceptance property: on every workload the pre-screened
+    // run reaches an equal-or-better QoR while invoking the estimator
+    // (cache misses) strictly fewer times; KMeans and S-W must actually
+    // prune (their spaces are rich in statically infeasible points).
+    let est = Estimator::new();
+    for (name, s) in summaries() {
+        let base = run_dse(&s, &est, &DseOptions::s2fa());
+        let pre = run_dse(&s, &est, &prescreen_options());
+
+        assert!(
+            pre.best_value() <= base.best_value(),
+            "{name}: prescreen QoR {} worse than base {}",
+            pre.best_value(),
+            base.best_value()
+        );
+        assert!(
+            pre.cache.misses < base.cache.misses,
+            "{name}: prescreen misses {} not below base {}",
+            pre.cache.misses,
+            base.cache.misses
+        );
+        assert!(
+            pre.elapsed_minutes <= base.elapsed_minutes + 1e-9,
+            "{name}: pruning must never lengthen the virtual run"
+        );
+        if name == "KMeans" || name == "S-W" {
+            assert!(pre.pruned_illegal > 0, "{name}: expected pruned points");
+        }
+        // Bookkeeping invariants: the outcome mirror of the cache counter,
+        // and the per-rule split summing back to the total.
+        assert_eq!(pre.pruned_illegal, pre.cache.pruned_illegal, "{name}");
+        let by_rule: u64 = pre.pruned_by_rule.iter().map(|(_, n)| n).sum();
+        assert_eq!(by_rule, pre.pruned_illegal, "{name}: rule split drifted");
+        assert_eq!(base.pruned_illegal, 0, "{name}: base run must not prune");
+    }
+}
+
+#[test]
+fn prescreen_off_is_bit_identical_to_the_default() {
+    // `prescreen: false` is the default; setting it explicitly (or
+    // re-running) must reproduce the identical trajectory — the new
+    // plumbing is invisible until opted into.
+    let est = Estimator::new();
+    for (name, s) in summaries().into_iter().take(3) {
+        let a = run_dse(&s, &est, &DseOptions::s2fa());
+        let mut explicit = DseOptions::s2fa();
+        explicit.prescreen = false;
+        let b = run_dse(&s, &est, &explicit);
+        assert_eq!(outcome_key(&a), outcome_key(&b), "{name}");
+    }
+}
+
+#[test]
+fn pruned_points_never_win_and_convergence_stays_sane() {
+    // The screen only ever removes `+inf` points from the estimator's
+    // workload, so the winner must be a genuinely feasible design and the
+    // best-so-far trace must stay non-increasing. (The full trajectory is
+    // *not* bit-identical to the base run — pruned points charge zero
+    // virtual minutes, so the clock buys extra exploration; that surplus
+    // is exactly the point.)
+    let est = Estimator::new();
+    for (name, s) in summaries() {
+        let pre = run_dse(&s, &est, &prescreen_options());
+        let (_, best) = pre.best.as_ref().expect(name);
+        assert!(best.is_feasible(), "{name}: a pruned point won the search");
+        assert!(best.time_ms.is_finite(), "{name}");
+        for w in pre.convergence.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-12,
+                "{name}: convergence regressed from {} to {}",
+                w[0].1,
+                w[1].1
+            );
+        }
+    }
+}
+
+#[test]
+fn dead_fraction_is_reported_per_partition() {
+    let est = Estimator::new();
+    for (name, s) in summaries().into_iter().take(3) {
+        let out = run_dse(&s, &est, &DseOptions::s2fa());
+        assert!(!out.per_partition.is_empty(), "{name}");
+        for p in &out.per_partition {
+            assert!(
+                (0.0..=1.0).contains(&p.dead_fraction),
+                "{name}: partition {} dead_fraction {}",
+                p.index,
+                p.dead_fraction
+            );
+        }
+    }
+}
+
+#[test]
+fn prune_events_stream_through_the_trace_sink() {
+    // Every pruned point emits exactly one `Event::Prune` carrying its
+    // rule code; the stream totals must reconcile with the counters.
+    let est = Estimator::new();
+    let (name, s) = summaries().swap_remove(7); // S-W: prunes heavily
+    let sink = Arc::new(RingSink::new(1 << 16));
+    let out = run_dse_traced(&s, &est, &prescreen_options(), sink.clone());
+    assert!(out.pruned_illegal > 0, "{name}: expected pruning");
+    let prunes = sink.events_where(|e| e.kind() == "prune");
+    assert_eq!(prunes.len() as u64, out.pruned_illegal, "{name}");
+    for e in &prunes {
+        match e {
+            s2fa_trace::Event::Prune { rule } => {
+                assert!(rule.starts_with("S2FA-E"), "{name}: odd rule {rule}")
+            }
+            other => panic!("{name}: non-prune event {other:?}"),
+        }
+    }
+}
