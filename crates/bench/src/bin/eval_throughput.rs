@@ -8,9 +8,20 @@
 //! The headline number is the **memoization speedup**: evals/sec with a
 //! warm cache over evals/sec with caching disabled — the steady-state win
 //! the DSE driver sees when partitions, seeds, and the probe pass revisit
-//! canonical design points. Thread scaling of the batch path is reported
-//! alongside (it tracks the host's core count; single-core CI reports
-//! ~1×).
+//! canonical design points. Around it, three observability measurements:
+//!
+//! * **Thread sweep with per-stage attribution** — the batch path at
+//!   1/2/4/8 threads, each count paired with the profiled breakdown
+//!   (spawn/dispatch/estimate/collect/merge/idle) from
+//!   [`analyze_batch_loop`], so the scaling number and its explanation
+//!   ship together.
+//! * **Profiling overhead** — the instrumented serial batch path with the
+//!   disabled profiler vs a plain uninstrumented loop over the same
+//!   closure (the disabled path must stay under 2% of it), and the fully
+//!   enabled profiler for the worst case.
+//! * **Sink overhead** — JSONL flight recording of cache activity on a
+//!   512-point-batch run: one event per lookup (the pre-batching
+//!   behavior, emulated) vs one batched `cache_stats` delta per batch.
 
 use rand::{rngs::SmallRng, SeedableRng};
 use s2fa::compile_kernel;
@@ -18,12 +29,18 @@ use s2fa_bench::results::{self, Json};
 use s2fa_dse::{DesignSpace, EvalEngine};
 use s2fa_hlsir::analysis;
 use s2fa_hlssim::Estimator;
+use s2fa_obs::{analyze_batch_loop, BatchLoopProfile, Profiler};
+use s2fa_trace::{Event, JsonlSink, TraceSink};
 use s2fa_tuner::{Config, Measurement, Objective, ThreadedObjective};
 use s2fa_workloads::sw;
+use std::sync::Arc;
 use std::time::Instant;
 
 const BATCH: usize = 512;
 const ROUNDS: usize = 40;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Batches in the sink-overhead comparison (each of size [`BATCH`]).
+const SINK_BATCHES: usize = 64;
 
 fn evals_per_sec(mut run_batch: impl FnMut()) -> f64 {
     // one untimed warm-up round so lazy setup (thread pools, cache fills
@@ -34,6 +51,21 @@ fn evals_per_sec(mut run_batch: impl FnMut()) -> f64 {
         run_batch();
     }
     (BATCH * ROUNDS) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn batch_loop_json(p: &BatchLoopProfile) -> Json {
+    let n = |v: u64| Json::n(v as f64);
+    Json::obj(vec![
+        ("batches", n(p.batches)),
+        ("wall_ns", n(p.wall_ns)),
+        ("spawn_ns", n(p.spawn_ns)),
+        ("dispatch_ns", n(p.dispatch_ns)),
+        ("estimate_ns", n(p.estimate_ns)),
+        ("collect_ns", n(p.collect_ns)),
+        ("merge_ns", n(p.merge_ns)),
+        ("idle_ns", n(p.idle_ns)),
+        ("attributed_fraction", Json::n(p.attributed_fraction())),
+    ])
 }
 
 fn main() {
@@ -65,7 +97,9 @@ fn main() {
     });
     let warm_stats = warm_engine.cache_stats();
 
-    // Batch path thread scaling (bounded by the host's core count).
+    // Batch-path thread sweep. Each count is measured twice: a clean
+    // timing pass with the disabled profiler (the throughput number) and
+    // a profiled pass whose spans yield the per-stage attribution.
     let eval = |cfg: &Config| -> Measurement {
         let e = uncached_engine.evaluate(&ds.decode(cfg));
         Measurement {
@@ -73,24 +107,93 @@ fn main() {
             minutes: e.hls_minutes,
         }
     };
-    let mut threaded = Vec::new();
-    for threads in [1usize, 8] {
+    let mut threaded: Vec<(usize, f64, BatchLoopProfile)> = Vec::new();
+    for threads in THREADS {
         let mut obj = ThreadedObjective::new(&eval, threads);
         let rate = evals_per_sec(|| {
             std::hint::black_box(obj.measure_batch(&configs));
         });
-        threaded.push((threads, rate));
+        let profiler = Profiler::enabled();
+        let mut obj = ThreadedObjective::new(&eval, threads).with_profiler(&profiler);
+        for _ in 0..4 {
+            std::hint::black_box(obj.measure_batch(&configs));
+        }
+        drop(obj);
+        let stages = analyze_batch_loop(&profiler.take_spans(), threads as u64);
+        threaded.push((threads, rate, stages));
     }
 
+    // Profiling overhead on the serial batch path: a plain map-collect
+    // over the same closure (exactly the work the uninstrumented serial
+    // path did) vs the instrumented path with the disabled profiler
+    // (must be within 2%) vs fully enabled.
+    let plain = evals_per_sec(|| {
+        let out: Vec<Measurement> = configs.iter().map(eval).collect();
+        std::hint::black_box(out);
+    });
+    let mut obj = ThreadedObjective::new(&eval, 1);
+    let disabled = evals_per_sec(|| {
+        std::hint::black_box(obj.measure_batch(&configs));
+    });
+    let enabled_profiler = Profiler::enabled();
+    let mut obj = ThreadedObjective::new(&eval, 1).with_profiler(&enabled_profiler);
+    let enabled = evals_per_sec(|| {
+        std::hint::black_box(obj.measure_batch(&configs));
+    });
+    drop(obj);
+    let disabled_overhead_pct = 100.0 * (plain / disabled - 1.0);
+    let enabled_overhead_pct = 100.0 * (plain / enabled - 1.0);
+
+    // Sink overhead on a 512-point-batch run: per-lookup emission (one
+    // JSONL event per evaluate, the pre-batching behavior) vs one
+    // cache_stats delta flushed per batch.
+    let tmp = std::env::temp_dir();
+    let per_lookup_path = tmp.join("s2fa_bench_per_lookup.jsonl");
+    let batched_path = tmp.join("s2fa_bench_batched.jsonl");
+    let sink_run = |per_lookup: bool, path: &std::path::Path| -> (f64, u64) {
+        let sink = Arc::new(JsonlSink::create(path).expect("temp jsonl opens"));
+        let mut engine = EvalEngine::new(&s, &est);
+        engine.set_sink(Some(sink.clone() as Arc<dyn TraceSink>));
+        let t0 = Instant::now();
+        for _ in 0..SINK_BATCHES {
+            for dc in &designs {
+                std::hint::black_box(engine.evaluate(dc));
+                if per_lookup {
+                    // what every lookup used to cost the sink
+                    sink.emit(&Event::CacheStats {
+                        hits: 1,
+                        misses: 0,
+                        overwrites: 0,
+                    });
+                }
+            }
+            if !per_lookup {
+                engine.flush_cache_stats();
+            }
+        }
+        sink.flush();
+        let rate = (SINK_BATCHES * BATCH) as f64 / t0.elapsed().as_secs_f64();
+        (rate, sink.emitted())
+    };
+    let (per_lookup_rate, per_lookup_events) = sink_run(true, &per_lookup_path);
+    let (batched_rate, batched_events) = sink_run(false, &batched_path);
+    let _ = std::fs::remove_file(&per_lookup_path);
+    let _ = std::fs::remove_file(&batched_path);
+
     let cache_speedup = warm / uncached;
-    let thread_speedup = threaded[1].1 / threaded[0].1;
+    let thread_speedup = threaded.last().unwrap().1 / threaded[0].1;
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     println!("evaluation-engine throughput (S-W design space, batch of {BATCH}):");
     println!("  uncached serial   : {uncached:>12.0} evals/sec");
     println!("  warm cache        : {warm:>12.0} evals/sec   ({cache_speedup:.1}x)");
-    for (t, r) in &threaded {
-        println!("  threaded x{t:<2}      : {r:>12.0} evals/sec");
+    for (t, r, stages) in &threaded {
+        println!(
+            "  threaded x{t:<2}      : {r:>12.0} evals/sec   (spawn {:.0}% est {:.0}% attr {:.0}%)",
+            100.0 * stages.spawn_ns as f64 / stages.wall_ns.max(1) as f64,
+            100.0 * stages.estimate_ns as f64 / stages.wall_ns.max(1) as f64,
+            100.0 * stages.attributed_fraction(),
+        );
     }
     println!("  host cores        : {cores}");
     println!(
@@ -98,6 +201,13 @@ fn main() {
         100.0 * warm_stats.hit_rate(),
         warm_stats.hits,
         warm_stats.hits + warm_stats.misses
+    );
+    println!(
+        "  profiling overhead : disabled {disabled_overhead_pct:+.2}%  enabled {enabled_overhead_pct:+.2}%"
+    );
+    println!(
+        "  sink overhead      : per-lookup {per_lookup_rate:>10.0} evals/sec ({per_lookup_events} events)  \
+batched {batched_rate:>10.0} evals/sec ({batched_events} events)"
     );
 
     let doc = Json::obj(vec![
@@ -113,10 +223,11 @@ fn main() {
             Json::Arr(
                 threaded
                     .iter()
-                    .map(|&(t, r)| {
+                    .map(|(t, r, stages)| {
                         Json::obj(vec![
-                            ("threads", Json::n(t as f64)),
-                            ("evals_per_sec", Json::n(r)),
+                            ("threads", Json::n(*t as f64)),
+                            ("evals_per_sec", Json::n(*r)),
+                            ("stages", batch_loop_json(stages)),
                         ])
                     })
                     .collect(),
@@ -128,11 +239,44 @@ fn main() {
             "cache_lookups",
             Json::n((warm_stats.hits + warm_stats.misses) as f64),
         ),
+        (
+            "profiling",
+            Json::obj(vec![
+                ("plain_evals_per_sec", Json::n(plain)),
+                ("disabled_evals_per_sec", Json::n(disabled)),
+                ("enabled_evals_per_sec", Json::n(enabled)),
+                ("disabled_overhead_pct", Json::n(disabled_overhead_pct)),
+                ("enabled_overhead_pct", Json::n(enabled_overhead_pct)),
+                (
+                    "disabled_within_2pct",
+                    Json::Bool(disabled_overhead_pct < 2.0),
+                ),
+            ]),
+        ),
+        (
+            "sink_overhead",
+            Json::obj(vec![
+                ("batches", Json::n(SINK_BATCHES as f64)),
+                ("per_lookup_evals_per_sec", Json::n(per_lookup_rate)),
+                ("per_lookup_events", Json::n(per_lookup_events as f64)),
+                ("batched_evals_per_sec", Json::n(batched_rate)),
+                ("batched_events", Json::n(batched_events as f64)),
+                (
+                    "batched_speedup",
+                    Json::n(batched_rate / per_lookup_rate.max(1e-9)),
+                ),
+            ]),
+        ),
         ("meets_2x_target", Json::Bool(cache_speedup >= 2.0)),
     ]);
     results::save("BENCH_eval_throughput", &doc);
 
     if cache_speedup < 2.0 {
         eprintln!("warning: memoization speedup {cache_speedup:.2}x below the 2x target");
+    }
+    if disabled_overhead_pct >= 2.0 {
+        eprintln!(
+            "warning: disabled-profiler overhead {disabled_overhead_pct:.2}% exceeds the 2% budget"
+        );
     }
 }

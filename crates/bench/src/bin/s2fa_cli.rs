@@ -6,16 +6,38 @@
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel S-W --budget 120 --emit-c
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel LR --manual --report
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel KMeans --trace kmeans.jsonl
+//! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel KMeans --metrics metrics.json
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel KMeans --prescreen
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- lint
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- lint --format json --save
+//! cargo run --release -p s2fa-bench --bin s2fa_cli -- profile --kernel S-W
+//! cargo run --release -p s2fa-bench --bin s2fa_cli -- report --kernel S-W
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --list
 //! ```
 //!
 //! `--trace <path>` attaches the flight recorder: every structured event
 //! of the DSE run (evaluations on the virtual timeline, partition
-//! lifecycles, technique pulls/rewards, cache hits/misses, legality
-//! prunes) is appended to `<path>` as one JSON object per line.
+//! lifecycles, technique pulls/rewards, batched cache-stats deltas,
+//! legality prunes) is appended to `<path>` as one JSON object per line.
+//!
+//! `--metrics <path>` attaches a metrics-only profiler (histograms and
+//! counters live, span lanes inert) and dumps the registry standalone to
+//! `<path>` after the run — per-eval latency, cache probe/lock-wait,
+//! bandit pull, batch fan-out/join distributions.
+//!
+//! `profile` runs one kernel's automatic flow under full host-side
+//! profiling and writes the flight-recorder artifacts:
+//! `results/PROFILE_<kernel>.json` (validated against
+//! `docs/profile.schema.json` before writing), a timing-free structure
+//! document for the CI golden diff, and folded stacks for flamegraph
+//! tooling — then prints the human-readable report. A dedicated sweep
+//! phase re-measures the threaded batch loop at each `--threads` count
+//! (512-point batches on an uncached engine) so the report attributes
+//! the batch loop's wall-time — spawn, dispatch, estimate, collect,
+//! merge, idle — per thread count.
+//!
+//! `report` re-renders a previously written profile without running
+//! anything.
 //!
 //! `lint` runs the `s2fa-lint` static analyses over every workload (or
 //! one selected with `--kernel`) *without* exploring anything: the IR
@@ -30,16 +52,23 @@
 use s2fa::lint::{factor_diagnostics, new_errors, verify_function, Legality, Severity};
 use s2fa::{S2fa, S2faOptions};
 use s2fa_bench::results::{save, Json};
-use s2fa_dse::DesignSpace;
+use s2fa_dse::{DesignSpace, EvalEngine};
 use s2fa_hlsir::analysis;
 use s2fa_hlssim::{report, Estimator};
 use s2fa_merlin::{apply_structural, DesignConfig};
-use s2fa_trace::{JsonlSink, TraceSink};
+use s2fa_obs::{
+    aggregate_spans, analyze_batch_loop, correlate, validate, verify_spans, CorrelatorSink,
+    Json as ObsJson, Profile, Profiler,
+};
+use s2fa_trace::{JsonlSink, NullSink, TraceSink};
+use s2fa_tuner::{Config, Measurement, Objective, ThreadedObjective};
 use s2fa_workloads::all_workloads;
 use std::sync::Arc;
 
 struct Args {
     lint: bool,
+    profile: bool,
+    report_cmd: bool,
     kernel: Option<String>,
     budget: f64,
     tasks: u32,
@@ -48,6 +77,9 @@ struct Args {
     report: bool,
     list: bool,
     trace: Option<String>,
+    metrics: Option<String>,
+    threads: Vec<usize>,
+    profile_path: Option<String>,
     prescreen: bool,
     format: Format,
     save: bool,
@@ -62,6 +94,8 @@ enum Format {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         lint: false,
+        profile: false,
+        report_cmd: false,
         kernel: None,
         budget: 240.0,
         tasks: 1024,
@@ -70,14 +104,28 @@ fn parse_args() -> Result<Args, String> {
         report: false,
         list: false,
         trace: None,
+        metrics: None,
+        threads: vec![1, 2, 4, 8],
+        profile_path: None,
         prescreen: false,
         format: Format::Text,
         save: false,
     };
     let mut it = std::env::args().skip(1).peekable();
-    if it.peek().map(String::as_str) == Some("lint") {
-        args.lint = true;
-        it.next();
+    match it.peek().map(String::as_str) {
+        Some("lint") => {
+            args.lint = true;
+            it.next();
+        }
+        Some("profile") => {
+            args.profile = true;
+            it.next();
+        }
+        Some("report") => {
+            args.report_cmd = true;
+            it.next();
+        }
+        _ => {}
     }
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -100,6 +148,27 @@ fn parse_args() -> Result<Args, String> {
             }
             "--trace" => {
                 args.trace = Some(it.next().ok_or("--trace needs a path")?);
+            }
+            "--metrics" => {
+                args.metrics = Some(it.next().ok_or("--metrics needs a path")?);
+            }
+            "--profile" => {
+                args.profile_path = Some(it.next().ok_or("--profile needs a path")?);
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .ok_or("--threads needs a comma-separated list")?
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad --threads entry `{t}`: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if args.threads.is_empty() {
+                    return Err("--threads needs at least one count".to_string());
+                }
             }
             "--format" => {
                 args.format = match it.next().ok_or("--format needs text|json")?.as_str() {
@@ -124,8 +193,10 @@ fn parse_args() -> Result<Args, String> {
 }
 
 const USAGE: &str = "usage: s2fa_cli --kernel <name> [--budget <minutes>] [--tasks <n>] \
-[--manual] [--emit-c] [--report] [--prescreen] [--trace <path>] | --list\n       \
-s2fa_cli lint [--kernel <name>] [--tasks <n>] [--format text|json] [--save]";
+[--manual] [--emit-c] [--report] [--prescreen] [--trace <path>] [--metrics <path>] | --list\n       \
+s2fa_cli lint [--kernel <name>] [--tasks <n>] [--format text|json] [--save]\n       \
+s2fa_cli profile --kernel <name> [--budget <minutes>] [--tasks <n>] [--threads 1,2,4,8]\n       \
+s2fa_cli report (--kernel <name> | --profile <path>)";
 
 fn main() {
     let args = match parse_args() {
@@ -137,6 +208,12 @@ fn main() {
     };
     if args.lint {
         std::process::exit(run_lint(&args));
+    }
+    if args.profile {
+        std::process::exit(run_profile(&args));
+    }
+    if args.report_cmd {
+        std::process::exit(run_report(&args));
     }
     if args.list {
         println!("available kernels:");
@@ -169,6 +246,10 @@ fn main() {
     let mut framework = S2fa::new(options);
     if let Some(sink) = &sink {
         framework = framework.with_trace_sink(sink.clone() as Arc<dyn TraceSink>);
+    }
+    let metrics_profiler = args.metrics.as_ref().map(|_| Profiler::metrics_only());
+    if let Some(p) = &metrics_profiler {
+        framework = framework.with_profiler(p.clone());
     }
 
     let wall = std::time::Instant::now();
@@ -244,6 +325,21 @@ fn main() {
             sink.emitted(),
             sink.path().display()
         );
+    }
+    if let (Some(path), Some(p)) = (&args.metrics, &metrics_profiler) {
+        let doc = Profile {
+            kernel: w.name.to_string(),
+            mode: "metrics".to_string(),
+            metrics: p.metrics().expect("metrics-only profiler").snapshot(),
+            ..Profile::default()
+        };
+        match std::fs::write(path, doc.to_json().render()) {
+            Ok(()) => println!("metrics: registry written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write metrics file `{path}`: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     if args.emit_c {
         println!("\n--- generated HLS C ---\n{}", compiled.optimized_source);
@@ -400,4 +496,168 @@ fn run_lint(args: &Args) -> i32 {
         save("lint_report", &doc);
     }
     i32::from(total_errors > 0)
+}
+
+/// Batch geometry of the dedicated thread sweep: the satellite-bench
+/// batch size at a handful of repetitions — enough spans to average the
+/// per-batch spawn/join costs without turning the sweep into a benchmark.
+const SWEEP_BATCH: usize = 512;
+const SWEEP_BATCHES: usize = 4;
+const SWEEP_SEED: u64 = 2018;
+
+/// The `profile` subcommand: run the kernel's automatic flow under full
+/// profiling, sweep the batch loop across thread counts, and write the
+/// flight-recorder artifacts. Returns the process exit code.
+fn run_profile(args: &Args) -> i32 {
+    let Some(name) = &args.kernel else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let Some(w) = all_workloads().into_iter().find(|w| w.name == *name) else {
+        eprintln!("unknown kernel `{name}` — try --list");
+        return 2;
+    };
+
+    let mut options = S2faOptions {
+        tasks_hint: args.tasks,
+        ..S2faOptions::default()
+    };
+    options.dse.budget_minutes = args.budget;
+    options.dse.prescreen = args.prescreen;
+
+    // 1. The profiled pipeline run, with the dual-clock correlator
+    // shadowing the virtual-minute event stream.
+    let profiler = Profiler::enabled();
+    let corr = Arc::new(CorrelatorSink::new(NullSink, profiler.clone()));
+    let framework = S2fa::new(options)
+        .with_profiler(profiler.clone())
+        .with_trace_sink(corr.clone() as Arc<dyn TraceSink>);
+    let compiled = framework.compile(&w.spec).expect("automatic flow succeeds");
+    let spans = profiler.take_spans();
+    if let Err(e) = verify_spans(&spans) {
+        eprintln!("internal error: recorded span forest is ill-formed: {e}");
+        return 1;
+    }
+    let correlation = correlate(&corr.samples(), &spans);
+    let metrics = profiler.metrics().expect("enabled profiler").snapshot();
+
+    // 2. The dedicated batch-loop sweep: same kernel, uncached engine (so
+    // every eval pays the estimator walk), one ThreadedObjective per
+    // thread count, batches of SWEEP_BATCH random points. Batches run
+    // serially within a sweep, which is what lets `analyze_batch_loop`
+    // associate worker spans to batches by containment.
+    let summary = &compiled.summary;
+    let ds = DesignSpace::build(summary);
+    let est = Estimator::new();
+    let mut batch_loop = Vec::new();
+    for &threads in &args.threads {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let sweep = Profiler::enabled();
+        let mut engine = EvalEngine::new(summary, &est);
+        engine.set_caching(false);
+        let eval = |cfg: &Config| -> Measurement {
+            let e = engine.evaluate(&ds.decode(cfg));
+            Measurement {
+                value: e.objective(),
+                minutes: e.hls_minutes,
+            }
+        };
+        let mut obj = ThreadedObjective::new(&eval, threads).with_profiler(&sweep);
+        let mut rng = SmallRng::seed_from_u64(SWEEP_SEED);
+        for _ in 0..SWEEP_BATCHES {
+            let configs: Vec<Config> = (0..SWEEP_BATCH)
+                .map(|_| ds.space().random(&mut rng))
+                .collect();
+            std::hint::black_box(obj.measure_batch(&configs));
+        }
+        drop(obj);
+        batch_loop.push(analyze_batch_loop(&sweep.take_spans(), threads as u64));
+    }
+
+    let profile = Profile {
+        kernel: w.name.to_string(),
+        mode: "full".to_string(),
+        tree: aggregate_spans(&spans),
+        metrics,
+        correlation,
+        batch_loop,
+    };
+
+    // 3. Validate against the checked-in schema before shipping anything.
+    let schema = ObsJson::parse(include_str!("../../../../docs/profile.schema.json"))
+        .expect("checked-in schema parses");
+    let doc = profile.to_json();
+    let violations = validate(&schema, &doc);
+    if !violations.is_empty() {
+        eprintln!("profile violates docs/profile.schema.json:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        return 1;
+    }
+
+    // 4. Artifacts: the full profile, the timing-free structure document
+    // (CI's golden diff target), and folded stacks for flamegraphs.
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("cannot create results/: {e}");
+        return 1;
+    }
+    let artifacts = [
+        (format!("results/PROFILE_{}.json", w.name), doc.render()),
+        (
+            format!("results/PROFILE_structure_{}.json", w.name),
+            profile.structure().render(),
+        ),
+        (
+            format!("results/PROFILE_{}.folded", w.name),
+            profile.folded(),
+        ),
+    ];
+    for (path, contents) in &artifacts {
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        println!("(profile artifact written to {path})");
+    }
+
+    println!("\n{}", profile.render_text());
+    0
+}
+
+/// The `report` subcommand: re-render a previously written profile.
+/// Returns the process exit code.
+fn run_report(args: &Args) -> i32 {
+    let path = match (&args.profile_path, &args.kernel) {
+        (Some(p), _) => p.clone(),
+        (None, Some(k)) => format!("results/PROFILE_{k}.json"),
+        (None, None) => {
+            eprintln!("{USAGE}");
+            return 2;
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read `{path}`: {e}");
+            return 2;
+        }
+    };
+    let json = match ObsJson::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("`{path}` is not JSON: {e}");
+            return 2;
+        }
+    };
+    match Profile::from_json(&json) {
+        Ok(profile) => {
+            print!("{}", profile.render_text());
+            0
+        }
+        Err(e) => {
+            eprintln!("`{path}` is not a profile document: {e}");
+            2
+        }
+    }
 }

@@ -3,13 +3,14 @@
 use crate::codegen::{compile_kernel, GeneratedKernel};
 use crate::S2faError;
 use s2fa_blaze::{AccelTimeModel, Accelerator};
-use s2fa_dse::{run_dse, run_dse_traced, DesignSpace, DseOptions, DseOutcome};
+use s2fa_dse::{run_dse_profiled, DesignSpace, DseOptions, DseOutcome};
 use s2fa_hlsir::{analysis, printer, KernelSummary};
 use s2fa_hlssim::{Estimate, Estimator};
 use s2fa_lint::{new_errors, verify_function, LintReport};
 use s2fa_merlin::{apply_structural, DesignConfig};
+use s2fa_obs::Profiler;
 use s2fa_sjvm::KernelSpec;
-use s2fa_trace::TraceSink;
+use s2fa_trace::{NullSink, TraceSink};
 use std::sync::Arc;
 
 /// Options of one compilation.
@@ -59,6 +60,7 @@ pub struct S2fa {
     estimator: Estimator,
     options: S2faOptions,
     trace_sink: Option<Arc<dyn TraceSink>>,
+    profiler: Profiler,
 }
 
 impl S2fa {
@@ -69,6 +71,7 @@ impl S2fa {
             estimator: Estimator::new(),
             options,
             trace_sink: None,
+            profiler: Profiler::disabled(),
         }
     }
 
@@ -85,6 +88,23 @@ impl S2fa {
     pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.trace_sink = Some(sink);
         self
+    }
+
+    /// Attaches a host-side profiler: [`compile`](Self::compile) then
+    /// records wall-time spans over every stage (`compile{codegen, lint,
+    /// analyze, dse, package}` plus the DSE's own span forest) and feeds
+    /// the profiler's metrics registry from the hot paths. Like tracing,
+    /// profiling is purely observational — outcomes are bit-identical
+    /// with the default [`Profiler::disabled`].
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
+    /// The attached profiler (disabled unless
+    /// [`with_profiler`](Self::with_profiler) was called).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
     }
 
     /// The HLS estimator in use.
@@ -106,18 +126,39 @@ impl S2fa {
     /// [`S2faError::NoFeasibleDesign`] if the DSE never found a design
     /// that synthesizes.
     pub fn compile(&self, spec: &KernelSpec) -> Result<CompiledAccelerator, S2faError> {
+        let mut lane = self.profiler.lane();
+        let compile_span = lane.open("compile");
+        let codegen_span = lane.open("codegen");
         let generated = compile_kernel(spec)?;
+        lane.close(codegen_span);
+        let lint_span = lane.open("lint");
         ensure_well_formed(&generated.cfunc)?;
+        lane.close(lint_span);
+        let analyze_span = lane.open("analyze");
         let summary = analysis::summarize(&generated.cfunc, self.options.tasks_hint)?;
         let space = DesignSpace::build(&summary);
-        let dse = match &self.trace_sink {
-            Some(sink) => {
-                run_dse_traced(&summary, &self.estimator, &self.options.dse, sink.clone())
-            }
-            None => run_dse(&summary, &self.estimator, &self.options.dse),
+        lane.close(analyze_span);
+        let sink: Arc<dyn TraceSink> = match &self.trace_sink {
+            Some(sink) => sink.clone(),
+            None => Arc::new(NullSink),
         };
+        // The driver records its own `dse` forest (stage spans, per-thread
+        // tune/batch lanes); this wrapper span covers the same interval
+        // from the compile lane's point of view.
+        let dse_span = lane.open("dse");
+        let dse = run_dse_profiled(
+            &summary,
+            &self.estimator,
+            &self.options.dse,
+            sink,
+            &self.profiler,
+        );
+        lane.close(dse_span);
         let (design, estimate) = dse.best.clone().ok_or(S2faError::NoFeasibleDesign)?;
+        let package_span = lane.open("package");
         let mut result = self.package(spec, generated, summary, design, estimate)?;
+        lane.close(package_span);
+        lane.close(compile_span);
         result.space_size_log10 = space.size_log10();
         result.dse = Some(dse);
         Ok(result)

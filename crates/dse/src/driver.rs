@@ -43,6 +43,7 @@ use s2fa_hlsir::KernelSummary;
 use s2fa_hlssim::{Estimate, Estimator};
 use s2fa_lint::Legality;
 use s2fa_merlin::DesignConfig;
+use s2fa_obs::Profiler;
 use s2fa_trace::{Event, NullSink, TechniqueStats, TechniqueTable, TraceSink};
 use s2fa_tuner::{
     Measurement, NoImprovement, StopReason, StoppingCriterion, ThreadedObjective, TimeLimitOnly,
@@ -357,22 +358,51 @@ pub fn run_dse(summary: &KernelSummary, estimator: &Estimator, opts: &DseOptions
 /// The sink observes two time domains: evaluation/partition/run events
 /// are re-emitted at merge time from the *virtual* FCFS schedule, in
 /// partition index order with globalized minutes — deterministic given
-/// `opts.rng_seed` — while cache hit/miss events stream host-side from
-/// the shared engine as real threads touch the memo table (their
-/// interleaving is OS-dependent). Emission never influences the outcome:
-/// `run_dse` is this function with a [`NullSink`].
+/// `opts.rng_seed` — while batched cache-stats events stream host-side
+/// from the shared engine at iteration boundaries (their flush split is
+/// OS-dependent; the totals are not). Emission never influences the
+/// outcome: `run_dse` is this function with a [`NullSink`].
 pub fn run_dse_traced(
     summary: &KernelSummary,
     estimator: &Estimator,
     opts: &DseOptions,
     sink: Arc<dyn TraceSink>,
 ) -> DseOutcome {
+    run_dse_profiled(summary, estimator, opts, sink, &Profiler::disabled())
+}
+
+/// [`run_dse_traced`] with host-side profiling attached.
+///
+/// With an enabled profiler the driver records a span forest over the
+/// whole exploration — a `dse` root lane with
+/// `space_identification` / `partition` / `seeds` / `explore` / `merge`
+/// stage children, a `tune` span per partition on each pool thread's
+/// lane, and the evaluator's `batch`/`worker` shape from
+/// [`ThreadedObjective`] — and feeds the metrics registry
+/// (`eval_ns`, `bandit_pull_ns`, cache probe/lock-wait, …).
+///
+/// Profiling is strictly observational: with the disabled profiler every
+/// instrumentation point is one branch, and the returned [`DseOutcome`]
+/// is bit-identical either way (`outcome_invariant_to_profiling` pins
+/// this).
+pub fn run_dse_profiled(
+    summary: &KernelSummary,
+    estimator: &Estimator,
+    opts: &DseOptions,
+    sink: Arc<dyn TraceSink>,
+    profiler: &Profiler,
+) -> DseOutcome {
+    let mut lane = profiler.lane();
+    let dse_span = lane.open("dse");
+    let si_span = lane.open("space_identification");
     let ds = DesignSpace::build(summary);
+    lane.close(si_span);
     let engine = {
         let mut e = EvalEngine::new(summary, estimator);
         e.set_caching(opts.caching);
         e.set_prescreen(opts.prescreen);
         e.set_sink(Some(sink.clone()));
+        e.set_profiler(profiler);
         e
     };
     let measure = |cfg: &s2fa_tuner::Config| -> Measurement {
@@ -384,6 +414,7 @@ pub fn run_dse_traced(
     };
 
     // 1. Partition (or not). The probe pass warms the shared cache.
+    let part_span = lane.open("partition");
     let (subspaces, rule_descriptions) = if opts.partition {
         let tree = opts
             .partitioner
@@ -393,8 +424,11 @@ pub fn run_dse_traced(
     } else {
         (vec![ds.space().clone()], vec!["(entire space)".to_string()])
     };
+    engine.flush_cache_stats();
+    lane.close(part_span);
 
     // 2. Seeds per partition.
+    let seeds_span = lane.open("seeds");
     let mut rng = SmallRng::seed_from_u64(opts.rng_seed ^ 0x9E3779B97F4A7C15);
     let seeds_for =
         |space: &s2fa_tuner::SearchSpace, rng: &mut SmallRng| -> Vec<s2fa_tuner::Config> {
@@ -444,7 +478,9 @@ pub fn run_dse_traced(
             ds.dead_fraction(&job.space, &oracle, DEAD_FRACTION_SAMPLES, seed)
         })
         .collect();
+    lane.close(seeds_span);
 
+    let explore_span = lane.open("explore");
     // 3. Explore every partition at full budget on a work-stealing pool:
     // threads pull the next unstarted partition first-come-first-served.
     // Each partition's trajectory depends only on its own RNG stream and
@@ -468,7 +504,9 @@ pub fn run_dse_traced(
                                 minutes: est.hls_minutes,
                             }
                         };
-                        let mut obj = ThreadedObjective::new(&eval, opts.eval_threads);
+                        let mut obj = ThreadedObjective::new(&eval, opts.eval_threads)
+                            .with_profiler(profiler);
+                        let mut pool_lane = profiler.lane();
                         let mut out = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -486,8 +524,12 @@ pub fn run_dse_traced(
                                     rng_seed: opts.rng_seed.wrapping_add(job.index as u64 * 7919),
                                     max_evaluations: 1_000_000,
                                 },
-                            );
+                            )
+                            .with_profiler(profiler);
+                            let tune_span = pool_lane.open("tune");
                             out.push((i, run.run(&mut obj, stopper.as_mut())));
+                            pool_lane.close(tune_span);
+                            engine.flush_cache_stats();
                         }
                         out
                     })
@@ -506,7 +548,9 @@ pub fn run_dse_traced(
             .map(|o| o.expect("every partition explored"))
             .collect()
     };
+    lane.close(explore_span);
 
+    let merge_span = lane.open("merge");
     // 4. Simulate the virtual FCFS schedule and merge. Partition i goes to
     // the virtual worker that frees first (lowest index on ties) and gets
     // whatever budget that worker has left; its full-budget trajectory is
@@ -606,6 +650,7 @@ pub fn run_dse_traced(
         }
     }
 
+    engine.flush_cache_stats();
     sink.emit(&Event::RunStop {
         minute: makespan,
         evaluations: total_evals,
@@ -622,6 +667,9 @@ pub fn run_dse_traced(
         let est = engine.evaluate(&dc);
         (dc, est)
     });
+    lane.close(merge_span);
+    lane.close(dse_span);
+    drop(lane);
 
     DseOutcome {
         best,
@@ -987,8 +1035,17 @@ mod tests {
         assert_eq!(count("partition_start"), out.per_partition.len() as u64);
         assert_eq!(count("partition_stop"), out.per_partition.len() as u64);
         assert_eq!(count("eval"), out.total_evaluations);
-        assert!(count("cache_hit") > 0, "shared cache should see hits");
-        assert!(count("cache_miss") > 0);
+        // cache activity arrives as batched deltas whose totals match the
+        // engine's own counters, not as per-lookup events
+        let (hits, misses) = evs.iter().fold((0u64, 0u64), |acc, e| match e {
+            Event::CacheStats { hits, misses, .. } => (acc.0 + hits, acc.1 + misses),
+            _ => acc,
+        });
+        assert!(count("cache_stats") > 0, "deltas should have been flushed");
+        assert!(hits > 0, "shared cache should see hits");
+        assert!(misses > 0);
+        assert_eq!(hits, out.cache.hits, "flushed deltas must sum to totals");
+        assert_eq!(misses, out.cache.misses);
         // each partition's eval minutes are monotone non-decreasing on
         // the virtual timeline
         for p in &out.per_partition {
@@ -1008,6 +1065,43 @@ mod tests {
                 assert!(w[1] >= w[0], "partition {} went backwards", p.index);
             }
         }
+    }
+
+    /// Profiling is observational: span recording and metrics feeding must
+    /// not perturb the search. Bit-identical outcomes, enabled vs disabled.
+    #[test]
+    fn outcome_invariant_to_profiling() {
+        let s = summary();
+        let est = Estimator::new();
+        let mut opts = DseOptions::s2fa();
+        opts.budget_minutes = 60.0;
+        let plain = run_dse(&s, &est, &opts);
+        let profiler = Profiler::enabled();
+        let profiled = run_dse_profiled(&s, &est, &opts, Arc::new(NullSink), &profiler);
+        assert_eq!(outcome_key(&plain), outcome_key(&profiled));
+
+        // and the recorded span forest is well-formed with the driver's
+        // stage children present under the `dse` root
+        let spans = profiler.take_spans();
+        s2fa_obs::verify_spans(&spans).expect("span forest well-formed");
+        let names: Vec<&str> = spans.iter().map(|r| r.name.as_str()).collect();
+        for stage in [
+            "dse",
+            "space_identification",
+            "partition",
+            "seeds",
+            "explore",
+            "merge",
+            "tune",
+            "batch",
+        ] {
+            assert!(names.contains(&stage), "missing span {stage:?}");
+        }
+        // metrics flowed from the hot paths
+        let snap = profiler.metrics().unwrap().snapshot();
+        assert!(snap.histograms["eval_ns"].count > 0);
+        assert!(snap.histograms["bandit_pull_ns"].count > 0);
+        assert!(snap.histograms["cache_probe_ns"].count > 0);
     }
 
     #[test]

@@ -31,7 +31,8 @@ pub mod partition;
 pub mod space;
 
 pub use driver::{
-    run_dse, run_dse_traced, vanilla_options, DseOptions, DseOutcome, PartitionRun, StoppingKind,
+    run_dse, run_dse_profiled, run_dse_traced, vanilla_options, DseOptions, DseOutcome,
+    PartitionRun, StoppingKind,
 };
 pub use entropy::EntropyStop;
 pub use partition::{DecisionTree, Partitioner};

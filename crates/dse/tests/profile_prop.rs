@@ -1,0 +1,130 @@
+//! Property tests for the profiled driver: across randomized pipeline
+//! configurations, (1) the recorded span forest is always well-formed
+//! and carries the driver's stage spans, and (2) profiling never
+//! perturbs the search — the outcome with an enabled profiler is
+//! bit-identical to the unprofiled run.
+
+use proptest::prelude::*;
+use s2fa_dse::{run_dse, run_dse_profiled, DseOptions, DseOutcome};
+use s2fa_hlsir::{BufferDir, BufferInfo, KernelSummary, LoopId, LoopInfo, OpCounts};
+use s2fa_hlssim::Estimator;
+use s2fa_obs::{verify_spans, Profiler};
+use s2fa_trace::NullSink;
+use std::sync::Arc;
+
+/// A dot-product-shaped kernel: a 1024-task loop over a 64-trip MAC.
+fn summary() -> KernelSummary {
+    let mut inner_ops = OpCounts::new();
+    inner_ops.fadd = 1;
+    inner_ops.fmul = 1;
+    inner_ops.mem_read = 2;
+    let mut outer_ops = OpCounts::new();
+    outer_ops.mem_write = 1;
+    KernelSummary {
+        name: "prof_prop".into(),
+        loops: vec![
+            LoopInfo {
+                id: LoopId(0),
+                var: "t".into(),
+                trip_count: 1024,
+                depth: 0,
+                parent: None,
+                children: vec![LoopId(1)],
+                body_ops: outer_ops,
+                accesses: vec![],
+                carried: None,
+            },
+            LoopInfo {
+                id: LoopId(1),
+                var: "j".into(),
+                trip_count: 64,
+                depth: 1,
+                parent: Some(LoopId(0)),
+                children: vec![],
+                body_ops: inner_ops,
+                accesses: vec![],
+                carried: None,
+            },
+        ],
+        buffers: vec![
+            BufferInfo {
+                name: "in_1".into(),
+                elem_bits: 32,
+                len: 64,
+                dir: BufferDir::In,
+                broadcast: false,
+            },
+            BufferInfo {
+                name: "out_1".into(),
+                elem_bits: 64,
+                len: 1,
+                dir: BufferDir::Out,
+                broadcast: false,
+            },
+        ],
+        task_loop: LoopId(0),
+        tasks_hint: 1024,
+    }
+}
+
+/// Everything about an outcome except the cache counters (whose
+/// hit/miss split depends on the work-stealing order), in one
+/// comparable string.
+fn key(out: &DseOutcome) -> String {
+    format!(
+        "{:?}|{:?}|{}|{}|{}|{}|{:?}|{:?}",
+        out.best,
+        out.convergence,
+        out.elapsed_minutes,
+        out.total_evaluations,
+        out.killed_evals,
+        out.partitions,
+        out.techniques,
+        out.per_partition,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn profiling_randomized_pipelines_is_wellformed_and_observational(
+        workers in 1usize..4,
+        eval_threads in 1usize..4,
+        partition in any::<bool>(),
+        seeds in any::<bool>(),
+        caching in any::<bool>(),
+        prescreen in any::<bool>(),
+        budget in 20.0f64..90.0,
+        rng_seed in any::<u64>(),
+    ) {
+        let s = summary();
+        let est = Estimator::new();
+        let mut opts = DseOptions::s2fa();
+        opts.workers = workers;
+        opts.eval_threads = eval_threads;
+        opts.partition = partition;
+        opts.seeds = seeds;
+        opts.caching = caching;
+        opts.prescreen = prescreen;
+        opts.budget_minutes = budget;
+        opts.rng_seed = rng_seed;
+
+        let plain = run_dse(&s, &est, &opts);
+        let profiler = Profiler::enabled();
+        let profiled =
+            run_dse_profiled(&s, &est, &opts, Arc::new(NullSink), &profiler);
+        prop_assert_eq!(key(&plain), key(&profiled));
+
+        let spans = profiler.take_spans();
+        if let Err(e) = verify_spans(&spans) {
+            panic!("ill-formed forest: {e}");
+        }
+        for stage in ["dse", "space_identification", "partition", "seeds", "explore", "merge"] {
+            prop_assert!(
+                spans.iter().any(|r| r.name == stage),
+                "missing stage span {stage:?}"
+            );
+        }
+    }
+}

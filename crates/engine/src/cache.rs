@@ -8,10 +8,21 @@
 
 use parking_lot::Mutex;
 use s2fa_hlssim::Estimate;
+use s2fa_obs::{Histogram, MetricsRegistry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 const SHARDS: usize = 16;
+
+/// Resolved histogram handles for probe latency and shard-lock wait
+/// (see [`EstimateCache::instrument`]).
+#[derive(Debug)]
+struct CacheInstr {
+    probe_ns: Arc<Histogram>,
+    lock_wait_ns: Arc<Histogram>,
+}
 
 /// Monotonic counters of cache activity (see [`EstimateCache::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -57,6 +68,7 @@ pub struct EstimateCache {
     inserts: AtomicU64,
     overwrites: AtomicU64,
     pruned: AtomicU64,
+    instr: Option<CacheInstr>,
 }
 
 impl EstimateCache {
@@ -71,9 +83,31 @@ impl EstimateCache {
         &self.shards[idx]
     }
 
+    /// Attaches latency instrumentation: every subsequent probe feeds
+    /// the `cache_probe_ns` (full lookup) and `cache_lock_wait_ns`
+    /// (shard-lock acquisition) histograms. Without it (the default)
+    /// the probe path reads no clock at all.
+    pub fn instrument(&mut self, metrics: &MetricsRegistry) {
+        self.instr = Some(CacheInstr {
+            probe_ns: metrics.histogram("cache_probe_ns"),
+            lock_wait_ns: metrics.histogram("cache_lock_wait_ns"),
+        });
+    }
+
     /// Looks up an estimate, counting the hit or miss.
     pub fn get(&self, key: u128) -> Option<Estimate> {
-        let found = self.shard(key).lock().get(&key).cloned();
+        let found = match &self.instr {
+            None => self.shard(key).lock().get(&key).cloned(),
+            Some(instr) => {
+                let t0 = Instant::now();
+                let guard = self.shard(key).lock();
+                instr.lock_wait_ns.record(t0.elapsed().as_nanos() as u64);
+                let found = guard.get(&key).cloned();
+                drop(guard);
+                instr.probe_ns.record(t0.elapsed().as_nanos() as u64);
+                found
+            }
+        };
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -211,6 +245,21 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.pruned_illegal, 2);
         assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn instrumented_probes_feed_histograms() {
+        let registry = MetricsRegistry::new();
+        let mut c = EstimateCache::new();
+        c.instrument(&registry);
+        c.insert(7, estimate(1));
+        c.get(7);
+        c.get(8);
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms["cache_probe_ns"].count, 2);
+        assert_eq!(snap.histograms["cache_lock_wait_ns"].count, 2);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1), "counters unaffected");
     }
 
     #[test]

@@ -39,10 +39,12 @@ pub mod fingerprint;
 pub use cache::{CacheStats, EstimateCache};
 pub use fingerprint::fingerprint;
 
+use parking_lot::Mutex;
 use s2fa_hlsir::KernelSummary;
 use s2fa_hlssim::{Estimate, Estimator, KernelInvariants};
 use s2fa_lint::{Legality, PruneRule};
 use s2fa_merlin::DesignConfig;
+use s2fa_obs::Profiler;
 use s2fa_trace::{Event, TraceSink};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -62,6 +64,11 @@ pub struct EvalEngine {
     prescreen: Option<Legality>,
     pruned_by_rule: [AtomicU64; PruneRule::ALL.len()],
     sink: Option<Arc<dyn TraceSink>>,
+    /// Cache counters as of the last [`flush_cache_stats`]
+    /// (`hits, misses, overwrites`), so each flush emits a delta.
+    ///
+    /// [`flush_cache_stats`]: EvalEngine::flush_cache_stats
+    flushed: Mutex<(u64, u64, u64)>,
 }
 
 impl EvalEngine {
@@ -76,15 +83,56 @@ impl EvalEngine {
             prescreen: None,
             pruned_by_rule: Default::default(),
             sink: None,
+            flushed: Mutex::new((0, 0, 0)),
         }
     }
 
     /// Attaches a structured-event sink; the engine reports memo-table
-    /// hits and misses through it ([`Event::CacheHit`] /
-    /// [`Event::CacheMiss`]). Cache events are host-side — they carry no
-    /// virtual minute and never influence an estimate.
+    /// activity through it as *batched* [`Event::CacheStats`] deltas
+    /// (emitted by [`flush_cache_stats`](Self::flush_cache_stats), not
+    /// per lookup — the eval hot path only bumps atomic counters).
+    /// Cache events are host-side — they carry no virtual minute and
+    /// never influence an estimate.
     pub fn set_sink(&mut self, sink: Option<Arc<dyn TraceSink>>) {
         self.sink = sink;
+    }
+
+    /// Attaches a profiler. With metrics enabled, memo-table probes
+    /// feed the `cache_probe_ns` and `cache_lock_wait_ns` histograms;
+    /// with the default disabled profiler this is a no-op and the probe
+    /// path reads no clock.
+    pub fn set_profiler(&mut self, profiler: &Profiler) {
+        if let Some(metrics) = profiler.metrics() {
+            self.cache.instrument(metrics);
+        }
+    }
+
+    /// Emits the cache activity since the previous flush as one
+    /// [`Event::CacheStats`] delta (nothing when no sink is attached or
+    /// no activity happened). The DSE driver calls this at iteration
+    /// boundaries — after the partition probe, after each partition's
+    /// tuning run, and before `RunStop` — replacing the old per-lookup
+    /// `cache_hit`/`cache_miss` unit events that dominated JSONL sink
+    /// overhead on large batches.
+    pub fn flush_cache_stats(&self) {
+        let Some(sink) = &self.sink else { return };
+        // Counters are read under the watermark lock: a snapshot taken
+        // outside it could race a concurrent flusher that already advanced
+        // the watermark past it, underflowing the delta.
+        let mut last = self.flushed.lock();
+        let s = self.cache.stats();
+        let (hits, misses, overwrites) =
+            (s.hits - last.0, s.misses - last.1, s.overwrites - last.2);
+        if hits + misses + overwrites == 0 {
+            return;
+        }
+        *last = (s.hits, s.misses, s.overwrites);
+        drop(last);
+        sink.emit(&Event::CacheStats {
+            hits,
+            misses,
+            overwrites,
+        });
     }
 
     /// Enables or disables memoization (estimates are identical either
@@ -169,13 +217,7 @@ impl EvalEngine {
         }
         let key = fingerprint(&cfg);
         if let Some(hit) = self.cache.get(key) {
-            if let Some(sink) = &self.sink {
-                sink.emit(&Event::CacheHit);
-            }
             return hit;
-        }
-        if let Some(sink) = &self.sink {
-            sink.emit(&Event::CacheMiss);
         }
         let est = self
             .estimator
@@ -399,6 +441,94 @@ mod tests {
         engine.evaluate(&dead);
         let events = ring.events();
         assert!(matches!(events.as_slice(), [Event::Prune { rule }] if rule.starts_with("S2FA-E")));
+    }
+
+    #[test]
+    fn cache_activity_flushes_as_deltas_not_per_lookup() {
+        use s2fa_trace::RingSink;
+        let s = summary();
+        let mut engine = EvalEngine::new(&s, &Estimator::new());
+        let ring = Arc::new(RingSink::new(16));
+        engine.set_sink(Some(ring.clone()));
+        let cfg = DesignConfig::perf_seed(&s);
+        engine.evaluate(&cfg); // miss
+        engine.evaluate(&cfg); // hit
+        assert_eq!(ring.emitted(), 0, "lookups emit nothing on the hot path");
+        engine.flush_cache_stats();
+        engine.flush_cache_stats(); // no new activity → no event
+        engine.evaluate(&cfg); // hit
+        engine.flush_cache_stats();
+        let events = ring.events();
+        assert_eq!(
+            events,
+            vec![
+                Event::CacheStats {
+                    hits: 1,
+                    misses: 1,
+                    overwrites: 0
+                },
+                Event::CacheStats {
+                    hits: 1,
+                    misses: 0,
+                    overwrites: 0
+                },
+            ],
+            "each flush is the delta since the previous one"
+        );
+    }
+
+    /// Regression: a flusher that snapshots the counters outside the
+    /// watermark lock can race a concurrent flusher that already advanced
+    /// the watermark past its snapshot, underflowing the delta. Hammer the
+    /// engine from many threads, each interleaving lookups and flushes.
+    #[test]
+    fn concurrent_flushes_never_underflow_and_sum_to_totals() {
+        use s2fa_trace::RingSink;
+        let s = summary();
+        let mut engine = EvalEngine::new(&s, &Estimator::new());
+        let ring = Arc::new(RingSink::new(1 << 16));
+        engine.set_sink(Some(ring.clone()));
+        let cfg = DesignConfig::perf_seed(&s);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let engine = &engine;
+                let cfg = &cfg;
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        engine.evaluate(cfg);
+                        engine.flush_cache_stats();
+                    }
+                });
+            }
+        });
+        engine.flush_cache_stats();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for e in ring.events() {
+            if let Event::CacheStats {
+                hits: h, misses: m, ..
+            } = e
+            {
+                hits += h;
+                misses += m;
+            }
+        }
+        let totals = engine.cache_stats();
+        assert_eq!(hits, totals.hits);
+        assert_eq!(misses, totals.misses);
+    }
+
+    #[test]
+    fn profiled_engine_times_cache_probes() {
+        let s = summary();
+        let mut engine = EvalEngine::new(&s, &Estimator::new());
+        let profiler = s2fa_obs::Profiler::metrics_only();
+        engine.set_profiler(&profiler);
+        let cfg = DesignConfig::perf_seed(&s);
+        engine.evaluate(&cfg);
+        engine.evaluate(&cfg);
+        let snap = profiler.metrics().unwrap().snapshot();
+        assert_eq!(snap.histograms["cache_probe_ns"].count, 2);
+        assert_eq!(snap.histograms["cache_lock_wait_ns"].count, 2);
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Dual-clock correlation: joining virtual minutes to host spans.
+//!
+//! The pipeline runs on two clocks. Trace [`Event`]s are stamped with
+//! *virtual* minutes — the simulated HLS wall-clock, deterministic given
+//! the seed. Spans record *host* nanoseconds — real, OS-dependent time.
+//! [`CorrelatorSink`] bridges them: it wraps any [`TraceSink`] and, for
+//! each event that carries a virtual minute ([`Event::minute`]), also
+//! notes the host instant the event was emitted at. [`correlate`] then
+//! joins those samples against a span set, answering "virtual minute M
+//! was produced during host span S" — the deepest span containing the
+//! emission instant claims the event.
+
+use crate::span::{Profiler, SpanRecord};
+use parking_lot::Mutex;
+use s2fa_trace::{Event, TraceSink};
+use std::collections::BTreeMap;
+
+/// One virtual-minute event observed at a host instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinuteSample {
+    /// The event's virtual-minute stamp.
+    pub minute: f64,
+    /// Host nanoseconds (profiler epoch) when the event was emitted.
+    pub host_ns: u64,
+}
+
+/// A [`TraceSink`] decorator that records `(virtual minute, host ns)`
+/// pairs for every minute-carrying event, forwarding everything to the
+/// wrapped sink unchanged.
+///
+/// The decorator never alters or drops events, so wrapping a sink in a
+/// correlator cannot change what the flight record sees — only add the
+/// host-side shadow record.
+#[derive(Debug)]
+pub struct CorrelatorSink<S: TraceSink> {
+    inner: S,
+    profiler: Profiler,
+    samples: Mutex<Vec<MinuteSample>>,
+}
+
+impl<S: TraceSink> CorrelatorSink<S> {
+    /// Wraps `inner`, timestamping on `profiler`'s epoch.
+    pub fn new(inner: S, profiler: Profiler) -> Self {
+        CorrelatorSink {
+            inner,
+            profiler,
+            samples: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The samples collected so far, in emission order.
+    pub fn samples(&self) -> Vec<MinuteSample> {
+        self.samples.lock().clone()
+    }
+
+    /// Unwraps the decorator, returning the inner sink and the samples.
+    pub fn into_parts(self) -> (S, Vec<MinuteSample>) {
+        (self.inner, self.samples.into_inner())
+    }
+}
+
+impl<S: TraceSink> TraceSink for CorrelatorSink<S> {
+    fn emit(&self, event: &Event) {
+        if let Some(minute) = event.minute() {
+            if self.profiler.is_enabled() {
+                self.samples.lock().push(MinuteSample {
+                    minute,
+                    host_ns: self.profiler.now_ns(),
+                });
+            }
+        }
+        self.inner.emit(event);
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
+    }
+
+    fn emitted(&self) -> u64 {
+        self.inner.emitted()
+    }
+}
+
+/// The join of one span name's host interval with the virtual schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanMinutes {
+    /// Span name (deepest span containing the emissions).
+    pub span: String,
+    /// Number of minute-carrying events attributed to the span.
+    pub events: u64,
+    /// Smallest virtual minute observed inside the span.
+    pub first_minute: f64,
+    /// Largest virtual minute observed inside the span.
+    pub last_minute: f64,
+}
+
+/// Joins minute samples against a span set.
+///
+/// Each sample is claimed by the *deepest* (shortest-duration) span
+/// whose `[start_ns, end_ns]` interval contains its host instant; ties
+/// go to the later-starting span. Samples falling outside every span
+/// are aggregated under the pseudo-span `"(unattributed)"`. Results are
+/// grouped by span name, sorted by name.
+pub fn correlate(samples: &[MinuteSample], spans: &[SpanRecord]) -> Vec<SpanMinutes> {
+    let mut by_name: BTreeMap<&str, SpanMinutes> = BTreeMap::new();
+    for sample in samples {
+        let owner = spans
+            .iter()
+            .filter(|s| s.start_ns <= sample.host_ns && sample.host_ns <= s.end_ns)
+            .min_by_key(|s| (s.duration_ns(), u64::MAX - s.start_ns))
+            .map(|s| s.name.as_str())
+            .unwrap_or("(unattributed)");
+        let entry = by_name.entry(owner).or_insert_with(|| SpanMinutes {
+            span: owner.to_string(),
+            events: 0,
+            first_minute: f64::INFINITY,
+            last_minute: f64::NEG_INFINITY,
+        });
+        entry.events += 1;
+        entry.first_minute = entry.first_minute.min(sample.minute);
+        entry.last_minute = entry.last_minute.max(sample.minute);
+    }
+    by_name.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2fa_trace::RingSink;
+
+    fn span(id: u64, name: &str, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: if id > 1 { Some(id - 1) } else { None },
+            name: name.into(),
+            lane: 0,
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    #[test]
+    fn correlator_forwards_and_samples() {
+        let sink = CorrelatorSink::new(RingSink::new(16), Profiler::enabled());
+        sink.emit(&Event::RunStart {
+            kernel: "k".into(),
+            budget_minutes: 1.0,
+            partitions: 1,
+        });
+        sink.emit(&Event::RunStop {
+            minute: 42.0,
+            evaluations: 1,
+            reason: "merged".into(),
+        });
+        assert_eq!(sink.emitted(), 2, "both events reach the inner sink");
+        let samples = sink.samples();
+        assert_eq!(samples.len(), 1, "only the minute-stamped event sampled");
+        assert_eq!(samples[0].minute, 42.0);
+    }
+
+    #[test]
+    fn disabled_profiler_collects_no_samples() {
+        let sink = CorrelatorSink::new(RingSink::new(4), Profiler::disabled());
+        sink.emit(&Event::RunStop {
+            minute: 1.0,
+            evaluations: 0,
+            reason: "merged".into(),
+        });
+        assert!(sink.samples().is_empty());
+        assert_eq!(sink.emitted(), 1);
+    }
+
+    #[test]
+    fn deepest_containing_span_claims_the_sample() {
+        let spans = vec![span(1, "dse", 0, 1_000), span(2, "merge", 600, 900)];
+        let samples = vec![
+            MinuteSample {
+                minute: 3.0,
+                host_ns: 700,
+            },
+            MinuteSample {
+                minute: 5.0,
+                host_ns: 100,
+            },
+            MinuteSample {
+                minute: 9.0,
+                host_ns: 2_000,
+            },
+        ];
+        let joined = correlate(&samples, &spans);
+        let get = |name: &str| joined.iter().find(|j| j.span == name).unwrap();
+        assert_eq!(get("merge").events, 1);
+        assert_eq!(get("merge").first_minute, 3.0);
+        assert_eq!(get("dse").events, 1);
+        assert_eq!(get("dse").first_minute, 5.0);
+        assert_eq!(get("(unattributed)").events, 1);
+    }
+
+    #[test]
+    fn minutes_aggregate_per_span_name() {
+        let spans = vec![span(1, "merge", 0, 100)];
+        let samples: Vec<MinuteSample> = (0..5)
+            .map(|i| MinuteSample {
+                minute: i as f64,
+                host_ns: i * 10,
+            })
+            .collect();
+        let joined = correlate(&samples, &spans);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].events, 5);
+        assert_eq!(joined[0].first_minute, 0.0);
+        assert_eq!(joined[0].last_minute, 4.0);
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # s2fa-obs — host-side profiling and metrics
+//!
+//! The repo's PR 3 trace layer answers "what did the search decide, and
+//! at which *virtual* minute" — it is deterministic by design and knows
+//! nothing about real time. This crate answers the complementary
+//! question the ROADMAP's top open item (the 0.71× eight-thread
+//! regression) demands: **where does the host wall-clock go?**
+//!
+//! Three instruments, three disciplines:
+//!
+//! * [`Profiler`] / [`Lane`] — hierarchical **spans** over the pipeline
+//!   stages (codegen → lint → space identification → partitioning →
+//!   tuning → merge) and over every evaluator worker thread. Monotonic
+//!   clocks only; spans carry parent ids so nesting reconstructs a call
+//!   tree ([`verify_spans`] checks well-formedness, the property tests
+//!   enforce it). Lanes are per-thread with implicit parenting, so
+//!   cross-thread parenting is impossible *by construction*, and
+//!   completed spans buffer thread-locally — one lock per lane
+//!   lifetime, not per span.
+//! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s and
+//!   log-linear [`Histogram`]s (p50/p90/p99/max) for the hot paths:
+//!   per-eval latency, batch fan-out/join, cache probe and lock-wait,
+//!   bandit pulls. Recording is a single relaxed atomic op — the
+//!   threaded path gains no contention points.
+//! * [`CorrelatorSink`] — the dual-clock join: wraps any `TraceSink`,
+//!   shadow-records the host instant of every virtual-minute event, and
+//!   [`correlate`] answers "virtual minute M was produced during host
+//!   span S".
+//!
+//! ## Zero cost when disabled
+//!
+//! Everything hangs off a [`Profiler`] handle whose disabled form (the
+//! default everywhere) is a `None`: no clock reads, no allocation, one
+//! branch per instrumentation point. The determinism tests in `s2fa-dse`
+//! pin profiling-enabled ≡ profiling-disabled DSE outcomes bit-for-bit,
+//! and the throughput bench bounds the disabled-path overhead.
+//!
+//! [`report`] turns a recorded session into the shipped artifacts: the
+//! aggregated span tree, the per-thread-count batch-loop attribution
+//! (spawn/dispatch/estimate/collect/merge + honest idle), folded stacks
+//! for flamegraphs, and the JSON profile `s2fa_cli profile` writes and
+//! `s2fa_cli report` re-renders ([`json`] holds the crate's own parser;
+//! [`schema`] the validator CI's `profile-smoke` job runs).
+
+pub mod correlate;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod schema;
+pub mod span;
+
+pub use correlate::{correlate, CorrelatorSink, MinuteSample, SpanMinutes};
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use report::{aggregate_spans, analyze_batch_loop, BatchLoopProfile, Profile, SpanNode};
+pub use schema::validate;
+pub use span::{verify_spans, Lane, Profiler, SpanRecord};

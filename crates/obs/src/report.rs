@@ -1,0 +1,857 @@
+//! The flight-recorder report: aggregation, attribution, rendering.
+//!
+//! Raw [`SpanRecord`]s are a flat forest of timed intervals. This module
+//! turns them into the artifacts `s2fa_cli profile` / `report` ship:
+//!
+//! * an **aggregated span tree** ([`aggregate_spans`]) — spans merged by
+//!   name-path across lanes, with counts and total/self durations;
+//! * a **batch-loop attribution** ([`analyze_batch_loop`]) — the
+//!   threaded evaluator's wall-clock decomposed into the five named
+//!   phases (`spawn`/`dispatch`/`estimate`/`collect`/`merge`) plus an
+//!   honest `idle` residual, per thread count;
+//! * a [`Profile`] bundling tree + metrics + dual-clock correlation +
+//!   attribution, with a JSON round-trip (`results/PROFILE_<kernel>.json`),
+//!   a text renderer, folded-stack (flamegraph) output, and a
+//!   timing-free *structure* view for golden diffs in CI.
+
+use crate::correlate::SpanMinutes;
+use crate::json::Json;
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::span::SpanRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One node of the aggregated span tree: all spans sharing a name-path,
+/// merged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Number of span instances merged into this node.
+    pub count: u64,
+    /// Sum of instance durations.
+    pub total_ns: u64,
+    /// Children, merged by name, sorted by name.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Time in this node not covered by its children.
+    pub fn self_ns(&self) -> u64 {
+        let child: u64 = self.children.iter().map(|c| c.total_ns).sum();
+        self.total_ns.saturating_sub(child)
+    }
+}
+
+/// Merges a span forest into an aggregated tree.
+///
+/// Spans are grouped by *name-path*: two spans merge when their names
+/// match and their parents (recursively) merged. Lanes disappear — a
+/// pool of eight `worker` roots becomes one `worker` node with
+/// `count == 8`. Roots and children are sorted by name, so the result
+/// is deterministic regardless of thread scheduling.
+pub fn aggregate_spans(spans: &[SpanRecord]) -> Vec<SpanNode> {
+    let mut children_of: BTreeMap<Option<u64>, Vec<&SpanRecord>> = BTreeMap::new();
+    for s in spans {
+        children_of.entry(s.parent).or_default().push(s);
+    }
+    merge_level(children_of.get(&None).map_or(&[][..], |v| v), &children_of)
+}
+
+fn merge_level(
+    level: &[&SpanRecord],
+    children_of: &BTreeMap<Option<u64>, Vec<&SpanRecord>>,
+) -> Vec<SpanNode> {
+    let mut by_name: BTreeMap<&str, (u64, u64, Vec<&SpanRecord>)> = BTreeMap::new();
+    for s in level {
+        let entry = by_name.entry(&s.name).or_insert((0, 0, Vec::new()));
+        entry.0 += 1;
+        entry.1 += s.duration_ns();
+        if let Some(kids) = children_of.get(&Some(s.id)) {
+            entry.2.extend(kids.iter().copied());
+        }
+    }
+    by_name
+        .into_iter()
+        .map(|(name, (count, total_ns, kids))| SpanNode {
+            name: name.to_string(),
+            count,
+            total_ns,
+            children: merge_level(&kids, children_of),
+        })
+        .collect()
+}
+
+/// The threaded batch loop's wall-clock, attributed to named phases at
+/// one thread count.
+///
+/// `spawn`, `collect`, and `merge` are measured directly on the calling
+/// lane. `dispatch` and `estimate` are pooled worker-thread time mapped
+/// to wall-clock proportionally (`Σ worker-phase / workers`) — during
+/// the fan-out window every wall nanosecond has `workers` threads of
+/// capacity, so the pooled shares plus the caller phases tile the
+/// window. Worker startup lag (worker began after the spawn loop ended)
+/// is charged to `spawn`; join tail lag (worker finished before the
+/// join returned) to `collect`. What no phase claims is `idle_ns` — the
+/// report never silently inflates a named phase to make the numbers add
+/// up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchLoopProfile {
+    /// Thread count the batches ran at.
+    pub threads: u64,
+    /// Batches aggregated.
+    pub batches: u64,
+    /// Total wall time inside `batch` spans.
+    pub wall_ns: u64,
+    /// Thread-creation loop + worker startup lag.
+    pub spawn_ns: u64,
+    /// Worker time outside the estimator: cursor pulls, result pushes,
+    /// loop bookkeeping (wall-proportional share).
+    pub dispatch_ns: u64,
+    /// Worker time inside the estimator (wall-proportional share).
+    pub estimate_ns: u64,
+    /// Join time: caller blocking on workers + worker tail lag.
+    pub collect_ns: u64,
+    /// Writeback of results into input order.
+    pub merge_ns: u64,
+    /// Wall time no named phase claims.
+    pub idle_ns: u64,
+}
+
+impl BatchLoopProfile {
+    /// Sum of the named phases.
+    pub fn attributed_ns(&self) -> u64 {
+        self.spawn_ns + self.dispatch_ns + self.estimate_ns + self.collect_ns + self.merge_ns
+    }
+
+    /// Fraction of batch wall-time the named phases explain (capped at
+    /// 1.0; 0 when no batches were seen).
+    pub fn attributed_fraction(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        (self.attributed_ns() as f64 / self.wall_ns as f64).min(1.0)
+    }
+}
+
+/// Attributes batch-loop wall-time from one profiling session's spans.
+///
+/// Expects the span shape `ThreadedObjective` records: `batch` spans on
+/// the calling lane with `spawn`/`collect`/`merge` children (threaded)
+/// or an `estimate` child (serial), and `worker` root spans on their
+/// own lanes, associated to their batch by time containment (batches
+/// within one session run serially, so containment is unambiguous).
+pub fn analyze_batch_loop(spans: &[SpanRecord], threads: u64) -> BatchLoopProfile {
+    let child = |parent: &SpanRecord, name: &str| -> Option<&SpanRecord> {
+        spans
+            .iter()
+            .find(|s| s.parent == Some(parent.id) && s.name == name)
+    };
+    let mut p = BatchLoopProfile {
+        threads,
+        batches: 0,
+        wall_ns: 0,
+        spawn_ns: 0,
+        dispatch_ns: 0,
+        estimate_ns: 0,
+        collect_ns: 0,
+        merge_ns: 0,
+        idle_ns: 0,
+    };
+    for batch in spans.iter().filter(|s| s.name == "batch") {
+        p.batches += 1;
+        p.wall_ns += batch.duration_ns();
+        let before = p.attributed_ns();
+        if let Some(est) = child(batch, "estimate") {
+            // Serial path: one estimate span covers the whole map.
+            p.estimate_ns += est.duration_ns();
+        } else if let (Some(spawn), Some(collect)) =
+            (child(batch, "spawn"), child(batch, "collect"))
+        {
+            p.spawn_ns += spawn.duration_ns();
+            p.collect_ns += collect
+                .duration_ns()
+                .saturating_sub(pooled_worker_window(spans, batch, collect));
+            if let Some(merge) = child(batch, "merge") {
+                p.merge_ns += merge.duration_ns();
+            }
+            let workers: Vec<&SpanRecord> = spans
+                .iter()
+                .filter(|s| {
+                    s.name == "worker"
+                        && s.parent.is_none()
+                        && s.lane != batch.lane
+                        && s.start_ns >= batch.start_ns
+                        && s.end_ns <= batch.end_ns
+                })
+                .collect();
+            let w = workers.len().max(1) as u64;
+            let mut startup = 0u64;
+            let mut tail = 0u64;
+            let mut dispatch = 0u64;
+            let mut estimate = 0u64;
+            for worker in &workers {
+                startup += worker.start_ns.saturating_sub(spawn.end_ns);
+                tail += collect.end_ns.saturating_sub(worker.end_ns);
+                if let Some(d) = child(worker, "dispatch") {
+                    dispatch += d.duration_ns();
+                }
+                if let Some(e) = child(worker, "estimate") {
+                    estimate += e.duration_ns();
+                }
+            }
+            p.spawn_ns += startup / w;
+            p.collect_ns += tail / w;
+            p.dispatch_ns += dispatch / w;
+            p.estimate_ns += estimate / w;
+        }
+        let attributed = p.attributed_ns() - before;
+        p.idle_ns += batch.duration_ns().saturating_sub(attributed);
+    }
+    p
+}
+
+/// The pooled-window portion of `collect` already covered by worker
+/// shares: the caller's blocking join overlaps the window where workers
+/// are still busy, and that busy time is attributed via the worker
+/// pools — counting the caller's full join duration as well would
+/// double-book it. What remains of `collect` after this subtraction is
+/// the genuine serial join cost (plus the tail lag added back per
+/// worker).
+fn pooled_worker_window(spans: &[SpanRecord], batch: &SpanRecord, collect: &SpanRecord) -> u64 {
+    let last_worker_end = spans
+        .iter()
+        .filter(|s| {
+            s.name == "worker"
+                && s.parent.is_none()
+                && s.lane != batch.lane
+                && s.start_ns >= batch.start_ns
+                && s.end_ns <= batch.end_ns
+        })
+        .map(|s| s.end_ns)
+        .max();
+    match last_worker_end {
+        Some(end) => end
+            .min(collect.end_ns)
+            .saturating_sub(collect.start_ns.max(batch.start_ns)),
+        None => 0,
+    }
+}
+
+/// A complete flight-recorder profile — what `PROFILE_<kernel>.json`
+/// holds.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Profile {
+    /// Kernel the profiled run compiled.
+    pub kernel: String,
+    /// `"full"` (spans + metrics) or `"metrics"` (registry only).
+    pub mode: String,
+    /// Aggregated span tree of the pipeline run.
+    pub tree: Vec<SpanNode>,
+    /// Metrics registry snapshot.
+    pub metrics: MetricsSnapshot,
+    /// Dual-clock join of virtual minutes to host spans.
+    pub correlation: Vec<SpanMinutes>,
+    /// Batch-loop attribution, one entry per swept thread count.
+    pub batch_loop: Vec<BatchLoopProfile>,
+}
+
+impl Profile {
+    /// Serializes the profile (schema: `docs/profile.schema.json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("version", Json::int(1)),
+            ("kernel", Json::str(&self.kernel)),
+            ("mode", Json::str(&self.mode)),
+            (
+                "span_tree",
+                Json::Arr(self.tree.iter().map(node_to_json).collect()),
+            ),
+            ("metrics", metrics_to_json(&self.metrics)),
+            (
+                "correlation",
+                Json::Arr(
+                    self.correlation
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("span", Json::str(&c.span)),
+                                ("events", Json::int(c.events)),
+                                ("first_minute", Json::Num(c.first_minute)),
+                                ("last_minute", Json::Num(c.last_minute)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "batch_loop",
+                Json::Arr(
+                    self.batch_loop
+                        .iter()
+                        .map(|b| {
+                            Json::obj([
+                                ("threads", Json::int(b.threads)),
+                                ("batches", Json::int(b.batches)),
+                                ("wall_ns", Json::int(b.wall_ns)),
+                                ("spawn_ns", Json::int(b.spawn_ns)),
+                                ("dispatch_ns", Json::int(b.dispatch_ns)),
+                                ("estimate_ns", Json::int(b.estimate_ns)),
+                                ("collect_ns", Json::int(b.collect_ns)),
+                                ("merge_ns", Json::int(b.merge_ns)),
+                                ("idle_ns", Json::int(b.idle_ns)),
+                                ("attributed_fraction", Json::Num(b.attributed_fraction())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Deserializes a profile written by [`Profile::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or ill-typed member.
+    pub fn from_json(j: &Json) -> Result<Profile, String> {
+        let str_of = |j: &Json, key: &str| -> Result<String, String> {
+            j.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string `{key}`"))
+        };
+        let int_of = |j: &Json, key: &str| -> Result<u64, String> {
+            j.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing integer `{key}`"))
+        };
+        let num_of = |j: &Json, key: &str| -> Result<f64, String> {
+            j.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing number `{key}`"))
+        };
+        let arr_of = |j: &Json, key: &str| -> Result<Vec<Json>, String> {
+            j.get(key)
+                .and_then(Json::as_arr)
+                .map(<[Json]>::to_vec)
+                .ok_or_else(|| format!("missing array `{key}`"))
+        };
+        let mut correlation = Vec::new();
+        for c in arr_of(j, "correlation")? {
+            correlation.push(SpanMinutes {
+                span: str_of(&c, "span")?,
+                events: int_of(&c, "events")?,
+                first_minute: num_of(&c, "first_minute")?,
+                last_minute: num_of(&c, "last_minute")?,
+            });
+        }
+        let mut batch_loop = Vec::new();
+        for b in arr_of(j, "batch_loop")? {
+            batch_loop.push(BatchLoopProfile {
+                threads: int_of(&b, "threads")?,
+                batches: int_of(&b, "batches")?,
+                wall_ns: int_of(&b, "wall_ns")?,
+                spawn_ns: int_of(&b, "spawn_ns")?,
+                dispatch_ns: int_of(&b, "dispatch_ns")?,
+                estimate_ns: int_of(&b, "estimate_ns")?,
+                collect_ns: int_of(&b, "collect_ns")?,
+                merge_ns: int_of(&b, "merge_ns")?,
+                idle_ns: int_of(&b, "idle_ns")?,
+            });
+        }
+        Ok(Profile {
+            kernel: str_of(j, "kernel")?,
+            mode: str_of(j, "mode")?,
+            tree: arr_of(j, "span_tree")?
+                .iter()
+                .map(node_from_json)
+                .collect::<Result<_, _>>()?,
+            metrics: metrics_from_json(j.get("metrics").ok_or("missing object `metrics`")?)?,
+            correlation,
+            batch_loop,
+        })
+    }
+
+    /// Renders the profile as a human-readable flight-recorder report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "flight record: {} ({})", self.kernel, self.mode);
+        if !self.tree.is_empty() {
+            let _ = writeln!(out, "\nspan tree (host wall-time):");
+            for node in &self.tree {
+                render_node(&mut out, node, 0);
+            }
+        }
+        if !self.batch_loop.is_empty() {
+            let _ = writeln!(out, "\nbatch-loop attribution (per thread count):");
+            let _ = writeln!(
+                out,
+                "  {:>7} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6}",
+                "threads",
+                "batches",
+                "wall_ms",
+                "spawn%",
+                "disp%",
+                "est%",
+                "coll%",
+                "merge%",
+                "idle%",
+                "attr%"
+            );
+            for b in &self.batch_loop {
+                let pct = |ns: u64| {
+                    if b.wall_ns == 0 {
+                        0.0
+                    } else {
+                        100.0 * ns as f64 / b.wall_ns as f64
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:>7} {:>8} {:>10.2} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>5.1}%",
+                    b.threads,
+                    b.batches,
+                    b.wall_ns as f64 / 1e6,
+                    pct(b.spawn_ns),
+                    pct(b.dispatch_ns),
+                    pct(b.estimate_ns),
+                    pct(b.collect_ns),
+                    pct(b.merge_ns),
+                    pct(b.idle_ns),
+                    100.0 * b.attributed_fraction(),
+                );
+            }
+        }
+        if !self.correlation.is_empty() {
+            let _ = writeln!(out, "\ndual-clock join (virtual minutes per host span):");
+            for c in &self.correlation {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>6} events   minutes {:.2} .. {:.2}",
+                    c.span, c.events, c.first_minute, c.last_minute
+                );
+            }
+        }
+        if !self.metrics.histograms.is_empty() {
+            let _ = writeln!(out, "\nlatency histograms (ns):");
+            for (name, h) in &self.metrics.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} n={:<8} p50={:<8} p90={:<8} p99={:<8} max={}",
+                    name, h.count, h.p50, h.p90, h.p99, h.max
+                );
+            }
+        }
+        if !self.metrics.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for (name, v) in &self.metrics.counters {
+                let _ = writeln!(out, "  {name:<24} {v}");
+            }
+        }
+        if !self.metrics.gauges.is_empty() {
+            let _ = writeln!(out, "\ngauges:");
+            for (name, v) in &self.metrics.gauges {
+                let _ = writeln!(out, "  {name:<24} {v}");
+            }
+        }
+        out
+    }
+
+    /// Folded-stack output (`a;b;c <self_ns>` per line), consumable by
+    /// standard flamegraph tooling.
+    pub fn folded(&self) -> String {
+        let mut lines = Vec::new();
+        for node in &self.tree {
+            fold_node(&mut lines, node, "");
+        }
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The timing-free structure of the profile: every span name-path,
+    /// sorted. CI diffs this against a committed golden, so reordered
+    /// scheduling or timing jitter never breaks the build — only a real
+    /// shape change (a stage appearing, disappearing, or moving) does.
+    pub fn structure(&self) -> Json {
+        let mut paths = Vec::new();
+        for node in &self.tree {
+            structure_paths(&mut paths, node, "");
+        }
+        paths.sort();
+        paths.dedup();
+        Json::obj([
+            ("kernel", Json::str(&self.kernel)),
+            (
+                "span_paths",
+                Json::Arr(paths.into_iter().map(Json::Str).collect()),
+            ),
+        ])
+    }
+}
+
+fn render_node(out: &mut String, node: &SpanNode, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = writeln!(
+        out,
+        "- {:<24} total {:>10.3} ms   self {:>10.3} ms   n={}",
+        node.name,
+        node.total_ns as f64 / 1e6,
+        node.self_ns() as f64 / 1e6,
+        node.count
+    );
+    for child in &node.children {
+        render_node(out, child, depth + 1);
+    }
+}
+
+fn fold_node(lines: &mut Vec<String>, node: &SpanNode, prefix: &str) {
+    let path = if prefix.is_empty() {
+        node.name.clone()
+    } else {
+        format!("{prefix};{}", node.name)
+    };
+    lines.push(format!("{path} {}", node.self_ns()));
+    for child in &node.children {
+        fold_node(lines, child, &path);
+    }
+}
+
+fn structure_paths(paths: &mut Vec<String>, node: &SpanNode, prefix: &str) {
+    let path = if prefix.is_empty() {
+        node.name.clone()
+    } else {
+        format!("{prefix}/{}", node.name)
+    };
+    paths.push(path.clone());
+    for child in &node.children {
+        structure_paths(paths, child, &path);
+    }
+}
+
+fn node_to_json(node: &SpanNode) -> Json {
+    Json::obj([
+        ("name", Json::str(&node.name)),
+        ("count", Json::int(node.count)),
+        ("total_ns", Json::int(node.total_ns)),
+        ("self_ns", Json::int(node.self_ns())),
+        (
+            "children",
+            Json::Arr(node.children.iter().map(node_to_json).collect()),
+        ),
+    ])
+}
+
+fn node_from_json(j: &Json) -> Result<SpanNode, String> {
+    Ok(SpanNode {
+        name: j
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("span node missing `name`")?
+            .to_string(),
+        count: j
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or("span node missing `count`")?,
+        total_ns: j
+            .get("total_ns")
+            .and_then(Json::as_u64)
+            .ok_or("span node missing `total_ns`")?,
+        children: j
+            .get("children")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(node_from_json)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+fn metrics_to_json(m: &MetricsSnapshot) -> Json {
+    Json::obj([
+        (
+            "counters",
+            Json::Obj(
+                m.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::int(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Json::Obj(
+                m.gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms",
+            Json::Obj(
+                m.histograms
+                    .iter()
+                    .map(|(k, h)| {
+                        (
+                            k.clone(),
+                            Json::obj([
+                                ("count", Json::int(h.count)),
+                                ("sum", Json::int(h.sum)),
+                                ("max", Json::int(h.max)),
+                                ("p50", Json::int(h.p50)),
+                                ("p90", Json::int(h.p90)),
+                                ("p99", Json::int(h.p99)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn metrics_from_json(j: &Json) -> Result<MetricsSnapshot, String> {
+    let mut snap = MetricsSnapshot::default();
+    if let Some(counters) = j.get("counters").and_then(Json::as_obj) {
+        for (k, v) in counters {
+            snap.counters
+                .insert(k.clone(), v.as_u64().ok_or("counter not a number")?);
+        }
+    }
+    if let Some(gauges) = j.get("gauges").and_then(Json::as_obj) {
+        for (k, v) in gauges {
+            snap.gauges
+                .insert(k.clone(), v.as_f64().ok_or("gauge not a number")? as i64);
+        }
+    }
+    if let Some(hists) = j.get("histograms").and_then(Json::as_obj) {
+        for (k, h) in hists {
+            let field = |name: &str| {
+                h.get(name)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("histogram `{k}` missing `{name}`"))
+            };
+            snap.histograms.insert(
+                k.clone(),
+                HistogramSnapshot {
+                    count: field("count")?,
+                    sum: field("sum")?,
+                    max: field("max")?,
+                    p50: field("p50")?,
+                    p90: field("p90")?,
+                    p99: field("p99")?,
+                },
+            );
+        }
+    }
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(
+        id: u64,
+        parent: Option<u64>,
+        name: &str,
+        lane: u32,
+        start: u64,
+        end: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            lane,
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    /// A synthetic 2-worker batch: spawn 0-10, window 10-100, merge
+    /// 100-110; workers fully busy except small startup/tail lags.
+    fn threaded_batch() -> Vec<SpanRecord> {
+        vec![
+            rec(1, None, "batch", 0, 0, 110),
+            rec(2, Some(1), "spawn", 0, 0, 10),
+            rec(3, Some(1), "collect", 0, 10, 100),
+            rec(4, Some(1), "merge", 0, 100, 110),
+            // worker A: starts promptly, ends at 95 (tail lag 5)
+            rec(5, None, "worker", 1, 12, 95),
+            rec(6, Some(5), "dispatch", 1, 12, 20),
+            rec(7, Some(5), "estimate", 1, 20, 95),
+            // worker B: startup lag 4, runs to the join
+            rec(8, None, "worker", 2, 14, 100),
+            rec(9, Some(8), "dispatch", 2, 14, 24),
+            rec(10, Some(8), "estimate", 2, 24, 100),
+        ]
+    }
+
+    #[test]
+    fn aggregation_merges_by_name_path() {
+        let tree = aggregate_spans(&threaded_batch());
+        assert_eq!(tree.len(), 2, "batch + worker roots");
+        let batch = tree.iter().find(|n| n.name == "batch").unwrap();
+        let worker = tree.iter().find(|n| n.name == "worker").unwrap();
+        assert_eq!(batch.count, 1);
+        assert_eq!(worker.count, 2, "two lanes merged into one node");
+        assert_eq!(worker.total_ns, 83 + 86);
+        let est = worker
+            .children
+            .iter()
+            .find(|n| n.name == "estimate")
+            .unwrap();
+        assert_eq!(est.count, 2);
+        assert_eq!(est.total_ns, 75 + 76);
+        // children sorted by name
+        let names: Vec<&str> = batch.children.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, ["collect", "merge", "spawn"]);
+    }
+
+    #[test]
+    fn batch_loop_attribution_tiles_the_wall() {
+        let p = analyze_batch_loop(&threaded_batch(), 2);
+        assert_eq!(p.batches, 1);
+        assert_eq!(p.wall_ns, 110);
+        assert_eq!(p.spawn_ns, 10 + (2 + 4) / 2); // loop + startup lag share
+        assert_eq!(p.dispatch_ns, (8 + 10) / 2);
+        assert_eq!(p.estimate_ns, (75 + 76) / 2);
+        assert_eq!(p.merge_ns, 10);
+        // collect = join beyond last worker (0) + tail lag share (5+0)/2
+        assert_eq!(p.collect_ns, 2);
+        assert!(
+            p.attributed_fraction() > 0.95,
+            "fraction {}",
+            p.attributed_fraction()
+        );
+        assert_eq!(
+            p.wall_ns,
+            p.attributed_ns() + p.idle_ns,
+            "idle is the exact residual"
+        );
+    }
+
+    #[test]
+    fn serial_batches_attribute_to_estimate() {
+        let spans = vec![
+            rec(1, None, "batch", 0, 0, 100),
+            rec(2, Some(1), "estimate", 0, 2, 99),
+        ];
+        let p = analyze_batch_loop(&spans, 1);
+        assert_eq!(p.estimate_ns, 97);
+        assert_eq!(p.spawn_ns, 0);
+        assert_eq!(p.idle_ns, 3);
+        assert!(p.attributed_fraction() > 0.95);
+    }
+
+    #[test]
+    fn profile_json_round_trips() {
+        let profile = Profile {
+            kernel: "S-W".into(),
+            mode: "full".into(),
+            tree: aggregate_spans(&threaded_batch()),
+            metrics: {
+                let r = crate::metrics::MetricsRegistry::new();
+                r.counter("evals").add(512);
+                r.histogram("eval_ns").record(2_000);
+                r.gauge("inflight").set(-1);
+                r.snapshot()
+            },
+            correlation: vec![SpanMinutes {
+                span: "merge".into(),
+                events: 12,
+                first_minute: 0.5,
+                last_minute: 240.0,
+            }],
+            batch_loop: vec![analyze_batch_loop(&threaded_batch(), 2)],
+        };
+        let j = profile.to_json();
+        let text = j.render();
+        let back = Profile::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, profile);
+    }
+
+    #[test]
+    fn structure_is_paths_only() {
+        let profile = Profile {
+            kernel: "S-W".into(),
+            mode: "full".into(),
+            tree: aggregate_spans(&threaded_batch()),
+            ..Profile::default()
+        };
+        let s = profile.structure();
+        let paths: Vec<&str> = s
+            .get("span_paths")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert_eq!(
+            paths,
+            [
+                "batch",
+                "batch/collect",
+                "batch/merge",
+                "batch/spawn",
+                "worker",
+                "worker/dispatch",
+                "worker/estimate",
+            ]
+        );
+        assert!(s.render().find("_ns").is_none(), "no timings in structure");
+    }
+
+    #[test]
+    fn folded_stacks_use_self_time() {
+        let profile = Profile {
+            kernel: "S-W".into(),
+            mode: "full".into(),
+            tree: aggregate_spans(&threaded_batch()),
+            ..Profile::default()
+        };
+        let folded = profile.folded();
+        assert!(folded.contains("batch;spawn 10"));
+        assert!(folded.contains("worker;estimate 151"));
+        for line in folded.lines() {
+            assert!(line.rsplit_once(' ').unwrap().1.parse::<u64>().is_ok());
+        }
+    }
+
+    #[test]
+    fn render_text_mentions_every_section() {
+        let profile = Profile {
+            kernel: "S-W".into(),
+            mode: "full".into(),
+            tree: aggregate_spans(&threaded_batch()),
+            metrics: {
+                let r = crate::metrics::MetricsRegistry::new();
+                r.histogram("eval_ns").record(100);
+                r.counter("cache_hits").inc();
+                r.snapshot()
+            },
+            correlation: vec![SpanMinutes {
+                span: "tune".into(),
+                events: 3,
+                first_minute: 1.0,
+                last_minute: 3.0,
+            }],
+            batch_loop: vec![analyze_batch_loop(&threaded_batch(), 2)],
+        };
+        let text = profile.render_text();
+        assert!(text.contains("span tree"));
+        assert!(text.contains("batch-loop attribution"));
+        assert!(text.contains("dual-clock join"));
+        assert!(text.contains("latency histograms"));
+        assert!(text.contains("counters"));
+    }
+}

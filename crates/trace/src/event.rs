@@ -34,10 +34,23 @@ pub enum Event {
         /// Whether this evaluation improved the incumbent.
         improved: bool,
     },
-    /// The estimate memo table served a lookup.
-    CacheHit,
-    /// The estimate memo table missed and the estimator ran.
-    CacheMiss,
+    /// Aggregated estimate-cache activity since the previous flush.
+    ///
+    /// Lookups only bump atomic counters on the hot path; the engine
+    /// emits one *delta* event per flush point (per partition run and
+    /// at run end) instead of one unit event per probe, so the JSONL
+    /// sink is off the eval fast path entirely. Host-side, like
+    /// `Prune`: no virtual minute, and the split between flushes is
+    /// scheduling-dependent even though the totals are deterministic.
+    CacheStats {
+        /// Lookups served from the memo table since the last flush.
+        hits: u64,
+        /// Lookups that fell through to the estimator since the last flush.
+        misses: u64,
+        /// Inserts that replaced an existing entry (two threads raced
+        /// to fill the same fingerprint) since the last flush.
+        overwrites: u64,
+    },
     /// The legality pre-screen rejected a design point before the
     /// estimator or the memo table was consulted. Host-side, like the
     /// cache events: no virtual minute (static analysis is free).
@@ -103,14 +116,35 @@ impl Event {
         match self {
             Event::RunStart { .. } => "run_start",
             Event::Eval { .. } => "eval",
-            Event::CacheHit => "cache_hit",
-            Event::CacheMiss => "cache_miss",
+            Event::CacheStats { .. } => "cache_stats",
             Event::Prune { .. } => "prune",
             Event::TechniquePull { .. } => "technique_pull",
             Event::TechniqueReward { .. } => "technique_reward",
             Event::PartitionStart { .. } => "partition_start",
             Event::PartitionStop { .. } => "partition_stop",
             Event::RunStop { .. } => "run_stop",
+        }
+    }
+
+    /// The virtual-minute stamp of the event, if it carries one.
+    ///
+    /// `Some` exactly for the variants whose JSON has a `minute` field
+    /// (evaluations, partition start/stop, run stop). Host-side events
+    /// (cache stats, prunes, technique bookkeeping) return `None` —
+    /// they exist outside the virtual clock. The dual-clock correlator
+    /// in `s2fa-obs` keys off this to join the virtual schedule against
+    /// host wall-time spans.
+    pub fn minute(&self) -> Option<f64> {
+        match self {
+            Event::Eval { minute, .. }
+            | Event::PartitionStart { minute, .. }
+            | Event::PartitionStop { minute, .. }
+            | Event::RunStop { minute, .. } => Some(*minute),
+            Event::RunStart { .. }
+            | Event::CacheStats { .. }
+            | Event::Prune { .. }
+            | Event::TechniquePull { .. }
+            | Event::TechniqueReward { .. } => None,
         }
     }
 
@@ -148,7 +182,15 @@ impl Event {
                 push_num_field(&mut s, "best_value", *best_value);
                 push_bool_field(&mut s, "improved", *improved);
             }
-            Event::CacheHit | Event::CacheMiss => {}
+            Event::CacheStats {
+                hits,
+                misses,
+                overwrites,
+            } => {
+                push_int_field(&mut s, "hits", *hits);
+                push_int_field(&mut s, "misses", *misses);
+                push_int_field(&mut s, "overwrites", *overwrites);
+            }
             Event::Prune { rule } => {
                 push_str_field(&mut s, "rule", rule);
             }
@@ -316,9 +358,58 @@ mod tests {
     }
 
     #[test]
-    fn cache_events_are_bare() {
-        assert_eq!(Event::CacheHit.to_json(), "{\"type\":\"cache_hit\"}");
-        assert_eq!(Event::CacheMiss.to_json(), "{\"type\":\"cache_miss\"}");
+    fn cache_stats_carry_their_counters() {
+        let e = Event::CacheStats {
+            hits: 40,
+            misses: 2,
+            overwrites: 1,
+        };
+        assert_eq!(e.kind(), "cache_stats");
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"cache_stats\",\"hits\":40,\"misses\":2,\"overwrites\":1}"
+        );
+    }
+
+    #[test]
+    fn minute_is_some_exactly_for_virtual_clock_events() {
+        let stamped = Event::Eval {
+            minute: 2.5,
+            partition: None,
+            iteration: 0,
+            technique: "seed".into(),
+            value: 1.0,
+            best_value: 1.0,
+            improved: true,
+        };
+        assert_eq!(stamped.minute(), Some(2.5));
+        assert_eq!(
+            Event::RunStop {
+                minute: 9.0,
+                evaluations: 1,
+                reason: "merged".into()
+            }
+            .minute(),
+            Some(9.0)
+        );
+        assert_eq!(
+            Event::CacheStats {
+                hits: 1,
+                misses: 0,
+                overwrites: 0
+            }
+            .minute(),
+            None
+        );
+        assert_eq!(
+            Event::RunStart {
+                kernel: "k".into(),
+                budget_minutes: 1.0,
+                partitions: 1
+            }
+            .minute(),
+            None
+        );
     }
 
     #[test]

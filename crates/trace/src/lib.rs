@@ -15,9 +15,12 @@
 //!   per-event running prefix-max in `TuningRun::run`, which stamped
 //!   events inside one batch with inconsistent, proposal-order-dependent
 //!   minutes.
-//! * [`Event`] — typed pipeline events: evaluations, cache hits/misses,
-//!   technique pulls/rewards, partition start/stop, and run stop reasons.
-//!   Events serialize to single-line JSON for flight recording.
+//! * [`Event`] — typed pipeline events: evaluations, batched cache
+//!   statistics, technique pulls/rewards, partition start/stop, and run
+//!   stop reasons. Events serialize to single-line JSON for flight
+//!   recording; [`Event::minute`] exposes the virtual stamp uniformly so
+//!   the `s2fa-obs` dual-clock correlator can join events against host
+//!   wall-time spans.
 //! * [`TraceSink`] — the pluggable emission channel: [`NullSink`] (drop
 //!   everything), [`RingSink`] (bounded in-memory ring, for tests and
 //!   post-hoc inspection), and [`JsonlSink`] (a JSONL flight recorder,
@@ -30,11 +33,13 @@
 //!
 //! Events carrying a `minute` live on the *virtual* clock — the simulated
 //! HLS wall-clock of the paper's experiments, fully deterministic given
-//! the RNG seed. Cache and prune events have no minute: they are
+//! the RNG seed. Cache-stats and prune events have no minute: they are
 //! *host-side* events recording real memo-table and pre-screen activity,
-//! and their interleaving under a multi-threaded run is OS-dependent
-//! (each event is self-describing, so the flight record stays
-//! analyzable).
+//! and their flush interleaving under a multi-threaded run is
+//! OS-dependent even though the totals are deterministic (each event is
+//! self-describing, so the flight record stays analyzable). Host
+//! *wall-time* is a third concern and deliberately lives outside this
+//! crate, in `s2fa-obs` — events never carry host timestamps.
 
 pub mod agg;
 pub mod clock;

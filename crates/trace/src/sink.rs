@@ -170,19 +170,33 @@ mod tests {
         );
     }
 
+    fn cache_stats(hits: u64) -> Event {
+        Event::CacheStats {
+            hits,
+            misses: 1,
+            overwrites: 0,
+        }
+    }
+
     #[test]
     fn ring_filters() {
         let ring = RingSink::new(8);
-        ring.emit(&Event::CacheHit);
-        ring.emit(&Event::CacheMiss);
-        ring.emit(&Event::CacheHit);
-        assert_eq!(ring.events_where(|e| matches!(e, Event::CacheHit)).len(), 2);
+        ring.emit(&cache_stats(1));
+        ring.emit(&Event::Prune {
+            rule: "S2FA-E201".into(),
+        });
+        ring.emit(&cache_stats(2));
+        assert_eq!(
+            ring.events_where(|e| matches!(e, Event::CacheStats { .. }))
+                .len(),
+            2
+        );
     }
 
     #[test]
     fn null_sink_drops() {
         let s = NullSink;
-        s.emit(&Event::CacheHit);
+        s.emit(&cache_stats(1));
         assert_eq!(s.emitted(), 0);
     }
 
@@ -190,7 +204,7 @@ mod tests {
     fn jsonl_writes_one_line_per_event() {
         let path = std::env::temp_dir().join("s2fa_trace_sink_test.jsonl");
         let sink = JsonlSink::create(&path).expect("create temp flight record");
-        sink.emit(&Event::CacheHit);
+        sink.emit(&cache_stats(3));
         sink.emit(&Event::RunStop {
             minute: 3.0,
             evaluations: 2,
@@ -201,7 +215,10 @@ mod tests {
         let content = std::fs::read_to_string(&path).expect("read back");
         let lines: Vec<&str> = content.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert_eq!(lines[0], "{\"type\":\"cache_hit\"}");
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"cache_stats\",\"hits\":3,\"misses\":1,\"overwrites\":0}"
+        );
         assert!(lines[1].starts_with("{\"type\":\"run_stop\""));
         let _ = std::fs::remove_file(&path);
     }

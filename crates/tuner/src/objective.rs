@@ -23,7 +23,10 @@
 
 use crate::history::Measurement;
 use crate::param::Config;
+use s2fa_obs::{Histogram, Lane, Profiler};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Something that can measure design points ("run HLS on them").
 pub trait Objective {
@@ -57,21 +60,57 @@ impl<F: FnMut(&Config) -> Measurement> Objective for F {
 pub struct ThreadedObjective<'a> {
     eval: &'a (dyn Fn(&Config) -> Measurement + Sync),
     threads: usize,
+    profiler: Profiler,
+    lane: Lane,
+    eval_ns: Option<Arc<Histogram>>,
+    fanout_ns: Option<Arc<Histogram>>,
+    join_ns: Option<Arc<Histogram>>,
 }
 
 impl<'a> ThreadedObjective<'a> {
     /// Wraps `eval`, measuring batches on up to `threads` OS threads
-    /// (clamped to at least 1).
+    /// (clamped to at least 1). Profiling is off; see
+    /// [`with_profiler`](Self::with_profiler).
     pub fn new(eval: &'a (dyn Fn(&Config) -> Measurement + Sync), threads: usize) -> Self {
         ThreadedObjective {
             eval,
             threads: threads.max(1),
+            profiler: Profiler::disabled(),
+            lane: Profiler::disabled().lane(),
+            eval_ns: None,
+            fanout_ns: None,
+            join_ns: None,
         }
+    }
+
+    /// Attaches a profiler: `measure_batch` then records the batch-loop
+    /// span shape the flight recorder attributes (`batch` with
+    /// `spawn`/`collect`/`merge` children on the calling lane, a
+    /// `worker` root per OS thread with `dispatch`/`estimate` children)
+    /// and feeds the `eval_ns` / `batch_fanout_ns` / `batch_join_ns`
+    /// histograms. With the default disabled profiler every
+    /// instrumentation point is a single branch — the measured results
+    /// are identical either way (the determinism tests in `s2fa-dse`
+    /// pin this).
+    pub fn with_profiler(mut self, profiler: &Profiler) -> Self {
+        self.profiler = profiler.clone();
+        self.lane = profiler.lane();
+        if let Some(metrics) = profiler.metrics() {
+            self.eval_ns = Some(metrics.histogram("eval_ns"));
+            self.fanout_ns = Some(metrics.histogram("batch_fanout_ns"));
+            self.join_ns = Some(metrics.histogram("batch_join_ns"));
+        }
+        self
     }
 
     /// The configured thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Flushes buffered spans to the profiler (a no-op when disabled).
+    pub fn flush_profile(&mut self) {
+        self.lane.flush();
     }
 }
 
@@ -83,40 +122,112 @@ impl Objective for ThreadedObjective<'_> {
     fn measure_batch(&mut self, configs: &[Config]) -> Vec<Measurement> {
         let workers = self.threads.min(configs.len());
         if workers <= 1 {
-            return configs.iter().map(self.eval).collect();
+            // Serial path: the whole batch is one `estimate` phase.
+            let batch_id = self.lane.open("batch");
+            let est_id = self.lane.open("estimate");
+            let out = if let Some(hist) = &self.eval_ns {
+                configs
+                    .iter()
+                    .map(|c| {
+                        let t0 = Instant::now();
+                        let m = (self.eval)(c);
+                        hist.record(t0.elapsed().as_nanos() as u64);
+                        m
+                    })
+                    .collect()
+            } else {
+                configs.iter().map(self.eval).collect()
+            };
+            self.lane.close(est_id);
+            self.lane.close(batch_id);
+            return out;
         }
         let cursor = AtomicUsize::new(0);
         let mut results: Vec<Option<Measurement>> = vec![None; configs.len()];
+        let eval = self.eval;
+        let profiler = &self.profiler;
+        let eval_ns = &self.eval_ns;
+        let fanout_ns = &self.fanout_ns;
+        let join_ns = &self.join_ns;
+        let lane = &mut self.lane;
+        let batch_id = lane.open("batch");
         let chunks = std::thread::scope(|scope| {
+            let spawn_id = lane.open("spawn");
+            let fanout_t0 = fanout_ns.as_ref().map(|_| Instant::now());
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let cursor = &cursor;
-                    let eval = self.eval;
                     scope.spawn(move || {
+                        let mut wlane = profiler.lane();
+                        let wid = wlane.open("worker");
+                        let w_start = wlane.now_ns();
+                        // One decision per batch, not per eval: the
+                        // disabled path never reads a clock.
+                        let timing = wlane.enabled() || eval_ns.is_some();
+                        let mut est_ns = 0u64;
                         let mut out = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= configs.len() {
                                 break;
                             }
-                            out.push((i, eval(&configs[i])));
+                            let m = if timing {
+                                let t0 = Instant::now();
+                                let m = eval(&configs[i]);
+                                let dt = t0.elapsed().as_nanos() as u64;
+                                est_ns += dt;
+                                if let Some(h) = eval_ns {
+                                    h.record(dt);
+                                }
+                                m
+                            } else {
+                                eval(&configs[i])
+                            };
+                            out.push((i, m));
+                        }
+                        if wlane.enabled() {
+                            // The worker's interval partitions exactly
+                            // into estimator time (accumulated) and
+                            // everything else — cursor pulls, result
+                            // pushes, loop bookkeeping — which is what
+                            // `dispatch` means in the flight record.
+                            let w_end = wlane.now_ns();
+                            let dispatch = (w_end - w_start).saturating_sub(est_ns);
+                            wlane.record("dispatch", w_start, w_start + dispatch);
+                            wlane.record("estimate", w_start + dispatch, w_end);
+                            wlane.close(wid);
                         }
                         out
                     })
                 })
                 .collect();
-            handles
+            lane.close(spawn_id);
+            if let (Some(h), Some(t0)) = (fanout_ns, fanout_t0) {
+                h.record(t0.elapsed().as_nanos() as u64);
+            }
+            let collect_id = lane.open("collect");
+            let join_t0 = join_ns.as_ref().map(|_| Instant::now());
+            let chunks = handles
                 .into_iter()
                 .map(|h| h.join().expect("objective worker panicked"))
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>();
+            lane.close(collect_id);
+            if let (Some(h), Some(t0)) = (join_ns, join_t0) {
+                h.record(t0.elapsed().as_nanos() as u64);
+            }
+            chunks
         });
+        let merge_id = lane.open("merge");
         for (i, m) in chunks.into_iter().flatten() {
             results[i] = Some(m);
         }
-        results
+        let out: Vec<Measurement> = results
             .into_iter()
             .map(|m| m.expect("every index measured"))
-            .collect()
+            .collect();
+        lane.close(merge_id);
+        lane.close(batch_id);
+        out
     }
 }
 
@@ -168,5 +279,64 @@ mod tests {
         let eval = |c: &Config| Measurement::new(value_of(c), 1.0);
         let obj = ThreadedObjective::new(&eval, 0);
         assert_eq!(obj.threads(), 1);
+    }
+
+    #[test]
+    fn profiled_batches_record_the_flight_shape() {
+        let eval = |c: &Config| Measurement::new(value_of(c), 1.0);
+        let configs: Vec<Config> = (0..16u32).map(|i| vec![i]).collect();
+        let serial: Vec<Measurement> = configs.iter().map(eval).collect();
+        let profiler = Profiler::enabled();
+        let mut obj = ThreadedObjective::new(&eval, 4).with_profiler(&profiler);
+        assert_eq!(obj.measure_batch(&configs), serial, "results unchanged");
+        obj.flush_profile();
+        let spans = profiler.take_spans();
+        s2fa_obs::verify_spans(&spans).expect("well-formed span forest");
+        let count = |name: &str| spans.iter().filter(|s| s.name == name).count();
+        assert_eq!(count("batch"), 1);
+        assert_eq!(count("spawn"), 1);
+        assert_eq!(count("collect"), 1);
+        assert_eq!(count("merge"), 1);
+        assert_eq!(count("worker"), 4);
+        assert_eq!(count("dispatch"), 4);
+        assert_eq!(count("estimate"), 4);
+        let metrics = profiler.metrics().unwrap().snapshot();
+        assert_eq!(metrics.histograms["eval_ns"].count, 16);
+        assert_eq!(metrics.histograms["batch_fanout_ns"].count, 1);
+        assert_eq!(metrics.histograms["batch_join_ns"].count, 1);
+    }
+
+    #[test]
+    fn profiled_serial_path_is_one_estimate_phase() {
+        let eval = |c: &Config| Measurement::new(value_of(c), 1.0);
+        let profiler = Profiler::enabled();
+        let mut obj = ThreadedObjective::new(&eval, 1).with_profiler(&profiler);
+        obj.measure_batch(&[vec![1], vec![2], vec![3]]);
+        obj.flush_profile();
+        let spans = profiler.take_spans();
+        s2fa_obs::verify_spans(&spans).unwrap();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"batch"));
+        assert!(names.contains(&"estimate"));
+        assert!(!names.contains(&"spawn"), "no fan-out phases when serial");
+        assert_eq!(
+            profiler.metrics().unwrap().snapshot().histograms["eval_ns"].count,
+            3
+        );
+    }
+
+    #[test]
+    fn metrics_only_mode_feeds_histograms_without_spans() {
+        let eval = |c: &Config| Measurement::new(value_of(c), 1.0);
+        let profiler = Profiler::metrics_only();
+        let configs: Vec<Config> = (0..8u32).map(|i| vec![i]).collect();
+        let mut obj = ThreadedObjective::new(&eval, 2).with_profiler(&profiler);
+        obj.measure_batch(&configs);
+        obj.flush_profile();
+        assert!(profiler.take_spans().is_empty());
+        assert_eq!(
+            profiler.metrics().unwrap().snapshot().histograms["eval_ns"].count,
+            8
+        );
     }
 }
