@@ -8,6 +8,7 @@
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel KMeans --trace kmeans.jsonl
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel KMeans --metrics metrics.json
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel KMeans --prescreen
+//! cargo run --release -p s2fa-bench --bin s2fa_cli -- --kernel S-W --eval-threads 4 --chunk 64
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- lint
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- lint --format json --save
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- profile --kernel S-W
@@ -23,7 +24,14 @@
 //! `--metrics <path>` attaches a metrics-only profiler (histograms and
 //! counters live, span lanes inert) and dumps the registry standalone to
 //! `<path>` after the run — per-eval latency, cache probe/lock-wait,
-//! bandit pull, batch fan-out/join distributions.
+//! bandit pull, batch fan-out/join distributions, and the persistent
+//! worker pool's job/chunk counters (a utilization line is printed when
+//! the pool was live).
+//!
+//! `--eval-threads <n>` sizes the persistent evaluation worker pool the
+//! DSE batch path fans out over (default: one per host core);
+//! `--chunk <n>` fixes the work-unit size per pool dispatch (default 0
+//! = auto-sized from batch length and worker count).
 //!
 //! `profile` runs one kernel's automatic flow under full host-side
 //! profiling and writes the flight-recorder artifacts:
@@ -79,6 +87,8 @@ struct Args {
     trace: Option<String>,
     metrics: Option<String>,
     threads: Vec<usize>,
+    eval_threads: Option<usize>,
+    chunk: Option<usize>,
     profile_path: Option<String>,
     prescreen: bool,
     format: Format,
@@ -106,6 +116,8 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         metrics: None,
         threads: vec![1, 2, 4, 8],
+        eval_threads: None,
+        chunk: None,
         profile_path: None,
         prescreen: false,
         format: Format::Text,
@@ -170,6 +182,22 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--threads needs at least one count".to_string());
                 }
             }
+            "--eval-threads" => {
+                args.eval_threads = Some(
+                    it.next()
+                        .ok_or("--eval-threads needs a count")?
+                        .parse()
+                        .map_err(|e| format!("bad --eval-threads: {e}"))?,
+                );
+            }
+            "--chunk" => {
+                args.chunk = Some(
+                    it.next()
+                        .ok_or("--chunk needs a size (0 = auto)")?
+                        .parse()
+                        .map_err(|e| format!("bad --chunk: {e}"))?,
+                );
+            }
             "--format" => {
                 args.format = match it.next().ok_or("--format needs text|json")?.as_str() {
                     "text" => Format::Text,
@@ -193,9 +221,11 @@ fn parse_args() -> Result<Args, String> {
 }
 
 const USAGE: &str = "usage: s2fa_cli --kernel <name> [--budget <minutes>] [--tasks <n>] \
-[--manual] [--emit-c] [--report] [--prescreen] [--trace <path>] [--metrics <path>] | --list\n       \
+[--manual] [--emit-c] [--report] [--prescreen] [--eval-threads <n>] [--chunk <n>] \
+[--trace <path>] [--metrics <path>] | --list\n       \
 s2fa_cli lint [--kernel <name>] [--tasks <n>] [--format text|json] [--save]\n       \
-s2fa_cli profile --kernel <name> [--budget <minutes>] [--tasks <n>] [--threads 1,2,4,8]\n       \
+s2fa_cli profile --kernel <name> [--budget <minutes>] [--tasks <n>] [--threads 1,2,4,8] \
+[--chunk <n>]\n       \
 s2fa_cli report (--kernel <name> | --profile <path>)";
 
 fn main() {
@@ -237,6 +267,12 @@ fn main() {
     };
     options.dse.budget_minutes = args.budget;
     options.dse.prescreen = args.prescreen;
+    if let Some(t) = args.eval_threads {
+        options.dse.eval_threads = t;
+    }
+    if let Some(c) = args.chunk {
+        options.dse.eval_chunk = c;
+    }
     let sink: Option<Arc<JsonlSink>> = args.trace.as_deref().map(|path| {
         Arc::new(JsonlSink::create(path).unwrap_or_else(|e| {
             eprintln!("cannot open trace file `{path}`: {e}");
@@ -327,10 +363,33 @@ fn main() {
         );
     }
     if let (Some(path), Some(p)) = (&args.metrics, &metrics_profiler) {
+        let snapshot = p.metrics().expect("metrics-only profiler").snapshot();
+        if let Some(workers) = snapshot.gauges.get("pool_workers") {
+            let jobs = snapshot.counters.get("pool_jobs").copied().unwrap_or(0);
+            let chunks = snapshot.counters.get("pool_chunks").copied().unwrap_or(0);
+            let worker_chunks = snapshot
+                .counters
+                .get("pool_worker_chunks")
+                .copied()
+                .unwrap_or(0);
+            // worker_chunks / chunks < 1 means some chunks ran inline on
+            // the submitter (pool undersubscribed); = 1 means every chunk
+            // was claimed by a pool worker.
+            let util = if chunks > 0 {
+                worker_chunks as f64 / chunks as f64
+            } else {
+                0.0
+            };
+            println!(
+                "pool: {workers} worker(s), {jobs} job(s), {chunks} chunk(s), \
+                 {worker_chunks} claimed by workers ({:.1}% utilization)",
+                100.0 * util
+            );
+        }
         let doc = Profile {
             kernel: w.name.to_string(),
             mode: "metrics".to_string(),
-            metrics: p.metrics().expect("metrics-only profiler").snapshot(),
+            metrics: snapshot,
             ..Profile::default()
         };
         match std::fs::write(path, doc.to_json().render()) {
@@ -524,6 +583,12 @@ fn run_profile(args: &Args) -> i32 {
     };
     options.dse.budget_minutes = args.budget;
     options.dse.prescreen = args.prescreen;
+    if let Some(t) = args.eval_threads {
+        options.dse.eval_threads = t;
+    }
+    if let Some(c) = args.chunk {
+        options.dse.eval_chunk = c;
+    }
 
     // 1. The profiled pipeline run, with the dual-clock correlator
     // shadowing the virtual-minute event stream.
@@ -562,7 +627,9 @@ fn run_profile(args: &Args) -> i32 {
                 minutes: e.hls_minutes,
             }
         };
-        let mut obj = ThreadedObjective::new(&eval, threads).with_profiler(&sweep);
+        let mut obj = ThreadedObjective::new(&eval, threads)
+            .with_chunk(args.chunk.unwrap_or(0))
+            .with_profiler(&sweep);
         let mut rng = SmallRng::seed_from_u64(SWEEP_SEED);
         for _ in 0..SWEEP_BATCHES {
             let configs: Vec<Config> = (0..SWEEP_BATCH)

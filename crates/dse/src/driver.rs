@@ -38,7 +38,7 @@ use crate::partition::Partitioner;
 use crate::space::DesignSpace;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use s2fa_engine::{CacheStats, EvalEngine};
+use s2fa_engine::{CacheStats, EvalEngine, WorkerPool};
 use s2fa_hlsir::KernelSummary;
 use s2fa_hlssim::{Estimate, Estimator};
 use s2fa_lint::Legality;
@@ -113,6 +113,11 @@ pub struct DseOptions {
     /// exact, so turning it on can only shrink the virtual clock, never
     /// change an objective value.
     pub prescreen: bool,
+    /// Work-unit size (configs per pool chunk) for the persistent
+    /// evaluation pool; `0` picks an automatic size from the batch length
+    /// and executor count. Purely a wall-clock knob — the deterministic
+    /// index-slot merge makes outcomes identical for any chunking.
+    pub eval_chunk: usize,
 }
 
 impl Default for DseOptions {
@@ -137,6 +142,7 @@ impl DseOptions {
             eval_threads: 8,
             caching: true,
             prescreen: false,
+            eval_chunk: 0,
         }
     }
 }
@@ -155,6 +161,7 @@ pub fn vanilla_options() -> DseOptions {
         eval_threads: 8,
         caching: true,
         prescreen: false,
+        eval_chunk: 0,
     }
 }
 
@@ -485,6 +492,12 @@ pub fn run_dse_profiled(
     // threads pull the next unstarted partition first-come-first-served.
     // Each partition's trajectory depends only on its own RNG stream and
     // the shared (order-insensitive) cache, so pull order is irrelevant.
+    //
+    // One persistent evaluation pool serves every partition thread for the
+    // whole run: workers are spawned here once and each submitting thread
+    // helps execute its own job, so `eval_threads` equals total executors.
+    let eval_pool = (opts.eval_threads > 1)
+        .then(|| Arc::new(WorkerPool::new(opts.eval_threads.saturating_sub(1))));
     let pool = opts.workers.max(1).min(jobs.len().max(1));
     let cursor = AtomicUsize::new(0);
     let full: Vec<TuningOutcome> = {
@@ -496,6 +509,7 @@ pub fn run_dse_profiled(
                     let jobs = &jobs;
                     let engine = &engine;
                     let ds = &ds;
+                    let eval_pool = &eval_pool;
                     scope.spawn(move || {
                         let eval = |cfg: &s2fa_tuner::Config| -> Measurement {
                             let est = engine.evaluate(&ds.decode(cfg));
@@ -505,7 +519,11 @@ pub fn run_dse_profiled(
                             }
                         };
                         let mut obj = ThreadedObjective::new(&eval, opts.eval_threads)
+                            .with_chunk(opts.eval_chunk)
                             .with_profiler(profiler);
+                        if let Some(pool) = &eval_pool {
+                            obj = obj.with_pool(Arc::clone(pool));
+                        }
                         let mut pool_lane = profiler.lane();
                         let mut out = Vec::new();
                         loop {
@@ -549,6 +567,19 @@ pub fn run_dse_profiled(
             .collect()
     };
     lane.close(explore_span);
+
+    // Fold the evaluation pool's utilization counters into the metrics
+    // registry so the flight-recorder report (`s2fa_cli --metrics`) can
+    // show how the batch work split between workers and submitters.
+    if let (Some(pool), Some(metrics)) = (&eval_pool, profiler.metrics()) {
+        let stats = pool.stats();
+        metrics.counter("pool_jobs").add(stats.jobs);
+        metrics.counter("pool_chunks").add(stats.chunks);
+        metrics
+            .counter("pool_worker_chunks")
+            .add(stats.worker_chunks);
+        metrics.gauge("pool_workers").set(stats.workers as i64);
+    }
 
     let merge_span = lane.open("merge");
     // 4. Simulate the virtual FCFS schedule and merge. Partition i goes to

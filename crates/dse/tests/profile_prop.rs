@@ -5,11 +5,17 @@
 //! bit-identical to the unprofiled run.
 
 use proptest::prelude::*;
-use s2fa_dse::{run_dse, run_dse_profiled, DseOptions, DseOutcome};
-use s2fa_hlsir::{BufferDir, BufferInfo, KernelSummary, LoopId, LoopInfo, OpCounts};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use s2fa_dse::{run_dse, run_dse_profiled, DesignSpace, DseOptions, DseOutcome, EvalEngine};
+use s2fa_engine::WorkerPool;
+use s2fa_hlsir::{
+    Access, BufferDir, BufferInfo, CarriedDep, KernelSummary, LoopId, LoopInfo, OpCounts, Stride,
+};
 use s2fa_hlssim::Estimator;
 use s2fa_obs::{verify_spans, Profiler};
 use s2fa_trace::NullSink;
+use s2fa_tuner::{Measurement, Objective, ThreadedObjective};
 use std::sync::Arc;
 
 /// A dot-product-shaped kernel: a 1024-task loop over a 64-trip MAC.
@@ -126,5 +132,153 @@ proptest! {
                 "missing stage span {stage:?}"
             );
         }
+    }
+}
+
+/// A randomized linear loop nest: loop `i` trips `trips[i]` times and
+/// streams buffer `b{i}` (width `bits[i]`); the innermost loop optionally
+/// carries a reducible accumulation so the tree-reduction directive is in
+/// play. Exercises variable nest depth, buffer widths, and recurrences in
+/// the subtree-cost cache.
+fn random_summary(trips: &[u32], bits: &[u32], carried: bool) -> KernelSummary {
+    let n = trips.len();
+    let mut loops = Vec::new();
+    let mut buffers = Vec::new();
+    for (i, &trip) in trips.iter().enumerate() {
+        let mut ops = OpCounts::new();
+        ops.fadd = 1;
+        ops.fmul = (i % 2) as u32;
+        ops.int_alu = 1 + i as u32;
+        ops.mem_read = 1;
+        if i == 0 {
+            ops.mem_write = 1;
+        }
+        let innermost = i + 1 == n;
+        loops.push(LoopInfo {
+            id: LoopId(i as u32),
+            var: format!("i{i}"),
+            trip_count: trip,
+            depth: i as u32,
+            parent: (i > 0).then(|| LoopId(i as u32 - 1)),
+            children: if innermost {
+                vec![]
+            } else {
+                vec![LoopId(i as u32 + 1)]
+            },
+            body_ops: ops,
+            accesses: vec![Access {
+                buffer: format!("b{i}"),
+                write: false,
+                stride: Stride::Unit,
+            }],
+            carried: (innermost && carried).then(|| {
+                let mut chain = OpCounts::new();
+                chain.fadd = 1;
+                CarriedDep {
+                    via: "acc".into(),
+                    chain,
+                    reducible: true,
+                }
+            }),
+        });
+        buffers.push(BufferInfo {
+            name: format!("b{i}"),
+            elem_bits: bits[i % bits.len()],
+            len: 64,
+            dir: BufferDir::In,
+            broadcast: false,
+        });
+    }
+    buffers.push(BufferInfo {
+        name: "out".into(),
+        elem_bits: 32,
+        len: 1,
+        dir: BufferDir::Out,
+        broadcast: false,
+    });
+    KernelSummary {
+        name: "pool_prop".into(),
+        loops,
+        buffers,
+        task_loop: LoopId(0),
+        tasks_hint: trips[0],
+    }
+}
+
+/// `Measurement` holds two `f64`s; compare their exact bit patterns so
+/// "identical" means *bit*-identical, not merely approximately equal.
+fn bits(ms: &[Measurement]) -> Vec<(u64, u64)> {
+    ms.iter()
+        .map(|m| (m.value.to_bits(), m.minutes.to_bits()))
+        .collect()
+}
+
+// Tentpole determinism property: the pooled batch path with the
+// subtree-incremental estimator and both cache tiers enabled is
+// bit-identical to the serial whole-kernel walk with everything off —
+// across random kernels, batch sizes, thread counts, chunk sizes, and
+// chains of single-factor neighbor mutations. A second (warm) pass over
+// the same batch pins the alias fast path and subtree replay to the
+// same bits.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pooled_incremental_eval_is_bit_identical_to_serial(
+        trips in prop::collection::vec(2u32..48, 1..4),
+        bits_pool in prop::collection::vec(prop::sample::select(vec![8u32, 16, 32, 64]), 1..4),
+        carried in any::<bool>(),
+        batch in 1usize..40,
+        threads in 2usize..6,
+        chunk in 0usize..7,
+        muts in 0usize..12,
+        seed in any::<u64>(),
+    ) {
+        let s = random_summary(&trips, &bits_pool, carried);
+        let est = Estimator::new();
+        let ds = DesignSpace::build(&s);
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        // A base point, a chain of single-factor neighbors off it, then
+        // random fill to the requested batch size.
+        let mut configs = Vec::new();
+        let mut cur = ds.space().random(&mut rng);
+        configs.push(cur.clone());
+        for _ in 0..muts {
+            ds.space().mutate_one(&mut cur, &mut rng);
+            configs.push(cur.clone());
+        }
+        while configs.len() < batch {
+            configs.push(ds.space().random(&mut rng));
+        }
+
+        // Reference: serial whole-kernel estimation, no caches.
+        let mut serial_engine = EvalEngine::new(&s, &est);
+        serial_engine.set_caching(false);
+        serial_engine.set_incremental(false);
+        let eval_serial = |cfg: &s2fa_tuner::Config| -> Measurement {
+            let e = serial_engine.evaluate(&ds.decode(cfg));
+            Measurement { value: e.objective(), minutes: e.hls_minutes }
+        };
+        let mut serial_obj = ThreadedObjective::new(&eval_serial, 1);
+        let want = serial_obj.measure_batch(&configs);
+
+        // Candidate: persistent pool + incremental subtree costing +
+        // both estimate-cache tiers.
+        let pooled_engine = EvalEngine::new(&s, &est);
+        let eval_pooled = |cfg: &s2fa_tuner::Config| -> Measurement {
+            let e = pooled_engine.evaluate(&ds.decode(cfg));
+            Measurement { value: e.objective(), minutes: e.hls_minutes }
+        };
+        let pool = Arc::new(WorkerPool::new(threads - 1));
+        let mut pooled_obj = ThreadedObjective::new(&eval_pooled, threads)
+            .with_pool(pool)
+            .with_chunk(chunk);
+        let cold = pooled_obj.measure_batch(&configs);
+        let warm = pooled_obj.measure_batch(&configs);
+
+        prop_assert_eq!(bits(&want), bits(&cold), "cold pooled pass diverged");
+        prop_assert_eq!(bits(&want), bits(&warm), "warm (cached) pass diverged");
+        prop_assert!(pooled_engine.subtree_stats().entries > 0 || s.loops.len() == 1);
     }
 }

@@ -7,14 +7,62 @@
 //! one shard lock plus one relaxed increment.
 
 use parking_lot::Mutex;
-use s2fa_hlssim::Estimate;
+use s2fa_hlssim::{Estimate, SubtreeCost, SubtreeKey, SubtreeStore};
 use s2fa_obs::{Histogram, MetricsRegistry};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 const SHARDS: usize = 16;
+
+/// Pass-through hasher for maps keyed by (or containing) fingerprint
+/// digests: the key already carries a well-mixed 128-bit digest, so
+/// re-hashing it through SipHash on every probe is pure overhead on the
+/// hot alias and subtree paths. XOR-folds whatever arrives and lets
+/// `HashMap` take bits from that — sound because every keyed field is
+/// either a digest or rides alongside one.
+#[derive(Debug, Default)]
+pub struct FpHasher(u64);
+
+impl Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only fixed-width integer keys are expected; fold whatever
+        // arrives word-wise so the type still works as a generic Hasher.
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.0 ^= u64::from_le_bytes(w);
+        }
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        self.0 ^= (v as u64) ^ ((v >> 64) as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 ^= v;
+    }
+}
+
+type FpMap<V> = HashMap<u128, V, BuildHasherDefault<FpHasher>>;
+type SubtreeMap = HashMap<SubtreeKey, Arc<SubtreeCost>, BuildHasherDefault<FpHasher>>;
+
+/// One stripe of the memo table plus its own hit/miss tallies. Folding
+/// the counters into the shard keeps the hot probe at one lock round
+/// trip — a separate atomic increment costs a second locked RMW per
+/// evaluation, which is measurable on the warm alias path.
+#[derive(Debug, Default)]
+struct Shard {
+    map: FpMap<Estimate>,
+    hits: u64,
+    misses: u64,
+}
 
 /// Resolved histogram handles for probe latency and shard-lock wait
 /// (see [`EstimateCache::instrument`]).
@@ -60,11 +108,18 @@ impl CacheStats {
 }
 
 /// A sharded, thread-safe `fingerprint → Estimate` memo table.
+///
+/// Two tiers share the counters: the **canonical** table (keyed by the
+/// fingerprint of the *normalized* configuration — the source of truth,
+/// what `entries`/`inserts` count) and an **alias** table keyed by the
+/// fingerprint of the *raw* configuration. A raw point that was evaluated
+/// before short-circuits on the alias probe without paying the clone +
+/// normalize + prescreen prologue; an alias miss costs one extra lookup
+/// and is not counted (the canonical probe that follows counts it).
 #[derive(Debug, Default)]
 pub struct EstimateCache {
-    shards: [Mutex<HashMap<u128, Estimate>>; SHARDS],
-    hits: AtomicU64,
-    misses: AtomicU64,
+    shards: [Mutex<Shard>; SHARDS],
+    alias: [Mutex<Shard>; SHARDS],
     inserts: AtomicU64,
     overwrites: AtomicU64,
     pruned: AtomicU64,
@@ -77,10 +132,13 @@ impl EstimateCache {
         Self::default()
     }
 
-    fn shard(&self, key: u128) -> &Mutex<HashMap<u128, Estimate>> {
-        // Fold the fingerprint; FNV output is well-mixed in the low bits.
-        let idx = ((key as u64) ^ ((key >> 64) as u64)) as usize % SHARDS;
-        &self.shards[idx]
+    // Fold the fingerprint; FNV output is well-mixed in the low bits.
+    fn shard_idx(key: u128) -> usize {
+        ((key as u64) ^ ((key >> 64) as u64)) as usize % SHARDS
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<Shard> {
+        &self.shards[Self::shard_idx(key)]
     }
 
     /// Attaches latency instrumentation: every subsequent probe feeds
@@ -94,25 +152,33 @@ impl EstimateCache {
         });
     }
 
-    /// Looks up an estimate, counting the hit or miss.
+    /// Looks up an estimate, counting the hit or miss (tallied inside
+    /// the already-held shard lock — no extra atomic on the hot path).
     pub fn get(&self, key: u128) -> Option<Estimate> {
-        let found = match &self.instr {
-            None => self.shard(key).lock().get(&key).cloned(),
+        match &self.instr {
+            None => {
+                let mut guard = self.shard(key).lock();
+                let found = guard.map.get(&key).cloned();
+                match found {
+                    Some(_) => guard.hits += 1,
+                    None => guard.misses += 1,
+                }
+                found
+            }
             Some(instr) => {
                 let t0 = Instant::now();
-                let guard = self.shard(key).lock();
+                let mut guard = self.shard(key).lock();
                 instr.lock_wait_ns.record(t0.elapsed().as_nanos() as u64);
-                let found = guard.get(&key).cloned();
+                let found = guard.map.get(&key).cloned();
+                match found {
+                    Some(_) => guard.hits += 1,
+                    None => guard.misses += 1,
+                }
                 drop(guard);
                 instr.probe_ns.record(t0.elapsed().as_nanos() as u64);
                 found
             }
-        };
-        match found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+        }
     }
 
     /// Stores an estimate; returns `true` if the key was new. Racing
@@ -124,7 +190,7 @@ impl EstimateCache {
     pub fn insert(&self, key: u128, estimate: Estimate) -> bool {
         use std::collections::hash_map::Entry;
         let mut shard = self.shard(key).lock();
-        match shard.entry(key) {
+        match shard.map.entry(key) {
             Entry::Vacant(v) => {
                 v.insert(estimate);
                 drop(shard);
@@ -140,6 +206,51 @@ impl EstimateCache {
         }
     }
 
+    /// Probes the alias tier with a **raw** (pre-normalization)
+    /// fingerprint. A hit counts as a cache hit and feeds the probe
+    /// histograms exactly like a canonical hit; a miss counts nothing —
+    /// the canonical probe that follows it owns the miss, so hit/miss
+    /// totals still sum to one count per evaluation.
+    pub fn get_alias(&self, raw: u128) -> Option<Estimate> {
+        let shard = &self.alias[Self::shard_idx(raw)];
+        match &self.instr {
+            None => {
+                let mut guard = shard.lock();
+                let found = guard.map.get(&raw).cloned();
+                if found.is_some() {
+                    guard.hits += 1;
+                }
+                found
+            }
+            Some(instr) => {
+                let t0 = Instant::now();
+                let mut guard = shard.lock();
+                let lock_ns = t0.elapsed().as_nanos() as u64;
+                let found = guard.map.get(&raw).cloned();
+                if found.is_some() {
+                    guard.hits += 1;
+                }
+                drop(guard);
+                if found.is_some() {
+                    instr.lock_wait_ns.record(lock_ns);
+                    instr.probe_ns.record(t0.elapsed().as_nanos() as u64);
+                }
+                found
+            }
+        }
+    }
+
+    /// Maps a raw fingerprint onto an already-priced estimate. Alias
+    /// entries are a lookup accelerator, not part of the memo table
+    /// proper: they bump no insert counter and do not appear in
+    /// `entries`/`len`.
+    pub fn insert_alias(&self, raw: u128, estimate: Estimate) {
+        self.alias[Self::shard_idx(raw)]
+            .lock()
+            .map
+            .insert(raw, estimate);
+    }
+
     /// Counts one legality-pre-screen rejection. Pruned points never
     /// touch the table or the hit/miss counters.
     pub fn count_pruned(&self) {
@@ -148,24 +259,109 @@ impl EstimateCache {
 
     /// Number of distinct entries stored.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// True when no entries are stored.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.lock().is_empty())
+        self.shards.iter().all(|s| s.lock().map.is_empty())
     }
 
-    /// Snapshot of the activity counters.
+    /// Snapshot of the activity counters. Hit/miss tallies are summed
+    /// over both tiers' shards (alias hits count as cache hits; alias
+    /// misses were never tallied — the canonical probe that follows one
+    /// owns the miss).
     pub fn stats(&self) -> CacheStats {
+        let mut hits = 0;
+        let mut misses = 0;
+        for s in self.shards.iter().chain(self.alias.iter()) {
+            let g = s.lock();
+            hits += g.hits;
+            misses += g.misses;
+        }
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits,
+            misses,
             inserts: self.inserts.load(Ordering::Relaxed),
             overwrites: self.overwrites.load(Ordering::Relaxed),
             entries: self.len() as u64,
             pruned_illegal: self.pruned.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Snapshot of [`SubtreeCache`] activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubtreeStats {
+    /// Subtree lookups served from the cache (walks skipped).
+    pub hits: u64,
+    /// Subtree lookups that walked and recorded.
+    pub misses: u64,
+    /// Distinct subtree records stored.
+    pub entries: u64,
+}
+
+/// A sharded, thread-safe store of recorded subtree walks — the engine's
+/// [`SubtreeStore`] implementation backing incremental re-estimation.
+///
+/// Scoped to one `EvalEngine` (keys are kernel-relative). Racing `put`s
+/// of one key are benign: every record is a pure function of its key, so
+/// the first writer wins and later writers drop their copy.
+#[derive(Debug, Default)]
+pub struct SubtreeCache {
+    shards: [Mutex<SubtreeMap>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SubtreeCache {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard(&self, key: &SubtreeKey) -> &Mutex<SubtreeMap> {
+        let f = key.subfp;
+        let idx = ((f as u64) ^ ((f >> 64) as u64) ^ (key.root.0 as u64) ^ key.repl_bits) as usize
+            % SHARDS;
+        &self.shards[idx]
+    }
+
+    /// Number of distinct subtree records stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn stats(&self) -> SubtreeStats {
+        SubtreeStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+impl SubtreeStore for SubtreeCache {
+    fn get(&self, key: &SubtreeKey) -> Option<Arc<SubtreeCost>> {
+        let found = self.shard(key).lock().get(key).cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn put(&self, key: SubtreeKey, cost: SubtreeCost) {
+        self.shard(&key)
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Arc::new(cost));
     }
 }
 
@@ -269,7 +465,7 @@ mod tests {
             c.insert(k, estimate(k as u64));
         }
         assert_eq!(c.len(), 64);
-        let populated = c.shards.iter().filter(|s| !s.lock().is_empty()).count();
+        let populated = c.shards.iter().filter(|s| !s.lock().map.is_empty()).count();
         assert!(populated > 1, "sequential keys should stripe");
     }
 

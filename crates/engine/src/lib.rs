@@ -35,9 +35,11 @@
 
 pub mod cache;
 pub mod fingerprint;
+pub mod pool;
 
-pub use cache::{CacheStats, EstimateCache};
+pub use cache::{CacheStats, EstimateCache, SubtreeCache, SubtreeStats};
 pub use fingerprint::fingerprint;
+pub use pool::{JobHandle, PoolStats, WorkerPool};
 
 use parking_lot::Mutex;
 use s2fa_hlsir::KernelSummary;
@@ -60,7 +62,9 @@ pub struct EvalEngine {
     estimator: Estimator,
     invariants: KernelInvariants,
     cache: EstimateCache,
+    subtrees: SubtreeCache,
     caching: bool,
+    incremental: bool,
     prescreen: Option<Legality>,
     pruned_by_rule: [AtomicU64; PruneRule::ALL.len()],
     sink: Option<Arc<dyn TraceSink>>,
@@ -79,7 +83,9 @@ impl EvalEngine {
             summary: summary.clone(),
             estimator: estimator.clone(),
             cache: EstimateCache::default(),
+            subtrees: SubtreeCache::default(),
             caching: true,
+            incremental: true,
             prescreen: None,
             pruned_by_rule: Default::default(),
             sink: None,
@@ -146,6 +152,20 @@ impl EvalEngine {
         self.caching
     }
 
+    /// Enables or disables incremental re-estimation (subtree-cost
+    /// replay) on cache misses. Provably bit-identical to the full walk
+    /// (the hlssim and dse determinism suites pin it down), so the
+    /// default is on; it only takes effect while caching is enabled —
+    /// with caching off every evaluation is a plain full walk.
+    pub fn set_incremental(&mut self, enabled: bool) {
+        self.incremental = enabled;
+    }
+
+    /// Whether incremental re-estimation is enabled.
+    pub fn incremental(&self) -> bool {
+        self.incremental
+    }
+
     /// Enables or disables the `s2fa-lint` legality pre-screen.
     ///
     /// When on, points the static screen proves infeasible skip the
@@ -196,6 +216,20 @@ impl EvalEngine {
     /// `hls_minutes` charge, and normalization is idempotent, so the
     /// canonical point evaluates to the same estimate as the raw one.
     pub fn evaluate(&self, config: &DesignConfig) -> Estimate {
+        // Alias fast-path: a raw point seen before returns its stored
+        // estimate without paying the clone + normalize + prescreen
+        // prologue (the warm-cache path the tuner's repeat proposals
+        // hammer). Pruned points never enter the alias tier, so the
+        // prescreen stays authoritative for everything it ever rejected.
+        let raw = if self.caching {
+            let raw = fingerprint(config);
+            if let Some(hit) = self.cache.get_alias(raw) {
+                return hit;
+            }
+            Some(raw)
+        } else {
+            None
+        };
         let mut cfg = config.clone();
         cfg.normalize(&self.summary);
         if let Some(oracle) = &self.prescreen {
@@ -216,19 +250,39 @@ impl EvalEngine {
                 .evaluate_with(&self.summary, &self.invariants, &cfg);
         }
         let key = fingerprint(&cfg);
-        if let Some(hit) = self.cache.get(key) {
-            return hit;
+        let est = match self.cache.get(key) {
+            Some(hit) => hit,
+            None => {
+                let est = if self.incremental {
+                    self.estimator.evaluate_incremental(
+                        &self.summary,
+                        &self.invariants,
+                        &cfg,
+                        &self.subtrees,
+                    )
+                } else {
+                    self.estimator
+                        .evaluate_with(&self.summary, &self.invariants, &cfg)
+                };
+                self.cache.insert(key, est.clone());
+                est
+            }
+        };
+        if let Some(raw) = raw {
+            self.cache.insert_alias(raw, est.clone());
         }
-        let est = self
-            .estimator
-            .evaluate_with(&self.summary, &self.invariants, &cfg);
-        self.cache.insert(key, est.clone());
         est
     }
 
     /// Snapshot of the cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Snapshot of the subtree-cost store counters (all zero until an
+    /// incremental evaluation runs).
+    pub fn subtree_stats(&self) -> SubtreeStats {
+        self.subtrees.stats()
     }
 }
 
@@ -529,6 +583,44 @@ mod tests {
         let snap = profiler.metrics().unwrap().snapshot();
         assert_eq!(snap.histograms["cache_probe_ns"].count, 2);
         assert_eq!(snap.histograms["cache_lock_wait_ns"].count, 2);
+    }
+
+    #[test]
+    fn incremental_and_plain_paths_agree_bitwise() {
+        let s = summary();
+        let est = Estimator::new();
+        let mut plain = EvalEngine::new(&s, &est);
+        plain.set_incremental(false);
+        let inc = EvalEngine::new(&s, &est);
+        assert!(inc.incremental(), "incremental defaults on");
+        let mut cfgs = vec![DesignConfig::area_seed(&s), DesignConfig::perf_seed(&s)];
+        for p in [2u32, 4, 8, 16] {
+            let mut c = DesignConfig::area_seed(&s);
+            c.loop_directive_mut(LoopId(1)).parallel = p;
+            cfgs.push(c);
+        }
+        for cfg in &cfgs {
+            assert_eq!(inc.evaluate(cfg), plain.evaluate(cfg));
+        }
+        assert!(
+            inc.subtree_stats().entries > 0,
+            "incremental runs record subtrees"
+        );
+        assert_eq!(plain.subtree_stats().entries, 0);
+    }
+
+    #[test]
+    fn alias_fast_path_serves_raw_repeats() {
+        let s = summary();
+        let engine = EvalEngine::new(&s, &Estimator::new());
+        let mut raw = DesignConfig::area_seed(&s);
+        // Denormalized: clamps onto a canonical point under normalize.
+        raw.loop_directive_mut(LoopId(1)).parallel = 9999;
+        let a = engine.evaluate(&raw);
+        let b = engine.evaluate(&raw); // alias hit: skips normalize entirely
+        assert_eq!(a, b);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
     }
 
     #[test]

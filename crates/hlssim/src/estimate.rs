@@ -10,12 +10,16 @@ use s2fa_merlin::DesignConfig;
 use std::fmt;
 
 /// Whether a design point synthesizes and routes.
+///
+/// The infeasible reason is reference-counted: estimates are cloned on
+/// every memo-table hit, and most randomly drawn points are infeasible,
+/// so a `String` here would put one allocation on the cache hot path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Feasibility {
     /// The design fits and routes.
     Feasible,
     /// Synthesis/implementation fails for the given reason.
-    Infeasible(String),
+    Infeasible(std::sync::Arc<str>),
 }
 
 impl Feasibility {
@@ -52,17 +56,19 @@ impl ResourceScreen {
     pub fn feasibility(&self, device: &Device) -> Feasibility {
         let util = self.resources.max_utilization(device);
         if util > device.max_util {
-            Feasibility::Infeasible(format!(
-                "{} utilization {:.0}% exceeds the {:.0}% cap",
-                self.resources.bottleneck(device),
-                util * 100.0,
-                device.max_util * 100.0
-            ))
+            Feasibility::Infeasible(
+                format!(
+                    "{} utilization {:.0}% exceeds the {:.0}% cap",
+                    self.resources.bottleneck(device),
+                    util * 100.0,
+                    device.max_util * 100.0
+                )
+                .into(),
+            )
         } else if self.max_replication > MAX_REPLICATION {
-            Feasibility::Infeasible(format!(
-                "replication {} unroutable",
-                self.max_replication as u64
-            ))
+            Feasibility::Infeasible(
+                format!("replication {} unroutable", self.max_replication as u64).into(),
+            )
         } else {
             Feasibility::Feasible
         }
@@ -240,10 +246,44 @@ impl Estimator {
         inv: &KernelInvariants,
         config: &DesignConfig,
     ) -> Estimate {
+        self.evaluate_inner(summary, inv, config, None)
+    }
+
+    /// [`evaluate_with`](Self::evaluate_with) with incremental
+    /// re-estimation: loop subtrees whose inputs (their directives, the
+    /// widths of the ported buffers they touch, and the entry replication)
+    /// match a record in `store` replay the recorded charge sequence
+    /// instead of walking. The replay repeats the exact program-order
+    /// addends of a full walk, so the returned [`Estimate`] is
+    /// **bit-identical** to [`evaluate_with`](Self::evaluate_with) — the
+    /// property the determinism suite pins down.
+    ///
+    /// `store` must be scoped to this (`summary`, estimator) pair; loop
+    /// ids and invariants are kernel-relative.
+    pub fn evaluate_incremental(
+        &self,
+        summary: &KernelSummary,
+        inv: &KernelInvariants,
+        config: &DesignConfig,
+        store: &dyn crate::subtree::SubtreeStore,
+    ) -> Estimate {
+        self.evaluate_inner(summary, inv, config, Some(store))
+    }
+
+    fn evaluate_inner(
+        &self,
+        summary: &KernelSummary,
+        inv: &KernelInvariants,
+        config: &DesignConfig,
+        store: Option<&dyn crate::subtree::SubtreeStore>,
+    ) -> Estimate {
         let mut cfg = config.clone();
         cfg.normalize(summary);
 
         let mut ctx = ModelCtx::new(summary, &cfg, &self.costs, inv);
+        if let Some(store) = store {
+            ctx.set_store(store);
+        }
         let compute = ctx.evaluate();
         ctx.charge_tiling();
         let resources = ctx.resources;
@@ -563,5 +603,54 @@ mod tests {
         let est = Estimator::new();
         let cfg = DesignConfig::perf_seed(&s);
         assert_eq!(est.evaluate(&s, &cfg), est.evaluate(&s, &cfg));
+    }
+
+    #[test]
+    fn incremental_matches_full_walk_bit_for_bit() {
+        use crate::subtree::{SubtreeCost, SubtreeKey, SubtreeStore};
+        use std::collections::HashMap;
+        use std::sync::{Arc, Mutex};
+
+        struct MapStore(Mutex<HashMap<SubtreeKey, Arc<SubtreeCost>>>);
+        impl SubtreeStore for MapStore {
+            fn get(&self, key: &SubtreeKey) -> Option<Arc<SubtreeCost>> {
+                self.0.lock().unwrap().get(key).cloned()
+            }
+            fn put(&self, key: SubtreeKey, cost: SubtreeCost) {
+                self.0.lock().unwrap().insert(key, Arc::new(cost));
+            }
+        }
+
+        let s = summary();
+        let est = Estimator::new();
+        let inv = est.invariants(&s);
+        let store = MapStore(Mutex::new(HashMap::new()));
+
+        // Walk a chain of single-factor neighbor mutations so later
+        // configs replay subtrees recorded by earlier ones.
+        let mut cfgs = vec![DesignConfig::area_seed(&s), DesignConfig::perf_seed(&s)];
+        let mut c = DesignConfig::area_seed(&s);
+        c.loop_directive_mut(LoopId(1)).pipeline = PipelineMode::On;
+        cfgs.push(c.clone());
+        c.loop_directive_mut(LoopId(1)).parallel = 8;
+        cfgs.push(c.clone());
+        c.loop_directive_mut(LoopId(0)).tile = Some(16);
+        cfgs.push(c.clone());
+        c.loop_directive_mut(LoopId(1)).tree_reduce = true;
+        cfgs.push(c);
+
+        for cfg in &cfgs {
+            // Cold pass records subtrees; warm pass replays them. Both
+            // must equal the full walk exactly (f64 `==`, not approx).
+            for pass in 0..2 {
+                let inc = est.evaluate_incremental(&s, &inv, cfg, &store);
+                let full = est.evaluate_with(&s, &inv, cfg);
+                assert_eq!(inc, full, "pass {pass} diverged for {cfg:?}");
+            }
+        }
+        assert!(
+            !store.0.lock().unwrap().is_empty(),
+            "non-leaf subtrees should have been recorded"
+        );
     }
 }

@@ -87,6 +87,12 @@ pub(crate) struct LoopInvariants {
     pub rec_chain_latency: f64,
     /// Per-buffer access pressure, in buffer-name order.
     pub mem_accesses: Vec<MemAccess>,
+    /// Names of the off-chip (ported) buffers *this loop itself*
+    /// accesses, sorted — the only buffer widths the loop's own body
+    /// reads from the configuration. The incremental re-estimation
+    /// sub-fingerprint mixes these per node and composes child digests
+    /// bottom-up, so no per-subtree union is needed.
+    pub own_ported_buffers: Vec<String>,
 }
 
 /// Everything the estimator needs from a [`KernelSummary`] that does not
@@ -142,10 +148,40 @@ impl KernelInvariants {
             .map(|b| (b.elem_bits as f64 * b.len as f64 / 18_432.0).ceil())
             .sum();
 
+        // Which off-chip (ported) buffers each loop touches itself — the
+        // sub-fingerprint mixes these per node (child digests compose
+        // bottom-up, so no subtree union is materialized).
+        let own_ported: BTreeMap<LoopId, Vec<&str>> = summary
+            .loops
+            .iter()
+            .map(|li| {
+                let mut names: Vec<&str> = li
+                    .accesses
+                    .iter()
+                    .filter(|a| {
+                        summary
+                            .buffer(&a.buffer)
+                            .is_some_and(|b| b.dir != BufferDir::Local && !b.broadcast)
+                    })
+                    .map(|a| a.buffer.as_str())
+                    .collect();
+                names.sort_unstable();
+                names.dedup();
+                (li.id, names)
+            })
+            .collect();
+
         let mut loops = BTreeMap::new();
         for li in &summary.loops {
             let subtree_ops = summary.subtree_ops(li.id);
             let descendants = summary.descendants(li.id);
+
+            let own_ported_buffers: Vec<String> = own_ported
+                .get(&li.id)
+                .into_iter()
+                .flatten()
+                .map(|s| (*s).to_string())
+                .collect();
 
             let mut flatten_chain = Vec::new();
             let mut systolic = false;
@@ -207,6 +243,7 @@ impl KernelInvariants {
                         .map(|dep| costs.chain_latency(&dep.chain) as f64)
                         .unwrap_or(1.0),
                     mem_accesses,
+                    own_ported_buffers,
                 },
             );
         }

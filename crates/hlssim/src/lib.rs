@@ -30,9 +30,11 @@ pub mod invariants;
 pub mod model;
 pub mod report;
 pub mod resource;
+pub mod subtree;
 
 pub use cost::HlsCosts;
 pub use device::Device;
 pub use estimate::{Estimate, Estimator, Feasibility, ResourceScreen, MAX_REPLICATION};
 pub use invariants::KernelInvariants;
 pub use resource::ResourceUsage;
+pub use subtree::{Res, SubFnv, SubtreeCost, SubtreeKey, SubtreeStore};

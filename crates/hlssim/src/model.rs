@@ -23,7 +23,8 @@ use crate::cost::{HlsCosts, OpProfile};
 use crate::device::Device;
 use crate::invariants::{BufferBase, KernelInvariants, LoopInvariants, MemPort};
 use crate::resource::ResourceUsage;
-use s2fa_hlsir::{KernelSummary, LoopId, PipelineMode};
+use crate::subtree::{Res, SubFnv, SubtreeCost, SubtreeKey, SubtreeStore};
+use s2fa_hlsir::{KernelSummary, LoopId, LoopInfo, PipelineMode};
 use s2fa_merlin::DesignConfig;
 
 /// Result of evaluating one loop subtree.
@@ -35,6 +36,41 @@ pub(crate) struct LoopEval {
     /// model introspection in tests and future stage-balancing work.
     #[allow(dead_code)]
     pub ii: f64,
+}
+
+/// An in-flight subtree recording: the exact addend sequence plus the
+/// max-folded metrics observed while the frame is open. Nested frames
+/// stack — a charge lands in the innermost frame, and a closing frame
+/// appends its sequence to its parent in one bulk copy, so an enclosing
+/// subtree's record stays complete (identical content and order) even
+/// when an inner subtree replays from cache.
+struct Frame {
+    charges: Vec<(Res, f64)>,
+    max_repl: f64,
+    deep_logic: f64,
+    worst_ii: f64,
+}
+
+impl Frame {
+    fn new() -> Self {
+        Frame {
+            charges: Vec::new(),
+            max_repl: f64::NEG_INFINITY,
+            deep_logic: f64::NEG_INFINITY,
+            worst_ii: f64::NEG_INFINITY,
+        }
+    }
+
+    fn into_cost(self, ev: LoopEval) -> SubtreeCost {
+        SubtreeCost {
+            charges: self.charges,
+            max_repl: self.max_repl,
+            deep_logic: self.deep_logic,
+            worst_ii: self.worst_ii,
+            cycles: ev.cycles,
+            ii: ev.ii,
+        }
+    }
 }
 
 /// Mutable evaluation state threaded through the recursion.
@@ -54,6 +90,15 @@ pub(crate) struct ModelCtx<'a> {
     /// Whether the task loop is tiled (enables transfer/compute overlap
     /// through double buffering).
     pub overlap: bool,
+    /// Subtree-cost memo (incremental re-estimation); `None` walks every
+    /// subtree from scratch.
+    store: Option<&'a dyn SubtreeStore>,
+    /// Open recording frames, innermost last.
+    rec: Vec<Frame>,
+    /// Per-node subtree fingerprints, computed bottom-up once per
+    /// evaluation when a store is attached (post-order push; linear scan
+    /// lookup — loop nests are shallow).
+    subfps: Vec<(LoopId, u128)>,
 }
 
 impl<'a> ModelCtx<'a> {
@@ -73,6 +118,141 @@ impl<'a> ModelCtx<'a> {
             deep_logic: 0.0,
             worst_ii: 1.0,
             overlap: false,
+            store: None,
+            rec: Vec::new(),
+            subfps: Vec::new(),
+        }
+    }
+
+    /// Attaches a subtree-cost store: subtrees whose inputs match a
+    /// recorded evaluation replay their charge sequence instead of
+    /// walking — bit-identical to the full walk by construction. Also
+    /// precomputes every node's subtree fingerprint in one bottom-up
+    /// pass, so keying a subtree during the walk is a table lookup.
+    pub fn set_store(&mut self, store: &'a dyn SubtreeStore) {
+        self.store = Some(store);
+        self.subfps.clear();
+        self.node_subfp(self.summary.task_loop);
+    }
+
+    /// Computes the subtree fingerprint of `id` and every descendant in
+    /// post-order: a node's digest mixes its own directive words, the
+    /// configured widths of the ported buffers its own body touches, and
+    /// its children's digests. Digest-of-digests composes, so the whole
+    /// tree costs O(loops) words per evaluation instead of re-walking
+    /// the subtree member list at every recursion level.
+    fn node_subfp(&mut self, id: LoopId) -> u128 {
+        let summary: &'a KernelSummary = self.summary;
+        let inv: &'a KernelInvariants = self.inv;
+        let Some(li) = summary.loop_info(id) else {
+            return 0;
+        };
+        let mut h = SubFnv::new();
+        let d = self.config.loop_directive(id);
+        let (tile_flag, tile_val) = match d.tile {
+            Some(t) => (1u64, t as u64),
+            None => (0, 0),
+        };
+        let pipe = match d.pipeline {
+            PipelineMode::Off => 0u64,
+            PipelineMode::On => 1,
+            PipelineMode::Flatten => 2,
+        };
+        h.word(
+            0x01 | ((id.0 as u64) << 8)
+                | (tile_flag << 40)
+                | (pipe << 41)
+                | ((d.tree_reduce as u64) << 43),
+        );
+        h.word(tile_val | ((d.parallel as u64) << 32));
+        for name in &inv.of(id).own_ported_buffers {
+            h.word(0x02 | ((self.config.buffer_width(name) as u64) << 8));
+        }
+        for &c in &li.children {
+            let sub = self.node_subfp(c);
+            h.word(sub as u64);
+            h.word((sub >> 64) as u64);
+        }
+        let fp = h.finish();
+        self.subfps.push((id, fp));
+        fp
+    }
+
+    /// The precomputed subtree fingerprint of `id` (0 for loops outside
+    /// the task subtree — never keyed, `eval_loop` only descends into
+    /// summary-known children of the task loop).
+    fn subfp(&self, id: LoopId) -> u128 {
+        self.subfps
+            .iter()
+            .find(|&&(l, _)| l == id)
+            .map(|&(_, f)| f)
+            .unwrap_or(0)
+    }
+
+    /// Adds `v` to resource field `r`, recording the addend in the
+    /// innermost open frame. All resource accumulation inside
+    /// `eval_loop` goes through here so a replayed subtree repeats the
+    /// identical `+=` sequence. Enclosing frames receive the charges in
+    /// one bulk append when the inner frame closes — same content, same
+    /// order, but a memcpy instead of a per-charge fan-out over every
+    /// open frame (which made nested misses O(depth²)).
+    #[inline]
+    fn charge(&mut self, r: Res, v: f64) {
+        match r {
+            Res::Bram => self.resources.bram_18k += v,
+            Res::Dsp => self.resources.dsp += v,
+            Res::Ff => self.resources.ff += v,
+            Res::Lut => self.resources.lut += v,
+        }
+        if let Some(f) = self.rec.last_mut() {
+            f.charges.push((r, v));
+        }
+    }
+
+    /// Folds a replication observation (exact: `max` never rounds).
+    #[inline]
+    fn bump_repl(&mut self, v: f64) {
+        self.max_replication = self.max_replication.max(v);
+        if let Some(f) = self.rec.last_mut() {
+            f.max_repl = f.max_repl.max(v);
+        }
+    }
+
+    /// Folds a deep-logic observation.
+    #[inline]
+    fn bump_deep(&mut self, v: f64) {
+        self.deep_logic = self.deep_logic.max(v);
+        if let Some(f) = self.rec.last_mut() {
+            f.deep_logic = f.deep_logic.max(v);
+        }
+    }
+
+    /// Folds a pipelined-II observation.
+    #[inline]
+    fn bump_ii(&mut self, v: f64) {
+        self.worst_ii = self.worst_ii.max(v);
+        if let Some(f) = self.rec.last_mut() {
+            f.worst_ii = f.worst_ii.max(v);
+        }
+    }
+
+    /// Replays a recorded subtree: same addends, same order, same folds.
+    fn replay(&mut self, cost: &SubtreeCost) {
+        for &(r, v) in &cost.charges {
+            self.charge(r, v);
+        }
+        self.bump_repl(cost.max_repl);
+        self.bump_deep(cost.deep_logic);
+        self.bump_ii(cost.worst_ii);
+    }
+
+    /// The cache key of subtree `id` entered at `repl`: the precomputed
+    /// bottom-up fingerprint plus the entry replication bit pattern.
+    fn subtree_key(&self, id: LoopId, repl: f64) -> SubtreeKey {
+        SubtreeKey {
+            root: id,
+            repl_bits: repl.to_bits(),
+            subfp: self.subfp(id),
         }
     }
 
@@ -123,7 +303,51 @@ impl<'a> ModelCtx<'a> {
         }
     }
 
+    /// Evaluates one loop subtree, consulting the subtree-cost store
+    /// when one is attached. Every *proper* subtree is cacheable, leaves
+    /// included: replaying a leaf's recorded charges skips the directive
+    /// legality walk and the per-class resource math, which is what
+    /// makes single-factor neighbor mutations (one knob changes, every
+    /// other subtree key unchanged) cheaper than a full re-walk.
+    ///
+    /// The task-loop *root* is deliberately never cached: an identical
+    /// whole-kernel evaluation is already answered by the fingerprint-
+    /// keyed estimate memo one layer up, and a mutation chain by
+    /// definition changes something inside the root — so a root record
+    /// would never hit while paying to record every charge of the whole
+    /// walk on every miss.
     fn eval_loop(&mut self, id: LoopId, repl: f64) -> LoopEval {
+        if let Some(store) = self.store {
+            if id != self.summary.task_loop && self.summary.loop_info(id).is_some() {
+                let key = self.subtree_key(id, repl);
+                if let Some(cost) = store.get(&key) {
+                    self.replay(&cost);
+                    return LoopEval {
+                        cycles: cost.cycles,
+                        ii: cost.ii,
+                    };
+                }
+                self.rec.push(Frame::new());
+                let ev = self.eval_loop_body(id, repl);
+                let frame = self.rec.pop().expect("frame pushed above");
+                // Propagate this subtree's recording to the enclosing
+                // frame in one append — keeps the parent's record
+                // complete (same charges, same program order) without
+                // per-charge fan-out while both frames were open.
+                if let Some(parent) = self.rec.last_mut() {
+                    parent.charges.extend_from_slice(&frame.charges);
+                    parent.max_repl = parent.max_repl.max(frame.max_repl);
+                    parent.deep_logic = parent.deep_logic.max(frame.deep_logic);
+                    parent.worst_ii = parent.worst_ii.max(frame.worst_ii);
+                }
+                store.put(key, frame.into_cost(ev));
+                return ev;
+            }
+        }
+        self.eval_loop_body(id, repl)
+    }
+
+    fn eval_loop_body(&mut self, id: LoopId, repl: f64) -> LoopEval {
         let Some(li) = self.summary.loop_info(id) else {
             return LoopEval {
                 cycles: 0.0,
@@ -135,7 +359,7 @@ impl<'a> ModelCtx<'a> {
         let tc = li.trip_count.max(1) as f64;
         let u = (d.parallel_factor() as f64).min(tc);
         let iters = (tc / u).ceil();
-        self.max_replication = self.max_replication.max(repl * u);
+        self.bump_repl(repl * u);
 
         let locality = if d.tile.is_some() { 0.6 } else { 1.0 };
 
@@ -153,7 +377,7 @@ impl<'a> ModelCtx<'a> {
                 // effect that pins the paper's S-W design at 100 MHz.
                 for &(chain_lat, deep) in &linv.flatten_chain {
                     iter_lat += chain_lat;
-                    self.deep_logic = self.deep_logic.max(deep);
+                    self.bump_deep(deep);
                 }
 
                 let rec = rec_mii(li, &d, linv.rec_chain_latency);
@@ -162,7 +386,7 @@ impl<'a> ModelCtx<'a> {
                 // so memory ports do not bound the II here; the recurrence
                 // does.
                 let ii = rec.max(1.0);
-                self.worst_ii = self.worst_ii.max(ii);
+                self.bump_ii(ii);
                 let _ = locality;
 
                 // Fully spatial body. Recurrent subtrees route as systolic
@@ -170,8 +394,8 @@ impl<'a> ModelCtx<'a> {
                 // recurrence-free flattening pays the crossbar.
                 self.charge_classes(&linv.subtree_classes, repl * u, ii, linv.systolic);
                 // Partitioned local arrays + interface caches.
-                self.resources.bram_18k += 2.0 * flat_iters.sqrt();
-                self.resources.bram_18k += linv.flatten_iface_bram;
+                self.charge(Res::Bram, 2.0 * flat_iters.sqrt());
+                self.charge(Res::Bram, linv.flatten_iface_bram);
 
                 LoopEval {
                     cycles: iter_lat + (iters - 1.0) * ii,
@@ -183,7 +407,7 @@ impl<'a> ModelCtx<'a> {
                 let rec = rec_mii(li, &d, linv.rec_chain_latency);
                 let mem = self.mem_mii_leaf(linv, u, locality);
                 let ii = rec.max(mem).max(1.0);
-                self.worst_ii = self.worst_ii.max(ii);
+                self.bump_ii(ii);
                 let mut iter_lat = linv.body_critical_path;
                 if d.tree_reduce && u > 1.0 {
                     // adder tree depth
@@ -207,7 +431,7 @@ impl<'a> ModelCtx<'a> {
                 }
                 self.charge_classes(&linv.body_classes, repl * u, 1.0, false);
                 // Double buffers between stages.
-                self.resources.bram_18k += 2.0 * li.children.len() as f64;
+                self.charge(Res::Bram, 2.0 * li.children.len() as f64);
                 LoopEval {
                     cycles: stage_sum + (iters - 1.0) * stage_max,
                     ii: stage_max,
@@ -266,9 +490,9 @@ impl<'a> ModelCtx<'a> {
         for &(count, ref p) in classes {
             let units = ((count as f64 * repl) / ii.max(1.0)).max(1.0);
             total_units += units;
-            self.resources.dsp += p.dsp * units;
-            self.resources.lut += p.lut * units;
-            self.resources.ff += p.ff * units;
+            self.charge(Res::Dsp, p.dsp * units);
+            self.charge(Res::Lut, p.lut * units);
+            self.charge(Res::Ff, p.ff * units);
         }
         let interconnect = if systolic {
             // Nearest-neighbour routing: linear in the PE count.
@@ -276,8 +500,8 @@ impl<'a> ModelCtx<'a> {
         } else {
             14.0 * total_units * total_units.sqrt()
         };
-        self.resources.lut += interconnect;
-        self.resources.ff += interconnect * 0.6;
+        self.charge(Res::Lut, interconnect);
+        self.charge(Res::Ff, interconnect * 0.6);
     }
 
     /// BRAM for tiling stage buffers (double-buffered task staging).
@@ -299,7 +523,7 @@ impl<'a> ModelCtx<'a> {
 
 /// Recurrence-constrained MII of a loop, with the chain latency supplied
 /// from the precomputed invariants.
-fn rec_mii(li: &s2fa_hlsir::LoopInfo, d: &s2fa_merlin::LoopDirective, chain_latency: f64) -> f64 {
+fn rec_mii(li: &LoopInfo, d: &s2fa_merlin::LoopDirective, chain_latency: f64) -> f64 {
     match &li.carried {
         Some(dep) => {
             if d.tree_reduce && dep.reducible {

@@ -1,0 +1,139 @@
+//! Subtree cost records for incremental re-estimation.
+//!
+//! The model walk ([`ModelCtx::eval_loop`](crate::model::ModelCtx)) is a
+//! pure function of one loop subtree's *inputs*: the directives of the
+//! loops inside the subtree, the configured widths of the off-chip
+//! buffers its leaves touch, and the replication product the recursion
+//! entered with. When a DSE proposal differs from an already-priced
+//! neighbor in a single tunable factor, every subtree that does not
+//! contain the changed factor re-derives exactly the same numbers — so
+//! the walk can skip it, provided skipping is *bit-identical* to
+//! recomputing.
+//!
+//! Bit-identity is the hard part: the model accumulates resources with
+//! `f64` additions, and float addition is not associative, so a subtree's
+//! contribution cannot be pre-summed and added back in one go. Instead a
+//! [`SubtreeCost`] records the **exact program-order sequence of
+//! addends** the walk charged (per resource field), and a cache hit
+//! *replays* that sequence with `+=` — the accumulator sees the same
+//! values in the same order as a full walk, so the final bit pattern is
+//! identical. The max-folded metrics (`max_replication`, `deep_logic`,
+//! `worst_ii`) are safe to store as subtree-local maxima because `max`
+//! is exact, and the returned `cycles`/`ii` are pure outputs.
+//!
+//! The store itself lives one layer up (`s2fa-engine` keeps a sharded
+//! map per kernel); this module only defines the key, the record, and
+//! the [`SubtreeStore`] interface the model walks against.
+
+use s2fa_hlsir::LoopId;
+use std::sync::Arc;
+
+/// One resource field of [`ResourceUsage`](crate::ResourceUsage), as a
+/// replay target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Res {
+    /// `bram_18k`.
+    Bram,
+    /// `dsp`.
+    Dsp,
+    /// `ff`.
+    Ff,
+    /// `lut`.
+    Lut,
+}
+
+/// Cache key of one subtree evaluation: the subtree root, the entry
+/// replication (bit pattern — the walk enters with an exact `f64`), and
+/// a fingerprint over every configuration field the subtree reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubtreeKey {
+    /// Root loop of the subtree.
+    pub root: LoopId,
+    /// `f64::to_bits` of the replication product the walk entered with.
+    pub repl_bits: u64,
+    /// Fingerprint over the subtree's directives and the widths of the
+    /// ported buffers its leaves access. Computed bottom-up once per
+    /// evaluation (digest-of-digests: a node mixes its own words with its
+    /// children's digests), so keying a subtree is a table lookup.
+    pub subfp: u128,
+}
+
+/// The recorded outcome of one subtree walk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubtreeCost {
+    /// Every resource addend the walk charged, in program order.
+    pub charges: Vec<(Res, f64)>,
+    /// Max `repl * u` reached inside the subtree (`-inf` when none —
+    /// impossible in practice, the root itself always folds one in).
+    pub max_repl: f64,
+    /// Max deep-logic candidate folded inside the subtree (`-inf` when
+    /// the subtree flattens no recurrence).
+    pub deep_logic: f64,
+    /// Max pipelined II folded inside the subtree (`-inf` when the
+    /// subtree pins no II).
+    pub worst_ii: f64,
+    /// The returned total cycles.
+    pub cycles: f64,
+    /// The returned initiation interval.
+    pub ii: f64,
+}
+
+/// A concurrent map of subtree costs. Implementations must be safe to
+/// share across evaluation threads; every stored record is a pure
+/// function of its key, so racing writers always store equal values.
+///
+/// A store is only meaningful per (kernel, estimator) pair — `LoopId`s
+/// and invariants are kernel-relative. `s2fa-engine` owns one per
+/// [`EvalEngine`](../s2fa_engine/struct.EvalEngine.html).
+pub trait SubtreeStore: Sync {
+    /// Looks up a recorded subtree cost.
+    fn get(&self, key: &SubtreeKey) -> Option<Arc<SubtreeCost>>;
+    /// Records a subtree cost (racing `put`s of one key are benign).
+    fn put(&self, key: SubtreeKey, cost: SubtreeCost);
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+// Second stream: xorshift* offset + the 64-bit golden-ratio multiplier.
+// Any odd constant preserves the xor-multiply mixing; a different one
+// decorrelates the two streams.
+const ALT_OFFSET: u64 = 0x2545f4914f6cdd1d;
+const ALT_PRIME: u64 = 0x9e3779b97f4a7c15;
+
+/// Word-at-a-time 128-bit mixer for design and subtree fingerprints.
+///
+/// Runs **two independent 64-bit xor-multiply streams** (FNV-1a-64 and a
+/// golden-ratio variant) and concatenates them, rather than one 128-bit
+/// FNV chain: a 128-bit multiply is three dependent 64×64 multiplies, so
+/// the serial chain dominated the warm-path profile, while the two
+/// 64-bit streams issue in parallel and cost one multiply of latency per
+/// word. A joint collision needs both streams to collide at once, which
+/// keeps the birthday bound in the same negligible regime as FNV-128.
+#[derive(Debug, Clone, Copy)]
+pub struct SubFnv {
+    a: u64,
+    b: u64,
+}
+
+impl SubFnv {
+    /// A fresh digest.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        SubFnv {
+            a: FNV_OFFSET,
+            b: ALT_OFFSET,
+        }
+    }
+
+    /// Mixes one word.
+    #[inline]
+    pub fn word(&mut self, w: u64) {
+        self.a = (self.a ^ w).wrapping_mul(FNV_PRIME);
+        self.b = (self.b ^ w).wrapping_mul(ALT_PRIME);
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u128 {
+        ((self.a as u128) << 64) | self.b as u128
+    }
+}

@@ -109,7 +109,7 @@ impl Legality {
                 };
                 Some(PruneHit {
                     rule,
-                    reason,
+                    reason: reason.as_ref().to_owned(),
                     screen,
                 })
             }
@@ -135,11 +135,9 @@ impl Legality {
             time_ms: f64::INFINITY,
             batch_tasks: self.summary.tasks_hint,
             resources: hit.screen.resources,
-            feasibility: Feasibility::Infeasible(format!(
-                "pruned by {}: {}",
-                hit.rule.code().code,
-                hit.reason
-            )),
+            feasibility: Feasibility::Infeasible(
+                format!("pruned by {}: {}", hit.rule.code().code, hit.reason).into(),
+            ),
             hls_minutes: 0.0,
         }
     }

@@ -6,9 +6,9 @@
 //! * an **aggregated span tree** ([`aggregate_spans`]) — spans merged by
 //!   name-path across lanes, with counts and total/self durations;
 //! * a **batch-loop attribution** ([`analyze_batch_loop`]) — the
-//!   threaded evaluator's wall-clock decomposed into the five named
-//!   phases (`spawn`/`dispatch`/`estimate`/`collect`/`merge`) plus an
-//!   honest `idle` residual, per thread count;
+//!   pooled evaluator's wall-clock decomposed into the four named
+//!   phases (`submit`/`estimate`/`wait`/`merge`) plus an honest `idle`
+//!   residual, per thread count;
 //! * a [`Profile`] bundling tree + metrics + dual-clock correlation +
 //!   attribution, with a JSON round-trip (`results/PROFILE_<kernel>.json`),
 //!   a text renderer, folded-stack (flamegraph) output, and a
@@ -82,19 +82,23 @@ fn merge_level(
         .collect()
 }
 
-/// The threaded batch loop's wall-clock, attributed to named phases at
+/// The pooled batch loop's wall-clock, attributed to named phases at
 /// one thread count.
 ///
-/// `spawn`, `collect`, and `merge` are measured directly on the calling
-/// lane. `dispatch` and `estimate` are pooled worker-thread time mapped
-/// to wall-clock proportionally (`Σ worker-phase / workers`) — during
-/// the fan-out window every wall nanosecond has `workers` threads of
-/// capacity, so the pooled shares plus the caller phases tile the
-/// window. Worker startup lag (worker began after the spawn loop ended)
-/// is charged to `spawn`; join tail lag (worker finished before the
-/// join returned) to `collect`. What no phase claims is `idle_ns` — the
-/// report never silently inflates a named phase to make the numbers add
-/// up.
+/// `submit` and `merge` are measured directly on the calling lane. The
+/// estimation window is concurrent: the caller helps execute chunks
+/// under its own `estimate` span while pool workers burn through
+/// `pool_chunk` spans on their own lanes, so `estimate_ns` is the
+/// combined busy time mapped to wall-clock proportionally
+/// (`(caller estimate + Σ pool_chunk) / threads` — during the window
+/// every wall nanosecond has `threads` executors of capacity). When no
+/// worker chunk landed inside the batch (a one-core host, or a batch
+/// the caller drained alone), the caller's `estimate` span *is* the
+/// wall story and counts 1:1. `wait_ns` is the caller's blocking join
+/// minus the portion where workers were still busy (that time is
+/// already attributed through the chunk shares). What no phase claims
+/// is `idle_ns` — the report never silently inflates a named phase to
+/// make the numbers add up.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchLoopProfile {
     /// Thread count the batches ran at.
@@ -103,15 +107,12 @@ pub struct BatchLoopProfile {
     pub batches: u64,
     /// Total wall time inside `batch` spans.
     pub wall_ns: u64,
-    /// Thread-creation loop + worker startup lag.
-    pub spawn_ns: u64,
-    /// Worker time outside the estimator: cursor pulls, result pushes,
-    /// loop bookkeeping (wall-proportional share).
-    pub dispatch_ns: u64,
-    /// Worker time inside the estimator (wall-proportional share).
+    /// Job hand-off to the persistent pool (chunk math + enqueue).
+    pub submit_ns: u64,
+    /// Estimation: caller + worker chunk time, wall-proportional share.
     pub estimate_ns: u64,
-    /// Join time: caller blocking on workers + worker tail lag.
-    pub collect_ns: u64,
+    /// Caller blocking on stragglers beyond the worker-busy window.
+    pub wait_ns: u64,
     /// Writeback of results into input order.
     pub merge_ns: u64,
     /// Wall time no named phase claims.
@@ -121,7 +122,7 @@ pub struct BatchLoopProfile {
 impl BatchLoopProfile {
     /// Sum of the named phases.
     pub fn attributed_ns(&self) -> u64 {
-        self.spawn_ns + self.dispatch_ns + self.estimate_ns + self.collect_ns + self.merge_ns
+        self.submit_ns + self.estimate_ns + self.wait_ns + self.merge_ns
     }
 
     /// Fraction of batch wall-time the named phases explain (capped at
@@ -137,10 +138,11 @@ impl BatchLoopProfile {
 /// Attributes batch-loop wall-time from one profiling session's spans.
 ///
 /// Expects the span shape `ThreadedObjective` records: `batch` spans on
-/// the calling lane with `spawn`/`collect`/`merge` children (threaded)
-/// or an `estimate` child (serial), and `worker` root spans on their
-/// own lanes, associated to their batch by time containment (batches
-/// within one session run serially, so containment is unambiguous).
+/// the calling lane with `submit`/`estimate`/`wait`/`merge` children
+/// (pooled) or a lone `estimate` child (serial), and `pool_chunk` root
+/// spans on their own per-chunk lanes, associated to their batch by
+/// time containment (batches within one session run serially, so
+/// containment is unambiguous).
 pub fn analyze_batch_loop(spans: &[SpanRecord], threads: u64) -> BatchLoopProfile {
     let child = |parent: &SpanRecord, name: &str| -> Option<&SpanRecord> {
         spans
@@ -151,10 +153,9 @@ pub fn analyze_batch_loop(spans: &[SpanRecord], threads: u64) -> BatchLoopProfil
         threads,
         batches: 0,
         wall_ns: 0,
-        spawn_ns: 0,
-        dispatch_ns: 0,
+        submit_ns: 0,
         estimate_ns: 0,
-        collect_ns: 0,
+        wait_ns: 0,
         merge_ns: 0,
         idle_ns: 0,
     };
@@ -162,80 +163,53 @@ pub fn analyze_batch_loop(spans: &[SpanRecord], threads: u64) -> BatchLoopProfil
         p.batches += 1;
         p.wall_ns += batch.duration_ns();
         let before = p.attributed_ns();
-        if let Some(est) = child(batch, "estimate") {
-            // Serial path: one estimate span covers the whole map.
-            p.estimate_ns += est.duration_ns();
-        } else if let (Some(spawn), Some(collect)) =
-            (child(batch, "spawn"), child(batch, "collect"))
-        {
-            p.spawn_ns += spawn.duration_ns();
-            p.collect_ns += collect
-                .duration_ns()
-                .saturating_sub(pooled_worker_window(spans, batch, collect));
-            if let Some(merge) = child(batch, "merge") {
-                p.merge_ns += merge.duration_ns();
-            }
-            let workers: Vec<&SpanRecord> = spans
+        if let Some(submit) = child(batch, "submit") {
+            // Pooled path. Worker chunks inside this batch's window.
+            let chunks: Vec<&SpanRecord> = spans
                 .iter()
                 .filter(|s| {
-                    s.name == "worker"
+                    s.name == "pool_chunk"
                         && s.parent.is_none()
                         && s.lane != batch.lane
                         && s.start_ns >= batch.start_ns
                         && s.end_ns <= batch.end_ns
                 })
                 .collect();
-            let w = workers.len().max(1) as u64;
-            let mut startup = 0u64;
-            let mut tail = 0u64;
-            let mut dispatch = 0u64;
-            let mut estimate = 0u64;
-            for worker in &workers {
-                startup += worker.start_ns.saturating_sub(spawn.end_ns);
-                tail += collect.end_ns.saturating_sub(worker.end_ns);
-                if let Some(d) = child(worker, "dispatch") {
-                    dispatch += d.duration_ns();
-                }
-                if let Some(e) = child(worker, "estimate") {
-                    estimate += e.duration_ns();
+            let chunk_time: u64 = chunks.iter().map(|s| s.duration_ns()).sum();
+            p.submit_ns += submit.duration_ns();
+            if let Some(est) = child(batch, "estimate") {
+                if chunk_time == 0 {
+                    // No worker claimed a chunk (one executor, or the
+                    // caller drained the job alone): the caller's
+                    // estimate span is the whole wall story.
+                    p.estimate_ns += est.duration_ns();
+                } else {
+                    p.estimate_ns += (est.duration_ns() + chunk_time) / threads.max(1);
                 }
             }
-            p.spawn_ns += startup / w;
-            p.collect_ns += tail / w;
-            p.dispatch_ns += dispatch / w;
-            p.estimate_ns += estimate / w;
+            if let Some(wait) = child(batch, "wait") {
+                // Subtract the sub-window where workers were still
+                // busy — that time is attributed via the chunk shares,
+                // and counting the caller's full block as well would
+                // double-book it.
+                let busy = chunks.iter().map(|s| s.end_ns).max().map_or(0, |last_end| {
+                    last_end
+                        .min(wait.end_ns)
+                        .saturating_sub(wait.start_ns.max(batch.start_ns))
+                });
+                p.wait_ns += wait.duration_ns().saturating_sub(busy);
+            }
+            if let Some(merge) = child(batch, "merge") {
+                p.merge_ns += merge.duration_ns();
+            }
+        } else if let Some(est) = child(batch, "estimate") {
+            // Serial path: one estimate span covers the whole map.
+            p.estimate_ns += est.duration_ns();
         }
         let attributed = p.attributed_ns() - before;
         p.idle_ns += batch.duration_ns().saturating_sub(attributed);
     }
     p
-}
-
-/// The pooled-window portion of `collect` already covered by worker
-/// shares: the caller's blocking join overlaps the window where workers
-/// are still busy, and that busy time is attributed via the worker
-/// pools — counting the caller's full join duration as well would
-/// double-book it. What remains of `collect` after this subtraction is
-/// the genuine serial join cost (plus the tail lag added back per
-/// worker).
-fn pooled_worker_window(spans: &[SpanRecord], batch: &SpanRecord, collect: &SpanRecord) -> u64 {
-    let last_worker_end = spans
-        .iter()
-        .filter(|s| {
-            s.name == "worker"
-                && s.parent.is_none()
-                && s.lane != batch.lane
-                && s.start_ns >= batch.start_ns
-                && s.end_ns <= batch.end_ns
-        })
-        .map(|s| s.end_ns)
-        .max();
-    match last_worker_end {
-        Some(end) => end
-            .min(collect.end_ns)
-            .saturating_sub(collect.start_ns.max(batch.start_ns)),
-        None => 0,
-    }
 }
 
 /// A complete flight-recorder profile — what `PROFILE_<kernel>.json`
@@ -294,10 +268,9 @@ impl Profile {
                                 ("threads", Json::int(b.threads)),
                                 ("batches", Json::int(b.batches)),
                                 ("wall_ns", Json::int(b.wall_ns)),
-                                ("spawn_ns", Json::int(b.spawn_ns)),
-                                ("dispatch_ns", Json::int(b.dispatch_ns)),
+                                ("submit_ns", Json::int(b.submit_ns)),
                                 ("estimate_ns", Json::int(b.estimate_ns)),
-                                ("collect_ns", Json::int(b.collect_ns)),
+                                ("wait_ns", Json::int(b.wait_ns)),
                                 ("merge_ns", Json::int(b.merge_ns)),
                                 ("idle_ns", Json::int(b.idle_ns)),
                                 ("attributed_fraction", Json::Num(b.attributed_fraction())),
@@ -352,10 +325,9 @@ impl Profile {
                 threads: int_of(&b, "threads")?,
                 batches: int_of(&b, "batches")?,
                 wall_ns: int_of(&b, "wall_ns")?,
-                spawn_ns: int_of(&b, "spawn_ns")?,
-                dispatch_ns: int_of(&b, "dispatch_ns")?,
+                submit_ns: int_of(&b, "submit_ns")?,
                 estimate_ns: int_of(&b, "estimate_ns")?,
-                collect_ns: int_of(&b, "collect_ns")?,
+                wait_ns: int_of(&b, "wait_ns")?,
                 merge_ns: int_of(&b, "merge_ns")?,
                 idle_ns: int_of(&b, "idle_ns")?,
             });
@@ -387,14 +359,13 @@ impl Profile {
             let _ = writeln!(out, "\nbatch-loop attribution (per thread count):");
             let _ = writeln!(
                 out,
-                "  {:>7} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6}",
+                "  {:>7} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6}",
                 "threads",
                 "batches",
                 "wall_ms",
-                "spawn%",
-                "disp%",
+                "submit%",
                 "est%",
-                "coll%",
+                "wait%",
                 "merge%",
                 "idle%",
                 "attr%"
@@ -409,14 +380,13 @@ impl Profile {
                 };
                 let _ = writeln!(
                     out,
-                    "  {:>7} {:>8} {:>10.2} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>5.1}%",
+                    "  {:>7} {:>8} {:>10.2} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>5.1}%",
                     b.threads,
                     b.batches,
                     b.wall_ns as f64 / 1e6,
-                    pct(b.spawn_ns),
-                    pct(b.dispatch_ns),
+                    pct(b.submit_ns),
                     pct(b.estimate_ns),
-                    pct(b.collect_ns),
+                    pct(b.wait_ns),
                     pct(b.merge_ns),
                     pct(b.idle_ns),
                     100.0 * b.attributed_fraction(),
@@ -478,10 +448,17 @@ impl Profile {
     /// scheduling or timing jitter never breaks the build — only a real
     /// shape change (a stage appearing, disappearing, or moving) does.
     pub fn structure(&self) -> Json {
+        // Spans whose *presence* depends on host scheduling rather than
+        // pipeline shape are excluded: a `pool_chunk` span exists only
+        // when a pool worker wins a chunk claim against the submitting
+        // thread, which a 1-core host never shows and a 16-core host
+        // always does. The golden must diff clean on both.
+        const SCHEDULING_DEPENDENT: &[&str] = &["pool_chunk"];
         let mut paths = Vec::new();
         for node in &self.tree {
             structure_paths(&mut paths, node, "");
         }
+        paths.retain(|p| !p.split('/').any(|seg| SCHEDULING_DEPENDENT.contains(&seg)));
         paths.sort();
         paths.dedup();
         Json::obj([
@@ -676,59 +653,49 @@ mod tests {
         }
     }
 
-    /// A synthetic 2-worker batch: spawn 0-10, window 10-100, merge
-    /// 100-110; workers fully busy except small startup/tail lags.
+    /// A synthetic pooled batch at 3 executors: submit 0-10, the caller
+    /// helps under `estimate` 10-90, blocks in `wait` to 110, merges to
+    /// 120; two worker chunks overlap the window on their own lanes.
     fn threaded_batch() -> Vec<SpanRecord> {
         vec![
-            rec(1, None, "batch", 0, 0, 110),
-            rec(2, Some(1), "spawn", 0, 0, 10),
-            rec(3, Some(1), "collect", 0, 10, 100),
-            rec(4, Some(1), "merge", 0, 100, 110),
-            // worker A: starts promptly, ends at 95 (tail lag 5)
-            rec(5, None, "worker", 1, 12, 95),
-            rec(6, Some(5), "dispatch", 1, 12, 20),
-            rec(7, Some(5), "estimate", 1, 20, 95),
-            // worker B: startup lag 4, runs to the join
-            rec(8, None, "worker", 2, 14, 100),
-            rec(9, Some(8), "dispatch", 2, 14, 24),
-            rec(10, Some(8), "estimate", 2, 24, 100),
+            rec(1, None, "batch", 0, 0, 120),
+            rec(2, Some(1), "submit", 0, 0, 10),
+            rec(3, Some(1), "estimate", 0, 10, 90),
+            rec(4, Some(1), "wait", 0, 90, 110),
+            rec(5, Some(1), "merge", 0, 110, 120),
+            // worker chunks, one fresh lane each
+            rec(6, None, "pool_chunk", 1, 12, 100),
+            rec(7, None, "pool_chunk", 2, 15, 105),
         ]
     }
 
     #[test]
     fn aggregation_merges_by_name_path() {
         let tree = aggregate_spans(&threaded_batch());
-        assert_eq!(tree.len(), 2, "batch + worker roots");
+        assert_eq!(tree.len(), 2, "batch + pool_chunk roots");
         let batch = tree.iter().find(|n| n.name == "batch").unwrap();
-        let worker = tree.iter().find(|n| n.name == "worker").unwrap();
+        let chunk = tree.iter().find(|n| n.name == "pool_chunk").unwrap();
         assert_eq!(batch.count, 1);
-        assert_eq!(worker.count, 2, "two lanes merged into one node");
-        assert_eq!(worker.total_ns, 83 + 86);
-        let est = worker
-            .children
-            .iter()
-            .find(|n| n.name == "estimate")
-            .unwrap();
-        assert_eq!(est.count, 2);
-        assert_eq!(est.total_ns, 75 + 76);
+        assert_eq!(chunk.count, 2, "two lanes merged into one node");
+        assert_eq!(chunk.total_ns, 88 + 90);
         // children sorted by name
         let names: Vec<&str> = batch.children.iter().map(|n| n.name.as_str()).collect();
-        assert_eq!(names, ["collect", "merge", "spawn"]);
+        assert_eq!(names, ["estimate", "merge", "submit", "wait"]);
     }
 
     #[test]
     fn batch_loop_attribution_tiles_the_wall() {
-        let p = analyze_batch_loop(&threaded_batch(), 2);
+        let p = analyze_batch_loop(&threaded_batch(), 3);
         assert_eq!(p.batches, 1);
-        assert_eq!(p.wall_ns, 110);
-        assert_eq!(p.spawn_ns, 10 + (2 + 4) / 2); // loop + startup lag share
-        assert_eq!(p.dispatch_ns, (8 + 10) / 2);
-        assert_eq!(p.estimate_ns, (75 + 76) / 2);
+        assert_eq!(p.wall_ns, 120);
+        assert_eq!(p.submit_ns, 10);
+        // caller estimate (80) + chunk time (88 + 90), ÷ 3 executors
+        assert_eq!(p.estimate_ns, (80 + 88 + 90) / 3);
+        // wait 90-110 minus the worker-busy part 90-105
+        assert_eq!(p.wait_ns, 5);
         assert_eq!(p.merge_ns, 10);
-        // collect = join beyond last worker (0) + tail lag share (5+0)/2
-        assert_eq!(p.collect_ns, 2);
         assert!(
-            p.attributed_fraction() > 0.95,
+            p.attributed_fraction() > 0.9,
             "fraction {}",
             p.attributed_fraction()
         );
@@ -747,9 +714,29 @@ mod tests {
         ];
         let p = analyze_batch_loop(&spans, 1);
         assert_eq!(p.estimate_ns, 97);
-        assert_eq!(p.spawn_ns, 0);
+        assert_eq!(p.submit_ns, 0);
         assert_eq!(p.idle_ns, 3);
         assert!(p.attributed_fraction() > 0.95);
+    }
+
+    #[test]
+    fn pooled_batch_without_worker_chunks_counts_caller_estimate_fully() {
+        // One-core host (or the caller drained every chunk): no
+        // pool_chunk spans land, so the caller's estimate is 1:1 and
+        // nothing is divided away.
+        let spans = vec![
+            rec(1, None, "batch", 0, 0, 100),
+            rec(2, Some(1), "submit", 0, 0, 5),
+            rec(3, Some(1), "estimate", 0, 5, 90),
+            rec(4, Some(1), "wait", 0, 90, 92),
+            rec(5, Some(1), "merge", 0, 92, 100),
+        ];
+        let p = analyze_batch_loop(&spans, 8);
+        assert_eq!(p.submit_ns, 5);
+        assert_eq!(p.estimate_ns, 85);
+        assert_eq!(p.wait_ns, 2);
+        assert_eq!(p.merge_ns, 8);
+        assert_eq!(p.idle_ns, 0);
     }
 
     #[test]
@@ -796,16 +783,17 @@ mod tests {
             .iter()
             .filter_map(Json::as_str)
             .collect();
+        // `pool_chunk` is recorded in the tree but excluded from the
+        // structure golden: whether a worker (vs the submitter) claims
+        // a chunk is host scheduling, not pipeline shape.
         assert_eq!(
             paths,
             [
                 "batch",
-                "batch/collect",
+                "batch/estimate",
                 "batch/merge",
-                "batch/spawn",
-                "worker",
-                "worker/dispatch",
-                "worker/estimate",
+                "batch/submit",
+                "batch/wait",
             ]
         );
         assert!(s.render().find("_ns").is_none(), "no timings in structure");
@@ -820,8 +808,8 @@ mod tests {
             ..Profile::default()
         };
         let folded = profile.folded();
-        assert!(folded.contains("batch;spawn 10"));
-        assert!(folded.contains("worker;estimate 151"));
+        assert!(folded.contains("batch;submit 10"));
+        assert!(folded.contains("pool_chunk 178"));
         for line in folded.lines() {
             assert!(line.rsplit_once(' ').unwrap().1.parse::<u64>().is_ok());
         }

@@ -14,19 +14,38 @@
 //! it never reorders the *results*. Any `FnMut(&Config) -> Measurement`
 //! closure is an `Objective` via the blanket impl, measuring serially.
 //!
-//! [`ThreadedObjective`] is the parallel implementation: it fans a batch
-//! out over scoped OS threads pulling indices from a shared counter
-//! (first-come-first-served), then reassembles the measurements by index.
-//! Because each configuration's measurement is a pure function of the
-//! configuration, the result vector is identical to the serial one no
-//! matter how the OS schedules the threads.
+//! [`ThreadedObjective`] is the parallel implementation: it submits the
+//! batch to a persistent [`WorkerPool`] as contiguous index chunks (and
+//! helps execute them on the calling thread), then the measurements land
+//! by index in a pre-sized buffer. Because each configuration's
+//! measurement is a pure function of the configuration, the result
+//! vector is identical to the serial one no matter how the pool
+//! schedules the chunks — and because the workers persist across
+//! batches, no per-batch OS-thread spawn cost is paid (the inversion
+//! PR 6's flight recorder diagnosed).
 
 use crate::history::Measurement;
 use crate::param::Config;
+use s2fa_engine::WorkerPool;
 use s2fa_obs::{Histogram, Lane, Profiler};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A raw results pointer that may cross threads: every chunk writes a
+/// disjoint index range, so concurrent writers never alias.
+#[derive(Clone, Copy)]
+struct ResultsPtr(*mut Option<Measurement>);
+unsafe impl Send for ResultsPtr {}
+unsafe impl Sync for ResultsPtr {}
+
+impl ResultsPtr {
+    /// # Safety
+    /// `i` must be in bounds of the backing buffer, written by exactly
+    /// one thread, and the buffer must outlive the write.
+    unsafe fn write(self, i: usize, m: Measurement) {
+        unsafe { *self.0.add(i) = Some(m) };
+    }
+}
 
 /// Something that can measure design points ("run HLS on them").
 pub trait Objective {
@@ -49,17 +68,28 @@ impl<F: FnMut(&Config) -> Measurement> Objective for F {
     }
 }
 
-/// An [`Objective`] that measures batches on real OS threads.
+/// An [`Objective`] that measures batches on a persistent worker pool.
 ///
 /// Wraps a thread-safe evaluation function (`Fn + Sync` — e.g. a closure
-/// over an `EvalEngine`) and a thread count. Batches are distributed
-/// first-come-first-served via an atomic cursor, so threads stay busy even
-/// when per-point costs vary; results are written back by index, keeping
-/// the output order — and therefore every downstream decision of the
-/// tuning run — identical to a serial evaluation.
+/// over an `EvalEngine`) and a thread count. Batches are submitted to a
+/// [`WorkerPool`] as contiguous chunks claimed first-come-first-served
+/// via the pool's atomic cursor, so executors stay busy even when
+/// per-point costs vary; the calling thread is always one of the
+/// executors ([`JobHandle::help`](s2fa_engine::JobHandle::help)).
+/// Results are written back by index, keeping the output order — and
+/// therefore every downstream decision of the tuning run — identical to
+/// a serial evaluation.
+///
+/// Share one pool across objectives with [`with_pool`](Self::with_pool)
+/// (the DSE driver spawns one per run); otherwise the first multi-thread
+/// batch lazily spawns an owned pool of `threads - 1` workers, reused
+/// for the objective's lifetime.
 pub struct ThreadedObjective<'a> {
     eval: &'a (dyn Fn(&Config) -> Measurement + Sync),
     threads: usize,
+    /// Chunk size per work-unit; 0 picks [`WorkerPool::auto_chunk`].
+    chunk: usize,
+    pool: Option<Arc<WorkerPool>>,
     profiler: Profiler,
     lane: Lane,
     eval_ns: Option<Arc<Histogram>>,
@@ -68,13 +98,15 @@ pub struct ThreadedObjective<'a> {
 }
 
 impl<'a> ThreadedObjective<'a> {
-    /// Wraps `eval`, measuring batches on up to `threads` OS threads
+    /// Wraps `eval`, measuring batches on up to `threads` executors
     /// (clamped to at least 1). Profiling is off; see
     /// [`with_profiler`](Self::with_profiler).
     pub fn new(eval: &'a (dyn Fn(&Config) -> Measurement + Sync), threads: usize) -> Self {
         ThreadedObjective {
             eval,
             threads: threads.max(1),
+            chunk: 0,
+            pool: None,
             profiler: Profiler::disabled(),
             lane: Profiler::disabled().lane(),
             eval_ns: None,
@@ -85,9 +117,9 @@ impl<'a> ThreadedObjective<'a> {
 
     /// Attaches a profiler: `measure_batch` then records the batch-loop
     /// span shape the flight recorder attributes (`batch` with
-    /// `spawn`/`collect`/`merge` children on the calling lane, a
-    /// `worker` root per OS thread with `dispatch`/`estimate` children)
-    /// and feeds the `eval_ns` / `batch_fanout_ns` / `batch_join_ns`
+    /// `submit`/`estimate`/`wait`/`merge` children on the calling lane,
+    /// plus a `pool_chunk` root span per worker-executed chunk) and
+    /// feeds the `eval_ns` / `batch_fanout_ns` / `batch_join_ns`
     /// histograms. With the default disabled profiler every
     /// instrumentation point is a single branch — the measured results
     /// are identical either way (the determinism tests in `s2fa-dse`
@@ -100,6 +132,19 @@ impl<'a> ThreadedObjective<'a> {
             self.fanout_ns = Some(metrics.histogram("batch_fanout_ns"));
             self.join_ns = Some(metrics.histogram("batch_join_ns"));
         }
+        self
+    }
+
+    /// Shares a persistent pool: batches are fanned out to its workers
+    /// (plus the calling thread) instead of an owned pool.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Sets the chunk size handed to each executor claim (0 = auto).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk;
         self
     }
 
@@ -142,85 +187,76 @@ impl Objective for ThreadedObjective<'_> {
             self.lane.close(batch_id);
             return out;
         }
-        let cursor = AtomicUsize::new(0);
+        // Lazily spawn an owned pool on the first parallel batch; a pool
+        // attached via `with_pool` always wins. Workers persist across
+        // batches either way — submission is a queue push, not a spawn.
+        if self.pool.is_none() {
+            self.pool = Some(Arc::new(WorkerPool::new(self.threads - 1)));
+        }
+        let pool = Arc::clone(self.pool.as_ref().expect("pool just ensured"));
+        let executors = pool.workers() + 1;
+        let chunk = if self.chunk > 0 {
+            self.chunk
+        } else {
+            WorkerPool::auto_chunk(configs.len(), executors)
+        };
+
         let mut results: Vec<Option<Measurement>> = vec![None; configs.len()];
+        let results_ptr = ResultsPtr(results.as_mut_ptr());
         let eval = self.eval;
         let profiler = &self.profiler;
         let eval_ns = &self.eval_ns;
+        let spans_on = self.profiler.spans_enabled();
+        let task = move |start: usize, end: usize, is_worker: bool| {
+            // Worker-side chunks get their own root span on a fresh
+            // lane; caller-side chunks are covered by the caller's
+            // `estimate` span. The disabled path opens no lane and
+            // reads no clock.
+            let mut wlane = (is_worker && spans_on).then(|| profiler.lane());
+            let wid = wlane.as_mut().map(|l| l.open("pool_chunk"));
+            for (i, config) in configs.iter().enumerate().take(end).skip(start) {
+                let m = if let Some(h) = eval_ns {
+                    let t0 = Instant::now();
+                    let m = eval(config);
+                    h.record(t0.elapsed().as_nanos() as u64);
+                    m
+                } else {
+                    eval(config)
+                };
+                // SAFETY: chunks cover disjoint index ranges and every
+                // index is claimed exactly once, so no two writers alias
+                // and the buffer outlives the job (waited below).
+                unsafe { results_ptr.write(i, m) }
+            }
+            if let (Some(l), Some(id)) = (wlane.as_mut(), wid) {
+                l.close(id);
+            }
+        };
+
         let fanout_ns = &self.fanout_ns;
         let join_ns = &self.join_ns;
         let lane = &mut self.lane;
         let batch_id = lane.open("batch");
-        let chunks = std::thread::scope(|scope| {
-            let spawn_id = lane.open("spawn");
-            let fanout_t0 = fanout_ns.as_ref().map(|_| Instant::now());
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let cursor = &cursor;
-                    scope.spawn(move || {
-                        let mut wlane = profiler.lane();
-                        let wid = wlane.open("worker");
-                        let w_start = wlane.now_ns();
-                        // One decision per batch, not per eval: the
-                        // disabled path never reads a clock.
-                        let timing = wlane.enabled() || eval_ns.is_some();
-                        let mut est_ns = 0u64;
-                        let mut out = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= configs.len() {
-                                break;
-                            }
-                            let m = if timing {
-                                let t0 = Instant::now();
-                                let m = eval(&configs[i]);
-                                let dt = t0.elapsed().as_nanos() as u64;
-                                est_ns += dt;
-                                if let Some(h) = eval_ns {
-                                    h.record(dt);
-                                }
-                                m
-                            } else {
-                                eval(&configs[i])
-                            };
-                            out.push((i, m));
-                        }
-                        if wlane.enabled() {
-                            // The worker's interval partitions exactly
-                            // into estimator time (accumulated) and
-                            // everything else — cursor pulls, result
-                            // pushes, loop bookkeeping — which is what
-                            // `dispatch` means in the flight record.
-                            let w_end = wlane.now_ns();
-                            let dispatch = (w_end - w_start).saturating_sub(est_ns);
-                            wlane.record("dispatch", w_start, w_start + dispatch);
-                            wlane.record("estimate", w_start + dispatch, w_end);
-                            wlane.close(wid);
-                        }
-                        out
-                    })
-                })
-                .collect();
-            lane.close(spawn_id);
-            if let (Some(h), Some(t0)) = (fanout_ns, fanout_t0) {
-                h.record(t0.elapsed().as_nanos() as u64);
-            }
-            let collect_id = lane.open("collect");
-            let join_t0 = join_ns.as_ref().map(|_| Instant::now());
-            let chunks = handles
-                .into_iter()
-                .map(|h| h.join().expect("objective worker panicked"))
-                .collect::<Vec<_>>();
-            lane.close(collect_id);
-            if let (Some(h), Some(t0)) = (join_ns, join_t0) {
-                h.record(t0.elapsed().as_nanos() as u64);
-            }
-            chunks
-        });
-        let merge_id = lane.open("merge");
-        for (i, m) in chunks.into_iter().flatten() {
-            results[i] = Some(m);
+        let submit_id = lane.open("submit");
+        let fanout_t0 = fanout_ns.as_ref().map(|_| Instant::now());
+        let handle = pool.submit(configs.len(), chunk, &task);
+        lane.close(submit_id);
+        if let (Some(h), Some(t0)) = (fanout_ns, fanout_t0) {
+            h.record(t0.elapsed().as_nanos() as u64);
         }
+        // The caller is the pool's extra executor: its chunks run inside
+        // its own `estimate` span.
+        let est_id = lane.open("estimate");
+        handle.help();
+        lane.close(est_id);
+        let wait_id = lane.open("wait");
+        let join_t0 = join_ns.as_ref().map(|_| Instant::now());
+        handle.wait();
+        lane.close(wait_id);
+        if let (Some(h), Some(t0)) = (join_ns, join_t0) {
+            h.record(t0.elapsed().as_nanos() as u64);
+        }
+        let merge_id = lane.open("merge");
         let out: Vec<Measurement> = results
             .into_iter()
             .map(|m| m.expect("every index measured"))
@@ -287,19 +323,25 @@ mod tests {
         let configs: Vec<Config> = (0..16u32).map(|i| vec![i]).collect();
         let serial: Vec<Measurement> = configs.iter().map(eval).collect();
         let profiler = Profiler::enabled();
-        let mut obj = ThreadedObjective::new(&eval, 4).with_profiler(&profiler);
+        let mut obj = ThreadedObjective::new(&eval, 4)
+            .with_chunk(2)
+            .with_profiler(&profiler);
         assert_eq!(obj.measure_batch(&configs), serial, "results unchanged");
         obj.flush_profile();
         let spans = profiler.take_spans();
         s2fa_obs::verify_spans(&spans).expect("well-formed span forest");
         let count = |name: &str| spans.iter().filter(|s| s.name == name).count();
         assert_eq!(count("batch"), 1);
-        assert_eq!(count("spawn"), 1);
-        assert_eq!(count("collect"), 1);
+        assert_eq!(count("submit"), 1);
+        assert_eq!(count("estimate"), 1, "the caller's own chunk window");
+        assert_eq!(count("wait"), 1);
         assert_eq!(count("merge"), 1);
-        assert_eq!(count("worker"), 4);
-        assert_eq!(count("dispatch"), 4);
-        assert_eq!(count("estimate"), 4);
+        // Which executor claims each of the 8 chunks is scheduling-
+        // dependent; only worker-claimed chunks get a root span.
+        assert!(count("pool_chunk") <= 8);
+        for legacy in ["spawn", "collect", "worker", "dispatch"] {
+            assert_eq!(count(legacy), 0, "pre-pool stage {legacy} resurfaced");
+        }
         let metrics = profiler.metrics().unwrap().snapshot();
         assert_eq!(metrics.histograms["eval_ns"].count, 16);
         assert_eq!(metrics.histograms["batch_fanout_ns"].count, 1);
@@ -318,11 +360,31 @@ mod tests {
         let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
         assert!(names.contains(&"batch"));
         assert!(names.contains(&"estimate"));
-        assert!(!names.contains(&"spawn"), "no fan-out phases when serial");
+        assert!(!names.contains(&"submit"), "no fan-out phases when serial");
+        assert!(!names.contains(&"wait"));
         assert_eq!(
             profiler.metrics().unwrap().snapshot().histograms["eval_ns"].count,
             3
         );
+    }
+
+    #[test]
+    fn shared_pool_reused_across_batches_and_objectives() {
+        let eval = |c: &Config| Measurement::new(value_of(c), 1.0);
+        let configs: Vec<Config> = (0..48u32).map(|i| vec![i]).collect();
+        let serial: Vec<Measurement> = configs.iter().map(eval).collect();
+        let pool = Arc::new(WorkerPool::new(3));
+        for _ in 0..3 {
+            let mut obj = ThreadedObjective::new(&eval, 4)
+                .with_pool(Arc::clone(&pool))
+                .with_chunk(5);
+            for _ in 0..4 {
+                assert_eq!(obj.measure_batch(&configs), serial);
+            }
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.jobs, 12, "every batch was one pool job");
+        assert_eq!(stats.chunks, 12 * 10, "48 items / chunk 5 = 10 chunks");
     }
 
     #[test]
