@@ -13,6 +13,8 @@
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- lint --format json --save
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- profile --kernel S-W
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- report --kernel S-W
+//! cargo run --release -p s2fa-bench --bin s2fa_cli -- serve --util 1.5 --nodes 8
+//! cargo run --release -p s2fa-bench --bin s2fa_cli -- serve --kernel KMeans --trace serve.jsonl
 //! cargo run --release -p s2fa-bench --bin s2fa_cli -- --list
 //! ```
 //!
@@ -47,6 +49,16 @@
 //! `report` re-renders a previously written profile without running
 //! anything.
 //!
+//! `serve` compiles every workload (or one selected with `--kernel`)
+//! through the manual expert flow, registers the designs with one Blaze
+//! accelerator registry, and plays a deterministic multi-tenant request
+//! stream through the serving runtime at `--util` times the modelled
+//! cluster capacity on `--nodes` simulated worker nodes. It prints
+//! throughput, latency percentiles, queueing, and batching aggregates;
+//! `--trace <path>` appends every serving event (submit, admit,
+//! enqueue, batch_formed, execute, reply, reject) to `<path>` as JSONL
+//! on the same flight-recorder schema the DSE uses.
+//!
 //! `lint` runs the `s2fa-lint` static analyses over every workload (or
 //! one selected with `--kernel`) *without* exploring anything: the IR
 //! well-formedness verifier before and after the structural transforms,
@@ -60,13 +72,14 @@
 use s2fa::lint::{factor_diagnostics, new_errors, verify_function, Legality, Severity};
 use s2fa::{S2fa, S2faOptions};
 use s2fa_bench::results::{save, Json};
+use s2fa_blaze::{AcceleratorRegistry, ServingConfig, ServingRuntime, TenantSpec};
 use s2fa_dse::{DesignSpace, EvalEngine};
 use s2fa_hlsir::analysis;
 use s2fa_hlssim::{report, Estimator};
 use s2fa_merlin::{apply_structural, DesignConfig};
 use s2fa_obs::{
     aggregate_spans, analyze_batch_loop, correlate, validate, verify_spans, CorrelatorSink,
-    Json as ObsJson, Profile, Profiler,
+    Histogram, Json as ObsJson, Profile, Profiler,
 };
 use s2fa_trace::{JsonlSink, NullSink, TraceSink};
 use s2fa_tuner::{Config, Measurement, Objective, ThreadedObjective};
@@ -77,6 +90,10 @@ struct Args {
     lint: bool,
     profile: bool,
     report_cmd: bool,
+    serve: bool,
+    requests: usize,
+    util: f64,
+    nodes: usize,
     kernel: Option<String>,
     budget: f64,
     tasks: u32,
@@ -106,6 +123,10 @@ fn parse_args() -> Result<Args, String> {
         lint: false,
         profile: false,
         report_cmd: false,
+        serve: false,
+        requests: 50,
+        util: 0.75,
+        nodes: 4,
         kernel: None,
         budget: 240.0,
         tasks: 1024,
@@ -135,6 +156,10 @@ fn parse_args() -> Result<Args, String> {
         }
         Some("report") => {
             args.report_cmd = true;
+            it.next();
+        }
+        Some("serve") => {
+            args.serve = true;
             it.next();
         }
         _ => {}
@@ -205,6 +230,36 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("bad --format `{other}` (text|json)")),
                 };
             }
+            "--requests" => {
+                args.requests = it
+                    .next()
+                    .ok_or("--requests needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --requests: {e}"))?;
+                if args.requests == 0 {
+                    return Err("--requests needs at least 1".to_string());
+                }
+            }
+            "--util" => {
+                args.util = it
+                    .next()
+                    .ok_or("--util needs a capacity fraction")?
+                    .parse()
+                    .map_err(|e| format!("bad --util: {e}"))?;
+                if !(args.util > 0.0 && args.util.is_finite()) {
+                    return Err("--util must be positive and finite".to_string());
+                }
+            }
+            "--nodes" => {
+                args.nodes = it
+                    .next()
+                    .ok_or("--nodes needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --nodes: {e}"))?;
+                if args.nodes == 0 {
+                    return Err("--nodes needs at least 1".to_string());
+                }
+            }
             "--manual" => args.manual = true,
             "--emit-c" => args.emit_c = true,
             "--report" => args.report = true,
@@ -226,7 +281,9 @@ const USAGE: &str = "usage: s2fa_cli --kernel <name> [--budget <minutes>] [--tas
 s2fa_cli lint [--kernel <name>] [--tasks <n>] [--format text|json] [--save]\n       \
 s2fa_cli profile --kernel <name> [--budget <minutes>] [--tasks <n>] [--threads 1,2,4,8] \
 [--chunk <n>]\n       \
-s2fa_cli report (--kernel <name> | --profile <path>)";
+s2fa_cli report (--kernel <name> | --profile <path>)\n       \
+s2fa_cli serve [--kernel <name>] [--requests <n>] [--util <x>] [--nodes <n>] \
+[--trace <path>]";
 
 fn main() {
     let args = match parse_args() {
@@ -244,6 +301,9 @@ fn main() {
     }
     if args.report_cmd {
         std::process::exit(run_report(&args));
+    }
+    if args.serve {
+        std::process::exit(run_serve(&args));
     }
     if args.list {
         println!("available kernels:");
@@ -727,4 +787,143 @@ fn run_report(args: &Args) -> i32 {
             2
         }
     }
+}
+
+/// The `serve` subcommand: compile the manual designs, register them,
+/// and play a multi-tenant request stream through the serving runtime.
+fn run_serve(args: &Args) -> i32 {
+    let framework = S2fa::new(S2faOptions::default());
+    let registry = AcceleratorRegistry::new();
+    let records_per_request = 16;
+    let workloads: Vec<_> = match &args.kernel {
+        Some(name) => {
+            let Some(w) = all_workloads().into_iter().find(|w| w.name == name) else {
+                eprintln!("unknown kernel `{name}` — try --list");
+                return 2;
+            };
+            vec![w]
+        }
+        None => all_workloads(),
+    };
+
+    // Manual expert flow per workload (fast: no DSE), one shared registry.
+    let mut request_ms = Vec::new();
+    for w in &workloads {
+        let generated = s2fa::compile_kernel(&w.manual_spec).expect("manual kernel compiles");
+        let summary =
+            analysis::summarize(&generated.cfunc, args.tasks).expect("manual kernel analyzes");
+        let cfg = (w.manual_config)(&summary);
+        let compiled = framework
+            .compile_with_config(&w.manual_spec, &cfg)
+            .expect("manual design synthesizes");
+        let ms = compiled
+            .accelerator
+            .time_model
+            .map(|m| m.batch_ms(records_per_request as u64))
+            .unwrap_or(0.1);
+        request_ms.push((
+            compiled.accelerator.id.clone(),
+            w.spec.clone(),
+            w.gen_input,
+            ms,
+        ));
+        registry.register(compiled.accelerator);
+    }
+
+    let config = ServingConfig {
+        nodes: args.nodes,
+        exec_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        ..ServingConfig::default()
+    };
+    let n = request_ms.len() as f64;
+    let tenants: Vec<TenantSpec> = request_ms
+        .iter()
+        .enumerate()
+        .map(|(i, (accel_id, fallback, gen_input, ms))| TenantSpec {
+            name: accel_id.clone(),
+            accel_id: accel_id.clone(),
+            fallback: fallback.clone(),
+            rate_per_ms: args.util * args.nodes as f64 / (n * ms.max(1e-6)),
+            requests: args.requests,
+            records_per_request,
+            gen_input: *gen_input,
+            seed: 0x5345_5256 ^ ((i as u64 + 1) * 0x9E37),
+        })
+        .collect();
+
+    let runtime = ServingRuntime::new(&registry, config).expect("valid serving config");
+    let outcome = match &args.trace {
+        Some(path) => {
+            let sink = JsonlSink::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot open trace file `{path}`: {e}");
+                std::process::exit(2);
+            });
+            let out = runtime.serve(&tenants, &sink, &Profiler::disabled());
+            sink.flush();
+            out
+        }
+        None => runtime.serve(&tenants, &NullSink, &Profiler::disabled()),
+    };
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("serving failed: {e}");
+            return 1;
+        }
+    };
+
+    let stats = &outcome.stats;
+    let hist = Histogram::new();
+    for l in outcome.latencies_ms() {
+        hist.record((l * 1000.0).round() as u64);
+    }
+    let snap = hist.snapshot();
+    println!(
+        "served {} tenants at {:.0}% of modelled capacity on {} nodes",
+        tenants.len(),
+        args.util * 100.0,
+        args.nodes
+    );
+    println!(
+        "requests: {} submitted, {} completed ({} accel / {} fallback), {} rejected",
+        stats.submitted,
+        stats.completed(),
+        stats.completed_accel,
+        stats.completed_fallback,
+        stats.rejected
+    );
+    println!(
+        "throughput: {:.1} req/s over {:.2} virtual ms",
+        if stats.makespan_ms > 0.0 {
+            stats.completed() as f64 / stats.makespan_ms * 1000.0
+        } else {
+            0.0
+        },
+        stats.makespan_ms
+    );
+    println!(
+        "latency: p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+        snap.p50 as f64 / 1000.0,
+        snap.p90 as f64 / 1000.0,
+        snap.p99 as f64 / 1000.0,
+        snap.max as f64 / 1000.0
+    );
+    println!(
+        "batching: {} batches, mean size {:.2}, max queue depth {}",
+        stats.batches,
+        stats.mean_batch_size(),
+        stats.max_queue_depth
+    );
+    if stats.fallback_fraction() > 0.0 {
+        println!(
+            "fallback fraction: {:.1}%",
+            stats.fallback_fraction() * 100.0
+        );
+    }
+    if let Some(path) = &args.trace {
+        println!("trace: serving events appended to {path}");
+    }
+    0
 }

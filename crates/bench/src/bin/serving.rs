@@ -1,0 +1,403 @@
+//! Serving-runtime evaluation — `results/BENCH_serving.json`.
+//!
+//! ```text
+//! cargo run --release -p s2fa-bench --bin serving [-- --smoke]
+//! ```
+//!
+//! Compiles all eight Table-2 workloads through the manual expert flow
+//! (no DSE), registers the resulting designs with one Blaze accelerator
+//! registry, and serves one tenant per workload through the blaze
+//! serving runtime (admission control → per-accelerator queues → batch
+//! forming → simulated cluster execution → reply) under three arrival
+//! regimes:
+//!
+//! * `light`    — 25% of the cluster's modelled capacity,
+//! * `moderate` — 75%,
+//! * `overload` — 150% (queues saturate; admission control rejects).
+//!
+//! Per-tenant arrival rates are sized from each design's own time model
+//! (`setup_ms + per_task_ms × records`), so every workload contributes
+//! the same utilization share regardless of how fast its design is.
+//! The whole run is a deterministic virtual-clock simulation: numbers
+//! are bit-identical across hosts and `--smoke`/full only differ in
+//! request counts.
+//!
+//! For each regime the JSON artifact reports offered vs delivered
+//! throughput, p50/p90/p99 latency (via the `s2fa-obs` log-linear
+//! histogram, recorded in microseconds), queue depth, the batch-size
+//! distribution, the fallback fraction, and per-tenant counters.
+//!
+//! `--smoke` is the CI gate: fewer requests, then the artifact shape is
+//! validated — three regimes present, positive throughput, finite
+//! percentiles, conservation (submitted = completed + rejected), and a
+//! fallback fraction of exactly zero (all eight kernels are registered,
+//! so nothing may take the JVM path). Any violation exits non-zero.
+
+use s2fa::{S2fa, S2faOptions};
+use s2fa_bench::results::{save, Json};
+use s2fa_blaze::{AccelTimeModel, ServeOutcome};
+use s2fa_blaze::{AcceleratorRegistry, ServingConfig, ServingRuntime, TenantSpec};
+use s2fa_hlsir::analysis;
+use s2fa_obs::{Histogram, Profiler};
+use s2fa_trace::NullSink;
+use s2fa_workloads::all_workloads;
+
+/// One registered design being served.
+struct Served {
+    name: &'static str,
+    accel_id: String,
+    fallback: s2fa_sjvm::KernelSpec,
+    gen_input: fn(usize, u64) -> Vec<s2fa_sjvm::HostValue>,
+    /// Modelled ms to execute one request's records on the design.
+    request_ms: f64,
+}
+
+/// (utilization label, fraction of modelled cluster capacity offered).
+const REGIMES: [(&str, f64); 3] = [("light", 0.25), ("moderate", 0.75), ("overload", 1.5)];
+
+/// Compiles every workload through the manual flow and registers the
+/// designs. Returns the serving table plus the shared registry.
+fn build_cluster(records_per_request: usize) -> (AcceleratorRegistry, Vec<Served>) {
+    let framework = S2fa::new(S2faOptions::default());
+    let registry = AcceleratorRegistry::new();
+    let mut served = Vec::new();
+    for w in all_workloads() {
+        let generated = s2fa::compile_kernel(&w.manual_spec).expect("manual kernels compile");
+        let summary = analysis::summarize(&generated.cfunc, 1024).expect("manual kernels analyze");
+        let cfg = (w.manual_config)(&summary);
+        let compiled = framework
+            .compile_with_config(&w.manual_spec, &cfg)
+            .unwrap_or_else(|e| panic!("{} manual flow: {e}", w.name));
+        let model = compiled.accelerator.time_model.unwrap_or(AccelTimeModel {
+            per_task_ms: 0.001,
+            setup_ms: 0.1,
+        });
+        served.push(Served {
+            name: w.name,
+            accel_id: compiled.accelerator.id.clone(),
+            fallback: w.spec.clone(),
+            gen_input: w.gen_input,
+            request_ms: model.batch_ms(records_per_request as u64),
+        });
+        registry.register(compiled.accelerator);
+    }
+    (registry, served)
+}
+
+/// Sizes per-tenant arrival rates so the aggregate offered load equals
+/// `utilization` × the modelled capacity of `nodes` workers, split
+/// evenly across tenants. Tenant i's capacity share is
+/// `nodes / (tenants × request_ms_i)` requests per virtual ms.
+fn tenants_for(
+    served: &[Served],
+    utilization: f64,
+    nodes: usize,
+    requests: usize,
+    records_per_request: usize,
+) -> Vec<TenantSpec> {
+    let n = served.len() as f64;
+    served
+        .iter()
+        .enumerate()
+        .map(|(i, s)| TenantSpec {
+            name: s.name.to_string(),
+            accel_id: s.accel_id.clone(),
+            fallback: s.fallback.clone(),
+            rate_per_ms: utilization * nodes as f64 / (n * s.request_ms.max(1e-6)),
+            requests,
+            records_per_request,
+            gen_input: s.gen_input,
+            seed: 0x53_46_41 ^ ((i as u64 + 1) * 0x9E37),
+        })
+        .collect()
+}
+
+/// Runs one regime and folds the outcome into a JSON object.
+fn run_regime(
+    registry: &AcceleratorRegistry,
+    served: &[Served],
+    config: ServingConfig,
+    label: &str,
+    utilization: f64,
+    requests: usize,
+    records_per_request: usize,
+) -> (Json, ServeOutcome) {
+    let tenants = tenants_for(
+        served,
+        utilization,
+        config.nodes,
+        requests,
+        records_per_request,
+    );
+    let runtime = ServingRuntime::new(registry, config).expect("valid serving config");
+    let outcome = runtime
+        .serve(&tenants, &NullSink, &Profiler::disabled())
+        .unwrap_or_else(|e| panic!("regime {label}: {e}"));
+    let stats = &outcome.stats;
+
+    // Latency percentiles via the obs histogram, in µs for resolution.
+    let hist = Histogram::new();
+    for l in outcome.latencies_ms() {
+        hist.record((l * 1000.0).round() as u64);
+    }
+    let snap = hist.snapshot();
+    let us = |v: u64| v as f64 / 1000.0;
+
+    let offered_per_ms: f64 = tenants.iter().map(|t| t.rate_per_ms).sum();
+    let throughput_per_ms = if stats.makespan_ms > 0.0 {
+        stats.completed() as f64 / stats.makespan_ms
+    } else {
+        0.0
+    };
+
+    let batch_sizes = Json::Obj(
+        stats
+            .batch_sizes
+            .iter()
+            .map(|(size, count)| (size.to_string(), Json::n(*count as f64)))
+            .collect(),
+    );
+    let per_tenant = Json::Arr(
+        tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let done = outcome
+                    .outcomes
+                    .iter()
+                    .filter(|o| o.tenant == i && o.latency_ms().is_some())
+                    .count();
+                let rejected = t.requests - done;
+                Json::obj(vec![
+                    ("tenant", Json::s(t.name.clone())),
+                    ("rate_per_ms", Json::n(t.rate_per_ms)),
+                    ("completed", Json::n(done as f64)),
+                    ("rejected", Json::n(rejected as f64)),
+                ])
+            })
+            .collect(),
+    );
+
+    let doc = Json::obj(vec![
+        ("regime", Json::s(label)),
+        ("utilization", Json::n(utilization)),
+        ("offered_rps", Json::n(offered_per_ms * 1000.0)),
+        ("throughput_rps", Json::n(throughput_per_ms * 1000.0)),
+        (
+            "latency_ms",
+            Json::obj(vec![
+                ("p50", Json::n(us(snap.p50))),
+                ("p90", Json::n(us(snap.p90))),
+                ("p99", Json::n(us(snap.p99))),
+                ("mean", Json::n(snap.mean() / 1000.0)),
+                ("max", Json::n(us(snap.max))),
+            ]),
+        ),
+        ("submitted", Json::n(stats.submitted as f64)),
+        ("completed", Json::n(stats.completed() as f64)),
+        ("rejected", Json::n(stats.rejected as f64)),
+        ("fallback_fraction", Json::n(stats.fallback_fraction())),
+        ("max_queue_depth", Json::n(stats.max_queue_depth as f64)),
+        ("batches", Json::n(stats.batches as f64)),
+        ("mean_batch_size", Json::n(stats.mean_batch_size())),
+        ("batch_sizes", batch_sizes),
+        ("makespan_ms", Json::n(stats.makespan_ms)),
+        ("per_tenant", per_tenant),
+    ]);
+    (doc, outcome)
+}
+
+/// `--smoke` artifact checks; returns human-readable violations.
+fn validate_doc(doc: &Json) -> Vec<String> {
+    let mut bad = Vec::new();
+    let Json::Obj(top) = doc else {
+        return vec!["artifact root is not an object".into()];
+    };
+    let field = |pairs: &[(String, Json)], k: &str| -> Option<Json> {
+        pairs.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone())
+    };
+    let Some(Json::Arr(regimes)) = field(top, "regimes") else {
+        return vec!["artifact has no `regimes` array".into()];
+    };
+    if regimes.len() < 3 {
+        bad.push(format!("expected >= 3 regimes, found {}", regimes.len()));
+    }
+    for r in &regimes {
+        let Json::Obj(pairs) = r else {
+            bad.push("regime entry is not an object".into());
+            continue;
+        };
+        let name = match field(pairs, "regime") {
+            Some(Json::Str(s)) => s,
+            _ => "?".to_string(),
+        };
+        let num = |k: &str| -> Option<f64> {
+            match field(pairs, k) {
+                Some(Json::Num(v)) => Some(v),
+                _ => None,
+            }
+        };
+        match num("throughput_rps") {
+            Some(t) if t > 0.0 => {}
+            _ => bad.push(format!("{name}: throughput_rps missing or not positive")),
+        }
+        match field(pairs, "latency_ms") {
+            Some(Json::Obj(lat)) => {
+                for k in ["p50", "p90", "p99"] {
+                    match field(&lat, k) {
+                        Some(Json::Num(v)) if v.is_finite() && v >= 0.0 => {}
+                        _ => bad.push(format!("{name}: latency_ms.{k} missing/non-finite")),
+                    }
+                }
+            }
+            _ => bad.push(format!("{name}: latency_ms missing")),
+        }
+        match num("fallback_fraction") {
+            Some(0.0) => {}
+            Some(f) => bad.push(format!(
+                "{name}: fallback fraction {f} != 0 with all kernels registered"
+            )),
+            None => bad.push(format!("{name}: fallback_fraction missing")),
+        }
+        match (num("submitted"), num("completed"), num("rejected")) {
+            (Some(s), Some(c), Some(x)) if s == c + x => {}
+            _ => bad.push(format!("{name}: submitted != completed + rejected")),
+        }
+    }
+    bad
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (requests, records_per_request) = if smoke { (40, 16) } else { (200, 64) };
+    let config = ServingConfig {
+        nodes: 4,
+        exec_threads: host_cores(),
+        max_batch: 8,
+        max_wait_ms: 2.0,
+        max_inflight: 32,
+        queue_capacity: 64,
+    };
+
+    println!(
+        "Serving bench: 8 manual designs on {} simulated nodes, {} requests/tenant x {} records",
+        config.nodes, requests, records_per_request
+    );
+    let (registry, served) = build_cluster(records_per_request);
+    println!("Registered designs:");
+    for s in &served {
+        println!(
+            "  {:<7} {:>9.4} ms per {}-record request",
+            s.name, s.request_ms, records_per_request
+        );
+    }
+
+    let mut regime_docs = Vec::new();
+    println!(
+        "\n{:<9} {:>11} {:>11} {:>9} {:>9} {:>9} {:>6} {:>6} {:>7}",
+        "regime",
+        "offered r/s",
+        "actual r/s",
+        "p50 ms",
+        "p90 ms",
+        "p99 ms",
+        "rej",
+        "qdepth",
+        "batch"
+    );
+    for (label, utilization) in REGIMES {
+        let (doc, outcome) = run_regime(
+            &registry,
+            &served,
+            config,
+            label,
+            utilization,
+            requests,
+            records_per_request,
+        );
+        let stats = &outcome.stats;
+        let hist = Histogram::new();
+        for l in outcome.latencies_ms() {
+            hist.record((l * 1000.0).round() as u64);
+        }
+        let snap = hist.snapshot();
+        println!(
+            "{:<9} {:>11.1} {:>11.1} {:>9.3} {:>9.3} {:>9.3} {:>6} {:>6} {:>7.2}",
+            label,
+            tenants_for(
+                &served,
+                utilization,
+                config.nodes,
+                requests,
+                records_per_request
+            )
+            .iter()
+            .map(|t| t.rate_per_ms)
+            .sum::<f64>()
+                * 1000.0,
+            if stats.makespan_ms > 0.0 {
+                stats.completed() as f64 / stats.makespan_ms * 1000.0
+            } else {
+                0.0
+            },
+            snap.p50 as f64 / 1000.0,
+            snap.p90 as f64 / 1000.0,
+            snap.p99 as f64 / 1000.0,
+            stats.rejected,
+            stats.max_queue_depth,
+            stats.mean_batch_size(),
+        );
+        if stats.fallback_fraction() > 0.0 {
+            eprintln!(
+                "warning: {label}: {:.1}% of requests fell back to the JVM",
+                stats.fallback_fraction() * 100.0
+            );
+        }
+        regime_docs.push(doc);
+    }
+
+    let doc = Json::obj(vec![
+        ("bench", Json::s("serving")),
+        ("smoke", Json::Bool(smoke)),
+        ("nodes", Json::n(config.nodes as f64)),
+        ("max_batch", Json::n(config.max_batch as f64)),
+        ("max_wait_ms", Json::n(config.max_wait_ms)),
+        ("max_inflight", Json::n(config.max_inflight as f64)),
+        ("queue_capacity", Json::n(config.queue_capacity as f64)),
+        ("requests_per_tenant", Json::n(requests as f64)),
+        ("records_per_request", Json::n(records_per_request as f64)),
+        (
+            "kernels",
+            Json::Arr(served.iter().map(|s| Json::s(s.name)).collect()),
+        ),
+        ("regimes", Json::Arr(regime_docs)),
+    ]);
+    save("BENCH_serving", &doc);
+
+    if smoke {
+        let bad = validate_doc(&doc);
+        if bad.is_empty() {
+            println!("\nsmoke: BENCH_serving.json shape OK, fallback fraction 0 in all regimes");
+        } else {
+            for b in &bad {
+                eprintln!("smoke FAIL: {b}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Worker threads for functional batch execution (timing-neutral). Uses
+/// the `S2FA_HOST_CORES` override when CI pins the container.
+fn host_cores() -> usize {
+    if let Ok(v) = std::env::var("S2FA_HOST_CORES") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

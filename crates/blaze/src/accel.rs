@@ -84,9 +84,12 @@ impl Accelerator {
         scalars.insert("n".to_string(), CVal::I(n as i64));
         Executor::new(&self.kernel).run(&scalars, &mut buffers)?;
         let out = self.output_layout.deserialize(&buffers, out_tasks)?;
+        // Broadcast leaves move once per batch on *both* sides of the
+        // interface: captured closure state in, once-per-batch results out.
         let bytes = self.input_layout.bytes_per_task() * n as u64
             + self.input_layout.broadcast_bytes()
-            + self.output_layout.bytes_per_task() * out_tasks as u64;
+            + self.output_layout.bytes_per_task() * out_tasks as u64
+            + self.output_layout.broadcast_bytes();
         let stats = AccelStats {
             tasks: n as u64,
             bytes,
@@ -160,6 +163,64 @@ mod tests {
         }
     }
 
+    /// Hand-built reduce kernel: out_1[0] = sum(in_1[0..n])
+    fn summer() -> Accelerator {
+        let kernel = ast::CFunction {
+            name: "sum".into(),
+            params: vec![
+                ast::Param {
+                    name: "n".into(),
+                    ty: ast::CType::Int(32),
+                    kind: ast::ParamKind::ScalarIn,
+                    elems_per_task: None,
+                    broadcast: false,
+                },
+                ast::Param {
+                    name: "in_1".into(),
+                    ty: ast::CType::Float,
+                    kind: ast::ParamKind::BufIn,
+                    elems_per_task: Some(1),
+                    broadcast: false,
+                },
+                ast::Param {
+                    name: "out_1".into(),
+                    ty: ast::CType::Float,
+                    kind: ast::ParamKind::BufOut,
+                    elems_per_task: Some(1),
+                    broadcast: false,
+                },
+            ],
+            body: vec![Stmt::For {
+                id: LoopId(0),
+                var: "i".into(),
+                bound: Expr::var("n"),
+                trip_count: None,
+                attrs: Default::default(),
+                body: vec![Stmt::Assign {
+                    lhs: LValue::Index("out_1".into(), Box::new(Expr::ConstI(0))),
+                    rhs: Expr::bin(
+                        CBinOp::Add,
+                        CNumKind::F64,
+                        Expr::index("out_1", Expr::ConstI(0)),
+                        Expr::index("in_1", Expr::var("i")),
+                    ),
+                }],
+            }],
+        };
+        let shape = Shape::Scalar(JType::Double);
+        Accelerator {
+            id: "sum".into(),
+            kernel,
+            operator: s2fa_sjvm::RddOp::Reduce,
+            input_layout: DataLayout::from_shape(&shape, "in"),
+            output_layout: DataLayout::from_shape(&shape, "out"),
+            time_model: Some(AccelTimeModel {
+                per_task_ms: 0.25,
+                setup_ms: 1.0,
+            }),
+        }
+    }
+
     #[test]
     fn executes_map_batch() {
         let acc = doubler();
@@ -177,6 +238,54 @@ mod tests {
     fn empty_batch_is_an_error() {
         let acc = doubler();
         assert_eq!(acc.run_batch(&[]), Err(BlazeError::EmptyDataset));
+    }
+
+    #[test]
+    fn executes_reduce_batch() {
+        let acc = summer();
+        let input: Vec<HostValue> = (1..=6).map(|i| HostValue::F(i as f64)).collect();
+        let (out, stats) = acc.run_batch(&input).unwrap();
+        // reduce produces exactly one record regardless of batch size
+        assert_eq!(out, vec![HostValue::F(21.0)]);
+        assert_eq!(stats.tasks, 6);
+        // 6 input records in, 1 output record back
+        assert_eq!(stats.bytes, 6 * 8 + 8);
+        let ms = stats.modelled_ms.unwrap();
+        assert!((ms - (1.0 + 0.25 * 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduce_rejects_empty_batches_too() {
+        let acc = summer();
+        assert_eq!(acc.run_batch(&[]), Err(BlazeError::EmptyDataset));
+    }
+
+    /// Regression: output-side broadcast leaves must be counted in the
+    /// interface byte total (they were silently dropped while the input
+    /// side's were added).
+    #[test]
+    fn output_broadcast_bytes_are_counted() {
+        let mut acc = doubler();
+        // (per-task Double, broadcast Double) on the output side: out_1
+        // sliced per task, out_2 a single once-per-batch copy.
+        let out_shape = Shape::pair(
+            Shape::Scalar(JType::Double),
+            Shape::broadcast(Shape::Scalar(JType::Double)),
+        );
+        acc.output_layout = DataLayout::from_shape(&out_shape, "out");
+        acc.kernel.params.push(ast::Param {
+            name: "out_2".into(),
+            ty: ast::CType::Float,
+            kind: ast::ParamKind::BufOut,
+            elems_per_task: Some(1),
+            broadcast: true,
+        });
+        assert_eq!(acc.output_layout.broadcast_bytes(), 8);
+        let input: Vec<HostValue> = (0..5).map(|i| HostValue::F(i as f64)).collect();
+        let (out, stats) = acc.run_batch(&input).unwrap();
+        assert_eq!(out.len(), 5);
+        // 5 tasks in + 5 per-task out + one 8-byte broadcast out
+        assert_eq!(stats.bytes, 5 * 8 + 5 * 8 + 8);
     }
 
     #[test]

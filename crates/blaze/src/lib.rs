@@ -22,7 +22,11 @@
 //!   speedups can be reported end to end;
 //! * [`streams`] — a Java-8-streams-style pipeline over the same
 //!   accelerator service, demonstrating §2's claim that S2FA plugs into
-//!   other JVM runtime systems unchanged.
+//!   other JVM runtime systems unchanged;
+//! * [`serving`] — the datacenter serving side: a deterministic
+//!   multi-tenant request path (admission → queueing → batch forming →
+//!   simulated cluster execution → reply) over the same registry, with
+//!   trace events and host-time spans threaded through.
 //!
 //! [`KernelSpec`]: s2fa_sjvm::KernelSpec
 //! [`HostValue`]: s2fa_sjvm::HostValue
@@ -31,6 +35,7 @@ pub mod accel;
 pub mod rdd;
 pub mod serial;
 pub mod service;
+pub mod serving;
 pub mod streams;
 
 mod error;
@@ -39,4 +44,5 @@ pub use accel::{AccelStats, AccelTimeModel, Accelerator};
 pub use error::BlazeError;
 pub use rdd::{AccCall, BlazeContext, BlazeRdd, ExecutionPath, OffloadReport, Rdd};
 pub use serial::{BufferSlot, DataLayout};
-pub use service::AcceleratorRegistry;
+pub use service::{AcceleratorRegistry, RegisteredAccel};
+pub use serving::{ServeOutcome, ServingConfig, ServingRuntime, TenantSpec};

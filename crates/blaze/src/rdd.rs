@@ -88,10 +88,21 @@ pub struct OffloadReport {
     pub path: ExecutionPath,
     /// Records processed.
     pub tasks: u64,
-    /// Modelled wall-clock of the executed path in ms.
-    pub time_ms: f64,
+    /// Modelled wall-clock of the executed path in ms. `None` means the
+    /// offloaded design had no time model attached — distinct from an
+    /// actual 0 ms execution, so aggregates can skip unmodelled runs
+    /// instead of averaging in zeros. The JVM path always measures.
+    pub time_ms: Option<f64>,
     /// Bytes over the accelerator interface (0 on the JVM path).
     pub bytes: u64,
+}
+
+impl OffloadReport {
+    /// The modelled time, or 0.0 for unmodelled offloads — the old
+    /// lossy behaviour, for display code that needs *a* number.
+    pub fn time_ms_or_zero(&self) -> f64 {
+        self.time_ms.unwrap_or(0.0)
+    }
 }
 
 /// The Blaze driver context: holds the accelerator registry and the
@@ -203,7 +214,7 @@ impl BlazeRdd<'_> {
             let report = OffloadReport {
                 path: ExecutionPath::Offloaded,
                 tasks: stats.tasks,
-                time_ms: stats.modelled_ms.unwrap_or(0.0),
+                time_ms: stats.modelled_ms,
                 bytes: stats.bytes,
             };
             Ok((Rdd::from_values(out), report))
@@ -240,7 +251,7 @@ impl BlazeRdd<'_> {
         let report = OffloadReport {
             path: ExecutionPath::JvmFallback,
             tasks: self.rdd.count() as u64,
-            time_ms: total_ns / 1e6,
+            time_ms: Some(total_ns / 1e6),
             bytes: 0,
         };
         Ok((Rdd::from_values(out), report))
@@ -308,7 +319,7 @@ mod tests {
         let (out, report) = blaze.wrap(rdd).map(&call).unwrap();
         assert_eq!(out.collect(), &[HostValue::I(3), HostValue::I(15)]);
         assert_eq!(report.path, ExecutionPath::JvmFallback);
-        assert!(report.time_ms > 0.0);
+        assert!(report.time_ms.unwrap() > 0.0);
         assert_eq!(report.bytes, 0);
     }
 
@@ -448,6 +459,24 @@ mod policy_tests {
         let (out, report) = blaze.wrap(big).map(&call).unwrap();
         assert_eq!(report.path, ExecutionPath::Offloaded);
         assert_eq!(out.collect()[9], HostValue::I(18));
+    }
+
+    #[test]
+    fn unmodelled_offload_is_distinguishable_from_zero_ms() {
+        // identity_accel carries no time model: the offloaded report must
+        // say "no model" (None), not claim a 0 ms execution.
+        let registry = AcceleratorRegistry::new();
+        registry.register(identity_accel("dbl"));
+        let blaze = BlazeContext::new(&registry);
+        let call = AccCall {
+            id: "dbl".into(),
+            spec: double_spec(),
+        };
+        let rdd = Rdd::from_values((0..4).map(HostValue::I).collect());
+        let (_, report) = blaze.wrap(rdd).map(&call).unwrap();
+        assert_eq!(report.path, ExecutionPath::Offloaded);
+        assert_eq!(report.time_ms, None);
+        assert_eq!(report.time_ms_or_zero(), 0.0);
     }
 
     #[test]

@@ -4,16 +4,39 @@
 //! that Spark application developers can access FPGA accelerators using
 //! provided APIs" (§2). The registry is shared and thread-safe: in a real
 //! deployment every worker node holds one.
+//!
+//! Registrations carry a **generation**: a registry-wide monotonically
+//! increasing counter bumped by every (re-)registration. A serving worker
+//! that resolved a design at admission time can compare generations at
+//! execution time and detect that an operator replaced the design
+//! mid-flight (a redeploy) instead of silently executing a different
+//! kernel than the one the request was admitted against.
 
 use crate::accel::Accelerator;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// One resolved registry entry: the design plus the generation it was
+/// registered under.
+#[derive(Debug, Clone)]
+pub struct RegisteredAccel {
+    /// The deployed design.
+    pub accel: Arc<Accelerator>,
+    /// Generation of this registration (bumped on every replace).
+    pub generation: u64,
+}
+
 /// Thread-safe registry mapping accelerator ids to deployed designs.
 #[derive(Debug, Default)]
 pub struct AcceleratorRegistry {
-    map: RwLock<HashMap<String, Arc<Accelerator>>>,
+    map: RwLock<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    entries: HashMap<String, RegisteredAccel>,
+    next_generation: u64,
 }
 
 impl AcceleratorRegistry {
@@ -23,36 +46,60 @@ impl AcceleratorRegistry {
     }
 
     /// Registers (or replaces) an accelerator under its id; returns the
-    /// previously registered design if any.
-    pub fn register(&self, accel: Accelerator) -> Option<Arc<Accelerator>> {
-        self.map.write().insert(accel.id.clone(), Arc::new(accel))
+    /// generation of the new registration. Generations increase
+    /// monotonically across the whole registry, so replacing a live
+    /// design always yields a strictly larger generation than any
+    /// earlier lookup of that id returned.
+    pub fn register(&self, accel: Accelerator) -> u64 {
+        let mut inner = self.map.write();
+        inner.next_generation += 1;
+        let generation = inner.next_generation;
+        inner.entries.insert(
+            accel.id.clone(),
+            RegisteredAccel {
+                accel: Arc::new(accel),
+                generation,
+            },
+        );
+        generation
     }
 
     /// Looks an accelerator up by id.
     pub fn lookup(&self, id: &str) -> Option<Arc<Accelerator>> {
-        self.map.read().get(id).cloned()
+        self.map.read().entries.get(id).map(|e| e.accel.clone())
+    }
+
+    /// Looks an accelerator up by id, with the generation it was
+    /// registered under.
+    pub fn lookup_entry(&self, id: &str) -> Option<RegisteredAccel> {
+        self.map.read().entries.get(id).cloned()
+    }
+
+    /// The current generation of an id's registration, if registered.
+    pub fn generation(&self, id: &str) -> Option<u64> {
+        self.map.read().entries.get(id).map(|e| e.generation)
     }
 
     /// Removes an accelerator; returns it if it was registered.
     pub fn unregister(&self, id: &str) -> Option<Arc<Accelerator>> {
-        self.map.write().remove(id)
+        self.map.write().entries.remove(id).map(|e| e.accel)
     }
 
     /// Registered accelerator ids, sorted.
     pub fn ids(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.map.read().keys().cloned().collect();
+        let mut v: Vec<String> = self.map.read().entries.keys().cloned().collect();
         v.sort();
         v
     }
 
     /// Number of registered accelerators.
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.map.read().entries.len()
     }
 
     /// True if nothing is registered.
     pub fn is_empty(&self) -> bool {
-        self.map.read().is_empty()
+        self.map.read().entries.is_empty()
     }
 }
 
@@ -82,16 +129,35 @@ mod tests {
     fn register_lookup_unregister() {
         let r = AcceleratorRegistry::new();
         assert!(r.is_empty());
-        assert!(r.register(dummy("a")).is_none());
-        assert!(r.register(dummy("b")).is_none());
+        let g_a = r.register(dummy("a"));
+        let g_b = r.register(dummy("b"));
+        assert!(g_b > g_a);
         assert_eq!(r.ids(), vec!["a", "b"]);
         assert!(r.lookup("a").is_some());
         assert!(r.lookup("z").is_none());
-        // replace returns the old design
-        assert!(r.register(dummy("a")).is_some());
+        assert_eq!(r.generation("a"), Some(g_a));
+        // replace registers under a fresh generation
+        let g_a2 = r.register(dummy("a"));
+        assert!(g_a2 > g_b);
         assert_eq!(r.len(), 2);
         assert!(r.unregister("a").is_some());
         assert!(r.lookup("a").is_none());
+        assert_eq!(r.generation("a"), None);
+    }
+
+    #[test]
+    fn replace_bumps_the_generation_seen_by_lookups() {
+        let r = AcceleratorRegistry::new();
+        let g1 = r.register(dummy("x"));
+        let before = r.lookup_entry("x").unwrap();
+        assert_eq!(before.generation, g1);
+        // a worker holding `before` can detect the mid-flight replace:
+        let g2 = r.register(dummy("x"));
+        let after = r.lookup_entry("x").unwrap();
+        assert!(g2 > g1);
+        assert_eq!(after.generation, g2);
+        assert!(after.generation > before.generation);
+        assert_eq!(r.generation("x"), Some(g2));
     }
 
     #[test]

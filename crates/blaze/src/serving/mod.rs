@@ -1,0 +1,33 @@
+//! Multi-tenant accelerator serving on top of the Blaze registry.
+//!
+//! The paper's deployment story is a datacenter one: accelerators are
+//! registered with the Blaze accelerator manager and *shared* by many
+//! Spark applications (§2). This module reproduces that serving side as
+//! a deterministic discrete-event simulation: tenants submit request
+//! streams against registered accelerator ids; requests pass admission
+//! control (bounded per-tenant inflight), join per-accelerator FIFO
+//! queues, are coalesced by a batch former (close on `max_batch`
+//! requests or `max_wait_ms` of head-of-line waiting), execute on a
+//! simulated cluster of `nodes` worker nodes sharing one registry, and
+//! reply with a per-request latency. Unregistered ids take Blaze's JVM
+//! fallback path, exactly as the RDD wrapper does.
+//!
+//! Everything runs on a **virtual millisecond clock** with the same
+//! determinism discipline as the DSE's virtual scheduler: outcomes are
+//! a pure function of (tenants, config, registry) and are bit-identical
+//! across OS execution-thread counts ([`ServingConfig::exec_threads`]).
+//! Serving emits [`s2fa_trace::Event`] serving variants
+//! (submit/admit/enqueue/batch_formed/execute/reply/reject) so one
+//! flight recorder spans a DSE run and the serving run of the designs
+//! it produced, and threads [`s2fa_obs`] spans through the heavy
+//! phases.
+
+mod loadgen;
+mod request;
+mod sim;
+mod stats;
+
+pub use loadgen::generate;
+pub use request::{Disposition, RejectReason, Request, RequestOutcome, ServingConfig, TenantSpec};
+pub use sim::ServingRuntime;
+pub use stats::{ServeOutcome, ServingStats};

@@ -136,7 +136,7 @@ impl<'r> Stream<'r> {
                     self.reports.push(OffloadReport {
                         path: ExecutionPath::Offloaded,
                         tasks: stats.tasks,
-                        time_ms: stats.modelled_ms.unwrap_or(0.0),
+                        time_ms: stats.modelled_ms,
                         bytes: stats.bytes,
                     });
                     Ok(out)
@@ -153,7 +153,7 @@ impl<'r> Stream<'r> {
                     self.reports.push(OffloadReport {
                         path: ExecutionPath::JvmFallback,
                         tasks: data.len() as u64,
-                        time_ms: total_ns / 1e6,
+                        time_ms: Some(total_ns / 1e6),
                         bytes: 0,
                     });
                     Ok(out)

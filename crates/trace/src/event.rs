@@ -108,6 +108,94 @@ pub enum Event {
         /// DSE outcome assembled from per-partition runs).
         reason: String,
     },
+    // --- Serving events ------------------------------------------------
+    //
+    // The Blaze serving runtime stamps its events on a virtual
+    // *millisecond* clock (request latencies are sub-second); `minute()`
+    // converts so one flight recorder spans the DSE's minute-scale
+    // schedule and the serving runtime's ms-scale one.
+    /// A tenant submitted a request to the serving runtime.
+    Submit {
+        /// Virtual millisecond of submission.
+        ms: f64,
+        /// Request id (unique within a serving run).
+        request: u64,
+        /// Submitting tenant index.
+        tenant: u64,
+        /// Target accelerator id.
+        accel: String,
+    },
+    /// Admission control accepted the request.
+    Admit {
+        /// Virtual millisecond of admission.
+        ms: f64,
+        /// Request id.
+        request: u64,
+        /// Tenant's inflight count *after* admitting this request.
+        inflight: u64,
+    },
+    /// Admission control (or a full queue) rejected the request.
+    Reject {
+        /// Virtual millisecond of rejection.
+        ms: f64,
+        /// Request id.
+        request: u64,
+        /// Submitting tenant index.
+        tenant: u64,
+        /// Why (`"inflight_limit"` / `"queue_full"`).
+        reason: String,
+    },
+    /// The request entered its accelerator's FIFO queue.
+    Enqueue {
+        /// Virtual millisecond of enqueue.
+        ms: f64,
+        /// Request id.
+        request: u64,
+        /// Accelerator id the queue belongs to.
+        accel: String,
+        /// Queue depth after the enqueue.
+        depth: u64,
+    },
+    /// The batch former closed a batch.
+    BatchFormed {
+        /// Virtual millisecond the batch closed.
+        ms: f64,
+        /// Batch id (unique within a serving run).
+        batch: u64,
+        /// Accelerator id.
+        accel: String,
+        /// Requests coalesced into the batch.
+        size: u64,
+        /// Total records (tasks) across those requests.
+        tasks: u64,
+        /// Why the batch closed (`"full"` / `"deadline"`).
+        cause: String,
+    },
+    /// A worker node started executing a batch.
+    Execute {
+        /// Virtual millisecond execution started (>= the batch's close
+        /// time when every node was busy).
+        ms: f64,
+        /// Batch id.
+        batch: u64,
+        /// Simulated worker node index.
+        node: u64,
+        /// Modelled service time of the batch in ms.
+        service_ms: f64,
+    },
+    /// A request's reply was delivered.
+    Reply {
+        /// Virtual millisecond of delivery (batch completion).
+        ms: f64,
+        /// Request id.
+        request: u64,
+        /// Submitting tenant index.
+        tenant: u64,
+        /// End-to-end virtual latency (delivery - submission) in ms.
+        latency_ms: f64,
+        /// Which path executed (`"accel"` / `"fallback"`).
+        path: String,
+    },
 }
 
 impl Event {
@@ -123,23 +211,38 @@ impl Event {
             Event::PartitionStart { .. } => "partition_start",
             Event::PartitionStop { .. } => "partition_stop",
             Event::RunStop { .. } => "run_stop",
+            Event::Submit { .. } => "submit",
+            Event::Admit { .. } => "admit",
+            Event::Reject { .. } => "reject",
+            Event::Enqueue { .. } => "enqueue",
+            Event::BatchFormed { .. } => "batch_formed",
+            Event::Execute { .. } => "execute",
+            Event::Reply { .. } => "reply",
         }
     }
 
     /// The virtual-minute stamp of the event, if it carries one.
     ///
-    /// `Some` exactly for the variants whose JSON has a `minute` field
-    /// (evaluations, partition start/stop, run stop). Host-side events
-    /// (cache stats, prunes, technique bookkeeping) return `None` —
-    /// they exist outside the virtual clock. The dual-clock correlator
-    /// in `s2fa-obs` keys off this to join the virtual schedule against
-    /// host wall-time spans.
+    /// `Some` exactly for the variants stamped on a virtual clock: DSE
+    /// events with a `minute` field (evaluations, partition start/stop,
+    /// run stop) and serving events, whose millisecond stamp is
+    /// converted to minutes here. Host-side events (cache stats, prunes,
+    /// technique bookkeeping) return `None` — they exist outside the
+    /// virtual clock. The dual-clock correlator in `s2fa-obs` keys off
+    /// this to join the virtual schedule against host wall-time spans.
     pub fn minute(&self) -> Option<f64> {
         match self {
             Event::Eval { minute, .. }
             | Event::PartitionStart { minute, .. }
             | Event::PartitionStop { minute, .. }
             | Event::RunStop { minute, .. } => Some(*minute),
+            Event::Submit { ms, .. }
+            | Event::Admit { ms, .. }
+            | Event::Reject { ms, .. }
+            | Event::Enqueue { ms, .. }
+            | Event::BatchFormed { ms, .. }
+            | Event::Execute { ms, .. }
+            | Event::Reply { ms, .. } => Some(*ms / 60_000.0),
             Event::RunStart { .. }
             | Event::CacheStats { .. }
             | Event::Prune { .. }
@@ -242,6 +345,87 @@ impl Event {
                 push_num_field(&mut s, "minute", *minute);
                 push_int_field(&mut s, "evaluations", *evaluations);
                 push_str_field(&mut s, "reason", reason);
+            }
+            Event::Submit {
+                ms,
+                request,
+                tenant,
+                accel,
+            } => {
+                push_num_field(&mut s, "ms", *ms);
+                push_int_field(&mut s, "request", *request);
+                push_int_field(&mut s, "tenant", *tenant);
+                push_str_field(&mut s, "accel", accel);
+            }
+            Event::Admit {
+                ms,
+                request,
+                inflight,
+            } => {
+                push_num_field(&mut s, "ms", *ms);
+                push_int_field(&mut s, "request", *request);
+                push_int_field(&mut s, "inflight", *inflight);
+            }
+            Event::Reject {
+                ms,
+                request,
+                tenant,
+                reason,
+            } => {
+                push_num_field(&mut s, "ms", *ms);
+                push_int_field(&mut s, "request", *request);
+                push_int_field(&mut s, "tenant", *tenant);
+                push_str_field(&mut s, "reason", reason);
+            }
+            Event::Enqueue {
+                ms,
+                request,
+                accel,
+                depth,
+            } => {
+                push_num_field(&mut s, "ms", *ms);
+                push_int_field(&mut s, "request", *request);
+                push_str_field(&mut s, "accel", accel);
+                push_int_field(&mut s, "depth", *depth);
+            }
+            Event::BatchFormed {
+                ms,
+                batch,
+                accel,
+                size,
+                tasks,
+                cause,
+            } => {
+                push_num_field(&mut s, "ms", *ms);
+                push_int_field(&mut s, "batch", *batch);
+                push_str_field(&mut s, "accel", accel);
+                push_int_field(&mut s, "size", *size);
+                push_int_field(&mut s, "tasks", *tasks);
+                push_str_field(&mut s, "cause", cause);
+            }
+            Event::Execute {
+                ms,
+                batch,
+                node,
+                service_ms,
+            } => {
+                push_num_field(&mut s, "ms", *ms);
+                push_int_field(&mut s, "batch", *batch);
+                push_int_field(&mut s, "node", *node);
+                push_num_field(&mut s, "service_ms", *service_ms);
+            }
+            Event::Reply {
+                ms,
+                request,
+                tenant,
+                latency_ms,
+                path,
+            } => {
+                push_num_field(&mut s, "ms", *ms);
+                push_int_field(&mut s, "request", *request);
+                push_int_field(&mut s, "tenant", *tenant);
+                push_num_field(&mut s, "latency_ms", *latency_ms);
+                push_str_field(&mut s, "path", path);
             }
         }
         s.push('}');
@@ -419,5 +603,105 @@ mod tests {
         };
         assert_eq!(e.kind(), "prune");
         assert_eq!(e.to_json(), "{\"type\":\"prune\",\"rule\":\"S2FA-E201\"}");
+    }
+
+    #[test]
+    fn serving_events_serialize() {
+        let e = Event::Submit {
+            ms: 1.5,
+            request: 42,
+            tenant: 2,
+            accel: "KMeans".into(),
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"submit\",\"ms\":1.5,\"request\":42,\"tenant\":2,\"accel\":\"KMeans\"}"
+        );
+        let e = Event::BatchFormed {
+            ms: 3.0,
+            batch: 7,
+            accel: "S-W".into(),
+            size: 4,
+            tasks: 64,
+            cause: "full".into(),
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"batch_formed\",\"ms\":3,\"batch\":7,\"accel\":\"S-W\",\
+             \"size\":4,\"tasks\":64,\"cause\":\"full\"}"
+        );
+        let e = Event::Reply {
+            ms: 9.25,
+            request: 42,
+            tenant: 2,
+            latency_ms: 7.75,
+            path: "accel".into(),
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"reply\",\"ms\":9.25,\"request\":42,\"tenant\":2,\
+             \"latency_ms\":7.75,\"path\":\"accel\"}"
+        );
+        assert_eq!(
+            Event::Reject {
+                ms: 0.5,
+                request: 1,
+                tenant: 0,
+                reason: "inflight_limit".into()
+            }
+            .kind(),
+            "reject"
+        );
+        assert_eq!(
+            Event::Execute {
+                ms: 4.0,
+                batch: 7,
+                node: 1,
+                service_ms: 2.5
+            }
+            .kind(),
+            "execute"
+        );
+        assert_eq!(
+            Event::Admit {
+                ms: 1.5,
+                request: 42,
+                inflight: 3
+            }
+            .kind(),
+            "admit"
+        );
+        assert_eq!(
+            Event::Enqueue {
+                ms: 1.5,
+                request: 42,
+                accel: "LR".into(),
+                depth: 5
+            }
+            .kind(),
+            "enqueue"
+        );
+    }
+
+    #[test]
+    fn serving_events_stamp_minutes_from_their_ms_clock() {
+        let e = Event::Reply {
+            ms: 90_000.0,
+            request: 1,
+            tenant: 0,
+            latency_ms: 3.0,
+            path: "fallback".into(),
+        };
+        assert_eq!(e.minute(), Some(1.5));
+        assert_eq!(
+            Event::Submit {
+                ms: 0.0,
+                request: 0,
+                tenant: 0,
+                accel: "PR".into()
+            }
+            .minute(),
+            Some(0.0)
+        );
     }
 }

@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for iter in 0..5 {
         let rdd = attach_centroids(&points, &centroids);
         let (assignments, report) = blaze.wrap(rdd).map(&call)?;
-        total_offload_ms += report.time_ms;
+        total_offload_ms += report.time_ms_or_zero();
 
         // Driver-side centroid update.
         let mut sums = vec![0.0f64; (K * D) as usize];
@@ -87,7 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "iteration {iter}: {occupied}/{K} clusters occupied, centroid movement {moved:.4}, \
              offload {:.3} ms (modelled)",
-            report.time_ms
+            report.time_ms_or_zero()
         );
     }
     println!(

@@ -42,7 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (jvm_scores, jvm_report) = blaze_pairs.map(&sw_call)?;
     println!(
         "JVM fallback:   {} pairs in {:.3} ms (modelled)",
-        jvm_report.tasks, jvm_report.time_ms
+        jvm_report.tasks,
+        jvm_report.time_ms_or_zero()
     );
 
     // Register the generated design; the same call now offloads.
@@ -51,7 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (fpga_scores, fpga_report) = blaze_pairs.map(&sw_call)?;
     println!(
         "FPGA offload:   {} pairs in {:.3} ms (modelled), {} interface bytes",
-        fpga_report.tasks, fpga_report.time_ms, fpga_report.bytes
+        fpga_report.tasks,
+        fpga_report.time_ms_or_zero(),
+        fpga_report.bytes
     );
     assert_eq!(jvm_scores.collect(), fpga_scores.collect());
 
@@ -66,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "\nper-pair speedup (modelled): {:.1}x",
-        jvm_report.time_ms / fpga_report.time_ms
+        jvm_report.time_ms_or_zero() / fpga_report.time_ms_or_zero()
     );
     Ok(())
 }

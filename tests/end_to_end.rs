@@ -52,11 +52,11 @@ fn code1_flow_kmeans() {
     assert_eq!(fpga_report.path, ExecutionPath::Offloaded);
     assert_eq!(jvm_out.collect(), fpga_out.collect(), "results agree");
     assert!(fpga_report.bytes > 0);
+    let fpga_ms = fpga_report.time_ms.expect("offload carries a time model");
+    let jvm_ms = jvm_report.time_ms.expect("fallback is always measured");
     assert!(
-        fpga_report.time_ms < jvm_report.time_ms,
-        "offload should be modelled faster: {} vs {} ms",
-        fpga_report.time_ms,
-        jvm_report.time_ms
+        fpga_ms < jvm_ms,
+        "offload should be modelled faster: {fpga_ms} vs {jvm_ms} ms"
     );
 }
 
