@@ -159,6 +159,7 @@ fn deep_summary() -> KernelSummary {
         buffers,
         task_loop: LoopId(0),
         tasks_hint: 256,
+        dataflow: None,
     }
 }
 

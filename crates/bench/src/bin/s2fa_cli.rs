@@ -62,14 +62,29 @@
 //! `lint` runs the `s2fa-lint` static analyses over every workload (or
 //! one selected with `--kernel`) *without* exploring anything: the IR
 //! well-formedness verifier before and after the structural transforms,
-//! the per-seed legality verdicts, and the sampled statically-dead
-//! fraction of each design space. The process exits non-zero if any
-//! kernel has an error-severity well-formedness finding (seed prescreen
-//! verdicts are search-space facts and only reported). `--format json`
+//! the dataflow-backed rules (`E3xx`/`W310`: provably uninitialized
+//! reads, out-of-bounds affine indices, replication write-races, dead
+//! stores) with the same transform differential, the per-seed legality
+//! verdicts, and the sampled statically-dead fraction of each design
+//! space. The process exits non-zero if any kernel has an
+//! error-severity well-formedness or dataflow *defect* (seed prescreen
+//! verdicts and `E303` replication races are search-space facts and
+//! only reported). `--format json`
 //! emits a machine-readable document; `--save` also writes it to
 //! `results/lint_report.json` for the CI golden diff.
+//!
+//! `--dataflow-prescreen` (automatic flow) attaches the dependence
+//! facts of `hlsir::dataflow` to the kernel summary before the DSE, so
+//! the legality pre-screen additionally prunes design points that
+//! replicate a loop with a proven cross-iteration write-race
+//! (`S2FA-E303`). Off by default: without it, outcomes are
+//! bit-identical to `--prescreen` (and, with neither, to no screen at
+//! all).
 
-use s2fa::lint::{factor_diagnostics, new_errors, verify_function, Legality, Severity};
+use s2fa::lint::{
+    dataflow_checks, factor_diagnostics, new_dataflow_errors, new_errors, verify_function,
+    Legality, Severity,
+};
 use s2fa::{S2fa, S2faOptions};
 use s2fa_bench::results::{save, Json};
 use s2fa_blaze::{AcceleratorRegistry, ServingConfig, ServingRuntime, TenantSpec};
@@ -108,6 +123,7 @@ struct Args {
     chunk: Option<usize>,
     profile_path: Option<String>,
     prescreen: bool,
+    dataflow_prescreen: bool,
     format: Format,
     save: bool,
 }
@@ -141,6 +157,7 @@ fn parse_args() -> Result<Args, String> {
         chunk: None,
         profile_path: None,
         prescreen: false,
+        dataflow_prescreen: false,
         format: Format::Text,
         save: false,
     };
@@ -265,6 +282,7 @@ fn parse_args() -> Result<Args, String> {
             "--report" => args.report = true,
             "--list" => args.list = true,
             "--prescreen" => args.prescreen = true,
+            "--dataflow-prescreen" => args.dataflow_prescreen = true,
             "--save" => args.save = true,
             "--help" | "-h" => {
                 return Err(USAGE.to_string());
@@ -276,7 +294,8 @@ fn parse_args() -> Result<Args, String> {
 }
 
 const USAGE: &str = "usage: s2fa_cli --kernel <name> [--budget <minutes>] [--tasks <n>] \
-[--manual] [--emit-c] [--report] [--prescreen] [--eval-threads <n>] [--chunk <n>] \
+[--manual] [--emit-c] [--report] [--prescreen] [--dataflow-prescreen] [--eval-threads <n>] \
+[--chunk <n>] \
 [--trace <path>] [--metrics <path>] | --list\n       \
 s2fa_cli lint [--kernel <name>] [--tasks <n>] [--format text|json] [--save]\n       \
 s2fa_cli profile --kernel <name> [--budget <minutes>] [--tasks <n>] [--threads 1,2,4,8] \
@@ -327,6 +346,7 @@ fn main() {
     };
     options.dse.budget_minutes = args.budget;
     options.dse.prescreen = args.prescreen;
+    options.dse.dataflow_prescreen = args.dataflow_prescreen;
     if let Some(t) = args.eval_threads {
         options.dse.eval_threads = t;
     }
@@ -390,7 +410,7 @@ fn main() {
             lookups,
             dse.cache.overwrites
         );
-        if args.prescreen {
+        if args.prescreen || args.dataflow_prescreen {
             println!(
                 "dse: {} design point(s) pruned by the legality pre-screen",
                 dse.pruned_illegal
@@ -505,17 +525,23 @@ fn run_lint(args: &Args) -> i32 {
     for w in &workloads {
         let generated = s2fa::compile_kernel(&w.spec).expect("workload compiles");
         let wellformed = verify_function(&generated.cfunc);
+        let dataflow = dataflow_checks(&generated.cfunc, args.tasks);
         let summary = analysis::summarize(&generated.cfunc, args.tasks).expect("workload analyzes");
         let ds = DesignSpace::build(&summary);
         let oracle = Legality::new(&summary, &estimator);
 
         // Differential check: the structural rewrite of the (normalized)
         // performance seed must not introduce errors the generated
-        // function did not have.
+        // function did not have — neither well-formedness (`E1xx`) nor
+        // dataflow (`E3xx`) errors.
         let mut perf = DesignConfig::perf_seed(&summary);
         perf.normalize(&summary);
         let (optimized, _) = apply_structural(&generated.cfunc, &perf);
-        let introduced = new_errors(&wellformed, &verify_function(&optimized));
+        let mut introduced = new_errors(&wellformed, &verify_function(&optimized));
+        introduced.extend(new_dataflow_errors(
+            &dataflow,
+            &dataflow_checks(&optimized, args.tasks),
+        ));
 
         let seeds: Vec<(&str, DesignConfig)> = vec![
             ("perf", DesignConfig::perf_seed(&summary)),
@@ -546,10 +572,30 @@ fn run_lint(args: &Args) -> i32 {
 
         let dead = ds.dead_fraction(ds.space(), &oracle, DEAD_SAMPLES, DEAD_SEED);
         let (wf_errors, wf_warnings) = wellformed.counts();
-        total_errors += (wf_errors + introduced.len()) as u64;
+        let (df_all_errors, df_warnings) = dataflow.counts();
+        // `E303` replication races are legality facts about the *search
+        // space* (the kernel is sequentially correct; replicating the racy
+        // loop is what would be nondeterministic) — like the seed
+        // prescreen verdicts they are reported, not defects. Everything
+        // else at error severity (uninit read, out-of-bounds index) is a
+        // kernel defect and fails the lint run.
+        let df_races = dataflow
+            .diagnostics
+            .iter()
+            .filter(|d| d.code.code == "S2FA-E303")
+            .count();
+        let df_defects = df_all_errors - df_races;
+        total_errors += (wf_errors + df_defects + introduced.len()) as u64;
 
         if args.format == Format::Text {
             println!("{}", wellformed.render());
+            println!("{}", dataflow.render());
+            if df_races > 0 {
+                println!(
+                    "  replication race(s) on {df_races} loop(s): sequentially sound, \
+                     pruned from replication under --dataflow-prescreen"
+                );
+            }
             for d in &introduced {
                 println!("  transform introduced: {d}");
             }
@@ -590,6 +636,24 @@ fn run_lint(args: &Args) -> i32 {
                     ),
                 ]),
             ),
+            (
+                "dataflow",
+                Json::obj(vec![
+                    ("errors", Json::n(df_defects as f64)),
+                    ("races", Json::n(df_races as f64)),
+                    ("warnings", Json::n(df_warnings as f64)),
+                    (
+                        "diagnostics",
+                        Json::Arr(
+                            dataflow
+                                .diagnostics
+                                .iter()
+                                .map(|d| Json::s(d.to_string()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
             ("transform_new_errors", Json::n(introduced.len() as f64)),
             ("seeds", Json::Obj(seed_docs)),
             ("dead_fraction", Json::n(dead)),
@@ -597,7 +661,7 @@ fn run_lint(args: &Args) -> i32 {
     }
 
     let doc = Json::obj(vec![
-        ("schema", Json::s("s2fa-lint-report/v1")),
+        ("schema", Json::s("s2fa-lint-report/v2")),
         ("kernels", Json::Arr(kernels)),
         ("total_errors", Json::n(total_errors as f64)),
         ("clean", Json::Bool(total_errors == 0)),
@@ -643,6 +707,7 @@ fn run_profile(args: &Args) -> i32 {
     };
     options.dse.budget_minutes = args.budget;
     options.dse.prescreen = args.prescreen;
+    options.dse.dataflow_prescreen = args.dataflow_prescreen;
     if let Some(t) = args.eval_threads {
         options.dse.eval_threads = t;
     }

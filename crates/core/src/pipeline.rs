@@ -6,7 +6,7 @@ use s2fa_blaze::{AccelTimeModel, Accelerator};
 use s2fa_dse::{run_dse_profiled, DesignSpace, DseOptions, DseOutcome};
 use s2fa_hlsir::{analysis, printer, KernelSummary};
 use s2fa_hlssim::{Estimate, Estimator};
-use s2fa_lint::{new_errors, verify_function, LintReport};
+use s2fa_lint::{dataflow_checks, new_dataflow_errors, new_errors, verify_function, LintReport};
 use s2fa_merlin::{apply_structural, DesignConfig};
 use s2fa_obs::Profiler;
 use s2fa_sjvm::KernelSpec;
@@ -135,7 +135,10 @@ impl S2fa {
         ensure_well_formed(&generated.cfunc)?;
         lane.close(lint_span);
         let analyze_span = lane.open("analyze");
-        let summary = analysis::summarize(&generated.cfunc, self.options.tasks_hint)?;
+        let mut summary = analysis::summarize(&generated.cfunc, self.options.tasks_hint)?;
+        if self.options.dse.dataflow_prescreen {
+            s2fa_hlsir::dataflow::attach(&mut summary, &generated.cfunc);
+        }
         let space = DesignSpace::build(&summary);
         lane.close(analyze_span);
         let sink: Arc<dyn TraceSink> = match &self.trace_sink {
@@ -179,7 +182,10 @@ impl S2fa {
     ) -> Result<CompiledAccelerator, S2faError> {
         let generated = compile_kernel(spec)?;
         ensure_well_formed(&generated.cfunc)?;
-        let summary = analysis::summarize(&generated.cfunc, self.options.tasks_hint)?;
+        let mut summary = analysis::summarize(&generated.cfunc, self.options.tasks_hint)?;
+        if self.options.dse.dataflow_prescreen {
+            s2fa_hlsir::dataflow::attach(&mut summary, &generated.cfunc);
+        }
         let space = DesignSpace::build(&summary);
         let estimate = self.estimator.evaluate(&summary, design);
         if !estimate.is_feasible() {
@@ -205,7 +211,7 @@ impl S2fa {
         // the same function is both the shipped source and the functional
         // kernel behind the registered accelerator.
         let (optimized, _transform_report) = apply_structural(&generated.cfunc, &normalized);
-        ensure_no_new_errors(&generated.cfunc, &optimized)?;
+        ensure_no_new_errors(&generated.cfunc, &optimized, self.options.tasks_hint)?;
         let source = printer::to_c(&optimized);
         let time_model = AccelTimeModel {
             per_task_ms: estimate.time_ms / estimate.batch_tasks.max(1) as f64,
@@ -244,14 +250,25 @@ fn ensure_well_formed(f: &s2fa_hlsir::CFunction) -> Result<LintReport, S2faError
 }
 
 /// Differential verification around `apply_structural`: structural
-/// rewrites must not *introduce* errors the pre-image did not have.
+/// rewrites must not *introduce* errors the pre-image did not have —
+/// neither well-formedness errors (`E1xx`, exact-diagnostic diff) nor
+/// dataflow errors (`E3xx`, diffed by code+subject since transforms
+/// renumber statements and loops).
 fn ensure_no_new_errors(
     before: &s2fa_hlsir::CFunction,
     after: &s2fa_hlsir::CFunction,
+    tasks_hint: u32,
 ) -> Result<(), S2faError> {
     let baseline = verify_function(before);
     let post = verify_function(after);
     if let Some(d) = new_errors(&baseline, &post).first() {
+        return Err(S2faError::IllFormed(format!(
+            "structural transform introduced {d}"
+        )));
+    }
+    let df_baseline = dataflow_checks(before, tasks_hint);
+    let df_post = dataflow_checks(after, tasks_hint);
+    if let Some(d) = new_dataflow_errors(&df_baseline, &df_post).first() {
         return Err(S2faError::IllFormed(format!(
             "structural transform introduced {d}"
         )));

@@ -113,6 +113,14 @@ pub struct DseOptions {
     /// exact, so turning it on can only shrink the virtual clock, never
     /// change an objective value.
     pub prescreen: bool,
+    /// Enable the dependence-aware pre-screen: with dataflow facts
+    /// attached to the summary (`hlsir::dataflow::attach`), points that
+    /// replicate a loop with a proven cross-iteration write-race are
+    /// pruned as nondeterministic (`S2FA-E303`) ahead of the estimator.
+    /// Implies `prescreen`. Off by default; without attached facts the
+    /// verdict degenerates to the resource screen, so existing goldens
+    /// stay bit-identical.
+    pub dataflow_prescreen: bool,
     /// Work-unit size (configs per pool chunk) for the persistent
     /// evaluation pool; `0` picks an automatic size from the batch length
     /// and executor count. Purely a wall-clock knob — the deterministic
@@ -142,6 +150,7 @@ impl DseOptions {
             eval_threads: 8,
             caching: true,
             prescreen: false,
+            dataflow_prescreen: false,
             eval_chunk: 0,
         }
     }
@@ -161,6 +170,7 @@ pub fn vanilla_options() -> DseOptions {
         eval_threads: 8,
         caching: true,
         prescreen: false,
+        dataflow_prescreen: false,
         eval_chunk: 0,
     }
 }
@@ -407,7 +417,7 @@ pub fn run_dse_profiled(
     let engine = {
         let mut e = EvalEngine::new(summary, estimator);
         e.set_caching(opts.caching);
-        e.set_prescreen(opts.prescreen);
+        e.set_prescreen(opts.prescreen || opts.dataflow_prescreen);
         e.set_sink(Some(sink.clone()));
         e.set_profiler(profiler);
         e
@@ -803,6 +813,7 @@ mod tests {
             ],
             task_loop: LoopId(0),
             tasks_hint: 1024,
+            dataflow: None,
         }
     }
 

@@ -362,6 +362,7 @@ mod tests {
             }],
             task_loop: LoopId(0),
             tasks_hint: 256,
+            dataflow: None,
         }
     }
 

@@ -83,6 +83,7 @@ fn summary() -> KernelSummary {
         ],
         task_loop: LoopId(0),
         tasks_hint: 1024,
+        dataflow: None,
     }
 }
 

@@ -70,6 +70,7 @@ fn summary() -> KernelSummary {
         ],
         task_loop: LoopId(0),
         tasks_hint: 1024,
+        dataflow: None,
     }
 }
 
@@ -202,6 +203,7 @@ fn random_summary(trips: &[u32], bits: &[u32], carried: bool) -> KernelSummary {
         buffers,
         task_loop: LoopId(0),
         tasks_hint: trips[0],
+        dataflow: None,
     }
 }
 

@@ -51,6 +51,7 @@ fn summary(inner_tc: u32) -> KernelSummary {
         ],
         task_loop: LoopId(0),
         tasks_hint: 1024,
+        dataflow: None,
     }
 }
 

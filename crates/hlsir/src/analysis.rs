@@ -120,6 +120,11 @@ pub struct KernelSummary {
     pub task_loop: LoopId,
     /// Batch size assumed for the task loop's trip count.
     pub tasks_hint: u32,
+    /// Exact per-loop dependence facts from the dataflow engine. `None`
+    /// unless explicitly attached ([`crate::dataflow::attach`]) — the
+    /// default estimation path never consults it, keeping results
+    /// bit-identical with the flag off.
+    pub dataflow: Option<crate::dataflow::KernelDataflow>,
 }
 
 impl KernelSummary {
@@ -200,6 +205,34 @@ impl KernelSummary {
         (inb, outb)
     }
 
+    /// The loop's carried dependence, consulting the attached dataflow
+    /// facts: the conservative scan's verdict wins when present (it knows
+    /// reducibility); otherwise a recurrence only the exact engine found
+    /// (a multi-statement scalar cycle) fills in. Identical to
+    /// `loop_info(id).carried` when no dataflow facts are attached.
+    pub fn effective_carried(&self, id: LoopId) -> Option<&CarriedDep> {
+        let li = self.loop_info(id)?;
+        if let Some(c) = &li.carried {
+            return Some(c);
+        }
+        self.dataflow
+            .as_ref()
+            .and_then(|d| d.loops.get(&id))
+            .and_then(|l| l.extra_carried.as_ref())
+    }
+
+    /// Dependence distance of the loop's recurrence in iterations
+    /// (default 1). A distance `d > 1` means `d` independent recurrence
+    /// chains interleave, relaxing the recurrence II bound by `d`.
+    pub fn carried_distance(&self, id: LoopId) -> u32 {
+        self.dataflow
+            .as_ref()
+            .and_then(|d| d.loops.get(&id))
+            .and_then(|l| l.carried_distance)
+            .unwrap_or(1)
+            .max(1)
+    }
+
     /// Bytes of broadcast (once-per-batch) input data.
     pub fn broadcast_bytes(&self) -> u64 {
         self.buffers
@@ -256,6 +289,7 @@ pub fn summarize(f: &CFunction, tasks_hint: u32) -> Result<KernelSummary, HlsirE
         buffers,
         task_loop,
         tasks_hint,
+        dataflow: None,
     })
 }
 
@@ -405,7 +439,7 @@ fn body_profile(stmts: &[Stmt], loop_var: &str) -> (OpCounts, Vec<Access>) {
     (ops, accesses)
 }
 
-fn count_expr(e: &Expr, loop_var: &str, ops: &mut OpCounts, accesses: &mut Vec<Access>) {
+pub(crate) fn count_expr(e: &Expr, loop_var: &str, ops: &mut OpCounts, accesses: &mut Vec<Access>) {
     match e {
         Expr::ConstI(_) | Expr::ConstF(_) | Expr::Var(_) => {}
         Expr::Index(name, idx) => {
@@ -449,57 +483,8 @@ fn count_expr(e: &Expr, loop_var: &str, ops: &mut OpCounts, accesses: &mut Vec<A
     }
 }
 
-/// Linear coefficient of `var` in `e`, if `e` is affine in it.
-fn linear_coeff(e: &Expr, var: &str) -> Option<i64> {
-    match e {
-        Expr::ConstI(_) => Some(0),
-        Expr::Var(n) => Some(if n == var { 1 } else { 0 }),
-        Expr::Bin(op, _, a, b) => {
-            let ca = linear_coeff(a, var)?;
-            let cb = linear_coeff(b, var)?;
-            match op {
-                crate::ast::CBinOp::Add => Some(ca + cb),
-                crate::ast::CBinOp::Sub => Some(ca - cb),
-                crate::ast::CBinOp::Mul => {
-                    // affine only if one side is var-free
-                    if ca == 0 && cb == 0 {
-                        Some(0)
-                    } else if ca == 0 {
-                        const_value(a).map(|k| k * cb)
-                    } else if cb == 0 {
-                        const_value(b).map(|k| k * ca)
-                    } else {
-                        None
-                    }
-                }
-                _ => None,
-            }
-        }
-        Expr::Cast(_, _, a) => linear_coeff(a, var),
-        _ => None,
-    }
-}
-
-/// Constant value of a var-free expression, when trivially foldable.
-fn const_value(e: &Expr) -> Option<i64> {
-    match e {
-        Expr::ConstI(v) => Some(*v),
-        Expr::Bin(op, _, a, b) => {
-            let x = const_value(a)?;
-            let y = const_value(b)?;
-            match op {
-                crate::ast::CBinOp::Add => Some(x + y),
-                crate::ast::CBinOp::Sub => Some(x - y),
-                crate::ast::CBinOp::Mul => Some(x * y),
-                _ => None,
-            }
-        }
-        _ => None,
-    }
-}
-
 fn classify_stride(idx: &Expr, loop_var: &str) -> Stride {
-    match linear_coeff(idx, loop_var) {
+    match crate::dataflow::depend::linear_coeff(idx, loop_var) {
         Some(0) => Stride::Zero,
         Some(1) => Stride::Unit,
         Some(k) => Stride::Affine(k),
@@ -508,312 +493,15 @@ fn classify_stride(idx: &Expr, loop_var: &str) -> Stride {
 }
 
 /// Detects a loop-carried dependence in this loop body (excluding nested
-/// loops, which carry their own).
+/// loops, which carry their own). Delegates to the dependence engine in
+/// [`crate::dataflow::depend`], which owns the single source of truth for
+/// recurrence verdicts.
 fn detect_carried(
     stmts: &[Stmt],
     loop_var: &str,
     outer_decls: &HashSet<String>,
 ) -> Option<CarriedDep> {
-    // Variables declared in this body are private per iteration.
-    let mut private = HashSet::new();
-    for s in stmts {
-        if let Stmt::Decl { name, .. } | Stmt::DeclArr { name, .. } = s {
-            private.insert(name.clone());
-        }
-    }
-    let mut best: Option<CarriedDep> = None;
-    scan_carried(stmts, loop_var, &private, outer_decls, &mut best);
-    // Second pass: multi-statement recurrences flowing through scalar
-    // temporaries (e.g. `h = f(cur[j]); cur[j+1] = h` in a DP wavefront).
-    scan_carried_transitive(stmts, loop_var, &mut best);
-    best
-}
-
-/// Per-scalar dataflow info accumulated while walking a loop body.
-#[derive(Debug, Clone, Default)]
-struct ScalarFlow {
-    /// Array reads feeding this value: `(array, index expression)`.
-    array_reads: Vec<(String, Expr)>,
-    /// Operation chain from the deepest feeding read to this value.
-    chain: OpCounts,
-}
-
-/// Detects recurrences whose cycle spans multiple statements by chaining
-/// scalar definitions: an array write whose value transitively depends on
-/// a read of the *same* array at a different (or loop-invariant) index is
-/// loop-carried. Multi-statement cycles are conservatively non-reducible.
-fn scan_carried_transitive(stmts: &[Stmt], loop_var: &str, best: &mut Option<CarriedDep>) {
-    use std::collections::HashMap;
-    let mut flows: HashMap<String, ScalarFlow> = HashMap::new();
-    fn expr_flow(e: &Expr, flows: &std::collections::HashMap<String, ScalarFlow>) -> ScalarFlow {
-        let mut out = ScalarFlow::default();
-        let mut ops = OpCounts::new();
-        let mut dummy = Vec::new();
-        count_expr(e, "", &mut ops, &mut dummy);
-        out.chain = ops;
-        fn walk(
-            e: &Expr,
-            out: &mut ScalarFlow,
-            flows: &std::collections::HashMap<String, ScalarFlow>,
-        ) {
-            match e {
-                Expr::Var(n) => {
-                    if let Some(f) = flows.get(n) {
-                        out.array_reads.extend(f.array_reads.iter().cloned());
-                        out.chain += f.chain;
-                    }
-                }
-                Expr::Index(n, idx) => {
-                    out.array_reads.push((n.clone(), idx.as_ref().clone()));
-                    walk(idx, out, flows);
-                }
-                Expr::Bin(_, _, a, b) => {
-                    walk(a, out, flows);
-                    walk(b, out, flows);
-                }
-                Expr::Neg(_, a) | Expr::Cast(_, _, a) => walk(a, out, flows),
-                Expr::Call(_, _, args) => {
-                    for a in args {
-                        walk(a, out, flows);
-                    }
-                }
-                Expr::Select(c, a, b) => {
-                    walk(c, out, flows);
-                    walk(a, out, flows);
-                    walk(b, out, flows);
-                }
-                Expr::ConstI(_) | Expr::ConstF(_) => {}
-            }
-        }
-        walk(e, &mut out, flows);
-        out
-    }
-    fn visit(
-        stmts: &[Stmt],
-        loop_var: &str,
-        flows: &mut std::collections::HashMap<String, ScalarFlow>,
-        best: &mut Option<CarriedDep>,
-    ) {
-        for s in stmts {
-            match s {
-                Stmt::Assign {
-                    lhs: LValue::Var(v),
-                    rhs,
-                } => {
-                    let f = expr_flow(rhs, flows);
-                    flows.insert(v.clone(), f);
-                }
-                Stmt::Assign {
-                    lhs: LValue::Index(arr, widx),
-                    rhs,
-                } => {
-                    let f = expr_flow(rhs, flows);
-                    for (rarr, ridx) in &f.array_reads {
-                        if rarr != arr {
-                            continue;
-                        }
-                        let carried = if ridx == widx.as_ref() {
-                            // Same element: carried only when the index is
-                            // loop-invariant (the cell is reused every
-                            // iteration).
-                            matches!(linear_coeff(ridx, loop_var), Some(0) | None)
-                        } else {
-                            true
-                        };
-                        if carried {
-                            let mut chain = f.chain;
-                            chain.mem_read += 1;
-                            let cand = CarriedDep {
-                                via: arr.clone(),
-                                chain,
-                                reducible: false,
-                            };
-                            // The single-statement pass already analyzed
-                            // a recurrence through this carrier precisely
-                            // (including reducibility) — don't override it.
-                            let better = match best {
-                                None => true,
-                                Some(b) if b.via == cand.via => false,
-                                Some(b) => chain_weight(&cand.chain) > chain_weight(&b.chain),
-                            };
-                            if better {
-                                *best = Some(cand);
-                            }
-                        }
-                    }
-                }
-                Stmt::Decl {
-                    name,
-                    init: Some(e),
-                    ..
-                } => {
-                    let f = expr_flow(e, flows);
-                    flows.insert(name.clone(), f);
-                }
-                Stmt::If { then, els, .. } => {
-                    visit(then, loop_var, flows, best);
-                    visit(els, loop_var, flows, best);
-                }
-                _ => {}
-            }
-        }
-    }
-    visit(stmts, loop_var, &mut flows, best);
-}
-
-fn scan_carried(
-    stmts: &[Stmt],
-    loop_var: &str,
-    private: &HashSet<String>,
-    _outer: &HashSet<String>,
-    best: &mut Option<CarriedDep>,
-) {
-    for s in stmts {
-        match s {
-            Stmt::Assign { lhs, rhs } => {
-                let cand =
-                    match lhs {
-                        LValue::Var(n) if !private.contains(n) => carried_through_scalar(n, rhs)
-                            .map(|(chain, reducible)| CarriedDep {
-                                via: n.clone(),
-                                chain,
-                                reducible,
-                            }),
-                        LValue::Index(n, widx) => carried_through_array(n, widx, rhs, loop_var)
-                            .map(|(chain, reducible)| CarriedDep {
-                                via: n.clone(),
-                                chain,
-                                reducible,
-                            }),
-                        _ => None,
-                    };
-                if let Some(c) = cand {
-                    let better = match best {
-                        None => true,
-                        Some(b) => chain_weight(&c.chain) > chain_weight(&b.chain),
-                    };
-                    if better {
-                        *best = Some(c);
-                    }
-                }
-            }
-            Stmt::If { then, els, .. } => {
-                scan_carried(then, loop_var, private, _outer, best);
-                scan_carried(els, loop_var, private, _outer, best);
-            }
-            _ => {}
-        }
-    }
-}
-
-fn chain_weight(c: &OpCounts) -> u32 {
-    c.total_arith() + c.total_mem()
-}
-
-/// If `rhs` reads scalar `name`, return the op chain from that read to the
-/// root and whether the cycle is a pure associative accumulation.
-fn carried_through_scalar(name: &str, rhs: &Expr) -> Option<(OpCounts, bool)> {
-    let chain = path_ops(rhs, &|e| matches!(e, Expr::Var(n) if n == name))?;
-    let reducible = is_assoc_accum(rhs, &|e| matches!(e, Expr::Var(n) if n == name));
-    Some((chain, reducible))
-}
-
-/// If `rhs` reads `name[...]` at an index offset from the written index
-/// along `loop_var` (or at the same index — accumulation), the loop carries
-/// a dependence through the array.
-fn carried_through_array(
-    name: &str,
-    widx: &Expr,
-    rhs: &Expr,
-    loop_var: &str,
-) -> Option<(OpCounts, bool)> {
-    let w_coeff = linear_coeff(widx, loop_var);
-    let matcher = |e: &Expr| -> bool {
-        if let Expr::Index(n, ridx) = e {
-            if n == name {
-                match (w_coeff, linear_coeff(ridx, loop_var)) {
-                    // Same stride in the loop var: same element is touched
-                    // either this iteration (offset) or every iteration
-                    // (coeff 0) — a genuine carried dependence unless the
-                    // constant offsets provably differ with equal coeffs
-                    // (forward-only). We stay conservative: any read of the
-                    // written array with matching coefficient counts.
-                    (Some(a), Some(b)) => a == b || a == 0 || b == 0,
-                    _ => true, // irregular: assume carried
-                }
-            } else {
-                false
-            }
-        } else {
-            false
-        }
-    };
-    let chain = path_ops(rhs, &matcher)?;
-    let reducible = is_assoc_accum(rhs, &matcher);
-    Some((chain, reducible))
-}
-
-/// Ops on the path from a leaf matching `is_carrier` to the root of `e`
-/// (the recurrence cycle), or `None` if no leaf matches.
-fn path_ops(e: &Expr, is_carrier: &dyn Fn(&Expr) -> bool) -> Option<OpCounts> {
-    if is_carrier(e) {
-        return Some(OpCounts::new());
-    }
-    match e {
-        Expr::ConstI(_) | Expr::ConstF(_) | Expr::Var(_) => None,
-        Expr::Index(_, idx) => {
-            let mut c = path_ops(idx, is_carrier)?;
-            c.mem_read += 1;
-            Some(c)
-        }
-        Expr::Bin(op, kind, a, b) => {
-            let hit = path_ops(a, is_carrier).or_else(|| path_ops(b, is_carrier))?;
-            let mut c = hit;
-            c.record_bin(*op, *kind);
-            Some(c)
-        }
-        Expr::Neg(kind, a) => {
-            let mut c = path_ops(a, is_carrier)?;
-            if kind.is_float() {
-                c.fadd += 1;
-            } else {
-                c.int_alu += 1;
-            }
-            Some(c)
-        }
-        Expr::Call(f, kind, args) => {
-            let hit = args.iter().find_map(|a| path_ops(a, is_carrier))?;
-            let mut c = hit;
-            c.record_call(*f, *kind);
-            Some(c)
-        }
-        Expr::Cast(_, _, a) => path_ops(a, is_carrier),
-        Expr::Select(cnd, a, b) => {
-            let hit = path_ops(cnd, is_carrier)
-                .or_else(|| path_ops(a, is_carrier))
-                .or_else(|| path_ops(b, is_carrier))?;
-            let mut c = hit;
-            c.int_alu += 1;
-            Some(c)
-        }
-    }
-}
-
-/// True if `e` is `carrier + f(...)` / `f(...) + carrier` (or `min`/`max`
-/// of the carrier) — the associative patterns tree reduction can rewrite.
-fn is_assoc_accum(e: &Expr, is_carrier: &dyn Fn(&Expr) -> bool) -> bool {
-    match e {
-        Expr::Bin(crate::ast::CBinOp::Add, _, a, b) => {
-            (is_carrier(a) && path_ops(b, is_carrier).is_none())
-                || (is_carrier(b) && path_ops(a, is_carrier).is_none())
-        }
-        Expr::Call(crate::ast::CIntrinsic::Min | crate::ast::CIntrinsic::Max, _, args) => {
-            args.len() == 2
-                && ((is_carrier(&args[0]) && path_ops(&args[1], is_carrier).is_none())
-                    || (is_carrier(&args[1]) && path_ops(&args[0], is_carrier).is_none()))
-        }
-        _ => false,
-    }
+    crate::dataflow::depend::conservative_carried(stmts, loop_var, outer_decls)
 }
 
 #[cfg(test)]

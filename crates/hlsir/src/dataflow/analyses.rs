@@ -1,0 +1,570 @@
+//! Concrete dataflow analyses: reaching definitions, liveness, and
+//! def-use/use-def chains.
+//!
+//! All three answer per-statement queries by replaying the fixpoint
+//! block sets through the statements of each block once, so queries are
+//! O(1) lookups after construction.
+
+use super::cfg::{BlockId, Cfg, StmtId, VarId};
+use super::solver::{solve, BitSet, DataflowProblem, Direction};
+use std::collections::HashMap;
+
+/// One definition site in the reaching-definitions universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefSite {
+    /// The defined variable.
+    pub var: VarId,
+    /// The defining statement; `None` for the synthetic entry definition
+    /// of a parameter or interface buffer.
+    pub stmt: Option<StmtId>,
+    /// True when the definition carries no value (uninitialized
+    /// declaration): a read reached *only* by such sites reads garbage.
+    pub uninit: bool,
+    /// True when the definition may not overwrite (whole-array write):
+    /// it generates without killing.
+    pub may: bool,
+}
+
+/// Reaching definitions: which def sites can reach each statement.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    /// The def-site universe.
+    pub sites: Vec<DefSite>,
+    /// Per-statement set of sites reaching the program point just before
+    /// the statement executes (indexed by [`StmtId`]).
+    pub before: Vec<BitSet>,
+    sites_of_var: HashMap<VarId, Vec<usize>>,
+    sites_of_stmt: HashMap<StmtId, Vec<usize>>,
+}
+
+struct ReachingProblem<'a> {
+    cfg: &'a Cfg,
+    sites: &'a [DefSite],
+    sites_of_var: &'a HashMap<VarId, Vec<usize>>,
+    sites_of_stmt: &'a HashMap<StmtId, Vec<usize>>,
+    entry_sites: Vec<usize>,
+}
+
+impl ReachingProblem<'_> {
+    fn apply_stmt(&self, set: &mut BitSet, sid: StmtId) {
+        let info = self.cfg.stmt(sid);
+        for v in &info.defs {
+            // Must-def: kill every other site of the variable.
+            if let Some(all) = self.sites_of_var.get(v) {
+                for &s in all {
+                    set.unset(s);
+                }
+            }
+        }
+        if let Some(own) = self.sites_of_stmt.get(&sid) {
+            for &s in own {
+                set.set(s);
+            }
+        }
+    }
+}
+
+impl DataflowProblem for ReachingProblem<'_> {
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+    fn bits(&self) -> usize {
+        self.sites.len()
+    }
+    fn boundary(&self, set: &mut BitSet) {
+        for &s in &self.entry_sites {
+            set.set(s);
+        }
+    }
+    fn transfer(&self, cfg: &Cfg, block: BlockId, input: &BitSet, out: &mut BitSet) {
+        out.clear();
+        out.union_with(input);
+        for &sid in &cfg.blocks[block.0 as usize].stmts {
+            self.apply_stmt(out, sid);
+        }
+    }
+}
+
+impl ReachingDefs {
+    /// Runs the analysis over a CFG.
+    pub fn compute(cfg: &Cfg) -> ReachingDefs {
+        let mut sites: Vec<DefSite> = Vec::new();
+        let mut sites_of_var: HashMap<VarId, Vec<usize>> = HashMap::new();
+        let mut sites_of_stmt: HashMap<StmtId, Vec<usize>> = HashMap::new();
+        let mut entry_sites = Vec::new();
+        for &v in &cfg.entry_defs {
+            let idx = sites.len();
+            sites.push(DefSite {
+                var: v,
+                stmt: None,
+                uninit: false,
+                may: false,
+            });
+            sites_of_var.entry(v).or_default().push(idx);
+            entry_sites.push(idx);
+        }
+        for (i, info) in cfg.stmts.iter().enumerate() {
+            let sid = StmtId(i as u32);
+            for &v in &info.defs {
+                let idx = sites.len();
+                sites.push(DefSite {
+                    var: v,
+                    stmt: Some(sid),
+                    uninit: info.uninit,
+                    may: false,
+                });
+                sites_of_var.entry(v).or_default().push(idx);
+                sites_of_stmt.entry(sid).or_default().push(idx);
+            }
+            for &v in &info.may_defs {
+                let idx = sites.len();
+                sites.push(DefSite {
+                    var: v,
+                    stmt: Some(sid),
+                    uninit: info.uninit,
+                    may: true,
+                });
+                sites_of_var.entry(v).or_default().push(idx);
+                sites_of_stmt.entry(sid).or_default().push(idx);
+            }
+        }
+
+        let problem = ReachingProblem {
+            cfg,
+            sites: &sites,
+            sites_of_var: &sites_of_var,
+            sites_of_stmt: &sites_of_stmt,
+            entry_sites,
+        };
+        let sol = solve(cfg, &problem);
+
+        // Replay each block once to get the set before every statement.
+        // Note: a must-def statement's *own* kill+gen is applied after its
+        // uses are evaluated, so `before` is the right set for its reads.
+        let mut before: Vec<BitSet> = (0..cfg.stmt_count())
+            .map(|_| BitSet::new(sites.len()))
+            .collect();
+        for (bi, block) in cfg.blocks.iter().enumerate() {
+            let mut cur = sol.input[bi].clone();
+            for &sid in &block.stmts {
+                before[sid.0 as usize].union_with(&cur);
+                problem.apply_stmt(&mut cur, sid);
+            }
+        }
+
+        ReachingDefs {
+            sites,
+            before,
+            sites_of_var,
+            sites_of_stmt,
+        }
+    }
+
+    /// The def sites of `var` reaching the point just before `stmt`.
+    pub fn reaching(&self, stmt: StmtId, var: VarId) -> Vec<&DefSite> {
+        let set = &self.before[stmt.0 as usize];
+        self.sites_of_var
+            .get(&var)
+            .map(|all| {
+                all.iter()
+                    .filter(|&&s| set.get(s))
+                    .map(|&s| &self.sites[s])
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Indices (into [`ReachingDefs::sites`]) of `var`'s sites reaching
+    /// just before `stmt`.
+    pub fn reaching_indices(&self, stmt: StmtId, var: VarId) -> Vec<usize> {
+        let set = &self.before[stmt.0 as usize];
+        self.sites_of_var
+            .get(&var)
+            .map(|all| all.iter().filter(|&&s| set.get(s)).copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The def-site indices generated by `stmt`.
+    pub fn sites_of_stmt(&self, stmt: StmtId) -> &[usize] {
+        self.sites_of_stmt
+            .get(&stmt)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// Liveness: which variables are live after each statement.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Per-statement set of variables live just *after* the statement
+    /// executes (indexed by [`StmtId`]).
+    pub after: Vec<BitSet>,
+}
+
+fn live_apply(cfg: &Cfg, set: &mut BitSet, sid: StmtId) {
+    let info = cfg.stmt(sid);
+    for v in &info.defs {
+        set.unset(v.0 as usize);
+    }
+    // May-defs do not kill.
+    for v in &info.uses {
+        set.set(v.0 as usize);
+    }
+}
+
+struct LivenessSized<'a> {
+    cfg: &'a Cfg,
+}
+
+impl DataflowProblem for LivenessSized<'_> {
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+    fn bits(&self) -> usize {
+        self.cfg.vars.len()
+    }
+    fn boundary(&self, set: &mut BitSet) {
+        for v in &self.cfg.exit_live {
+            set.set(v.0 as usize);
+        }
+    }
+    fn transfer(&self, cfg: &Cfg, block: BlockId, input: &BitSet, out: &mut BitSet) {
+        out.clear();
+        out.union_with(input);
+        for &sid in cfg.blocks[block.0 as usize].stmts.iter().rev() {
+            live_apply(cfg, out, sid);
+        }
+    }
+}
+
+impl Liveness {
+    /// Runs the analysis over a CFG.
+    pub fn compute(cfg: &Cfg) -> Liveness {
+        let problem = LivenessSized { cfg };
+        let sol = solve(cfg, &problem);
+        let mut after: Vec<BitSet> = (0..cfg.stmt_count())
+            .map(|_| BitSet::new(cfg.vars.len()))
+            .collect();
+        for (bi, block) in cfg.blocks.iter().enumerate() {
+            // For a backward problem, the block's input set is the set at
+            // the point control *leaves* the block.
+            let mut cur = sol.input[bi].clone();
+            for &sid in block.stmts.iter().rev() {
+                after[sid.0 as usize].union_with(&cur);
+                live_apply(cfg, &mut cur, sid);
+            }
+        }
+        Liveness { after }
+    }
+
+    /// True when `var` is live just after `stmt`.
+    pub fn live_after(&self, stmt: StmtId, var: VarId) -> bool {
+        self.after[stmt.0 as usize].get(var.0 as usize)
+    }
+}
+
+/// Def-use and use-def chains derived from reaching definitions.
+#[derive(Debug, Clone)]
+pub struct DefUse {
+    /// For each def site (indexed like [`ReachingDefs::sites`]), the
+    /// statements that may read its value.
+    pub uses_of_site: Vec<Vec<StmtId>>,
+    /// For each (reading statement, variable), the def-site indices that
+    /// may supply the value.
+    pub sites_for_use: HashMap<(StmtId, VarId), Vec<usize>>,
+}
+
+impl DefUse {
+    /// Builds the chains from a completed reaching-defs analysis.
+    pub fn compute(cfg: &Cfg, rd: &ReachingDefs) -> DefUse {
+        let mut uses_of_site: Vec<Vec<StmtId>> = vec![Vec::new(); rd.sites.len()];
+        let mut sites_for_use: HashMap<(StmtId, VarId), Vec<usize>> = HashMap::new();
+        for (i, info) in cfg.stmts.iter().enumerate() {
+            let sid = StmtId(i as u32);
+            let mut seen: Vec<VarId> = Vec::new();
+            for &v in &info.uses {
+                if seen.contains(&v) {
+                    continue;
+                }
+                seen.push(v);
+                let sites = rd.reaching_indices(sid, v);
+                for &s in &sites {
+                    if !uses_of_site[s].contains(&sid) {
+                        uses_of_site[s].push(sid);
+                    }
+                }
+                sites_for_use.insert((sid, v), sites);
+            }
+        }
+        DefUse {
+            uses_of_site,
+            sites_for_use,
+        }
+    }
+
+    /// The def-site indices that may supply `var` at `stmt`.
+    pub fn defs_of_use(&self, stmt: StmtId, var: VarId) -> &[usize] {
+        self.sites_for_use
+            .get(&(stmt, var))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    fn lower(body: Vec<Stmt>, params: Vec<Param>) -> Cfg {
+        Cfg::build(&CFunction {
+            name: "k".into(),
+            params,
+            body,
+        })
+    }
+
+    fn scalar_param(name: &str) -> Param {
+        Param {
+            name: name.into(),
+            ty: CType::Float,
+            kind: ParamKind::ScalarIn,
+            elems_per_task: None,
+            broadcast: false,
+        }
+    }
+
+    fn out_param(name: &str) -> Param {
+        Param {
+            name: name.into(),
+            ty: CType::Float,
+            kind: ParamKind::BufOut,
+            elems_per_task: Some(1),
+            broadcast: false,
+        }
+    }
+
+    #[test]
+    fn uninit_decl_reaches_until_killed() {
+        // s0: float x;  s1: x = 1.0;  s2: y = x
+        let cfg = lower(
+            vec![
+                Stmt::Decl {
+                    name: "x".into(),
+                    ty: CType::Float,
+                    init: None,
+                },
+                Stmt::Assign {
+                    lhs: LValue::Var("x".into()),
+                    rhs: Expr::ConstF(1.0),
+                },
+                Stmt::Decl {
+                    name: "y".into(),
+                    ty: CType::Float,
+                    init: Some(Expr::var("x")),
+                },
+            ],
+            vec![],
+        );
+        let rd = ReachingDefs::compute(&cfg);
+        let x = cfg.vars.scalar("x").unwrap();
+        // Before s1 the only def is the uninit decl.
+        let at_s1 = rd.reaching(StmtId(1), x);
+        assert_eq!(at_s1.len(), 1);
+        assert!(at_s1[0].uninit);
+        // Before s2 only the assignment reaches (the decl was killed).
+        let at_s2 = rd.reaching(StmtId(2), x);
+        assert_eq!(at_s2.len(), 1);
+        assert!(!at_s2[0].uninit);
+        assert_eq!(at_s2[0].stmt, Some(StmtId(1)));
+    }
+
+    #[test]
+    fn branch_defs_merge() {
+        // s0: float x; s1: if (c) { s2: x = 1 } else {} ; s3: y = x
+        let cfg = lower(
+            vec![
+                Stmt::Decl {
+                    name: "x".into(),
+                    ty: CType::Float,
+                    init: None,
+                },
+                Stmt::If {
+                    cond: Expr::var("c"),
+                    then: vec![Stmt::Assign {
+                        lhs: LValue::Var("x".into()),
+                        rhs: Expr::ConstF(1.0),
+                    }],
+                    els: vec![],
+                },
+                Stmt::Decl {
+                    name: "y".into(),
+                    ty: CType::Float,
+                    init: Some(Expr::var("x")),
+                },
+            ],
+            vec![scalar_param("c")],
+        );
+        let rd = ReachingDefs::compute(&cfg);
+        let x = cfg.vars.scalar("x").unwrap();
+        // Both the uninit decl (via the else edge) and the then-arm
+        // assignment reach the read.
+        let at_use = rd.reaching(StmtId(3), x);
+        assert_eq!(at_use.len(), 2);
+        assert!(at_use.iter().any(|d| d.uninit));
+        assert!(at_use.iter().any(|d| !d.uninit));
+    }
+
+    #[test]
+    fn loop_body_decl_privatizes() {
+        // for i { float s = 0; s = s + 1; } — the decl kills the
+        // back-edge def, so the read of s sees only this iteration's defs.
+        let cfg = lower(
+            vec![Stmt::counted_for(
+                LoopId(0),
+                "i",
+                4,
+                vec![
+                    Stmt::Decl {
+                        name: "s".into(),
+                        ty: CType::Float,
+                        init: Some(Expr::ConstF(0.0)),
+                    },
+                    Stmt::Assign {
+                        lhs: LValue::Var("s".into()),
+                        rhs: Expr::bin(
+                            CBinOp::Add,
+                            CNumKind::F32,
+                            Expr::var("s"),
+                            Expr::ConstF(1.0),
+                        ),
+                    },
+                ],
+            )],
+            vec![],
+        );
+        let rd = ReachingDefs::compute(&cfg);
+        let s = cfg.vars.scalar("s").unwrap();
+        // s0 = header, s1 = decl, s2 = assign. At the read in s2 only the
+        // decl (s1) reaches — the back-edge def (s2 itself) was killed.
+        let at_use = rd.reaching(StmtId(2), s);
+        assert_eq!(at_use.len(), 1);
+        assert_eq!(at_use[0].stmt, Some(StmtId(1)));
+    }
+
+    #[test]
+    fn carried_scalar_def_reaches_via_back_edge() {
+        // float s = 0; for i { s = s + 1; } — at the read of s inside the
+        // body, both the init and the previous iteration's def reach.
+        let cfg = lower(
+            vec![
+                Stmt::Decl {
+                    name: "s".into(),
+                    ty: CType::Float,
+                    init: Some(Expr::ConstF(0.0)),
+                },
+                Stmt::counted_for(
+                    LoopId(0),
+                    "i",
+                    4,
+                    vec![Stmt::Assign {
+                        lhs: LValue::Var("s".into()),
+                        rhs: Expr::bin(
+                            CBinOp::Add,
+                            CNumKind::F32,
+                            Expr::var("s"),
+                            Expr::ConstF(1.0),
+                        ),
+                    }],
+                ),
+            ],
+            vec![],
+        );
+        let rd = ReachingDefs::compute(&cfg);
+        let s = cfg.vars.scalar("s").unwrap();
+        // s0 = decl, s1 = header, s2 = assign.
+        let at_use = rd.reaching(StmtId(2), s);
+        let stmts: Vec<_> = at_use.iter().map(|d| d.stmt).collect();
+        assert!(stmts.contains(&Some(StmtId(0))));
+        assert!(stmts.contains(&Some(StmtId(2)))); // via the back edge
+    }
+
+    #[test]
+    fn liveness_kills_dead_stores() {
+        // s0: float t = 1; s1: t = 2; s2: out[0] = t — the first store is
+        // dead, the second is live.
+        let cfg = lower(
+            vec![
+                Stmt::Decl {
+                    name: "t".into(),
+                    ty: CType::Float,
+                    init: Some(Expr::ConstF(1.0)),
+                },
+                Stmt::Assign {
+                    lhs: LValue::Var("t".into()),
+                    rhs: Expr::ConstF(2.0),
+                },
+                Stmt::Assign {
+                    lhs: LValue::Index("out".into(), Box::new(Expr::ConstI(0))),
+                    rhs: Expr::var("t"),
+                },
+            ],
+            vec![out_param("out")],
+        );
+        let lv = Liveness::compute(&cfg);
+        let t = cfg.vars.scalar("t").unwrap();
+        assert!(!lv.live_after(StmtId(0), t));
+        assert!(lv.live_after(StmtId(1), t));
+        // The output buffer is live at exit.
+        let out = cfg.vars.scalar("out[*]").expect("whole-array var interned");
+        assert!(lv.live_after(StmtId(2), out));
+    }
+
+    #[test]
+    fn def_use_chains_link_across_loop() {
+        // float s = 0; for i { s = s + 1 } ; out[0] = s
+        let cfg = lower(
+            vec![
+                Stmt::Decl {
+                    name: "s".into(),
+                    ty: CType::Float,
+                    init: Some(Expr::ConstF(0.0)),
+                },
+                Stmt::counted_for(
+                    LoopId(0),
+                    "i",
+                    4,
+                    vec![Stmt::Assign {
+                        lhs: LValue::Var("s".into()),
+                        rhs: Expr::bin(
+                            CBinOp::Add,
+                            CNumKind::F32,
+                            Expr::var("s"),
+                            Expr::ConstF(1.0),
+                        ),
+                    }],
+                ),
+                Stmt::Assign {
+                    lhs: LValue::Index("out".into(), Box::new(Expr::ConstI(0))),
+                    rhs: Expr::var("s"),
+                },
+            ],
+            vec![out_param("out")],
+        );
+        let rd = ReachingDefs::compute(&cfg);
+        let du = DefUse::compute(&cfg, &rd);
+        let s = cfg.vars.scalar("s").unwrap();
+        // The loop-body def (s2) feeds both the in-loop read and the
+        // final store (s3).
+        let site_s2 = rd
+            .sites
+            .iter()
+            .position(|d| d.stmt == Some(StmtId(2)))
+            .unwrap();
+        assert!(du.uses_of_site[site_s2].contains(&StmtId(2)));
+        assert!(du.uses_of_site[site_s2].contains(&StmtId(3)));
+        // The final store's read of s may come from the init or the loop.
+        let defs = du.defs_of_use(StmtId(3), s);
+        assert_eq!(defs.len(), 2);
+    }
+}

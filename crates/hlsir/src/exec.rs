@@ -7,9 +7,9 @@
 //! bytecode-to-C compiler. It also stands in for RTL co-simulation when the
 //! Blaze runtime "offloads" a task batch.
 
-use crate::ast::{CBinOp, CFunction, CIntrinsic, CNumKind, Expr, LValue, ParamKind, Stmt};
+use crate::ast::{CBinOp, CFunction, CIntrinsic, CNumKind, Expr, LValue, LoopId, ParamKind, Stmt};
 use crate::HlsirError;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A scalar value in the executor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,11 +36,24 @@ impl CVal {
     }
 }
 
+/// Observations collected by [`Executor::run_observed`]: the dynamic
+/// ground truth the static E3xx lint rules are validated against.
+#[derive(Debug, Clone, Default)]
+pub struct Observed {
+    /// Reads of never-written storage: `(name, Some(element))` for local
+    /// array elements, `(name, None)` for scalars declared without an
+    /// initializer. Execution continues with the zero default (matching
+    /// the untracked semantics), so a run both observes the hazard and
+    /// produces comparable outputs.
+    pub uninit_reads: BTreeSet<(String, Option<i64>)>,
+}
+
 /// Executes [`CFunction`] bodies over caller-provided buffers.
 #[derive(Debug)]
 pub struct Executor<'f> {
     f: &'f CFunction,
     fuel: u64,
+    orders: BTreeMap<LoopId, Vec<i64>>,
 }
 
 /// Default statement budget for one [`Executor::run`].
@@ -52,12 +65,22 @@ impl<'f> Executor<'f> {
         Executor {
             f,
             fuel: DEFAULT_FUEL,
+            orders: BTreeMap::new(),
         }
     }
 
     /// Replaces the statement budget.
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = fuel;
+        self
+    }
+
+    /// Overrides the iteration order of one loop: instead of `0..bound`
+    /// the loop visits exactly the given induction values, in order. Used
+    /// by the interleaving oracle — a loop the race detector clears must
+    /// produce identical outputs under every permutation of `0..bound`.
+    pub fn with_iteration_order(mut self, id: LoopId, order: Vec<i64>) -> Self {
+        self.orders.insert(id, order);
         self
     }
 
@@ -101,21 +124,72 @@ impl<'f> Executor<'f> {
             arrays: BTreeMap::new(),
             buffers,
             fuel: self.fuel,
+            orders: &self.orders,
+            track: None,
         };
         env.stmts(&self.f.body)
     }
+
+    /// Runs the kernel like [`run`](Self::run) while tracking which reads
+    /// hit never-initialized storage.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`run`](Self::run).
+    pub fn run_observed(
+        &self,
+        scalars: &BTreeMap<String, CVal>,
+        buffers: &mut BTreeMap<String, Vec<CVal>>,
+    ) -> Result<Observed, HlsirError> {
+        for p in &self.f.params {
+            let bound = match p.kind {
+                ParamKind::ScalarIn => scalars.contains_key(&p.name),
+                _ => buffers.contains_key(&p.name),
+            };
+            if !bound {
+                return Err(HlsirError::Exec(format!("missing binding `{}`", p.name)));
+            }
+        }
+        let mut env = Env {
+            scalars: scalars.clone(),
+            arrays: BTreeMap::new(),
+            buffers,
+            fuel: self.fuel,
+            orders: &self.orders,
+            track: Some(Track::default()),
+        };
+        env.stmts(&self.f.body)?;
+        Ok(Observed {
+            uninit_reads: env.track.take().unwrap_or_default().reads,
+        })
+    }
 }
 
-struct Env<'b> {
+/// Initialization state threaded through an observed run.
+#[derive(Debug, Default)]
+struct Track {
+    /// Scalars currently holding only their zero default.
+    uninit_scalars: BTreeSet<String>,
+    /// Per-element freshness of local arrays (true = never written).
+    array_uninit: BTreeMap<String, Vec<bool>>,
+    /// Accumulated uninitialized reads.
+    reads: BTreeSet<(String, Option<i64>)>,
+}
+
+struct Env<'b, 'o> {
     scalars: BTreeMap<String, CVal>,
     /// Kernel-local arrays.
     arrays: BTreeMap<String, Vec<CVal>>,
     /// Interface buffers (owned by the caller).
     buffers: &'b mut BTreeMap<String, Vec<CVal>>,
     fuel: u64,
+    /// Per-loop iteration-order overrides.
+    orders: &'o BTreeMap<LoopId, Vec<i64>>,
+    /// Initialization tracking (observed runs only).
+    track: Option<Track>,
 }
 
-impl Env<'_> {
+impl Env<'_, '_> {
     fn burn(&mut self) -> Result<(), HlsirError> {
         if self.fuel == 0 {
             return Err(HlsirError::Exec("statement budget exhausted".into()));
@@ -141,6 +215,10 @@ impl Env<'_> {
                     CVal::I(0)
                 };
                 self.arrays.insert(name.clone(), vec![zero; *len as usize]);
+                if let Some(t) = &mut self.track {
+                    t.array_uninit
+                        .insert(name.clone(), vec![true; *len as usize]);
+                }
             }
             Stmt::Decl { name, ty, init } => {
                 let v = match init {
@@ -153,16 +231,33 @@ impl Env<'_> {
                         }
                     }
                 };
+                if let Some(t) = &mut self.track {
+                    if init.is_none() {
+                        t.uninit_scalars.insert(name.clone());
+                    } else {
+                        t.uninit_scalars.remove(name);
+                    }
+                }
                 self.scalars.insert(name.clone(), v);
             }
             Stmt::Assign { lhs, rhs } => {
                 let v = self.eval(rhs)?;
                 match lhs {
                     LValue::Var(n) => {
+                        if let Some(t) = &mut self.track {
+                            t.uninit_scalars.remove(n);
+                        }
                         self.scalars.insert(n.clone(), v);
                     }
                     LValue::Index(n, idx) => {
                         let i = self.eval(idx)?.as_i()?;
+                        if let Some(t) = &mut self.track {
+                            if let Some(fresh) = t.array_uninit.get_mut(n) {
+                                if let Some(slot) = fresh.get_mut(i as usize) {
+                                    *slot = false;
+                                }
+                            }
+                        }
                         let arr = self.array_mut(n)?;
                         let len = arr.len();
                         *arr.get_mut(i as usize).ok_or_else(|| {
@@ -172,12 +267,26 @@ impl Env<'_> {
                 }
             }
             Stmt::For {
-                var, bound, body, ..
+                id,
+                var,
+                bound,
+                body,
+                ..
             } => {
                 let n = self.eval(bound)?.as_i()?;
-                for i in 0..n {
-                    self.scalars.insert(var.clone(), CVal::I(i));
-                    self.stmts(body)?;
+                if let Some(t) = &mut self.track {
+                    t.uninit_scalars.remove(var);
+                }
+                if let Some(order) = self.orders.get(id) {
+                    for &i in order {
+                        self.scalars.insert(var.clone(), CVal::I(i));
+                        self.stmts(body)?;
+                    }
+                } else {
+                    for i in 0..n {
+                        self.scalars.insert(var.clone(), CVal::I(i));
+                        self.stmts(body)?;
+                    }
                 }
             }
             Stmt::If { cond, then, els } => {
@@ -215,12 +324,29 @@ impl Env<'_> {
         Ok(match e {
             Expr::ConstI(v) => CVal::I(*v),
             Expr::ConstF(v) => CVal::F(*v),
-            Expr::Var(n) => *self
-                .scalars
-                .get(n)
-                .ok_or_else(|| HlsirError::Exec(format!("unknown variable `{n}`")))?,
+            Expr::Var(n) => {
+                if let Some(t) = &mut self.track {
+                    if t.uninit_scalars.contains(n) {
+                        t.reads.insert((n.clone(), None));
+                    }
+                }
+                *self
+                    .scalars
+                    .get(n)
+                    .ok_or_else(|| HlsirError::Exec(format!("unknown variable `{n}`")))?
+            }
             Expr::Index(n, idx) => {
                 let i = self.eval(idx)?.as_i()?;
+                if let Some(t) = &mut self.track {
+                    if t.array_uninit
+                        .get(n)
+                        .and_then(|f| f.get(i as usize))
+                        .copied()
+                        .unwrap_or(false)
+                    {
+                        t.reads.insert((n.clone(), Some(i)));
+                    }
+                }
                 let arr = self.array(n)?;
                 *arr.get(i as usize).ok_or_else(|| {
                     HlsirError::Exec(format!("`{n}[{i}]` out of bounds ({})", arr.len()))
@@ -535,6 +661,102 @@ mod tests {
         Executor::new(&f)
             .run(&BTreeMap::new(), &mut env_bufs)
             .unwrap();
+    }
+
+    #[test]
+    fn observed_run_reports_uninit_reads() {
+        // int s; acc[4]; out[0] = s + acc[2] — both reads are fresh.
+        let f = CFunction {
+            name: "u".into(),
+            params: vec![Param {
+                name: "out_1".into(),
+                ty: CType::Float,
+                kind: ParamKind::BufOut,
+                elems_per_task: Some(1),
+                broadcast: false,
+            }],
+            body: vec![
+                Stmt::Decl {
+                    name: "s".into(),
+                    ty: CType::Int(32),
+                    init: None,
+                },
+                Stmt::DeclArr {
+                    name: "acc".into(),
+                    ty: CType::Float,
+                    len: 4,
+                },
+                Stmt::Assign {
+                    lhs: LValue::Index("out_1".into(), Box::new(Expr::ConstI(0))),
+                    rhs: Expr::iadd(Expr::var("s"), Expr::index("acc", Expr::ConstI(2))),
+                },
+            ],
+        };
+        let mut buffers = BTreeMap::new();
+        buffers.insert("out_1".to_string(), vec![CVal::F(0.0)]);
+        let obs = Executor::new(&f)
+            .run_observed(&BTreeMap::new(), &mut buffers)
+            .unwrap();
+        assert!(obs.uninit_reads.contains(&("s".to_string(), None)));
+        assert!(obs.uninit_reads.contains(&("acc".to_string(), Some(2))));
+        assert_eq!(obs.uninit_reads.len(), 2);
+    }
+
+    #[test]
+    fn observed_run_is_clean_after_writes() {
+        // acc[1]; acc[0] = 3; out[0] = acc[0] — no fresh reads.
+        let f = CFunction {
+            name: "c".into(),
+            params: vec![Param {
+                name: "out_1".into(),
+                ty: CType::Float,
+                kind: ParamKind::BufOut,
+                elems_per_task: Some(1),
+                broadcast: false,
+            }],
+            body: vec![
+                Stmt::DeclArr {
+                    name: "acc".into(),
+                    ty: CType::Float,
+                    len: 1,
+                },
+                Stmt::Assign {
+                    lhs: LValue::Index("acc".into(), Box::new(Expr::ConstI(0))),
+                    rhs: Expr::ConstI(3),
+                },
+                Stmt::Assign {
+                    lhs: LValue::Index("out_1".into(), Box::new(Expr::ConstI(0))),
+                    rhs: Expr::index("acc", Expr::ConstI(0)),
+                },
+            ],
+        };
+        let mut buffers = BTreeMap::new();
+        buffers.insert("out_1".to_string(), vec![CVal::F(0.0)]);
+        let obs = Executor::new(&f)
+            .run_observed(&BTreeMap::new(), &mut buffers)
+            .unwrap();
+        assert!(obs.uninit_reads.is_empty());
+    }
+
+    #[test]
+    fn iteration_order_override_permutes_the_loop() {
+        // out[i] = in[i] * 2 visited in reverse order: same result.
+        let f = scale_kernel();
+        let mut fwd = BTreeMap::new();
+        fwd.insert(
+            "in_1".to_string(),
+            vec![CVal::F(1.0), CVal::F(2.5), CVal::F(-3.0)],
+        );
+        fwd.insert("out_1".to_string(), vec![CVal::F(0.0); 3]);
+        let mut rev = fwd.clone();
+        let mut scalars = BTreeMap::new();
+        scalars.insert("n".to_string(), CVal::I(3));
+        Executor::new(&f).run(&scalars, &mut fwd).unwrap();
+        Executor::new(&f)
+            .with_iteration_order(LoopId(0), vec![2, 1, 0])
+            .run(&scalars, &mut rev)
+            .unwrap();
+        assert_eq!(fwd["out_1"], rev["out_1"]);
     }
 
     #[test]

@@ -19,10 +19,15 @@
 //!   and the HLS performance model (`s2fa-hlssim`);
 //! * [`exec`] — a functional executor for the IR, used to prove that the
 //!   generated C is equivalent to the original bytecode (same numeric
-//!   semantics as the `s2fa-sjvm` interpreter).
+//!   semantics as the `s2fa-sjvm` interpreter);
+//! * [`dataflow`] — CFG lowering, a generic fixpoint solver, reaching
+//!   definitions / liveness / def-use chains, and the affine
+//!   array-dependence engine behind the E3xx lint rules and the
+//!   dependence-aware DSE prescreen.
 
 pub mod analysis;
 pub mod ast;
+pub mod dataflow;
 pub mod exec;
 pub mod opcount;
 pub mod printer;
@@ -34,6 +39,7 @@ pub use ast::{
     CBinOp, CFunction, CIntrinsic, CNumKind, CType, Expr, LValue, LoopAttrs, LoopId, Param,
     ParamKind, PipelineMode, Stmt,
 };
+pub use dataflow::{KernelDataflow, LoopDataflow};
 pub use error::HlsirError;
-pub use exec::{CVal, Executor};
+pub use exec::{CVal, Executor, Observed};
 pub use opcount::OpCounts;

@@ -24,7 +24,7 @@ use crate::device::Device;
 use crate::invariants::{BufferBase, KernelInvariants, LoopInvariants, MemPort};
 use crate::resource::ResourceUsage;
 use crate::subtree::{Res, SubFnv, SubtreeCost, SubtreeKey, SubtreeStore};
-use s2fa_hlsir::{KernelSummary, LoopId, LoopInfo, PipelineMode};
+use s2fa_hlsir::{KernelSummary, LoopId, PipelineMode};
 use s2fa_merlin::DesignConfig;
 
 /// Result of evaluating one loop subtree.
@@ -380,7 +380,11 @@ impl<'a> ModelCtx<'a> {
                     self.bump_deep(deep);
                 }
 
-                let rec = rec_mii(li, &d, linv.rec_chain_latency);
+                let rec = rec_mii(
+                    self.summary.effective_carried(id),
+                    &d,
+                    linv.rec_chain_latency,
+                );
                 // Merlin fully partitions local arrays and inserts on-chip
                 // caches for the interface data a flattened body touches,
                 // so memory ports do not bound the II here; the recurrence
@@ -404,7 +408,11 @@ impl<'a> ModelCtx<'a> {
             }
             PipelineMode::On | PipelineMode::Flatten if li.children.is_empty() => {
                 // Fine-grained pipeline of a leaf loop.
-                let rec = rec_mii(li, &d, linv.rec_chain_latency);
+                let rec = rec_mii(
+                    self.summary.effective_carried(id),
+                    &d,
+                    linv.rec_chain_latency,
+                );
                 let mem = self.mem_mii_leaf(linv, u, locality);
                 let ii = rec.max(mem).max(1.0);
                 self.bump_ii(ii);
@@ -522,9 +530,17 @@ impl<'a> ModelCtx<'a> {
 }
 
 /// Recurrence-constrained MII of a loop, with the chain latency supplied
-/// from the precomputed invariants.
-fn rec_mii(li: &LoopInfo, d: &s2fa_merlin::LoopDirective, chain_latency: f64) -> f64 {
-    match &li.carried {
+/// from the precomputed invariants. `dep` is the loop's *effective*
+/// carried dependence ([`KernelSummary::effective_carried`]): the
+/// conservative verdict when present, else the dataflow engine's
+/// transitive verdict when dependence facts are attached — without facts
+/// the behavior is exactly the historical `li.carried` consultation.
+fn rec_mii(
+    dep: Option<&s2fa_hlsir::CarriedDep>,
+    d: &s2fa_merlin::LoopDirective,
+    chain_latency: f64,
+) -> f64 {
+    match dep {
         Some(dep) => {
             if d.tree_reduce && dep.reducible {
                 1.0

@@ -75,6 +75,7 @@ fn summary(inner_tc: u32, fadds: u32, reads: u32) -> KernelSummary {
         ],
         task_loop: LoopId(0),
         tasks_hint: 1024,
+        dataflow: None,
     }
 }
 

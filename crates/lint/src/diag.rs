@@ -150,6 +150,38 @@ pub mod codes {
         severity: Severity::Warning,
         title: "tree reduction without a reducible recurrence",
     };
+
+    /// E301: a read of a local scalar or buffer element whose every
+    /// statically reaching definition is the uninitialized declaration —
+    /// the kernel computes with garbage (well, with the executor's zero
+    /// default; real HLS gives undefined BRAM contents).
+    pub const UNINIT_READ: LintCode = LintCode {
+        code: "S2FA-E301",
+        severity: Severity::Error,
+        title: "read of provably uninitialized storage",
+    };
+    /// E302: an affine (non-constant) index whose value range, computed
+    /// from the enclosing loop bounds, provably exceeds the declared
+    /// length of a local array. Constant indices are E102's domain.
+    pub const AFFINE_OOB: LintCode = LintCode {
+        code: "S2FA-E302",
+        severity: Severity::Error,
+        title: "affine index provably out of bounds",
+    };
+    /// E303: two iterations of a loop provably write the same buffer
+    /// element — replicating or fully parallelizing the loop (what the
+    /// design space does to it) yields a nondeterministic design.
+    pub const REPLICATION_RACE: LintCode = LintCode {
+        code: "S2FA-E303",
+        severity: Severity::Error,
+        title: "cross-iteration write-write race under replication",
+    };
+    /// W310: a definition no later statement can observe (dead store).
+    pub const DEAD_STORE: LintCode = LintCode {
+        code: "S2FA-W310",
+        severity: Severity::Warning,
+        title: "dead store",
+    };
 }
 
 /// Where a diagnostic points: a loop path from the outermost enclosing
@@ -160,6 +192,9 @@ pub struct Span {
     pub loop_path: Vec<LoopId>,
     /// Buffer or variable the finding is about, if any.
     pub subject: Option<String>,
+    /// Pre-order statement index within the kernel body (the same
+    /// numbering `hlsir::dataflow` assigns), rendered as `#7`.
+    pub stmt: Option<u32>,
 }
 
 impl Span {
@@ -172,21 +207,27 @@ impl Span {
     pub fn at_loop(id: LoopId) -> Self {
         Span {
             loop_path: vec![id],
-            subject: None,
+            ..Span::default()
         }
     }
 
     /// A span pointing at a named buffer or variable.
     pub fn subject(name: impl Into<String>) -> Self {
         Span {
-            loop_path: Vec::new(),
             subject: Some(name.into()),
+            ..Span::default()
         }
     }
 
     /// Adds/replaces the subject on any span.
     pub fn with_subject(mut self, name: impl Into<String>) -> Self {
         self.subject = Some(name.into());
+        self
+    }
+
+    /// Adds/replaces the statement index on any span.
+    pub fn with_stmt(mut self, stmt: u32) -> Self {
+        self.stmt = Some(stmt);
         self
     }
 }
@@ -199,6 +240,13 @@ impl fmt::Display for Span {
                 f.write_str(" > ")?;
             }
             write!(f, "{id}")?;
+            wrote = true;
+        }
+        if let Some(i) = self.stmt {
+            if wrote {
+                f.write_str(" ")?;
+            }
+            write!(f, "#{i}")?;
             wrote = true;
         }
         if let Some(s) = &self.subject {
@@ -326,9 +374,17 @@ mod tests {
             Span {
                 loop_path: vec![LoopId(0), LoopId(2)],
                 subject: Some("acc".into()),
+                stmt: None,
             }
             .to_string(),
             "L0 > L2 `acc`"
+        );
+        assert_eq!(
+            Span::at_loop(LoopId(1))
+                .with_stmt(7)
+                .with_subject("a")
+                .to_string(),
+            "L1 #7 `a`"
         );
     }
 

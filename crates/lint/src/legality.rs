@@ -15,29 +15,40 @@
 //!   false positives by construction (property-tested across workloads).
 
 use crate::diag::{codes, Diagnostic, LintReport, Span};
-use s2fa_hlsir::{CFunction, KernelSummary, PipelineMode};
+use s2fa_hlsir::{CFunction, KernelSummary, LoopId, PipelineMode};
 use s2fa_hlssim::{Estimate, Estimator, Feasibility, KernelInvariants, ResourceScreen};
 use s2fa_merlin::{check_factors, DesignConfig, TransformError};
 
-/// Why the pre-screen rejected a point. The two variants mirror the
-/// estimator's only two infeasibility conditions, in check order.
+/// Why the pre-screen rejected a point. The first two variants mirror the
+/// estimator's only two infeasibility conditions, in check order; the
+/// third is a *correctness* verdict from the dependence facts and only
+/// exists when `KernelSummary::dataflow` is attached (the
+/// `--dataflow-prescreen` path).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PruneRule {
     /// `S2FA-E201`: the resource floor exceeds the utilization cap.
     ResourceCap,
     /// `S2FA-E202`: the replication product exceeds the routing bound.
     Unroutable,
+    /// `S2FA-E303`: the point replicates a loop with a proven
+    /// cross-iteration write-write race — the design is nondeterministic.
+    WriteRace,
 }
 
 impl PruneRule {
     /// All rules, in stable reporting order.
-    pub const ALL: [PruneRule; 2] = [PruneRule::ResourceCap, PruneRule::Unroutable];
+    pub const ALL: [PruneRule; 3] = [
+        PruneRule::ResourceCap,
+        PruneRule::Unroutable,
+        PruneRule::WriteRace,
+    ];
 
     /// The lint code this rule reports under.
     pub fn code(self) -> crate::diag::LintCode {
         match self {
             PruneRule::ResourceCap => codes::RESOURCE_CAP,
             PruneRule::Unroutable => codes::UNROUTABLE,
+            PruneRule::WriteRace => codes::REPLICATION_RACE,
         }
     }
 
@@ -46,6 +57,7 @@ impl PruneRule {
         match self {
             PruneRule::ResourceCap => 0,
             PruneRule::Unroutable => 1,
+            PruneRule::WriteRace => 2,
         }
     }
 }
@@ -94,10 +106,25 @@ impl Legality {
     /// infeasible (after normalization, like every evaluation). The rule
     /// order matches the estimator's verdict order: utilization cap first,
     /// routing bound second.
+    ///
+    /// When dependence facts are attached to the summary
+    /// (`KernelSummary::dataflow`, the `--dataflow-prescreen` path), a
+    /// third rule runs first: a point that *replicates* a loop with a
+    /// proven cross-iteration write-write race is pruned as
+    /// nondeterministic (`E303`) even when it would synthesize — the
+    /// estimator prices performance, not correctness. Without attached
+    /// facts the verdict is exactly the estimator's, bit for bit.
     pub fn prescreen(&self, config: &DesignConfig) -> Option<PruneHit> {
         let screen = self
             .estimator
             .resource_screen_with(&self.summary, &self.invariants, config);
+        if let Some((id, reason)) = self.replicated_race(config) {
+            return Some(PruneHit {
+                rule: PruneRule::WriteRace,
+                reason: format!("replicating {id} is nondeterministic: {reason}"),
+                screen,
+            });
+        }
         match screen.feasibility(self.estimator.device()) {
             Feasibility::Feasible => None,
             Feasibility::Infeasible(reason) => {
@@ -119,6 +146,48 @@ impl Legality {
     /// True iff [`prescreen`](Self::prescreen) rejects the point.
     pub fn is_statically_dead(&self, config: &DesignConfig) -> bool {
         self.prescreen(config).is_some()
+    }
+
+    /// `Some((loop, why))` when `config`, after normalization, replicates
+    /// a loop carrying a proven write-write race: a parallel factor above
+    /// one on the racy loop itself, or `flatten` on a strict ancestor
+    /// (which fully unrolls it). Requires attached dependence facts;
+    /// returns `None` otherwise, keeping the default prescreen bit-
+    /// identical to the estimator's verdict.
+    fn replicated_race(&self, config: &DesignConfig) -> Option<(LoopId, String)> {
+        let df = self.summary.dataflow.as_ref()?;
+        let mut norm = config.clone();
+        norm.normalize(&self.summary);
+        for (&id, facts) in &df.loops {
+            let Some(race) = &facts.write_race else {
+                continue;
+            };
+            let replicated =
+                norm.loop_directive(id).parallel_factor() > 1 || self.flattened_ancestor(&norm, id);
+            if replicated {
+                return Some((
+                    id,
+                    format!(
+                        "two iterations provably write the same element of `{}` \
+                         (statements #{} and #{})",
+                        race.array, race.stmt_a, race.stmt_b
+                    ),
+                ));
+            }
+        }
+        None
+    }
+
+    /// True when a strict ancestor of `id` is flattened in `config`.
+    fn flattened_ancestor(&self, config: &DesignConfig, id: LoopId) -> bool {
+        let mut cur = self.summary.loop_info(id).and_then(|l| l.parent);
+        while let Some(p) = cur {
+            if config.loop_directive(p).pipeline == PipelineMode::Flatten {
+                return true;
+            }
+            cur = self.summary.loop_info(p).and_then(|l| l.parent);
+        }
+        false
     }
 
     /// The synthetic estimate the evaluation engine returns for a pruned

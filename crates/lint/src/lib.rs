@@ -21,6 +21,13 @@
 //!   report it infeasible — the screen shares the estimator's own
 //!   resource accounting ([`s2fa_hlssim::ResourceScreen`]), so it has no
 //!   false positives by construction.
+//! * [`dataflow_rules::dataflow_checks`] — dataflow-backed rules
+//!   (`E3xx`/`W310`) over the CFG, reaching-definitions/liveness facts,
+//!   and the affine dependence engine of `hlsir::dataflow`: provably
+//!   uninitialized reads, provably out-of-bounds affine indices,
+//!   cross-iteration replication write-races, dead stores. The `E3xx`
+//!   verdicts are validated dynamically against the IR interpreter
+//!   (`tests/dataflow_prop.rs`).
 //!
 //! The evaluation engine consults the oracle ahead of its memo cache
 //! (`pruned_illegal` on `CacheStats`, `Event::Prune` in the trace stream),
@@ -29,10 +36,12 @@
 //! load-bearing: only verdicts that provably match the dynamic pipeline
 //! (`E`) may prune; everything heuristic stays `W`.
 
+pub mod dataflow_rules;
 pub mod diag;
 pub mod legality;
 pub mod wellformed;
 
+pub use dataflow_rules::{dataflow_checks, new_dataflow_errors};
 pub use diag::{codes, Diagnostic, LintCode, LintReport, Severity, Span};
 pub use legality::{factor_diagnostics, Legality, PruneHit, PruneRule};
 pub use wellformed::{new_errors, verify_function};
@@ -128,6 +137,7 @@ mod tests {
             ],
             task_loop: LoopId(0),
             tasks_hint: 1024,
+            dataflow: None,
         }
     }
 
@@ -167,6 +177,55 @@ mod tests {
             let r = oracle.check(&cfg);
             assert_eq!(r.has_errors(), !est.evaluate(&s, &cfg).is_feasible());
         }
+    }
+
+    #[test]
+    fn racy_replication_is_pruned_only_with_facts() {
+        use s2fa_hlsir::dataflow::{KernelDataflow, LoopDataflow, RaceFinding};
+        let mut s = summary();
+        let est = Estimator::new();
+        let mut par = DesignConfig::area_seed(&s);
+        par.loop_directive_mut(LoopId(1)).parallel = 4;
+        // Without attached facts the verdict is the estimator's: feasible.
+        assert!(Legality::new(&s, &est).prescreen(&par).is_none());
+        // Attach a proven race on L1.
+        let mut loops = std::collections::BTreeMap::new();
+        loops.insert(
+            LoopId(1),
+            LoopDataflow {
+                write_race: Some(RaceFinding {
+                    loop_id: LoopId(1),
+                    array: "acc".into(),
+                    stmt_a: 3,
+                    stmt_b: 3,
+                }),
+                replication_safe: false,
+                extra_carried: None,
+                carried_distance: None,
+            },
+        );
+        s.dataflow = Some(KernelDataflow { loops });
+        let oracle = Legality::new(&s, &est);
+        // Sequential execution of a racy loop stays legal...
+        assert!(oracle.prescreen(&DesignConfig::area_seed(&s)).is_none());
+        // ...but replicating it is pruned as nondeterministic.
+        let hit = oracle.prescreen(&par).expect("replicated race");
+        assert_eq!(hit.rule, PruneRule::WriteRace);
+        assert_eq!(hit.rule.code().code, "S2FA-E303");
+        assert!(!oracle.pruned_estimate(&hit).is_feasible());
+        // Flatten on the parent fully unrolls the racy child: pruned too.
+        let mut flat = DesignConfig::area_seed(&s);
+        flat.loop_directive_mut(LoopId(0)).pipeline = PipelineMode::Flatten;
+        assert_eq!(
+            oracle.prescreen(&flat).expect("flattened race").rule,
+            PruneRule::WriteRace
+        );
+        // The full check reports it under E303.
+        assert!(oracle
+            .check(&par)
+            .diagnostics
+            .iter()
+            .any(|d| d.code.code == "S2FA-E303"));
     }
 
     #[test]

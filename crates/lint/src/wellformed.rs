@@ -30,6 +30,12 @@ struct Verifier {
     seen_loops: BTreeSet<u32>,
     reported_undefined: BTreeSet<String>,
     report: LintReport,
+    /// Next pre-order statement index — the same numbering
+    /// `hlsir::dataflow` assigns (compound statements before their
+    /// children), so spans line up across rule families.
+    next_stmt: u32,
+    /// Index of the statement currently being checked.
+    cur_stmt: Option<u32>,
 }
 
 /// Verifies the static well-formedness of a generated kernel: every name
@@ -44,6 +50,8 @@ pub fn verify_function(f: &CFunction) -> LintReport {
         seen_loops: BTreeSet::new(),
         reported_undefined: BTreeSet::new(),
         report: LintReport::new(&f.name),
+        next_stmt: 0,
+        cur_stmt: None,
     };
     for p in &f.params {
         let binding = match p.kind {
@@ -90,6 +98,7 @@ impl Verifier {
         Span {
             loop_path: self.loop_path.clone(),
             subject: None,
+            stmt: self.cur_stmt,
         }
     }
 
@@ -222,6 +231,9 @@ impl Verifier {
     fn walk(&mut self, stmts: &[Stmt]) {
         let scope = self.env.len();
         for s in stmts {
+            let sid = self.next_stmt;
+            self.next_stmt += 1;
+            self.cur_stmt = Some(sid);
             match s {
                 Stmt::DeclArr { name, ty, len } => {
                     self.env.push((
@@ -286,14 +298,14 @@ impl Verifier {
                     if !self.seen_loops.insert(id.0) {
                         self.report.push(
                             codes::DUP_LOOP_ID,
-                            Span::at_loop(*id),
+                            Span::at_loop(*id).with_stmt(sid),
                             format!("loop id {id} appears more than once"),
                         );
                     }
                     if *trip_count == Some(0) || body.is_empty() {
                         self.report.push(
                             codes::DEAD_LOOP,
-                            Span::at_loop(*id),
+                            Span::at_loop(*id).with_stmt(sid),
                             if body.is_empty() {
                                 format!("loop {id} has an empty body")
                             } else {

@@ -287,6 +287,7 @@ mod tests {
             }],
             task_loop: LoopId(0),
             tasks_hint: 1024,
+            dataflow: None,
         }
     }
 

@@ -1,0 +1,512 @@
+//! Dynamic-oracle validation of the dataflow lint rules and the affine
+//! dependence test, per the contract in `lint::dataflow_rules`:
+//!
+//! 1. **E301 is never a false error**: every uninitialized read the rule
+//!    flags on a randomly generated kernel is *observed* when the kernel
+//!    runs under the IR interpreter (`Executor::run_observed`).
+//! 2. **E303 is never a false error**: a write-race the detector proves
+//!    on a random affine kernel corresponds to two distinct iterations
+//!    that really do write the same element (checked by brute force over
+//!    the iteration domain), and loops the detector *clears*
+//!    (`replication_safe`) produce bit-identical outputs under permuted
+//!    iteration orders (`Executor::with_iteration_order`).
+//! 3. **The dependence verdict matches execution**: `Tri::Proven`
+//!    overlaps exist in the concrete iteration space and `Tri::Disproven`
+//!    overlaps do not, for random affine access pairs.
+//! 4. The paper's eight workloads carry zero dataflow *defects*
+//!    (E301/E302), and no structural transform the DSE can request
+//!    introduces a new `E3xx` finding (satellite differential).
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use s2fa::compile_kernel;
+use s2fa_dse::DesignSpace;
+use s2fa_hlsir::dataflow::{
+    collect_sites, cross_iteration_overlap, find_write_race, replication_safe, Tri,
+};
+use s2fa_hlsir::{
+    analysis, CFunction, CType, CVal, Executor, Expr, LValue, LoopId, Observed, Param, ParamKind,
+    Stmt,
+};
+use s2fa_lint::{dataflow_checks, new_dataflow_errors};
+use s2fa_merlin::{apply_structural, DesignConfig};
+use s2fa_workloads::all_workloads;
+use std::collections::BTreeMap;
+
+const HINT: u32 = 64;
+
+/// Wraps a body into a minimal kernel over one 8-element record.
+fn kernel(body: Vec<Stmt>) -> CFunction {
+    CFunction {
+        name: "prop_kernel".into(),
+        params: vec![
+            Param {
+                name: "n".into(),
+                ty: CType::Int(32),
+                kind: ParamKind::ScalarIn,
+                elems_per_task: None,
+                broadcast: false,
+            },
+            Param {
+                name: "in_1".into(),
+                ty: CType::Int(32),
+                kind: ParamKind::BufIn,
+                elems_per_task: Some(8),
+                broadcast: false,
+            },
+            Param {
+                name: "out_1".into(),
+                ty: CType::Int(32),
+                kind: ParamKind::BufOut,
+                elems_per_task: Some(8),
+                broadcast: false,
+            },
+        ],
+        body,
+    }
+}
+
+/// Runs `f` over a fixed input record, returning the observations and the
+/// output buffer. `orders` overrides iteration orders per loop.
+fn run(f: &CFunction, orders: &[(LoopId, Vec<i64>)]) -> (Observed, Vec<CVal>) {
+    let mut exec = Executor::new(f);
+    for (id, order) in orders {
+        exec = exec.with_iteration_order(*id, order.clone());
+    }
+    let scalars = BTreeMap::from([("n".to_string(), CVal::I(1))]);
+    let mut buffers = BTreeMap::from([
+        (
+            "in_1".to_string(),
+            (0..8).map(|i| CVal::I(i * 3 + 1)).collect::<Vec<_>>(),
+        ),
+        ("out_1".to_string(), vec![CVal::I(0); 8]),
+    ]);
+    let obs = exec
+        .run_observed(&scalars, &mut buffers)
+        .expect("generated kernel executes");
+    (obs, buffers.remove("out_1").expect("output bound"))
+}
+
+/// Whether the observations contain the read a diagnostic subject names:
+/// `x` is a scalar, `a[3]` an element, `a[*]` any element of `a`.
+fn observed_has(obs: &Observed, subject: &str) -> bool {
+    match subject.split_once('[') {
+        Some((arr, rest)) => {
+            let idx = rest.trim_end_matches(']');
+            if idx == "*" {
+                obs.uninit_reads.iter().any(|(n, _)| n == arr)
+            } else {
+                let k: i64 = idx.parse().expect("element subject");
+                obs.uninit_reads.contains(&(arr.to_string(), Some(k)))
+            }
+        }
+        None => obs.uninit_reads.contains(&(subject.to_string(), None)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Property 1: every E301 the rule reports on a random kernel is a
+    // read the interpreter observes hitting never-written storage.
+    #[test]
+    fn flagged_uninit_reads_manifest_under_interpretation(
+        init_x in any::<bool>(),
+        write_a0 in any::<bool>(),
+        read_x in any::<bool>(),
+        read_a0 in any::<bool>(),
+        read_a1 in any::<bool>(),
+    ) {
+        let mut body = vec![
+            Stmt::Decl {
+                name: "x".into(),
+                ty: CType::Int(32),
+                init: init_x.then_some(Expr::ConstI(7)),
+            },
+            Stmt::Decl {
+                name: "y".into(),
+                ty: CType::Int(32),
+                init: Some(Expr::ConstI(0)),
+            },
+            Stmt::DeclArr { name: "a".into(), ty: CType::Int(32), len: 2 },
+        ];
+        if write_a0 {
+            body.push(Stmt::Assign {
+                lhs: LValue::Index("a".into(), Box::new(Expr::ConstI(0))),
+                rhs: Expr::index("in_1", Expr::ConstI(0)),
+            });
+        }
+        let mut rhs = Expr::iadd(Expr::var("y"), Expr::index("in_1", Expr::var("j")));
+        if read_x {
+            rhs = Expr::iadd(rhs, Expr::var("x"));
+        }
+        if read_a0 {
+            rhs = Expr::iadd(rhs, Expr::index("a", Expr::ConstI(0)));
+        }
+        if read_a1 {
+            rhs = Expr::iadd(rhs, Expr::index("a", Expr::ConstI(1)));
+        }
+        body.push(Stmt::counted_for(
+            LoopId(1),
+            "j",
+            4,
+            vec![Stmt::Assign {
+                lhs: LValue::Index("out_1".into(), Box::new(Expr::var("j"))),
+                rhs,
+            }],
+        ));
+        let f = kernel(body);
+
+        let report = dataflow_checks(&f, HINT);
+        let flagged: Vec<&str> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code.code == "S2FA-E301")
+            .map(|d| d.span.subject.as_deref().expect("E301 names its variable"))
+            .collect();
+
+        // Non-vacuity: an unconditionally-read, never-written scalar is
+        // exactly the rule's domain.
+        if read_x && !init_x {
+            prop_assert!(flagged.contains(&"x"), "missing E301 on `x`: {}", report.render());
+        }
+
+        let (obs, _) = run(&f, &[]);
+        for subject in flagged {
+            prop_assert!(
+                observed_has(&obs, subject),
+                "E301 on `{subject}` did not manifest dynamically; observed {:?}",
+                obs.uninit_reads
+            );
+        }
+    }
+
+    // Property 2: a proven write-race really is two iterations writing
+    // one element (brute force over the affine index), and a cleared
+    // loop's outputs are identical under permuted iteration orders.
+    #[test]
+    fn race_verdicts_match_interleaved_execution(
+        c in 0i64..=2,
+        o in 0i64..=1,
+        t in 2u32..=3,
+        varying in any::<bool>(),
+    ) {
+        let idx = Expr::iadd(Expr::imul(Expr::ConstI(c), Expr::var("j")), Expr::ConstI(o));
+        let rhs = if varying {
+            Expr::iadd(Expr::index("in_1", Expr::var("j")), Expr::var("j"))
+        } else {
+            Expr::ConstI(5)
+        };
+        let l1_body = vec![Stmt::Assign {
+            lhs: LValue::Index("a".into(), Box::new(idx)),
+            rhs,
+        }];
+        let body = vec![
+            Stmt::DeclArr { name: "a".into(), ty: CType::Int(32), len: 8 },
+            Stmt::counted_for(
+                LoopId(10),
+                "i",
+                8,
+                vec![Stmt::Assign {
+                    lhs: LValue::Index("a".into(), Box::new(Expr::var("i"))),
+                    rhs: Expr::index("in_1", Expr::var("i")),
+                }],
+            ),
+            Stmt::counted_for(LoopId(11), "j", t, l1_body.clone()),
+            Stmt::counted_for(
+                LoopId(12),
+                "i",
+                8,
+                vec![Stmt::Assign {
+                    lhs: LValue::Index("out_1".into(), Box::new(Expr::var("i"))),
+                    rhs: Expr::index("a", Expr::var("i")),
+                }],
+            ),
+        ];
+        let f = kernel(body);
+        let sites = collect_sites(&f.body);
+
+        // A zero-coefficient index writes one element every iteration:
+        // the detector must prove the race, and must prove one *only*
+        // when the index really repeats (c == 0 here).
+        let race = find_write_race(&sites, &l1_body, LoopId(11), HINT);
+        prop_assert_eq!(
+            race.is_some(),
+            c == 0,
+            "race verdict {:?} vs ground truth (c = {})",
+            race,
+            c
+        );
+
+        if replication_safe(&sites, &l1_body, LoopId(11), HINT) {
+            let natural: Vec<i64> = (0..t as i64).collect();
+            let mut reversed = natural.clone();
+            reversed.reverse();
+            let mut rotated = natural.clone();
+            rotated.rotate_left(1);
+            let (_, base) = run(&f, &[(LoopId(11), natural)]);
+            for order in [reversed, rotated] {
+                let (_, permuted) = run(&f, &[(LoopId(11), order.clone())]);
+                prop_assert_eq!(
+                    &base,
+                    &permuted,
+                    "cleared loop diverged under order {:?}",
+                    order
+                );
+            }
+        }
+    }
+
+    // Property 3: the affine dependence verdict matches the concrete
+    // iteration space. Proven => some pair of distinct iterations
+    // collides; Disproven => none does. (Unknown is unconstrained.)
+    #[test]
+    fn dependence_verdicts_match_brute_force(
+        c1 in -2i64..=2,
+        c2 in -2i64..=2,
+        o1 in 0i64..=6,
+        o2 in 0i64..=6,
+        t in 1u32..=6,
+    ) {
+        let l1_body = vec![
+            Stmt::Assign {
+                lhs: LValue::Index(
+                    "a".into(),
+                    Box::new(Expr::iadd(
+                        Expr::imul(Expr::ConstI(c1), Expr::var("j")),
+                        Expr::ConstI(o1),
+                    )),
+                ),
+                rhs: Expr::index("in_1", Expr::ConstI(0)),
+            },
+            Stmt::Assign {
+                lhs: LValue::Index("out_1".into(), Box::new(Expr::var("j"))),
+                rhs: Expr::index(
+                    "a",
+                    Expr::iadd(Expr::imul(Expr::ConstI(c2), Expr::var("j")), Expr::ConstI(o2)),
+                ),
+            },
+        ];
+        let body = vec![
+            Stmt::DeclArr { name: "a".into(), ty: CType::Int(32), len: 16 },
+            Stmt::counted_for(LoopId(20), "j", t, l1_body),
+        ];
+        let f = kernel(body);
+        let sites = collect_sites(&f.body);
+        let write = sites
+            .iter()
+            .find(|s| s.array == "a" && s.write)
+            .expect("write site collected");
+        let read = sites
+            .iter()
+            .find(|s| s.array == "a" && !s.write)
+            .expect("read site collected");
+
+        let verdict = cross_iteration_overlap(write, read, LoopId(20), HINT);
+        let truth = (0..t as i64).any(|j1| {
+            (0..t as i64).any(|j2| j1 != j2 && c1 * j1 + o1 == c2 * j2 + o2)
+        });
+        match verdict {
+            Tri::Proven => prop_assert!(
+                truth,
+                "proved a dependence that does not exist: c1={c1} o1={o1} c2={c2} o2={o2} t={t}"
+            ),
+            Tri::Disproven => prop_assert!(
+                !truth,
+                "disproved a real dependence: c1={c1} o1={o1} c2={c2} o2={o2} t={t}"
+            ),
+            Tri::Unknown => {}
+        }
+    }
+}
+
+/// Seeded true-positive corpus: each rule fires on its canonical kernel
+/// and the dynamic oracle confirms the defect.
+#[test]
+fn corpus_defects_are_dynamically_real() {
+    // E301: unconditional read of a never-initialized scalar.
+    let f = kernel(vec![
+        Stmt::Decl {
+            name: "x".into(),
+            ty: CType::Int(32),
+            init: None,
+        },
+        Stmt::Assign {
+            lhs: LValue::Index("out_1".into(), Box::new(Expr::ConstI(0))),
+            rhs: Expr::var("x"),
+        },
+    ]);
+    let report = dataflow_checks(&f, HINT);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code.code == "S2FA-E301"),
+        "{}",
+        report.render()
+    );
+    let (obs, _) = run(&f, &[]);
+    assert!(obs.uninit_reads.contains(&("x".to_string(), None)));
+
+    // E302: affine index provably past the declared length — and the
+    // interpreter faults on the same access.
+    let f = kernel(vec![
+        Stmt::DeclArr {
+            name: "a".into(),
+            ty: CType::Int(32),
+            len: 4,
+        },
+        Stmt::counted_for(
+            LoopId(1),
+            "j",
+            6,
+            vec![Stmt::Assign {
+                lhs: LValue::Index("a".into(), Box::new(Expr::var("j"))),
+                rhs: Expr::ConstI(1),
+            }],
+        ),
+    ]);
+    let report = dataflow_checks(&f, HINT);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code.code == "S2FA-E302"),
+        "{}",
+        report.render()
+    );
+    let scalars = BTreeMap::from([("n".to_string(), CVal::I(1))]);
+    let mut buffers = BTreeMap::from([
+        ("in_1".to_string(), vec![CVal::I(0); 8]),
+        ("out_1".to_string(), vec![CVal::I(0); 8]),
+    ]);
+    assert!(
+        Executor::new(&f).run(&scalars, &mut buffers).is_err(),
+        "the flagged out-of-bounds store must fault dynamically"
+    );
+
+    // E303: every iteration overwrites `a[0]` with a different value —
+    // two iteration orders really produce different results.
+    let l1_body = vec![Stmt::Assign {
+        lhs: LValue::Index("a".into(), Box::new(Expr::ConstI(0))),
+        rhs: Expr::var("j"),
+    }];
+    let f = kernel(vec![
+        Stmt::DeclArr {
+            name: "a".into(),
+            ty: CType::Int(32),
+            len: 2,
+        },
+        Stmt::Assign {
+            lhs: LValue::Index("a".into(), Box::new(Expr::ConstI(1))),
+            rhs: Expr::ConstI(0),
+        },
+        Stmt::counted_for(LoopId(11), "j", 4, l1_body.clone()),
+        Stmt::Assign {
+            lhs: LValue::Index("out_1".into(), Box::new(Expr::ConstI(0))),
+            rhs: Expr::index("a", Expr::ConstI(0)),
+        },
+    ]);
+    let report = dataflow_checks(&f, HINT);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code.code == "S2FA-E303"),
+        "{}",
+        report.render()
+    );
+    let sites = collect_sites(&f.body);
+    assert!(find_write_race(&sites, &l1_body, LoopId(11), HINT).is_some());
+    let (_, fwd) = run(&f, &[(LoopId(11), vec![0, 1, 2, 3])]);
+    let (_, rev) = run(&f, &[(LoopId(11), vec![3, 2, 1, 0])]);
+    assert_ne!(fwd, rev, "the raced element must be order-sensitive");
+
+    // W310: an overwritten store with no intervening read.
+    let f = kernel(vec![
+        Stmt::Decl {
+            name: "x".into(),
+            ty: CType::Int(32),
+            init: None,
+        },
+        Stmt::Assign {
+            lhs: LValue::Var("x".into()),
+            rhs: Expr::ConstI(5),
+        },
+        Stmt::Assign {
+            lhs: LValue::Var("x".into()),
+            rhs: Expr::ConstI(6),
+        },
+        Stmt::Assign {
+            lhs: LValue::Index("out_1".into(), Box::new(Expr::ConstI(0))),
+            rhs: Expr::var("x"),
+        },
+    ]);
+    let report = dataflow_checks(&f, HINT);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code.code == "S2FA-W310"),
+        "{}",
+        report.render()
+    );
+}
+
+/// The paper's eight workloads are free of dataflow *defects*: no
+/// provably uninitialized read (E301) and no provably out-of-bounds
+/// index (E302) anywhere. E303 replication races are legality facts
+/// about the search space (AES's round loop and S-W's wavefront loop
+/// genuinely carry them) and are allowed.
+#[test]
+fn workloads_have_zero_dataflow_defects() {
+    for w in all_workloads() {
+        let g = compile_kernel(&w.spec).expect(w.name);
+        let report = dataflow_checks(&g.cfunc, 1024);
+        let defects: Vec<_> = report
+            .errors()
+            .filter(|d| d.code.code != "S2FA-E303")
+            .collect();
+        assert!(
+            defects.is_empty(),
+            "{}: dataflow defects {:?}",
+            w.name,
+            defects
+        );
+    }
+}
+
+/// Satellite differential: no structural transform the DSE can request
+/// introduces a new `E3xx` finding on any workload — for the seeds and
+/// for random decoded design points alike.
+#[test]
+fn transforms_never_introduce_dataflow_errors() {
+    for w in all_workloads() {
+        let g = compile_kernel(&w.spec).expect(w.name);
+        let summary = analysis::summarize(&g.cfunc, 1024).expect(w.name);
+        let ds = DesignSpace::build(&summary);
+        let baseline = dataflow_checks(&g.cfunc, 1024);
+        let mut rng = SmallRng::seed_from_u64(0xDF10);
+        let mut configs = vec![
+            DesignConfig::perf_seed(&summary),
+            DesignConfig::area_seed(&summary),
+        ];
+        for _ in 0..6 {
+            configs.push(ds.decode(&ds.space().random(&mut rng)));
+        }
+        for cfg in configs {
+            let mut norm = cfg.clone();
+            norm.normalize(&summary);
+            let (optimized, _) = apply_structural(&g.cfunc, &norm);
+            let fresh = new_dataflow_errors(&baseline, &dataflow_checks(&optimized, 1024));
+            assert!(
+                fresh.is_empty(),
+                "{}: transform of {:?} introduced {:?}",
+                w.name,
+                norm,
+                fresh
+            );
+        }
+    }
+}
